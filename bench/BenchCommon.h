@@ -1,0 +1,64 @@
+//===- bench/BenchCommon.h - Shared benchmark harness -----------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure-reproduction benchmarks: an allocator
+/// factory keyed by the names used in the paper's figures, and a runner
+/// that allocates a whole workload suite and aggregates the metrics each
+/// figure reports (eliminated moves, generated spill instructions,
+/// simulated execution cost).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_BENCH_BENCHCOMMON_H
+#define PDGC_BENCH_BENCHCOMMON_H
+
+#include "regalloc/AllocatorBase.h"
+#include "sim/CostSimulator.h"
+#include "workloads/Suites.h"
+
+#include <memory>
+#include <string>
+
+namespace pdgc {
+
+/// Creates an allocator by figure name. Known names:
+///   chaitin            — Chaitin, aggressive coalescing (Figure 9 base)
+///   briggs+aggressive  — Briggs optimistic coloring
+///   iterated           — George–Appel iterated coalescing
+///   optimistic         — Park–Moon optimistic coalescing
+///   aggressive+volatility — Lueh–Gross-style call-cost directed
+///   only-coalescing    — ours, coalesce preferences only (Section 6.1)
+///   full-preferences   — ours, all preferences (Section 6.2/6.3)
+///   pdgc-stack-order / pdgc-no-lookahead / pdgc-no-active-spill /
+///   pdgc-no-sequential / pdgc-no-volatility — ablations
+///   pdgc-precoalesce / only-coalescing+pre — the Section 6.1 extension:
+///   conservative pre-coalescing of non-spill-causing copies
+/// Names may be suffixed with "#nvf" to select non-volatile-first register
+/// picking for the preference-unaware allocators (Section 6.2's heuristic).
+std::unique_ptr<AllocatorBase> makeAllocatorByName(const std::string &Name);
+
+/// Aggregated metrics of one (suite, target, allocator) run.
+struct SuiteResult {
+  unsigned Functions = 0;
+  unsigned OriginalMoves = 0;
+  unsigned RemainingMoves = 0;
+  unsigned EliminatedMoves = 0;
+  unsigned SpillInstructions = 0;
+  unsigned SpilledRanges = 0;
+  unsigned Rounds = 0;
+  SimulatedCost Cost; ///< Summed simulated execution cost.
+};
+
+/// Generates every function of \p Suite, allocates it with \p Allocator on
+/// \p Target, and aggregates the metrics.
+SuiteResult runSuiteAllocation(const WorkloadSuite &Suite,
+                               const TargetDesc &Target,
+                               AllocatorBase &Allocator);
+
+} // namespace pdgc
+
+#endif // PDGC_BENCH_BENCHCOMMON_H

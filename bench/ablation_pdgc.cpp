@@ -1,0 +1,80 @@
+//===- bench/ablation_pdgc.cpp - PDGC design-choice ablation ------------------===//
+//
+// Part of the PDGC project.
+//
+// Not a paper figure: isolates the contribution of each design choice of
+// the preference-directed allocator, per the ablation plan in DESIGN.md:
+//
+//  * pdgc-stack-order     — select over the plain simplification stack
+//                           instead of the CPG partial order (removes the
+//                           Section 5.2 contribution);
+//  * pdgc-no-lookahead    — drop step 4.3 (pending-preference screening);
+//  * pdgc-no-active-spill — drop the Section 5.4 active spilling;
+//  * pdgc-no-sequential   — ignore paired-load preferences;
+//  * pdgc-no-volatility   — ignore volatile/non-volatile preferences.
+//
+// Reported as simulated-cost ratios relative to the full configuration
+// (higher than 1.0 means the removed feature was helping), plus move and
+// spill deltas, at all three pressure models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace pdgc;
+
+int main() {
+  std::printf("PDGC ablation: simulated-cost ratio vs. full-preferences "
+              "(geomean over the seven suites).\n");
+
+  const char *const Variants[] = {"pdgc-stack-order", "pdgc-no-lookahead",
+                                  "pdgc-no-active-spill",
+                                  "pdgc-no-sequential",
+                                  "pdgc-no-volatility",
+                                  "pdgc-no-restricted",
+                                  "pdgc-precoalesce"};
+
+  for (unsigned Regs : {16u, 24u, 32u}) {
+    TargetDesc Target = makeTarget(Regs);
+    TablePrinter Table("Ablation at " + std::to_string(Regs) +
+                       " registers (cost ratio vs. full; >1 = feature "
+                       "helps)");
+    Table.setHeader({"variant", "cost ratio", "moves left", "full",
+                     "spill instrs", "full"});
+
+    // Full configuration baseline per suite.
+    std::vector<double> FullCosts;
+    unsigned FullMoves = 0, FullSpills = 0;
+    std::vector<WorkloadSuite> Suites = specJvmLikeSuites();
+    for (const WorkloadSuite &Suite : Suites) {
+      std::unique_ptr<AllocatorBase> Alloc =
+          makeAllocatorByName("full-preferences");
+      SuiteResult Res = runSuiteAllocation(Suite, Target, *Alloc);
+      FullCosts.push_back(Res.Cost.total());
+      FullMoves += Res.RemainingMoves;
+      FullSpills += Res.SpillInstructions;
+    }
+
+    for (const char *Variant : Variants) {
+      std::vector<double> Ratios;
+      unsigned Moves = 0, Spills = 0;
+      for (unsigned S = 0; S != Suites.size(); ++S) {
+        std::unique_ptr<AllocatorBase> Alloc = makeAllocatorByName(Variant);
+        SuiteResult Res = runSuiteAllocation(Suites[S], Target, *Alloc);
+        Ratios.push_back(Res.Cost.total() / FullCosts[S]);
+        Moves += Res.RemainingMoves;
+        Spills += Res.SpillInstructions;
+      }
+      Table.addRow({Variant, formatDouble(geomean(Ratios), 3),
+                    std::to_string(Moves), std::to_string(FullMoves),
+                    std::to_string(Spills), std::to_string(FullSpills)});
+    }
+    Table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/fig9_coalescing.cpp - Figure 9 reproduction ---------------------===//
+//
+// Part of the PDGC project.
+//
+// Figure 9 of the paper: coalescing capability and spill suppression of
+// the partial-order-based allocator (coalesce preferences only) against
+// Park–Moon optimistic coalescing and Briggs-style coloring with
+// aggressive coalescing, relative to Chaitin's allocator (the base), at 16
+// and 32 registers:
+//   (a) ratio of eliminated move instructions, 16 registers
+//   (b) ratio of generated spill instructions, 16 registers
+//   (c) ratio of eliminated move instructions, 32 registers
+//   (d) ratio of generated spill instructions, 32 registers
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace pdgc;
+
+namespace {
+
+// The fourth column is not in the paper's figure: it is the extension
+// Section 6.1 proposes ("aggressively coalesce non spill-causing nodes"),
+// included to show it recovers the coalescing that deferred-only
+// resolution misses.
+const char *const Algorithms[] = {"only-coalescing", "optimistic",
+                                  "briggs+aggressive",
+                                  "only-coalescing+pre"};
+constexpr unsigned NumAlgorithms = 4;
+
+void runPanel(char Label, unsigned Regs, bool SpillPanel) {
+  TargetDesc Target = makeTarget(Regs);
+  std::string Metric = SpillPanel ? "generated spill instructions"
+                                  : "eliminated moves by coalescing";
+  TablePrinter Table("Figure 9(" + std::string(1, Label) + "): ratio of " +
+                     Metric + " vs. Chaitin, " + std::to_string(Regs) +
+                     " registers");
+  Table.setHeader({"test", "chaitin", "only coalescing", "ratio",
+                   "optimistic", "ratio", "briggs+aggressive", "ratio",
+                   "ours+precoalesce", "ratio"});
+
+  std::vector<std::vector<double>> Ratios(NumAlgorithms);
+  for (const WorkloadSuite &Suite : specJvmLikeSuites()) {
+    std::unique_ptr<AllocatorBase> Base = makeAllocatorByName("chaitin");
+    SuiteResult BaseRes = runSuiteAllocation(Suite, Target, *Base);
+    double BaseVal = SpillPanel
+                         ? static_cast<double>(BaseRes.SpillInstructions)
+                         : static_cast<double>(BaseRes.EliminatedMoves);
+
+    std::vector<std::string> Row{Suite.Name,
+                                 formatDouble(BaseVal, 0)};
+    for (unsigned A = 0; A != NumAlgorithms; ++A) {
+      std::unique_ptr<AllocatorBase> Alloc =
+          makeAllocatorByName(Algorithms[A]);
+      SuiteResult Res = runSuiteAllocation(Suite, Target, *Alloc);
+      double Val = SpillPanel ? static_cast<double>(Res.SpillInstructions)
+                              : static_cast<double>(Res.EliminatedMoves);
+      // Ratio to the base; when both are zero the algorithms agree (1.0).
+      double Ratio = BaseVal > 0 ? Val / BaseVal : (Val > 0 ? 2.0 : 1.0);
+      Ratios[A].push_back(Ratio);
+      Row.push_back(formatDouble(Val, 0));
+      Row.push_back(formatDouble(Ratio, 3));
+    }
+    Table.addRow(std::move(Row));
+  }
+
+  std::vector<std::string> Geo{"geo. mean", ""};
+  for (unsigned A = 0; A != NumAlgorithms; ++A) {
+    Geo.push_back("");
+    Geo.push_back(formatDouble(geomean(Ratios[A]), 3));
+  }
+  Table.addRow(std::move(Geo));
+  Table.print();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Reproduction of Figure 9 (Section 6.1, coalescing "
+              "capability).\nBase algorithm: Chaitin-style coloring with "
+              "aggressive coalescing.\n");
+  runPanel('a', 16, /*SpillPanel=*/false);
+  runPanel('b', 16, /*SpillPanel=*/true);
+  runPanel('c', 32, /*SpillPanel=*/false);
+  runPanel('d', 32, /*SpillPanel=*/true);
+  return 0;
+}

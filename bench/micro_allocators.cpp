@@ -1,0 +1,120 @@
+//===- bench/micro_allocators.cpp - Allocator throughput ----------------------===//
+//
+// Part of the PDGC project.
+//
+// Google-benchmark microbenchmarks: wall-clock throughput of each
+// allocator over a representative generated function, and the cost of
+// building the preference-directed allocator's two data structures (RPG
+// and CPG). The paper argues its approach is far cheaper than the integer-
+// programming allocators of Section 7; these numbers document the actual
+// compile-time overhead over Chaitin-style baselines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "analysis/CostModel.h"
+#include "core/ColoringPrecedenceGraph.h"
+#include "core/RegisterPreferenceGraph.h"
+#include "ir/PhiElimination.h"
+#include "regalloc/Driver.h"
+#include "regalloc/Simplifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pdgc;
+
+namespace {
+
+GeneratorParams mediumFunction(std::uint64_t Seed) {
+  GeneratorParams P;
+  P.Name = "micro";
+  P.Seed = Seed;
+  P.FragmentBudget = 30;
+  P.CallPercent = 25;
+  P.PairedLoadPercent = 15;
+  P.FpPercent = 25;
+  P.PressureValues = 8;
+  return P;
+}
+
+void allocatorBench(benchmark::State &State, const char *Name) {
+  TargetDesc Target = makeTarget(24);
+  GeneratorParams P = mediumFunction(42);
+  unsigned VRegs = 0;
+  for (auto _ : State) {
+    (void)_;
+    State.PauseTiming();
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    std::unique_ptr<AllocatorBase> Alloc = makeAllocatorByName(Name);
+    DriverOptions Options;
+    Options.VerifyAssignment = false;
+    State.ResumeTiming();
+    AllocationOutcome Out = allocate(*F, Target, *Alloc, Options);
+    benchmark::DoNotOptimize(Out.Assignment.data());
+    VRegs = F->numVRegs();
+  }
+  State.counters["vregs"] = VRegs;
+}
+
+void BM_BuildRpg(benchmark::State &State) {
+  TargetDesc Target = makeTarget(24);
+  std::unique_ptr<Function> F = generateFunction(mediumFunction(42), Target);
+  eliminatePhis(*F);
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(*F, LV, LI);
+  for (auto _ : State) {
+    (void)_;
+    RegisterPreferenceGraph RPG =
+        RegisterPreferenceGraph::build(*F, LV, LI, Costs, Target);
+    benchmark::DoNotOptimize(RPG.numPreferences());
+  }
+}
+BENCHMARK(BM_BuildRpg);
+
+void BM_BuildCpg(benchmark::State &State) {
+  TargetDesc Target = makeTarget(24);
+  std::unique_ptr<Function> F = generateFunction(mediumFunction(42), Target);
+  eliminatePhis(*F);
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(*F, LV, LI);
+  InterferenceGraph IG = InterferenceGraph::build(*F, LV, LI);
+  SimplifyResult SR = simplifyGraph(
+      IG, Target, [&](unsigned N) { return Costs.spillMetric(VReg(N)); },
+      /*Optimistic=*/true);
+  for (auto _ : State) {
+    (void)_;
+    ColoringPrecedenceGraph CPG =
+        ColoringPrecedenceGraph::build(IG, Target, SR);
+    benchmark::DoNotOptimize(CPG.numEdges());
+  }
+}
+BENCHMARK(BM_BuildCpg);
+
+void BM_BuildInterference(benchmark::State &State) {
+  TargetDesc Target = makeTarget(24);
+  std::unique_ptr<Function> F = generateFunction(mediumFunction(42), Target);
+  eliminatePhis(*F);
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  for (auto _ : State) {
+    (void)_;
+    InterferenceGraph IG = InterferenceGraph::build(*F, LV, LI);
+    benchmark::DoNotOptimize(IG.numNodes());
+  }
+}
+BENCHMARK(BM_BuildInterference);
+
+} // namespace
+
+BENCHMARK_CAPTURE(allocatorBench, chaitin, "chaitin");
+BENCHMARK_CAPTURE(allocatorBench, briggs, "briggs+aggressive");
+BENCHMARK_CAPTURE(allocatorBench, iterated, "iterated");
+BENCHMARK_CAPTURE(allocatorBench, priority, "priority");
+BENCHMARK_CAPTURE(allocatorBench, optimistic, "optimistic");
+BENCHMARK_CAPTURE(allocatorBench, callcost, "aggressive+volatility");
+BENCHMARK_CAPTURE(allocatorBench, pdgc_full, "full-preferences");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+//===- examples/callcost_tuning.cpp - Volatile vs non-volatile -----------------===//
+//
+// Part of the PDGC project.
+//
+// Demonstrates the paper's third preference category, "preferred register
+// usage": distributing live ranges between volatile (caller-saved) and
+// non-volatile (callee-saved) registers. A call-saturated function is
+// allocated by four allocators; the simulated cost breakdown shows where
+// each loses — surviving copies, caller-side save/restore around calls, or
+// callee-side prologue saves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "regalloc/Driver.h"
+#include "sim/CostSimulator.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+#include "workloads/Generator.h"
+
+#include <cstdio>
+
+using namespace pdgc;
+
+int main() {
+  std::printf(
+      "A call-saturated workload (jess-like) on the 24-register model.\n"
+      "Watch the caller-save column: preference-unaware allocators leave\n"
+      "call-crossing values in volatile registers and pay save/restore at\n"
+      "every call; the preference-directed allocator moves them to\n"
+      "non-volatile registers or memory, whichever the Appendix cost model\n"
+      "says is cheaper.\n");
+
+  TargetDesc Target = makeTarget(24);
+
+  GeneratorParams P;
+  P.Name = "callheavy";
+  P.Seed = 2026;
+  P.FragmentBudget = 28;
+  P.CallPercent = 50;
+  P.BranchPercent = 25;
+  P.LoopPercent = 15;
+  P.CopyPercent = 25;
+  P.PressureValues = 9;
+  WorkloadSuite Suite;
+  Suite.Name = "callheavy";
+  for (unsigned I = 0; I != 8; ++I) {
+    GeneratorParams Q = P;
+    Q.Seed += I * 77;
+    Suite.Functions.push_back(Q);
+  }
+
+  TablePrinter Table("Cost breakdown on a call-saturated workload");
+  Table.setHeader({"allocator", "total", "ops", "moves", "spill",
+                   "caller-save", "callee-save"});
+  for (const char *Name :
+       {"briggs+aggressive#nvf", "optimistic#nvf", "aggressive+volatility",
+        "full-preferences"}) {
+    std::unique_ptr<AllocatorBase> Alloc = makeAllocatorByName(Name);
+    SuiteResult Res = runSuiteAllocation(Suite, Target, *Alloc);
+    const SimulatedCost &C = Res.Cost;
+    Table.addRow({Name, formatDouble(C.total(), 0),
+                  formatDouble(C.OpCost, 0), formatDouble(C.MoveCost, 0),
+                  formatDouble(C.SpillCost, 0),
+                  formatDouble(C.CallerSaveCost, 0),
+                  formatDouble(C.CalleeSaveCost, 0)});
+  }
+  Table.print();
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- examples/figure7_walkthrough.cpp - Annotated paper example --------------===//
+//
+// Part of the PDGC project.
+//
+// The paper's Figure 7 example, step by step, with commentary: what the
+// Register Preference Graph records, how the Coloring Precedence Graph
+// relaxes the simplification stack into a partial order, and why the
+// preference-directed select phase recovers the paper's hand-derived
+// assignment (both copies eliminated, the paired load fused, the
+// call-crossing sum in a non-volatile register).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+#include "analysis/InterferenceGraph.h"
+#include "core/ColoringPrecedenceGraph.h"
+#include "core/PreferenceDirectedAllocator.h"
+#include "core/RegisterPreferenceGraph.h"
+#include "ir/IRPrinter.h"
+#include "regalloc/Driver.h"
+#include "regalloc/Simplifier.h"
+#include "workloads/Figure7.h"
+
+#include <cstdio>
+
+using namespace pdgc;
+
+int main() {
+  TargetDesc Target = makeFigure7Target();
+  Figure7Regs R;
+  auto F = makeFigure7Function(Target, &R);
+
+  std::printf(
+      "The sample loop of Figure 7(a) — a load off the argument, a paired\n"
+      "load, a copy, an add whose result lives across a call, and a\n"
+      "backedge. Three integer registers: r0 (argument+return, volatile),\n"
+      "r1 (volatile), r2 (non-volatile).\n\n%s\n",
+      printFunction(*F).c_str());
+
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(*F, LV, LI);
+
+  std::printf(
+      "Step 1 — the Appendix cost model. Loop instructions weigh 10; the\n"
+      "strength of honoring a preference is Mem_Cost - Ideal_Cost. The\n"
+      "paper quotes v3's coalesce edge to v0 at 40 (volatile) / 38\n"
+      "(non-volatile), and v4's non-volatile preference at 28:\n\n");
+
+  RegisterPreferenceGraph RPG =
+      RegisterPreferenceGraph::build(*F, LV, LI, Costs, Target);
+  for (const Preference &P : RPG.preferencesOf(R.V3))
+    if (P.Kind == PrefKind::Coalesce &&
+        P.Target == PrefTarget::liveRange(R.V0.id()))
+      std::printf("  Str(v3, coalesce v0) = %.0f volatile / %.0f "
+                  "non-volatile\n",
+                  RPG.strength(P, 1), RPG.strength(P, 2));
+  for (const Preference &P : RPG.preferencesOf(R.V4))
+    if (P.Kind == PrefKind::Prefers &&
+        P.Target.Kind == PrefTarget::NonVolatileClass)
+      std::printf("  Str(v4, prefers non-volatile) = %.0f\n",
+                  RPG.bestStrength(P));
+
+  InterferenceGraph IG = InterferenceGraph::build(*F, LV, LI);
+  SimplifyResult SR = simplifyGraph(
+      IG, Target, [&](unsigned N) { return Costs.spillMetric(VReg(N)); },
+      /*Optimistic=*/true);
+
+  std::printf(
+      "\nStep 2 — simplification (Figure 7(d)) removes v0 and v4 first\n"
+      "(low degree), then v1, v2, v3. Chaitin would color in strict\n"
+      "reverse: v3, v2, v1, v4, v0. The CPG (Figure 7(e)) keeps only the\n"
+      "orderings colorability needs:\n\n");
+
+  ColoringPrecedenceGraph CPG =
+      ColoringPrecedenceGraph::build(IG, Target, SR);
+  auto Name = [&](unsigned Id) {
+    if (Id == R.V0.id()) return "v0";
+    if (Id == R.V1.id()) return "v1";
+    if (Id == R.V2.id()) return "v2";
+    if (Id == R.V3.id()) return "v3";
+    if (Id == R.V4.id()) return "v4";
+    return "??";
+  };
+  for (unsigned N : SR.Stack)
+    for (unsigned S : CPG.successors(N))
+      std::printf("  %s before %s\n", Name(N), Name(S));
+  std::printf(
+      "\nso v1, v2 and v3 are all *ready* at once — the freedom the\n"
+      "preference-directed select phase exploits (Chaitin's stack forced\n"
+      "v3 first, v2 second, with no way to give v1 and v2 the pairable\n"
+      "registers once they were reached).\n");
+
+  PreferenceDirectedAllocator Alloc(pdgcFullOptions());
+  AllocationOutcome Out = allocate(*F, Target, Alloc);
+
+  std::printf(
+      "\nStep 3 — the preference-directed selection (Figure 7(g)):\n\n");
+  for (VReg V : {R.V0, R.V1, R.V2, R.V3, R.V4})
+    std::printf("  %s -> %s\n", Name(V.id()),
+                Target.regName(static_cast<PhysReg>(Out.Assignment[V.id()]))
+                    .c_str());
+  std::printf(
+      "\n  * v3 and v0 share r0 with the argument: both copies vanish\n"
+      "    (%u of %u moves eliminated);\n"
+      "  * v1, v2 take the adjacent pair r1, r2: the paired load fuses;\n"
+      "  * v4, live across the call, takes the non-volatile r2.\n"
+      "\nThat is exactly the paper's final code of Figure 7(h).\n",
+      Out.Moves.Eliminated, Out.Moves.Total);
+  return 0;
+}

@@ -1,0 +1,129 @@
+//===- examples/irregular_registers.cpp - Dependent register usage -------------===//
+//
+// Part of the PDGC project.
+//
+// Demonstrates the paper's fourth preference category, "dependent register
+// usage": paired loads that fuse into a single machine operation only when
+// their two destination registers satisfy the target's pairing rule
+// (adjacent registers a la Power/S390, or different parity a la IA-64).
+//
+// Part 1 runs a small complex-filter kernel and shows the assignment the
+// sequential preferences produce. Part 2 aggregates over the
+// mpegaudio-like suite (the paper's paired-load-heavy test) and reports
+// how many paired-load candidates each allocator's register selection
+// fuses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/PreferenceDirectedAllocator.h"
+#include "ir/IRBuilder.h"
+#include "regalloc/Driver.h"
+#include "sim/CostSimulator.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace pdgc;
+
+namespace {
+
+/// A loop that paired-loads 4 complex samples per iteration and folds
+/// them into an accumulator.
+void buildFilterKernel(Function &F, const TargetDesc &Target) {
+  IRBuilder B(F);
+  VReg P = F.addParam(RegClass::GPR,
+                      static_cast<int>(Target.paramReg(RegClass::GPR, 0)));
+
+  BasicBlock *Entry = F.createBlock("entry");
+  BasicBlock *Loop = F.createBlock("loop");
+  BasicBlock *Done = F.createBlock("done");
+
+  B.setInsertBlock(Entry);
+  VReg Base = B.emitMove(P);
+  VReg I0 = B.emitLoadImm(0);
+  VReg Limit = B.emitLoadImm(64);
+  VReg Acc0 = B.emitLoadImm(0, RegClass::FPR);
+  B.emitBranch(Loop);
+
+  B.setInsertBlock(Loop);
+  VReg Acc = B.emitPhi(RegClass::FPR, {Acc0, Acc0});
+  VReg I = B.emitPhi(RegClass::GPR, {I0, I0});
+  VReg Sum = Acc;
+  std::vector<std::pair<VReg, VReg>> Pairs;
+  for (unsigned K = 0; K != 4; ++K) {
+    // Each pair is a complex sample: (re, im) at consecutive addresses.
+    auto [Re, Im] = B.emitPairedLoad(Base, 2 * K, RegClass::FPR);
+    Pairs.push_back({Re, Im});
+    VReg Mag = B.emitBinary(Opcode::Mul, Re, Im);
+    Sum = B.emitBinary(Opcode::Add, Sum, Mag);
+  }
+  VReg INext = B.emitAddImm(I, 1);
+  Loop->inst(0).setUse(1, Sum);
+  Loop->inst(1).setUse(1, INext);
+  VReg Cond = B.emitCompare(Opcode::CmpLT, INext, Limit);
+  B.emitCondBranch(Cond, Loop, Done);
+
+  B.setInsertBlock(Done);
+  VReg Flag = B.emitCompare(Opcode::CmpLT, Acc, Acc);
+  VReg Ret = F.createPinnedVReg(
+      RegClass::GPR, static_cast<int>(Target.returnReg(RegClass::GPR)));
+  B.emitMoveTo(Ret, Flag);
+  B.emitRet(Ret);
+}
+
+void runKernel(const char *RuleName, PairingRule Rule) {
+  TargetDesc Target = makeTarget(16, Rule);
+  Function F("filter");
+  buildFilterKernel(F, Target);
+  PreferenceDirectedAllocator Allocator(pdgcFullOptions());
+  AllocationOutcome Out = allocate(F, Target, Allocator);
+  SimulatedCost Cost = simulateCost(F, Target, Out.Assignment);
+  std::printf("  %-40s fused %u of %u candidate pairs, cost %.0f\n",
+              RuleName, Cost.FusedPairs, Cost.FusedPairs + Cost.MissedPairs,
+              Cost.total());
+}
+
+void runSuiteComparison(PairingRule Rule, const char *RuleName) {
+  TargetDesc Target = makeTarget(16, Rule);
+  WorkloadSuite Suite = suiteByName("mpegaudio");
+  TablePrinter Table(std::string("Paired-load fusion on mpegaudio, 16 "
+                                 "registers, rule: ") +
+                     RuleName);
+  Table.setHeader({"allocator", "fused", "missed", "fuse rate",
+                   "simulated cost"});
+  for (const char *Name :
+       {"briggs+aggressive#nvf", "optimistic#nvf", "aggressive+volatility",
+        "pdgc-no-sequential", "full-preferences"}) {
+    std::unique_ptr<AllocatorBase> Alloc = makeAllocatorByName(Name);
+    SuiteResult Res = runSuiteAllocation(Suite, Target, *Alloc);
+    unsigned Total = Res.Cost.FusedPairs + Res.Cost.MissedPairs;
+    Table.addRow({Name, std::to_string(Res.Cost.FusedPairs),
+                  std::to_string(Res.Cost.MissedPairs),
+                  formatPercent(Total ? double(Res.Cost.FusedPairs) / Total
+                                      : 1.0,
+                                1),
+                  formatDouble(Res.Cost.total(), 0)});
+  }
+  Table.print();
+}
+
+} // namespace
+
+int main() {
+  std::printf(
+      "Paired loads fuse only when the two destination registers satisfy\n"
+      "the machine's pairing rule (Section 3.1, dependent register "
+      "usage).\nSequential+/- preferences teach the allocator to pick such "
+      "pairs.\n\nPart 1 — a complex-filter kernel under the full "
+      "allocator:\n");
+  runKernel("adjacent registers (Power/S390 style)", PairingRule::Adjacent);
+  runKernel("odd/even parity (IA-64 style)", PairingRule::OddEven);
+
+  std::printf("\nPart 2 — fusion rates across the mpegaudio-like suite:\n");
+  runSuiteComparison(PairingRule::Adjacent, "adjacent");
+  runSuiteComparison(PairingRule::OddEven, "odd/even");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- examples/quickstart.cpp - Five-minute tour ------------------------------===//
+//
+// Part of the PDGC project.
+//
+// Builds a small function with the IR builder, runs the preference-
+// directed allocator on the paper's middle-pressure machine model, and
+// prints the code before and after allocation together with the register
+// assignment. Start here.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreferenceDirectedAllocator.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "machine/TargetDesc.h"
+#include "regalloc/Driver.h"
+#include "sim/CostSimulator.h"
+
+#include <cstdio>
+
+using namespace pdgc;
+
+int main() {
+  // A machine: 24 GPRs + 24 FPRs, half volatile, 8 parameter registers.
+  TargetDesc Target = makeMiddlePressureTarget();
+
+  // int f(int *p, int n) {
+  //   int acc = n;
+  //   for (int i = 0; i < 8; ++i) acc += p[i] * external(acc);
+  //   return acc;
+  // }
+  Function F("quickstart");
+  IRBuilder B(F);
+  VReg P = F.addParam(RegClass::GPR,
+                      static_cast<int>(Target.paramReg(RegClass::GPR, 0)));
+  VReg N = F.addParam(RegClass::GPR,
+                      static_cast<int>(Target.paramReg(RegClass::GPR, 1)));
+
+  BasicBlock *Entry = F.createBlock("entry");
+  BasicBlock *Loop = F.createBlock("loop");
+  BasicBlock *Done = F.createBlock("done");
+
+  B.setInsertBlock(Entry);
+  VReg Base = B.emitMove(P);  // copies off the parameter registers —
+  VReg Acc0 = B.emitMove(N);  // classic coalescing candidates
+  VReg I0 = B.emitLoadImm(0);
+  VReg Limit = B.emitLoadImm(8);
+  B.emitBranch(Loop);
+
+  B.setInsertBlock(Loop);
+  VReg Acc = B.emitPhi(RegClass::GPR, {Acc0, Acc0}); // patched below
+  VReg I = B.emitPhi(RegClass::GPR, {I0, I0});
+  VReg Elem = B.emitLoad(Base, 0);
+  // Call an external function: the argument must sit in the first
+  // parameter register, the result arrives in the return register.
+  VReg ArgPinned = F.createPinnedVReg(
+      RegClass::GPR, static_cast<int>(Target.paramReg(RegClass::GPR, 0)));
+  B.emitMoveTo(ArgPinned, Acc);
+  VReg RetPinned = F.createPinnedVReg(
+      RegClass::GPR, static_cast<int>(Target.returnReg(RegClass::GPR)));
+  B.emitCall(/*Callee=*/7, {ArgPinned}, RetPinned);
+  VReg External = B.emitMove(RetPinned);
+  VReg Prod = B.emitBinary(Opcode::Mul, Elem, External);
+  VReg AccNext = B.emitBinary(Opcode::Add, Acc, Prod);
+  VReg INext = B.emitAddImm(I, 1);
+  Loop->inst(0).setUse(1, AccNext); // close the phi cycle
+  Loop->inst(1).setUse(1, INext);
+  VReg Cond = B.emitCompare(Opcode::CmpLT, INext, Limit);
+  B.emitCondBranch(Cond, Loop, Done);
+
+  B.setInsertBlock(Done);
+  VReg RetVal = F.createPinnedVReg(
+      RegClass::GPR, static_cast<int>(Target.returnReg(RegClass::GPR)));
+  B.emitMoveTo(RetVal, Acc);
+  B.emitRet(RetVal);
+
+  std::printf("=== SSA input ===\n%s\n", printFunction(F).c_str());
+
+  // Allocate. The driver lowers phis, iterates build/color/spill, and
+  // verifies the result against an independent checker.
+  PreferenceDirectedAllocator Allocator(pdgcFullOptions());
+  AllocationOutcome Out = allocate(F, Target, Allocator);
+
+  std::printf("=== after allocation (moves whose operands share a register "
+              "disappear) ===\n%s\n",
+              printFunction(F).c_str());
+
+  std::printf("=== assignment ===\n");
+  for (unsigned V = 0, E = F.numVRegs(); V != E; ++V)
+    if (Out.Assignment[V] >= 0)
+      std::printf("  v%-3u -> %-4s %s\n", V,
+                  Target.regName(static_cast<PhysReg>(Out.Assignment[V]))
+                      .c_str(),
+                  Target.isVolatile(static_cast<PhysReg>(Out.Assignment[V]))
+                      ? "(volatile)"
+                      : "(non-volatile)");
+
+  SimulatedCost Cost = simulateCost(F, Target, Out.Assignment);
+  std::printf("\nmoves: %u total, %u eliminated; spill instructions: %u\n",
+              Out.Moves.Total, Out.Moves.Eliminated, Out.SpillInstructions);
+  std::printf("simulated cost: %.0f (ops %.0f, moves %.0f, caller-save "
+              "%.0f, callee-save %.0f)\n",
+              Cost.total(), Cost.OpCost, Cost.MoveCost, Cost.CallerSaveCost,
+              Cost.CalleeSaveCost);
+  std::printf("\nNote how the loop-carried accumulator, which lives across "
+              "the call,\nlands in a non-volatile register, while "
+              "short-lived temporaries use\nvolatile ones.\n");
+  return 0;
+}

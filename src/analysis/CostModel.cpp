@@ -1,0 +1,86 @@
+//===- analysis/CostModel.cpp - Appendix cost model ------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+
+#include "ir/PhiElimination.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+double pdgc::instCost(const Instruction &I, const CostParams &P) {
+  switch (I.opcode()) {
+  case Opcode::Load:
+  case Opcode::SpillLoad:
+    return P.LoadInstCost;
+  case Opcode::Call:
+    // "Inst_Cost(I) is ... undefined for i6 [the call]": the call itself is
+    // not attributed to any live range.
+    return 0.0;
+  default:
+    return P.DefaultInstCost;
+  }
+}
+
+LiveRangeCosts LiveRangeCosts::compute(const Function &F, const Liveness &LV,
+                                       const LoopInfo &LI,
+                                       const CostParams &Params) {
+  assert(!hasPhis(F) && "cost model requires phi-free IR");
+
+  const unsigned N = F.numVRegs();
+  LiveRangeCosts C;
+  C.Params = Params;
+  C.SpillCosts.assign(N, 0.0);
+  C.OpCosts.assign(N, 0.0);
+  C.CallCross.assign(N, 0.0);
+  C.NumDefs.assign(N, 0);
+  C.NumUses.assign(N, 0);
+  C.InfiniteFlag.assign(N, 0);
+
+  for (unsigned R = 0; R != N; ++R) {
+    VReg V(R);
+    // Block-granular fragments stay spillable (re-spilling them strictly
+    // shrinks ranges); per-use fragments and pinned registers never are.
+    if ((F.isSpillTemp(V) && !F.isRespillableTemp(V)) || F.isPinned(V))
+      C.InfiniteFlag[R] = 1;
+  }
+
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    const double Freq = LI.frequency(BB);
+
+    LV.forEachInstReverse(BB, [&](unsigned I, const BitVector &LiveAfter) {
+      const Instruction &Inst = BB->inst(I);
+      const double IC = instCost(Inst, Params);
+
+      if (Inst.hasDef()) {
+        unsigned D = Inst.def().id();
+        ++C.NumDefs[D];
+        // Spilling V stores it after each definition.
+        C.SpillCosts[D] += Params.StoreCost * Freq;
+        C.OpCosts[D] += IC * Freq;
+      }
+      for (unsigned U = 0, UE = Inst.numUses(); U != UE; ++U) {
+        unsigned S = Inst.use(U).id();
+        ++C.NumUses[S];
+        // Spilling V loads it before each use.
+        C.SpillCosts[S] += Params.LoadCost * Freq;
+        C.OpCosts[S] += IC * Freq;
+      }
+
+      if (Inst.isCall()) {
+        // A register is live across the call when it is live after it and
+        // not defined by it (the return-value def starts at the call).
+        for (unsigned LiveReg : LiveAfter.setBits()) {
+          if (Inst.hasDef() && Inst.def().id() == LiveReg)
+            continue;
+          C.CallCross[LiveReg] += Freq;
+        }
+      }
+    });
+  }
+  return C;
+}

@@ -1,0 +1,135 @@
+//===- analysis/CostModel.h - Appendix cost model ---------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Appendix cost model, computed per live range:
+///
+///   Str(V, P)        = Mem_Cost(V) - Ideal_Cost(V, P)
+///   Mem_Cost(V)      = Spill_Cost(V) + Op_Cost(V)
+///   Spill_Cost(V)    = sum(Load_Cost * Freq(uses)) +
+///                      sum(Store_Cost * Freq(defs))
+///   Op_Cost(V)       = sum(Inst_Cost * Freq(uses and defs))
+///   Ideal_Cost(V, P) = Call_Cost(V) + Ideal_Op_Cost(V, P)
+///   Call_Cost(V)     = sum(Save_Restore_Cost * Freq(crossed calls))  if the
+///                      preferred register is volatile, else
+///                      Callee_Save_Cost (flat)
+///
+/// with Load_Cost = 2, Store_Cost = 1, Inst_Cost = 2 for loads and 1
+/// otherwise (undefined for calls), Save_Restore_Cost = 3,
+/// Callee_Save_Cost = 2, and Freq_Fact from loop analysis.
+///
+/// These same constants drive the cost simulator (src/sim), so the
+/// allocator optimizes exactly the metric the evaluation measures — as in
+/// the paper, where the strength functions estimate operation cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_ANALYSIS_COSTMODEL_H
+#define PDGC_ANALYSIS_COSTMODEL_H
+
+#include "analysis/LoopInfo.h"
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+
+#include <limits>
+#include <vector>
+
+namespace pdgc {
+
+/// Tunable constants of the Appendix cost model.
+struct CostParams {
+  double LoadCost = 2.0;        ///< Cost of an inserted spill load.
+  double StoreCost = 1.0;       ///< Cost of an inserted spill store.
+  double LoadInstCost = 2.0;    ///< Inst_Cost of a Load.
+  double DefaultInstCost = 1.0; ///< Inst_Cost of everything else.
+  double SaveRestoreCost = 3.0; ///< Caller save/restore around one call.
+  double CalleeSaveCost = 2.0;  ///< Flat prologue/epilogue save of one
+                                ///< non-volatile register.
+  double LoopFreqFactor = 10.0; ///< Freq_Fact per loop-nesting level.
+};
+
+/// Returns the Appendix Inst_Cost of \p I under \p P (calls excluded).
+double instCost(const Instruction &I, const CostParams &P);
+
+/// Per-live-range aggregates of the Appendix cost model.
+class LiveRangeCosts {
+  CostParams Params;
+  std::vector<double> SpillCosts;    ///< Spill_Cost(V)
+  std::vector<double> OpCosts;       ///< Op_Cost(V)
+  std::vector<double> CallCross;     ///< sum Freq over calls V is live
+                                     ///< across
+  std::vector<unsigned> NumDefs;
+  std::vector<unsigned> NumUses;
+  std::vector<char> InfiniteFlag;    ///< Spill temps and pinned registers
+                                     ///< must never be spill candidates.
+
+  LiveRangeCosts() = default;
+
+public:
+  /// Computes costs for every virtual register of \p F (phi-free).
+  static LiveRangeCosts compute(const Function &F, const Liveness &LV,
+                                const LoopInfo &LI,
+                                const CostParams &Params = CostParams());
+
+  const CostParams &params() const { return Params; }
+
+  /// Spill_Cost(V): the weighted cost of the loads/stores spilling V would
+  /// insert.
+  double spillCost(VReg V) const { return SpillCosts[V.id()]; }
+
+  /// Op_Cost(V): the weighted cost of the instructions touching V.
+  double opCost(VReg V) const { return OpCosts[V.id()]; }
+
+  /// Mem_Cost(V) = Spill_Cost(V) + Op_Cost(V).
+  double memCost(VReg V) const {
+    return SpillCosts[V.id()] + OpCosts[V.id()];
+  }
+
+  /// Sum of execution frequencies of the calls V is live across.
+  double callCrossWeight(VReg V) const { return CallCross[V.id()]; }
+
+  /// True if V is live across at least one call.
+  bool crossesCall(VReg V) const { return CallCross[V.id()] > 0.0; }
+
+  /// Call_Cost(V) when V resides in a register of the given volatility.
+  double callCost(VReg V, bool VolatileReg) const {
+    if (VolatileReg)
+      return Params.SaveRestoreCost * CallCross[V.id()];
+    return Params.CalleeSaveCost;
+  }
+
+  /// The register-residence cost of V in a register of the given
+  /// volatility, with no instruction savings: Call_Cost + Op_Cost.
+  double idealCost(VReg V, bool VolatileReg) const {
+    return callCost(V, VolatileReg) + OpCosts[V.id()];
+  }
+
+  /// The benefit of keeping V in a register of the given volatility versus
+  /// memory: Mem_Cost - Ideal_Cost (no instruction savings). Negative
+  /// means V prefers memory.
+  double registerBenefit(VReg V, bool VolatileReg) const {
+    return memCost(V) - idealCost(V, VolatileReg);
+  }
+
+  unsigned numDefs(VReg V) const { return NumDefs[V.id()]; }
+  unsigned numUses(VReg V) const { return NumUses[V.id()]; }
+
+  /// True for live ranges that must never be chosen as spill candidates
+  /// (spill-code fragments and pinned registers).
+  bool isInfinite(VReg V) const { return InfiniteFlag[V.id()] != 0; }
+
+  /// Spill cost used when ranking spill candidates: spillCost for ordinary
+  /// ranges, +inf for unspillable ones.
+  double spillMetric(VReg V) const {
+    if (isInfinite(V))
+      return std::numeric_limits<double>::infinity();
+    return SpillCosts[V.id()];
+  }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_ANALYSIS_COSTMODEL_H

@@ -1,0 +1,113 @@
+//===- analysis/InterferenceGraph.cpp - Interference graph -----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InterferenceGraph.h"
+
+#include "ir/PhiElimination.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace pdgc;
+
+void InterferenceGraph::addEdgeInternal(unsigned A, unsigned B) {
+  if (A == B || Matrix[A].test(B))
+    return;
+  Matrix[A].set(B);
+  Matrix[B].set(A);
+  Adj[A].push_back(B);
+  Adj[B].push_back(A);
+}
+
+void InterferenceGraph::addEdge(unsigned A, unsigned B) {
+  assert(A < numNodes() && B < numNodes() && "node out of range");
+  if (regClass(A) != regClass(B))
+    return; // Different classes draw from disjoint register files.
+  assert(!(isPrecolored(A) && isPrecolored(B) && precolor(A) == precolor(B)) &&
+         "two nodes pinned to one physical register interfere; the IR placed "
+         "conflicting calling-convention values");
+  addEdgeInternal(A, B);
+}
+
+InterferenceGraph InterferenceGraph::build(const Function &F,
+                                           const Liveness &LV,
+                                           const LoopInfo &LI) {
+  assert(!hasPhis(F) && "interference requires phi-free IR");
+
+  InterferenceGraph G;
+  G.F = &F;
+  const unsigned N = F.numVRegs();
+  G.Matrix.assign(N, BitVector(N));
+  G.Adj.assign(N, {});
+  G.Merged.assign(N, 0);
+
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    const double Freq = LI.frequency(BB);
+
+    LV.forEachInstReverse(BB, [&](unsigned I, const BitVector &LiveAfter) {
+      const Instruction &Inst = BB->inst(I);
+      if (Inst.isCopy())
+        G.Moves.push_back(MoveRecord{Inst.def().id(), Inst.use(0).id(), Freq,
+                                     BB->id(), I});
+      if (!Inst.hasDef())
+        return;
+      const unsigned D = Inst.def().id();
+      for (unsigned L : LiveAfter.setBits()) {
+        if (L == D)
+          continue;
+        // Chaitin's copy exception: `d = move s` does not make d and s
+        // interfere; if s is otherwise live past the copy a separate
+        // def/liveness pair adds the edge.
+        if (Inst.isCopy() && L == Inst.use(0).id())
+          continue;
+        G.addEdge(D, L);
+      }
+    });
+  }
+
+  // Parameters are live-in at the entry: they interfere with each other and
+  // with anything live-in (they occupy their registers from function entry).
+  const BitVector &EntryLive = LV.liveIn(F.entry());
+  const std::vector<VReg> &Params = F.params();
+  for (unsigned I = 0, E = Params.size(); I != E; ++I) {
+    for (unsigned J = I + 1; J != E; ++J)
+      G.addEdge(Params[I].id(), Params[J].id());
+    for (unsigned L : EntryLive.setBits())
+      if (L != Params[I].id())
+        G.addEdge(Params[I].id(), L);
+  }
+
+  return G;
+}
+
+void InterferenceGraph::merge(unsigned A, unsigned B) {
+  assert(A != B && "merging a node with itself");
+  assert(!isMerged(A) && !isMerged(B) && "merging a dead node");
+  assert(!interferes(A, B) && "merging interfering nodes");
+  assert(regClass(A) == regClass(B) && "merging across register classes");
+  assert(!isPrecolored(B) &&
+         "precolored node must be the merge representative");
+
+  // A inherits B's neighbors.
+  for (unsigned N : Adj[B]) {
+    Matrix[N].reset(B);
+    auto It = std::find(Adj[N].begin(), Adj[N].end(), B);
+    assert(It != Adj[N].end() && "asymmetric adjacency");
+    Adj[N].erase(It);
+    addEdge(A, N);
+  }
+  Adj[B].clear();
+  Matrix[B].reset();
+  Merged[B] = 1;
+}
+
+bool InterferenceGraph::conflictsWithColor(unsigned A, int R) const {
+  for (unsigned N : Adj[A])
+    if (isPrecolored(N) && precolor(N) == R)
+      return true;
+  return false;
+}

@@ -1,0 +1,117 @@
+//===- analysis/InterferenceGraph.h - Interference graph --------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interference graph shared by every allocator in this repository.
+/// Nodes are virtual registers (one per live range after renaming); edges
+/// connect simultaneously live registers of the same register class. Pinned
+/// registers appear as precolored nodes. The graph supports the coalescing
+/// merge operation used by the baseline allocators, and records the list of
+/// copy (move) instructions with their execution weights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_ANALYSIS_INTERFERENCEGRAPH_H
+#define PDGC_ANALYSIS_INTERFERENCEGRAPH_H
+
+#include "analysis/LoopInfo.h"
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace pdgc {
+
+class TargetDesc;
+
+/// A copy instruction relating two live ranges.
+struct MoveRecord {
+  unsigned Dst;    ///< Destination virtual-register id.
+  unsigned Src;    ///< Source virtual-register id.
+  double Weight;   ///< Execution frequency of the copy.
+  unsigned Block;  ///< Owning block id.
+  unsigned Index;  ///< Instruction index within the block.
+};
+
+/// Undirected interference graph with precolored nodes and merge support.
+class InterferenceGraph {
+  const Function *F = nullptr;
+  std::vector<BitVector> Matrix;          ///< Symmetric adjacency matrix.
+  std::vector<std::vector<unsigned>> Adj; ///< Neighbor lists (no duplicates).
+  std::vector<char> Merged;               ///< Node was coalesced away.
+  std::vector<MoveRecord> Moves;
+
+  void addEdgeInternal(unsigned A, unsigned B);
+
+public:
+  InterferenceGraph() = default;
+
+  /// Builds the graph for phi-free \p F using the classic backward scan.
+  /// The source of a copy does not interfere with its destination at the
+  /// copy itself (Chaitin's rule), which is what enables coalescing.
+  static InterferenceGraph build(const Function &F, const Liveness &LV,
+                                 const LoopInfo &LI);
+
+  const Function &function() const {
+    assert(F && "graph not built");
+    return *F;
+  }
+
+  unsigned numNodes() const { return static_cast<unsigned>(Adj.size()); }
+
+  /// Adds an interference edge (same-class nodes only).
+  void addEdge(unsigned A, unsigned B);
+
+  bool interferes(unsigned A, unsigned B) const {
+    assert(A < numNodes() && B < numNodes() && "node out of range");
+    return Matrix[A].test(B);
+  }
+
+  /// Neighbors of \p A. May contain merged-away nodes only if the caller
+  /// merged through a stale handle — merge() keeps lists clean.
+  const std::vector<unsigned> &neighbors(unsigned A) const {
+    assert(A < numNodes() && "node out of range");
+    return Adj[A];
+  }
+
+  unsigned degree(unsigned A) const {
+    assert(A < numNodes() && "node out of range");
+    return static_cast<unsigned>(Adj[A].size());
+  }
+
+  /// True when the node is pinned to a physical register.
+  bool isPrecolored(unsigned A) const {
+    return function().isPinned(VReg(A));
+  }
+
+  /// The physical register of a precolored node.
+  int precolor(unsigned A) const { return function().pinnedReg(VReg(A)); }
+
+  RegClass regClass(unsigned A) const {
+    return function().regClass(VReg(A));
+  }
+
+  /// True when \p A has been coalesced into another node.
+  bool isMerged(unsigned A) const { return Merged[A] != 0; }
+
+  /// Coalesces node \p B into node \p A: A inherits B's edges and B leaves
+  /// the graph. \p A and \p B must not interfere and must share a register
+  /// class; at most one of them may be precolored (and then it must be A).
+  void merge(unsigned A, unsigned B);
+
+  /// Returns true if \p A interferes with any node precolored to \p R.
+  /// Guards register-to-live-range coalescing and select-phase screening.
+  bool conflictsWithColor(unsigned A, int R) const;
+
+  /// All copy instructions found at build time. Records are not updated by
+  /// merge(); coalescers resolve endpoints through their own union-find.
+  const std::vector<MoveRecord> &moves() const { return Moves; }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_ANALYSIS_INTERFERENCEGRAPH_H

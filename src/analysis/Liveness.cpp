@@ -1,0 +1,82 @@
+//===- analysis/Liveness.cpp - Live-variable analysis ----------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "ir/PhiElimination.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+Liveness Liveness::compute(const Function &F) {
+  assert(!hasPhis(F) && "liveness requires phi-free IR");
+
+  const unsigned NumBlocks = F.numBlocks();
+  const unsigned NumRegs = F.numVRegs();
+  Liveness L;
+  L.LiveInSets.assign(NumBlocks, BitVector(NumRegs));
+  L.LiveOutSets.assign(NumBlocks, BitVector(NumRegs));
+
+  // Per-block gen (upward-exposed uses) and kill (defs) sets.
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumRegs));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumRegs));
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const BasicBlock *BB = F.block(B);
+    for (unsigned I = BB->size(); I-- > 0;) {
+      const Instruction &Inst = BB->inst(I);
+      if (Inst.hasDef()) {
+        Gen[B].reset(Inst.def().id());
+        Kill[B].set(Inst.def().id());
+      }
+      for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
+        Gen[B].set(Inst.use(U).id());
+    }
+  }
+
+  // Iterate to a fixed point in post order (reverse RPO) for fast
+  // convergence of this backward problem.
+  std::vector<unsigned> RPO = F.reversePostOrder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned It = RPO.size(); It-- > 0;) {
+      unsigned B = RPO[It];
+      const BasicBlock *BB = F.block(B);
+      BitVector Out(NumRegs);
+      for (const BasicBlock *S : BB->successors())
+        Out |= L.LiveInSets[S->id()];
+      BitVector In = Out;
+      In.resetAll(Kill[B]);
+      In |= Gen[B];
+      if (Out != L.LiveOutSets[B] || In != L.LiveInSets[B]) {
+        L.LiveOutSets[B] = std::move(Out);
+        L.LiveInSets[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return L;
+}
+
+BitVector Liveness::liveBefore(const BasicBlock *BB, unsigned Index) const {
+  assert(Index < BB->size() && "instruction index out of range");
+  BitVector Live = liveOut(BB);
+  for (unsigned I = BB->size(); I-- > Index;) {
+    const Instruction &Inst = BB->inst(I);
+    if (Inst.hasDef())
+      Live.reset(Inst.def().id());
+    for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
+      Live.set(Inst.use(U).id());
+  }
+  return Live;
+}
+
+BitVector Liveness::liveAfter(const BasicBlock *BB, unsigned Index) const {
+  assert(Index < BB->size() && "instruction index out of range");
+  if (Index + 1 == BB->size())
+    return liveOut(BB);
+  return liveBefore(BB, Index + 1);
+}

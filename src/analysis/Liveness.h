@@ -1,0 +1,72 @@
+//===- analysis/Liveness.h - Live-variable analysis -------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward iterative live-variable analysis over virtual
+/// registers. Runs on phi-free IR (run eliminatePhis first); the allocators
+/// and the interference builder both consume it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_ANALYSIS_LIVENESS_H
+#define PDGC_ANALYSIS_LIVENESS_H
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Per-block live-in/live-out sets over virtual-register ids.
+class Liveness {
+  std::vector<BitVector> LiveInSets;
+  std::vector<BitVector> LiveOutSets;
+
+  Liveness() = default;
+
+public:
+  /// Computes liveness for \p F, which must contain no phis.
+  static Liveness compute(const Function &F);
+
+  const BitVector &liveIn(const BasicBlock *BB) const {
+    assert(BB->id() < LiveInSets.size() && "unknown block");
+    return LiveInSets[BB->id()];
+  }
+
+  const BitVector &liveOut(const BasicBlock *BB) const {
+    assert(BB->id() < LiveOutSets.size() && "unknown block");
+    return LiveOutSets[BB->id()];
+  }
+
+  /// Walks \p BB backwards maintaining the live set, invoking
+  /// `Visit(InstIndex, LiveAfterInst)` for each instruction with the set of
+  /// registers live immediately *after* it. The callback sees the live set
+  /// before the instruction's own kill/gen are applied.
+  template <typename CallbackT>
+  void forEachInstReverse(const BasicBlock *BB, CallbackT Visit) const {
+    BitVector Live = liveOut(BB);
+    for (unsigned I = BB->size(); I-- > 0;) {
+      const Instruction &Inst = BB->inst(I);
+      Visit(I, Live);
+      if (Inst.hasDef())
+        Live.reset(Inst.def().id());
+      for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
+        Live.set(Inst.use(U).id());
+    }
+  }
+
+  /// Returns the registers live immediately before instruction \p Index of
+  /// \p BB (convenience for call-crossing queries; O(block size)).
+  BitVector liveBefore(const BasicBlock *BB, unsigned Index) const;
+
+  /// Returns the registers live immediately after instruction \p Index.
+  BitVector liveAfter(const BasicBlock *BB, unsigned Index) const;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_ANALYSIS_LIVENESS_H

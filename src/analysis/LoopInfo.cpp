@@ -1,0 +1,128 @@
+//===- analysis/LoopInfo.cpp - Loops and block frequencies -----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pdgc;
+
+std::vector<unsigned> pdgc::computeImmediateDominators(const Function &F) {
+  const unsigned N = F.numBlocks();
+  const unsigned Invalid = ~0u;
+  std::vector<unsigned> IDom(N, Invalid);
+  if (N == 0)
+    return IDom;
+
+  std::vector<unsigned> RPO = F.reversePostOrder();
+  // Position of each block in the RPO sequence, for the intersect walk.
+  std::vector<unsigned> RPOIndex(N, Invalid);
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  unsigned EntryId = F.entry()->id();
+  IDom[EntryId] = EntryId;
+
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDom[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Id : RPO) {
+      if (Id == EntryId)
+        continue;
+      const BasicBlock *BB = F.block(Id);
+      unsigned NewIDom = Invalid;
+      for (const BasicBlock *Pred : BB->predecessors()) {
+        unsigned P = Pred->id();
+        if (IDom[P] == Invalid)
+          continue; // Unreachable predecessor.
+        NewIDom = NewIDom == Invalid ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != Invalid && IDom[Id] != NewIDom) {
+        IDom[Id] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  return IDom;
+}
+
+LoopInfo LoopInfo::compute(const Function &F, double FreqFactor) {
+  const unsigned N = F.numBlocks();
+  LoopInfo LI;
+  LI.Depth.assign(N, 0);
+  LI.Freq.assign(N, 1.0);
+  if (N == 0)
+    return LI;
+
+  std::vector<unsigned> IDom = computeImmediateDominators(F);
+  unsigned EntryId = F.entry()->id();
+
+  auto Dominates = [&](unsigned A, unsigned B) {
+    // Walk the dominator tree from B up to the entry.
+    if (IDom[B] == ~0u)
+      return false; // B unreachable.
+    while (true) {
+      if (B == A)
+        return true;
+      if (B == EntryId)
+        return false;
+      B = IDom[B];
+    }
+  };
+
+  // For every back edge Tail -> Head (Head dominates Tail), the natural
+  // loop body is Head plus all blocks reaching Tail without passing Head.
+  for (unsigned B = 0; B != N; ++B) {
+    const BasicBlock *Tail = F.block(B);
+    for (const BasicBlock *Head : Tail->successors()) {
+      if (!Dominates(Head->id(), Tail->id()))
+        continue;
+      std::vector<char> InLoop(N, 0);
+      InLoop[Head->id()] = 1;
+      std::vector<unsigned> Work;
+      if (Tail->id() != Head->id()) {
+        InLoop[Tail->id()] = 1;
+        Work.push_back(Tail->id());
+      }
+      while (!Work.empty()) {
+        unsigned Cur = Work.back();
+        Work.pop_back();
+        for (const BasicBlock *Pred : F.block(Cur)->predecessors()) {
+          unsigned P = Pred->id();
+          if (!InLoop[P]) {
+            InLoop[P] = 1;
+            Work.push_back(P);
+          }
+        }
+      }
+      for (unsigned I = 0; I != N; ++I)
+        if (InLoop[I])
+          ++LI.Depth[I];
+    }
+  }
+
+  // Nested natural loops sharing a header would be double counted; clamp
+  // the depth so pathological CFGs cannot overflow the frequency weights.
+  for (unsigned I = 0; I != N; ++I) {
+    if (LI.Depth[I] > 8)
+      LI.Depth[I] = 8;
+    LI.Freq[I] = std::pow(FreqFactor, static_cast<double>(LI.Depth[I]));
+  }
+  return LI;
+}

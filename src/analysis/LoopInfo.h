@@ -1,0 +1,56 @@
+//===- analysis/LoopInfo.h - Loops and block frequencies --------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection and static block-frequency estimation. The
+/// Appendix of the paper weighs every cost by an execution frequency factor
+/// "obtained by loop analysis" (10 inside a loop, 1 outside); we generalize
+/// to 10^depth for nested loops, the standard Chaitin/Briggs heuristic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_ANALYSIS_LOOPINFO_H
+#define PDGC_ANALYSIS_LOOPINFO_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Loop nesting depths and derived frequencies for every block.
+class LoopInfo {
+  std::vector<unsigned> Depth; ///< Loop nesting depth per block id.
+  std::vector<double> Freq;    ///< FreqFactor^depth per block id.
+
+  LoopInfo() = default;
+
+public:
+  /// Computes loop info for \p F. \p FreqFactor is the per-nesting-level
+  /// frequency multiplier (the paper's Appendix uses 10).
+  static LoopInfo compute(const Function &F, double FreqFactor = 10.0);
+
+  unsigned loopDepth(const BasicBlock *BB) const {
+    assert(BB->id() < Depth.size() && "unknown block");
+    return Depth[BB->id()];
+  }
+
+  /// Estimated execution frequency of \p BB relative to the entry.
+  double frequency(const BasicBlock *BB) const {
+    assert(BB->id() < Freq.size() && "unknown block");
+    return Freq[BB->id()];
+  }
+};
+
+/// Computes immediate dominators for \p F using the iterative algorithm of
+/// Cooper, Harvey and Kennedy. Returns, per block id, the id of the
+/// immediate dominator; the entry maps to itself and unreachable blocks map
+/// to ~0u. Exposed for testing and reused by LoopInfo.
+std::vector<unsigned> computeImmediateDominators(const Function &F);
+
+} // namespace pdgc
+
+#endif // PDGC_ANALYSIS_LOOPINFO_H

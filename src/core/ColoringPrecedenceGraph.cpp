@@ -1,0 +1,202 @@
+//===- core/ColoringPrecedenceGraph.cpp - CPG --------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ColoringPrecedenceGraph.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace pdgc;
+
+bool ColoringPrecedenceGraph::reachable(unsigned From, unsigned To) const {
+  if (From == To)
+    return true;
+  std::vector<char> Seen(numNodes(), 0);
+  std::vector<unsigned> Work{From};
+  Seen[From] = 1;
+  while (!Work.empty()) {
+    unsigned N = Work.back();
+    Work.pop_back();
+    for (unsigned S : Succs[N]) {
+      if (S == To)
+        return true;
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+    }
+  }
+  return false;
+}
+
+ColoringPrecedenceGraph
+ColoringPrecedenceGraph::build(const InterferenceGraph &IG,
+                               const TargetDesc &Target,
+                               const SimplifyResult &SR) {
+  const unsigned N = IG.numNodes();
+  ColoringPrecedenceGraph G;
+  G.Succs.assign(N, {});
+  G.Preds.assign(N, {});
+  G.InGraph.assign(N, 0);
+  for (unsigned Node : SR.Stack)
+    G.InGraph[Node] = 1;
+
+  // Working interference graph. Precolored nodes are permanent: they keep
+  // contributing to degrees (and thus to readiness) until the end, exactly
+  // as they did during simplification.
+  std::vector<char> Removed(N, 0);
+  std::vector<unsigned> Deg(N, 0);
+  for (unsigned Node = 0; Node != N; ++Node) {
+    if (IG.isMerged(Node)) {
+      Removed[Node] = 1;
+      continue;
+    }
+    Deg[Node] = IG.degree(Node);
+  }
+
+  // A node is ready once it is of low degree in the working graph; the
+  // simplifier's optimistic potential spills were removed while still of
+  // significant degree, so they start non-ready by construction.
+  std::vector<char> Ready(N, 0);
+  auto K = [&](unsigned Node) { return Target.numRegs(IG.regClass(Node)); };
+  for (unsigned Node : SR.Stack)
+    if (Deg[Node] < K(Node))
+      Ready[Node] = 1;
+
+  // Reachability with an epoch-marked scratch buffer: AddEdge runs once
+  // per (neighbor, pop) pair, so the per-query O(N) allocation of a fresh
+  // visited set would dominate construction time on larger functions.
+  std::vector<unsigned> VisitEpoch(N, 0);
+  std::vector<unsigned> DfsStack;
+  unsigned Epoch = 0;
+  auto Reachable = [&](unsigned From, unsigned To) {
+    if (From == To)
+      return true;
+    ++Epoch;
+    DfsStack.clear();
+    DfsStack.push_back(From);
+    VisitEpoch[From] = Epoch;
+    while (!DfsStack.empty()) {
+      unsigned Cur = DfsStack.back();
+      DfsStack.pop_back();
+      for (unsigned S : G.Succs[Cur]) {
+        if (S == To)
+          return true;
+        if (VisitEpoch[S] != Epoch) {
+          VisitEpoch[S] = Epoch;
+          DfsStack.push_back(S);
+        }
+      }
+    }
+    return false;
+  };
+
+  auto AddEdge = [&](unsigned A, unsigned B) {
+    // A must be colored before B. Skip edges that are already implied.
+    if (Reachable(A, B))
+      return;
+    G.Succs[A].push_back(B);
+    G.Preds[B].push_back(A);
+    // Drop edges of A that the new path just made transitive.
+    for (unsigned I = 0; I < G.Succs[A].size();) {
+      unsigned X = G.Succs[A][I];
+      if (X != B && Reachable(B, X)) {
+        G.Succs[A].erase(G.Succs[A].begin() + I);
+        auto It = std::find(G.Preds[X].begin(), G.Preds[X].end(), A);
+        assert(It != G.Preds[X].end() && "asymmetric CPG edge");
+        G.Preds[X].erase(It);
+        continue;
+      }
+      ++I;
+    }
+  };
+
+  // Examine nodes in removal order (the reverse of the coloring stack).
+  for (unsigned Node : SR.Stack) {
+    // Remaining non-ready neighbors must be colored before this node.
+    for (unsigned M : IG.neighbors(Node)) {
+      if (Removed[M] || !G.InGraph[M])
+        continue;
+      if (!Ready[M])
+        AddEdge(M, Node);
+    }
+    // Remove from the working graph and update readiness.
+    Removed[Node] = 1;
+    for (unsigned M : IG.neighbors(Node)) {
+      if (Removed[M])
+        continue;
+      assert(Deg[M] > 0 && "degree underflow");
+      --Deg[M];
+      if (G.InGraph[M] && Deg[M] < K(M))
+        Ready[M] = 1;
+    }
+  }
+  return G;
+}
+
+ColoringPrecedenceGraph
+ColoringPrecedenceGraph::linearFromStack(const InterferenceGraph &IG,
+                                         const SimplifyResult &SR) {
+  const unsigned N = IG.numNodes();
+  ColoringPrecedenceGraph G;
+  G.Succs.assign(N, {});
+  G.Preds.assign(N, {});
+  G.InGraph.assign(N, 0);
+  for (unsigned Node : SR.Stack)
+    G.InGraph[Node] = 1;
+  // Pop order colors Stack.back() first: chain Stack[i+1] -> Stack[i].
+  for (unsigned I = 0; I + 1 < SR.Stack.size(); ++I) {
+    G.Succs[SR.Stack[I + 1]].push_back(SR.Stack[I]);
+    G.Preds[SR.Stack[I]].push_back(SR.Stack[I + 1]);
+  }
+  return G;
+}
+
+std::vector<unsigned> ColoringPrecedenceGraph::roots() const {
+  std::vector<unsigned> R;
+  for (unsigned N = 0, E = numNodes(); N != E; ++N)
+    if (InGraph[N] && Preds[N].empty())
+      R.push_back(N);
+  return R;
+}
+
+bool ColoringPrecedenceGraph::hasEdge(unsigned A, unsigned B) const {
+  return std::find(Succs[A].begin(), Succs[A].end(), B) != Succs[A].end();
+}
+
+unsigned ColoringPrecedenceGraph::numEdges() const {
+  unsigned E = 0;
+  for (const auto &S : Succs)
+    E += static_cast<unsigned>(S.size());
+  return E;
+}
+
+bool ColoringPrecedenceGraph::preservesColorability(
+    const InterferenceGraph &IG, const TargetDesc &Target,
+    const SimplifyResult &SR) const {
+  // For a non-optimistic node N, any linearization may color before N: its
+  // precolored neighbors plus every stacked neighbor that is not ordered
+  // strictly after N. Colorability requires that count to stay below K.
+  for (unsigned N : SR.Stack) {
+    if (SR.OptimisticallySpilled[N])
+      continue; // No guarantee was ever made for potential spills.
+    unsigned WorstBefore = 0;
+    for (unsigned M : IG.neighbors(N)) {
+      if (IG.isPrecolored(M)) {
+        ++WorstBefore;
+        continue;
+      }
+      if (!InGraph[M])
+        continue;
+      if (!reachable(N, M))
+        ++WorstBefore; // Unordered or before: may precede N.
+    }
+    if (WorstBefore >= Target.numRegs(IG.regClass(N)))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,475 @@
+//===- core/PreferenceDirectedAllocator.cpp - PDGC --------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreferenceDirectedAllocator.h"
+
+#include "core/ColoringPrecedenceGraph.h"
+#include "core/RegisterPreferenceGraph.h"
+#include "regalloc/Coalescer.h"
+#include "regalloc/Rewriter.h"
+#include "regalloc/SelectState.h"
+#include "regalloc/Simplifier.h"
+#include "support/Debug.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+using namespace pdgc;
+
+PDGCOptions pdgc::pdgcFullOptions() {
+  PDGCOptions O;
+  O.Name = "full-preferences";
+  return O;
+}
+
+PDGCOptions pdgc::pdgcCoalesceOnlyOptions() {
+  PDGCOptions O;
+  O.SequentialPreferences = false;
+  O.VolatilityPreferences = false;
+  // Without volatility preferences there is no memory-versus-register
+  // benefit reasoning either: spill decisions fall back to the shared
+  // graph-coloring heuristics, as in the Section 6.1 comparison.
+  O.ActiveSpill = false;
+  // The paper gives the coalescing-only algorithms a fixed heuristic for
+  // register kinds: non-volatile first, then volatile (Section 6.2).
+  O.NonVolatileFirst = true;
+  O.Name = "only-coalescing";
+  return O;
+}
+
+namespace {
+
+/// One honorable preference with its screening mask.
+struct ScoredPref {
+  double Strength;
+  BitVector Mask; ///< Registers honoring it (not yet intersected w/ avail).
+};
+
+/// The integrated select phase of Section 5.3.
+class PDGCSelect {
+  AllocContext &Ctx;
+  const PDGCOptions &Opt;
+  RegisterPreferenceGraph RPG;
+  ColoringPrecedenceGraph CPG;
+  SelectState SS;
+  std::vector<char> Spilled;
+  std::vector<char> Done;
+  std::vector<unsigned> InDeg;
+  std::vector<unsigned> Queue;
+
+public:
+  std::vector<unsigned> Spills;
+
+  PDGCSelect(AllocContext &Ctx, const PDGCOptions &Opt,
+             const SimplifyResult &SR)
+      : Ctx(Ctx), Opt(Opt),
+        RPG(RegisterPreferenceGraph::build(Ctx.F, Ctx.LV, Ctx.LI, Ctx.Costs,
+                                           Ctx.Target)),
+        CPG(Opt.UseCPG
+                ? ColoringPrecedenceGraph::build(Ctx.IG, Ctx.Target, SR)
+                : ColoringPrecedenceGraph::linearFromStack(Ctx.IG, SR)),
+        SS(Ctx.IG, Ctx.Target), Spilled(Ctx.IG.numNodes(), 0),
+        Done(Ctx.IG.numNodes(), 0), InDeg(Ctx.IG.numNodes(), 0) {
+    for (unsigned N = 0, E = CPG.numNodes(); N != E; ++N)
+      if (CPG.contains(N))
+        InDeg[N] =
+            static_cast<unsigned>(CPG.predecessors(N).size());
+    Queue = CPG.roots();
+  }
+
+  const SelectState &selectState() const { return SS; }
+
+  bool prefEnabled(const Preference &P) const {
+    switch (P.Kind) {
+    case PrefKind::Coalesce:
+      return Opt.CoalescePreferences;
+    case PrefKind::SequentialPlus:
+    case PrefKind::SequentialMinus:
+      return Opt.SequentialPreferences;
+    case PrefKind::Prefers:
+      return Opt.VolatilityPreferences;
+    case PrefKind::Restricted:
+      return Opt.RestrictedPreferences;
+    }
+    pdgc_unreachable("unknown preference kind");
+  }
+
+  /// Registers that can be the *second* of a pair whose first is \p First.
+  BitVector pairAfter(PhysReg First) const {
+    BitVector M(Ctx.Target.numRegs());
+    RegClass RC = Ctx.Target.regClass(First);
+    PhysReg Base = Ctx.Target.firstReg(RC);
+    for (unsigned I = 0, E = Ctx.Target.numRegs(RC); I != E; ++I)
+      if (Ctx.Target.pairFuses(First, Base + I))
+        M.set(Base + I);
+    return M;
+  }
+
+  /// Registers that can be the *first* of a pair whose second is \p Second.
+  BitVector pairBefore(PhysReg Second) const {
+    BitVector M(Ctx.Target.numRegs());
+    RegClass RC = Ctx.Target.regClass(Second);
+    PhysReg Base = Ctx.Target.firstReg(RC);
+    for (unsigned I = 0, E = Ctx.Target.numRegs(RC); I != E; ++I)
+      if (Ctx.Target.pairFuses(Base + I, Second))
+        M.set(Base + I);
+    return M;
+  }
+
+  /// Mask of registers of \p RC with the requested volatility.
+  BitVector volatilityMask(RegClass RC, bool Volatile) const {
+    BitVector M(Ctx.Target.numRegs());
+    PhysReg Base = Ctx.Target.firstReg(RC);
+    for (unsigned I = 0, E = Ctx.Target.numRegs(RC); I != E; ++I)
+      if (Ctx.Target.isVolatile(Base + I) == Volatile)
+        M.set(Base + I);
+    return M;
+  }
+
+  /// Mask of the narrow-capable registers of \p RC.
+  BitVector narrowMask(RegClass RC) const {
+    BitVector M(Ctx.Target.numRegs());
+    PhysReg Base = Ctx.Target.firstReg(RC);
+    for (unsigned I = 0, E = Ctx.Target.numRegs(RC); I != E; ++I)
+      if (Ctx.Target.isNarrowCapable(Base + I))
+        M.set(Base + I);
+    return M;
+  }
+
+  /// Steps 2.1–2.3: the preferences of \p Q that are honorable now, given
+  /// prior selections and the available set.
+  std::vector<ScoredPref> honorablePrefs(unsigned Q,
+                                         const BitVector &Avail) const {
+    std::vector<ScoredPref> Result;
+    for (const Preference &P : RPG.preferencesOf(VReg(Q))) {
+      if (!prefEnabled(P))
+        continue;
+      BitVector Mask(Ctx.Target.numRegs());
+      double Strength = 0.0;
+      switch (P.Target.Kind) {
+      case PrefTarget::LiveRange: {
+        unsigned B = P.Target.Value;
+        if (Spilled[B] || !SS.hasColor(B))
+          continue; // Dropped (2.1) or deferred to the pending set (2.2).
+        PhysReg C = static_cast<PhysReg>(SS.color(B));
+        if (P.Kind == PrefKind::Coalesce)
+          Mask.set(C);
+        else if (P.Kind == PrefKind::SequentialPlus)
+          Mask = pairAfter(C);
+        else
+          Mask = pairBefore(C);
+        // Strength at the best register the mask still allows.
+        Strength = -std::numeric_limits<double>::infinity();
+        BitVector Usable = Mask;
+        Usable &= Avail;
+        for (unsigned R : Usable.setBits()) {
+          double S = RPG.strength(P, static_cast<PhysReg>(R));
+          if (S > Strength)
+            Strength = S;
+        }
+        break;
+      }
+      case PrefTarget::Register:
+        Mask.set(P.Target.Value);
+        Strength = RPG.strength(P, static_cast<PhysReg>(P.Target.Value));
+        break;
+      case PrefTarget::VolatileClass:
+        Mask = volatilityMask(Ctx.F.regClass(VReg(Q)), /*Volatile=*/true);
+        Strength = Ctx.Costs.registerBenefit(VReg(Q), /*VolatileReg=*/true);
+        break;
+      case PrefTarget::NonVolatileClass:
+        Mask = volatilityMask(Ctx.F.regClass(VReg(Q)), /*Volatile=*/false);
+        Strength =
+            Ctx.Costs.registerBenefit(VReg(Q), /*VolatileReg=*/false);
+        break;
+      case PrefTarget::NarrowRegisters:
+        Mask = narrowMask(Ctx.F.regClass(VReg(Q)));
+        Strength = RPG.bestStrength(P);
+        break;
+      }
+      BitVector Usable = Mask;
+      Usable &= Avail;
+      if (Usable.none())
+        continue; // Cannot be honored any more (step 2.1).
+      Result.push_back(ScoredPref{Strength, std::move(Mask)});
+    }
+    return Result;
+  }
+
+  /// Step 3's key: the strength differential between the strongest and
+  /// weakest honorable preference — how much is at stake if this node gets
+  /// its worst remaining placement instead of its best.
+  double differential(unsigned Q) const {
+    BitVector Avail = SS.availableFor(Q);
+    if (Avail.none())
+      return 0.0; // Will be spilled whenever chosen.
+    std::vector<ScoredPref> Prefs = honorablePrefs(Q, Avail);
+    if (Prefs.empty())
+      return 0.0;
+    double Strongest = -std::numeric_limits<double>::infinity();
+    double Weakest = std::numeric_limits<double>::infinity();
+    for (const ScoredPref &P : Prefs) {
+      Strongest = std::max(Strongest, P.Strength);
+      Weakest = std::min(Weakest, P.Strength);
+    }
+    // A node with a single honorable preference has no weaker fallback:
+    // the stake of deferring it is the preference itself.
+    if (Prefs.size() == 1)
+      return Strongest > 0.0 ? Strongest : 0.0;
+    return Strongest - Weakest;
+  }
+
+  /// Step 4.3: registers to keep so that still-pending preferences (of
+  /// this node, or of uncolored nodes targeting it) stay honorable.
+  std::vector<ScoredPref> pendingConstraints(unsigned Q) const {
+    std::vector<ScoredPref> Result;
+    auto AvailTo = [&](unsigned X) { return SS.availableFor(X); };
+
+    // This node's own preferences toward uncolored partners.
+    for (const Preference &P : RPG.preferencesOf(VReg(Q))) {
+      if (!prefEnabled(P) || P.Target.Kind != PrefTarget::LiveRange)
+        continue;
+      unsigned B = P.Target.Value;
+      if (Spilled[B] || SS.hasColor(B) || Ctx.IG.interferes(Q, B))
+        continue;
+      BitVector PartnerAvail = AvailTo(B);
+      BitVector Keep(Ctx.Target.numRegs());
+      for (unsigned R : PartnerAvail.setBits()) {
+        switch (P.Kind) {
+        case PrefKind::Coalesce:
+          Keep.set(R); // q should take a register b can share.
+          break;
+        case PrefKind::SequentialPlus:
+          // q is the second; b (first) will take R, q pairs after it.
+          Keep |= pairAfter(static_cast<PhysReg>(R));
+          break;
+        case PrefKind::SequentialMinus:
+          // q is the first; b (second) will take R, q pairs before it.
+          Keep |= pairBefore(static_cast<PhysReg>(R));
+          break;
+        case PrefKind::Prefers:
+        case PrefKind::Restricted:
+          break;
+        }
+      }
+      if (Keep.any())
+        Result.push_back(ScoredPref{RPG.bestStrength(P), std::move(Keep)});
+    }
+
+    // Preferences of uncolored nodes targeting this node.
+    for (const Preference &P : RPG.preferencesTargeting(VReg(Q))) {
+      if (!prefEnabled(P))
+        continue;
+      unsigned X = P.Source;
+      if (X == Q || Spilled[X] || SS.hasColor(X) ||
+          Ctx.IG.interferes(Q, X))
+        continue;
+      BitVector SourceAvail = AvailTo(X);
+      BitVector Keep(Ctx.Target.numRegs());
+      switch (P.Kind) {
+      case PrefKind::Coalesce:
+        Keep = SourceAvail; // Pick a register x can copy onto.
+        break;
+      case PrefKind::SequentialPlus:
+        // x is the second of the pair, q the first: keep q's registers R
+        // such that some register pairing after R is open for x.
+        for (unsigned R : SourceAvail.setBits())
+          Keep |= pairBefore(static_cast<PhysReg>(R));
+        break;
+      case PrefKind::SequentialMinus:
+        for (unsigned R : SourceAvail.setBits())
+          Keep |= pairAfter(static_cast<PhysReg>(R));
+        break;
+      case PrefKind::Prefers:
+      case PrefKind::Restricted:
+        break;
+      }
+      if (Keep.any())
+        Result.push_back(ScoredPref{RPG.bestStrength(P), std::move(Keep)});
+    }
+    return Result;
+  }
+
+  void spill(unsigned Q) {
+    pdgc_check(!Ctx.Costs.isInfinite(VReg(Q)),
+               "preference-directed select had to spill an unspillable "
+               "live range");
+    Spilled[Q] = 1;
+    Spills.push_back(Q);
+  }
+
+  /// Step 4: find a suitable register (or spill) for the chosen node.
+  void colorNode(unsigned Q) {
+    BitVector Avail = SS.availableFor(Q);
+    if (Avail.none()) {
+      spill(Q);
+      return;
+    }
+
+    std::vector<ScoredPref> Prefs = honorablePrefs(Q, Avail);
+    std::stable_sort(Prefs.begin(), Prefs.end(),
+                     [](const ScoredPref &A, const ScoredPref &B) {
+                       return A.Strength > B.Strength;
+                     });
+
+    if (Opt.ActiveSpill && !Ctx.Costs.isInfinite(VReg(Q))) {
+      // Section 5.4: when memory is the strongest preference, spill now
+      // rather than hold a register at a loss. The best achievable benefit
+      // is the strongest preference, or plain register residence.
+      double Best = -std::numeric_limits<double>::infinity();
+      for (const ScoredPref &P : Prefs)
+        Best = std::max(Best, P.Strength);
+      bool HasVol = false, HasNonVol = false;
+      for (unsigned R : Avail.setBits())
+        (Ctx.Target.isVolatile(static_cast<PhysReg>(R)) ? HasVol
+                                                        : HasNonVol) = true;
+      if (HasVol)
+        Best = std::max(
+            Best, Ctx.Costs.registerBenefit(VReg(Q), /*VolatileReg=*/true));
+      if (HasNonVol)
+        Best = std::max(Best, Ctx.Costs.registerBenefit(
+                                  VReg(Q), /*VolatileReg=*/false));
+      if (Best < 0.0) {
+        spill(Q);
+        return;
+      }
+    }
+
+    // Step 4.2: honor preferences from strongest to weakest; each honored
+    // preference screens the candidate set for the weaker ones.
+    BitVector Screened = Avail;
+    for (const ScoredPref &P : Prefs) {
+      BitVector Narrowed = Screened;
+      Narrowed &= P.Mask;
+      if (Narrowed.any())
+        Screened = std::move(Narrowed);
+    }
+
+    // Step 4.3: avoid registers that would block pending preferences.
+    if (Opt.PendingLookahead) {
+      std::vector<ScoredPref> Pending = pendingConstraints(Q);
+      std::stable_sort(Pending.begin(), Pending.end(),
+                       [](const ScoredPref &A, const ScoredPref &B) {
+                         return A.Strength > B.Strength;
+                       });
+      for (const ScoredPref &P : Pending) {
+        BitVector Narrowed = Screened;
+        Narrowed &= P.Mask;
+        if (Narrowed.any())
+          Screened = std::move(Narrowed);
+      }
+    }
+
+    // Step 4.4: allocate. Without stronger guidance fall back to the
+    // configured partition order.
+    int Pick = -1;
+    if (Opt.NonVolatileFirst) {
+      for (unsigned R : Screened.setBits())
+        if (!Ctx.Target.isVolatile(static_cast<PhysReg>(R))) {
+          Pick = static_cast<int>(R);
+          break;
+        }
+    }
+    if (Pick < 0)
+      Pick = Screened.findFirst();
+    assert(Pick >= 0 && "screened set became empty");
+    SS.setColor(Q, Pick);
+  }
+
+  /// Runs the whole select phase. Differentials are cached per node and
+  /// recomputed only when a decision could have changed them: a node's
+  /// available set moves when a neighbor is colored, and its honorable
+  /// preferences move when one of its live-range targets is decided.
+  void run() {
+    std::vector<double> Cached(Ctx.IG.numNodes(),
+                               std::numeric_limits<double>::quiet_NaN());
+    auto Invalidate = [&](unsigned N) {
+      Cached[N] = std::numeric_limits<double>::quiet_NaN();
+    };
+
+    while (!Queue.empty()) {
+      // Step 3: choose the queued node with the largest differential.
+      unsigned BestIdx = 0;
+      double BestDiff = -std::numeric_limits<double>::infinity();
+      for (unsigned I = 0, E = Queue.size(); I != E; ++I) {
+        unsigned N = Queue[I];
+        if (std::isnan(Cached[N]))
+          Cached[N] = differential(N);
+        if (Cached[N] > BestDiff) {
+          BestDiff = Cached[N];
+          BestIdx = I;
+        }
+      }
+      unsigned Q = Queue[BestIdx];
+      Queue.erase(Queue.begin() + BestIdx);
+
+      colorNode(Q);
+      Done[Q] = 1;
+
+      // Invalidate what this decision may have changed.
+      for (unsigned M : Ctx.IG.neighbors(Q))
+        if (!Done[M])
+          Invalidate(M);
+      for (const Preference &P : RPG.preferencesTargeting(VReg(Q)))
+        if (!Done[P.Source])
+          Invalidate(P.Source);
+
+      // Step 5: release successors whose predecessors are all processed.
+      for (unsigned S : CPG.successors(Q)) {
+        assert(InDeg[S] > 0 && "CPG in-degree underflow");
+        if (--InDeg[S] == 0)
+          Queue.push_back(S);
+      }
+    }
+  }
+};
+
+} // namespace
+
+RoundResult PreferenceDirectedAllocator::allocateRound(AllocContext &Ctx) {
+  const unsigned N = Ctx.F.numVRegs();
+  RoundResult RR = RoundResult::make(N);
+
+  // Optional pre-coalescing (the Section 6.1 extension): merge copy pairs
+  // that the conservative tests prove non-spill-causing, reflect the
+  // merges in the code, and rebuild the analyses over the smaller
+  // function. Deferred coalescing then only has to handle the risky
+  // copies.
+  AllocContext *Active = &Ctx;
+  std::optional<AllocContext> Rebuilt;
+  if (Options.PreCoalesce) {
+    UnionFind UF(N);
+    if (conservativeCoalesce(Ctx.IG, UF, Ctx.Target) != 0) {
+      std::vector<unsigned> RepOf(N);
+      for (unsigned V = 0; V != N; ++V)
+        RepOf[V] = UF.find(V);
+      rewriteCoalesced(Ctx.F, RepOf);
+      for (unsigned V = 0; V != N; ++V)
+        RR.CoalesceMap[V] = RepOf[V];
+      Rebuilt.emplace(Ctx.F, Ctx.Target, Ctx.Costs.params());
+      Active = &*Rebuilt;
+    }
+  }
+
+  SimplifyResult SR = simplifyGraph(
+      Active->IG, Active->Target,
+      [&](unsigned Node) { return Active->Costs.spillMetric(VReg(Node)); },
+      /*Optimistic=*/true);
+
+  PDGCSelect Select(*Active, Options, SR);
+  Select.run();
+
+  if (!Select.Spills.empty()) {
+    RR.Spilled = std::move(Select.Spills);
+    return RR;
+  }
+
+  RR.Color = Select.selectState().colors();
+  return RR;
+}

@@ -1,0 +1,186 @@
+//===- core/RegisterPreferenceGraph.cpp - RPG -------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegisterPreferenceGraph.h"
+
+#include "ir/PhiElimination.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+const char *pdgc::prefKindName(PrefKind K) {
+  switch (K) {
+  case PrefKind::Coalesce:
+    return "coalesce";
+  case PrefKind::SequentialPlus:
+    return "sequential+";
+  case PrefKind::SequentialMinus:
+    return "sequential-";
+  case PrefKind::Prefers:
+    return "prefers";
+  case PrefKind::Restricted:
+    return "restricted";
+  }
+  pdgc_unreachable("unknown preference kind");
+}
+
+void RegisterPreferenceGraph::addPreference(Preference P) {
+  // Merge with an existing edge of the same kind and target: several copies
+  // between the same two ranges accumulate their savings.
+  for (Preference &Existing : Out[P.Source]) {
+    if (Existing.Kind == P.Kind && Existing.Target == P.Target) {
+      Existing.Savings += P.Savings;
+      if (P.Target.Kind == PrefTarget::LiveRange)
+        for (Preference &R : In[P.Target.Value])
+          if (R.Source == P.Source && R.Kind == P.Kind)
+            R.Savings += P.Savings;
+      return;
+    }
+  }
+  Out[P.Source].push_back(P);
+  if (P.Target.Kind == PrefTarget::LiveRange)
+    In[P.Target.Value].push_back(P);
+}
+
+RegisterPreferenceGraph
+RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
+                               const LoopInfo &LI,
+                               const LiveRangeCosts &Costs,
+                               const TargetDesc &Target) {
+  (void)LV;
+  assert(!hasPhis(F) && "RPG requires phi-free IR");
+
+  RegisterPreferenceGraph G;
+  G.F = &F;
+  G.Target = &Target;
+  G.Costs = &Costs;
+  G.Out.assign(F.numVRegs(), {});
+  G.In.assign(F.numVRegs(), {});
+
+  const CostParams &CP = Costs.params();
+
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    const double Freq = LI.frequency(BB);
+
+    for (unsigned I = 0, IE = BB->size(); I != IE; ++I) {
+      const Instruction &Inst = BB->inst(I);
+
+      if (Inst.isCopy()) {
+        VReg Dst = Inst.def(), Src = Inst.use(0);
+        double Savings = CP.DefaultInstCost * Freq;
+        // A copy whose endpoints land in one register disappears; each
+        // unpinned endpoint records a coalesce preference toward the other
+        // (pinned endpoints have no choice to make).
+        auto TargetOf = [&](VReg R) {
+          return F.isPinned(R)
+                     ? PrefTarget::reg(static_cast<PhysReg>(F.pinnedReg(R)))
+                     : PrefTarget::liveRange(R.id());
+        };
+        if (!F.isPinned(Dst) && Dst != Src)
+          G.addPreference({Dst.id(), PrefKind::Coalesce, TargetOf(Src),
+                           Savings});
+        if (!F.isPinned(Src) && Dst != Src)
+          G.addPreference({Src.id(), PrefKind::Coalesce, TargetOf(Dst),
+                           Savings});
+        continue;
+      }
+
+      if (Inst.isNarrowDef() && Inst.hasDef() &&
+          !F.isPinned(Inst.def())) {
+        // Limited register usage: a narrow-capable destination avoids the
+        // fixup instruction this operation otherwise needs.
+        G.addPreference({Inst.def().id(), PrefKind::Restricted,
+                         PrefTarget::narrowRegisters(),
+                         CP.DefaultInstCost * Freq});
+      }
+
+      if (Inst.isPairHead()) {
+        // `First` and the next instruction's `Second` fuse into one machine
+        // load when their registers satisfy the pairing rule; each side
+        // then sees its own load cost vanish (Appendix: Ideal_Inst_Cost =
+        // 0 for the paired-load candidate loading V).
+        assert(I + 1 < IE && "pair head without a mate");
+        const Instruction &Mate = BB->inst(I + 1);
+        assert(Mate.opcode() == Opcode::Load && "pair mate must be a load");
+        VReg First = Inst.def(), Second = Mate.def();
+        double Savings = CP.LoadInstCost * Freq;
+        if (!F.isPinned(First))
+          G.addPreference({First.id(), PrefKind::SequentialMinus,
+                           PrefTarget::liveRange(Second.id()), Savings});
+        if (!F.isPinned(Second))
+          G.addPreference({Second.id(), PrefKind::SequentialPlus,
+                           PrefTarget::liveRange(First.id()), Savings});
+      }
+    }
+  }
+
+  // Volatility preferences: every live range carries edges to both the
+  // volatile and the non-volatile class of its register file; the
+  // strengths order themselves (a call-crossing range scores higher on the
+  // non-volatile side, a call-free range on the volatile side). Having
+  // both present is what gives the select phase its strength differential:
+  // the gap between a range's best and worst placement is exactly what is
+  // at stake when coloring it (Section 5.3, step 3; the Figure 7
+  // walkthrough orders v3 before v4 before v1/v2 this way).
+  for (unsigned V = 0, E = F.numVRegs(); V != E; ++V) {
+    VReg R(V);
+    if (F.isPinned(R))
+      continue;
+    if (Costs.numDefs(R) == 0 && Costs.numUses(R) == 0)
+      continue; // Dead register: no preferences.
+    G.addPreference(
+        {V, PrefKind::Prefers, PrefTarget::volatileClass(), 0.0});
+    G.addPreference(
+        {V, PrefKind::Prefers, PrefTarget::nonVolatileClass(), 0.0});
+  }
+
+  return G;
+}
+
+double RegisterPreferenceGraph::strength(const Preference &P,
+                                         PhysReg R) const {
+  VReg V(P.Source);
+  bool Vol = Target->isVolatile(R);
+  double IdealOp = Costs->opCost(V) - P.Savings;
+  return Costs->memCost(V) - (Costs->callCost(V, Vol) + IdealOp);
+}
+
+double RegisterPreferenceGraph::bestStrength(const Preference &P) const {
+  VReg V(P.Source);
+  double IdealOp = Costs->opCost(V) - P.Savings;
+  double Best;
+  switch (P.Target.Kind) {
+  case PrefTarget::Register:
+    return strength(P, static_cast<PhysReg>(P.Target.Value));
+  case PrefTarget::VolatileClass:
+    Best = Costs->callCost(V, /*VolatileReg=*/true);
+    break;
+  case PrefTarget::NonVolatileClass:
+    Best = Costs->callCost(V, /*VolatileReg=*/false);
+    break;
+  case PrefTarget::LiveRange: {
+    // The partner's register could be of either volatility: take the best.
+    double CV = Costs->callCost(V, /*VolatileReg=*/true);
+    double CN = Costs->callCost(V, /*VolatileReg=*/false);
+    Best = CV < CN ? CV : CN;
+    break;
+  }
+  case PrefTarget::NarrowRegisters:
+    // The narrow subset is the low quarter of the class, which lies in
+    // the volatile partition under this repository's conventions.
+    Best = Costs->callCost(V, /*VolatileReg=*/true);
+    break;
+  }
+  return Costs->memCost(V) - (Best + IdealOp);
+}
+
+unsigned RegisterPreferenceGraph::numPreferences() const {
+  unsigned N = 0;
+  for (const auto &Edges : Out)
+    N += static_cast<unsigned>(Edges.size());
+  return N;
+}

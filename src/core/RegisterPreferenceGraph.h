@@ -1,0 +1,135 @@
+//===- core/RegisterPreferenceGraph.h - RPG ---------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Register Preference Graph (Section 5.1): a directed graph whose
+/// nodes are live ranges, physical registers and register classes, and
+/// whose edges record register preferences weighted by the benefit of
+/// honoring them. Four preference kinds are modeled, exactly the paper's:
+///
+///  * `coalesce`       — use the same register as the destination node
+///                        (from copies, including calling-convention glue
+///                        to pinned argument/parameter/return registers);
+///  * `sequential+`    — this node is the *second* destination of a paired
+///                        load; its register must pair after the first's;
+///  * `sequential-`    — this node is the *first* destination; its register
+///                        must pair before the second's;
+///  * `prefers`        — use a register from a class (volatile or
+///                        non-volatile), driven by call-crossing liveness.
+///
+/// Strengths follow the Appendix: Str(V,P) = Mem_Cost(V) - Ideal_Cost(V,P),
+/// where Ideal_Cost depends on the volatility of the candidate register and
+/// on the instruction savings the preference unlocks (an eliminated move, a
+/// fused paired load). Because the volatility part depends on the concrete
+/// register, strengths are exposed as a function of the candidate register,
+/// with a register-independent upper bound for ordering decisions — this is
+/// the paper's "strengths evaluation functions can have a parameter".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_CORE_REGISTERPREFERENCEGRAPH_H
+#define PDGC_CORE_REGISTERPREFERENCEGRAPH_H
+
+#include "analysis/CostModel.h"
+#include "ir/Function.h"
+#include "machine/TargetDesc.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Kind of a preference edge.
+enum class PrefKind {
+  Coalesce,       ///< Same register as the target.
+  SequentialPlus, ///< Register pairing after the target's (second of pair).
+  SequentialMinus,///< Register pairing before the target's (first of pair).
+  Prefers,        ///< Any register of the target class.
+  Restricted,     ///< "Limited register usage": a narrow-capable register
+                  ///< avoids a fixup instruction (Section 3.1, type 2).
+};
+
+/// Returns "coalesce", "sequential+", "sequential-" or "prefers".
+const char *prefKindName(PrefKind K);
+
+/// Target of a preference edge.
+struct PrefTarget {
+  enum TargetKind {
+    LiveRange,        ///< Another live range (Value = vreg id).
+    Register,         ///< A specific physical register (Value = reg id).
+    VolatileClass,    ///< Any volatile register of the source's class.
+    NonVolatileClass, ///< Any non-volatile register of the source's class.
+    NarrowRegisters,  ///< The narrow-capable subset of the source's class.
+  } Kind;
+  unsigned Value = 0;
+
+  static PrefTarget liveRange(unsigned VRegId) {
+    return {LiveRange, VRegId};
+  }
+  static PrefTarget reg(PhysReg R) { return {Register, R}; }
+  static PrefTarget volatileClass() { return {VolatileClass, 0}; }
+  static PrefTarget nonVolatileClass() { return {NonVolatileClass, 0}; }
+  static PrefTarget narrowRegisters() { return {NarrowRegisters, 0}; }
+
+  bool operator==(const PrefTarget &RHS) const {
+    return Kind == RHS.Kind && Value == RHS.Value;
+  }
+};
+
+/// One preference edge out of a live range.
+struct Preference {
+  unsigned Source;    ///< Source live range (vreg id).
+  PrefKind Kind;
+  PrefTarget Target;
+  /// Frequency-weighted instruction-cost savings when honored: the copies
+  /// that disappear (coalesce) or the load that fuses away (sequential).
+  double Savings = 0.0;
+};
+
+/// The Register Preference Graph.
+class RegisterPreferenceGraph {
+  const Function *F = nullptr;
+  const TargetDesc *Target = nullptr;
+  const LiveRangeCosts *Costs = nullptr;
+  std::vector<std::vector<Preference>> Out; ///< Per source vreg id.
+  std::vector<std::vector<Preference>> In;  ///< Live-range-target reverse
+                                            ///< index, per target vreg id.
+
+  void addPreference(Preference P);
+
+public:
+  /// Builds the RPG for phi-free \p F by scanning the code for copies,
+  /// paired-load candidates and call-crossing live ranges.
+  static RegisterPreferenceGraph build(const Function &F,
+                                       const Liveness &LV, const LoopInfo &LI,
+                                       const LiveRangeCosts &Costs,
+                                       const TargetDesc &Target);
+
+  /// Outgoing preferences of live range \p V.
+  const std::vector<Preference> &preferencesOf(VReg V) const {
+    return Out[V.id()];
+  }
+
+  /// Preferences of *other* live ranges that target \p V (used by the
+  /// select phase's lookahead, step 4.3).
+  const std::vector<Preference> &preferencesTargeting(VReg V) const {
+    return In[V.id()];
+  }
+
+  /// Str(V, P) evaluated for a concrete candidate register \p R of the
+  /// source's class.
+  double strength(const Preference &P, PhysReg R) const;
+
+  /// Register-independent upper bound of strength: the best value over the
+  /// volatility choices consistent with the preference.
+  double bestStrength(const Preference &P) const;
+
+  /// Total number of preference edges (for tests and statistics).
+  unsigned numPreferences() const;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_CORE_REGISTERPREFERENCEGRAPH_H

@@ -1,0 +1,103 @@
+//===- ir/BasicBlock.h - Basic block ----------------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: a label, an instruction list whose last entry is the
+/// terminator, and explicit successor edges. Predecessor lists are
+/// maintained by Function when edges change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_BASICBLOCK_H
+#define PDGC_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace pdgc {
+
+class Function;
+
+/// A basic block of the register-transfer IR.
+class BasicBlock {
+  friend class Function;
+
+  unsigned Id;
+  std::string Name;
+  std::vector<Instruction> Insts;
+  std::vector<BasicBlock *> Succs;
+  std::vector<BasicBlock *> Preds;
+
+  BasicBlock(unsigned Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+
+public:
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  std::vector<Instruction> &instructions() { return Insts; }
+  const std::vector<Instruction> &instructions() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+  unsigned size() const { return static_cast<unsigned>(Insts.size()); }
+
+  Instruction &inst(unsigned I) {
+    assert(I < Insts.size() && "instruction index out of range");
+    return Insts[I];
+  }
+  const Instruction &inst(unsigned I) const {
+    assert(I < Insts.size() && "instruction index out of range");
+    return Insts[I];
+  }
+
+  /// Appends an instruction. Nothing may follow a terminator.
+  void append(Instruction I) {
+    assert((Insts.empty() || !Insts.back().isTerminatorInst()) &&
+           "appending past a terminator");
+    Insts.push_back(std::move(I));
+  }
+
+  /// Inserts \p I before position \p Pos.
+  void insertBefore(unsigned Pos, Instruction I) {
+    assert(Pos <= Insts.size() && "insert position out of range");
+    Insts.insert(Insts.begin() + Pos, std::move(I));
+  }
+
+  /// Returns true when the block ends in a terminator.
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminatorInst();
+  }
+
+  /// Returns the terminator; the block must have one.
+  const Instruction &terminator() const {
+    assert(hasTerminator() && "block has no terminator");
+    return Insts.back();
+  }
+
+  const std::vector<BasicBlock *> &successors() const { return Succs; }
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+
+  unsigned numSuccessors() const {
+    return static_cast<unsigned>(Succs.size());
+  }
+  unsigned numPredecessors() const {
+    return static_cast<unsigned>(Preds.size());
+  }
+
+  /// Returns the index of \p Pred in the predecessor list; the block must
+  /// actually be a predecessor. Phi uses are parallel to this list.
+  unsigned predecessorIndex(const BasicBlock *Pred) const {
+    for (unsigned I = 0, E = Preds.size(); I != E; ++I)
+      if (Preds[I] == Pred)
+        return I;
+    pdgc_unreachable("block is not a predecessor");
+  }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_IR_BASICBLOCK_H

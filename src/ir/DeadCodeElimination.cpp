@@ -1,0 +1,87 @@
+//===- ir/DeadCodeElimination.cpp - Dead code removal ------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DeadCodeElimination.h"
+
+#include "support/BitVector.h"
+
+using namespace pdgc;
+
+namespace {
+
+/// An instruction with observable behaviour must stay regardless of
+/// whether its result is used.
+bool hasSideEffects(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Store:
+  case Opcode::SpillStore:
+  case Opcode::Call:
+  case Opcode::Branch:
+  case Opcode::CondBranch:
+  case Opcode::Ret:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+DceStats pdgc::eliminateDeadCode(Function &F) {
+  DceStats Stats;
+  const unsigned N = F.numVRegs();
+
+  // Fixed point: a register is live if a side-effecting instruction uses
+  // it, or a live definition uses it.
+  BitVector LiveReg(N);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Stats.Iterations;
+    for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+      for (const Instruction &I : F.block(B)->instructions()) {
+        bool Needed =
+            hasSideEffects(I) || (I.hasDef() && LiveReg.test(I.def().id()));
+        if (!Needed)
+          continue;
+        for (unsigned U = 0, UE = I.numUses(); U != UE; ++U) {
+          if (!LiveReg.test(I.use(U).id())) {
+            LiveReg.set(I.use(U).id());
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Parameters stay visible to callers of params() even if unused; their
+  // defining "instruction" is the convention, not IR, so nothing to do.
+
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    BasicBlock *BB = F.block(B);
+    std::vector<Instruction> Kept;
+    Kept.reserve(BB->size());
+    for (Instruction &I : BB->instructions()) {
+      bool Needed =
+          hasSideEffects(I) || (I.hasDef() && LiveReg.test(I.def().id()));
+      if (!Needed) {
+        ++Stats.InstructionsRemoved;
+        continue;
+      }
+      Kept.push_back(std::move(I));
+    }
+    BB->instructions() = std::move(Kept);
+
+    // Deleting a pair mate (dead second load) breaks the candidate.
+    for (unsigned I = 0, IE = BB->size(); I != IE; ++I) {
+      Instruction &Head = BB->inst(I);
+      if (Head.isPairHead() &&
+          (I + 1 == IE || BB->inst(I + 1).opcode() != Opcode::Load))
+        Head.setPairHead(false);
+    }
+  }
+  return Stats;
+}

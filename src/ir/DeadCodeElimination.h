@@ -1,0 +1,42 @@
+//===- ir/DeadCodeElimination.h - Dead code removal -------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes side-effect-free instructions whose results are never used.
+/// The paper's JIT runs "many advanced optimizations" before register
+/// allocation (Section 6); this pass is the slice of that pipeline that
+/// matters for allocation studies — dead definitions still occupy
+/// registers at their definition point and distort pressure, so
+/// experiments comparing allocators should run it first when the input
+/// comes from a source (like the workload generator) that can leave
+/// unused values behind.
+///
+/// Stores, spill stores, calls, and terminators are roots (kept
+/// unconditionally); everything reachable from their uses stays; phis
+/// participate in the usual fixed point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_DEADCODEELIMINATION_H
+#define PDGC_IR_DEADCODEELIMINATION_H
+
+#include "ir/Function.h"
+
+namespace pdgc {
+
+/// Statistics from one DCE run.
+struct DceStats {
+  unsigned InstructionsRemoved = 0;
+  unsigned Iterations = 0;
+};
+
+/// Deletes dead instructions from \p F (works on SSA and phi-free IR
+/// alike). Returns statistics.
+DceStats eliminateDeadCode(Function &F);
+
+} // namespace pdgc
+
+#endif // PDGC_IR_DEADCODEELIMINATION_H

@@ -1,0 +1,107 @@
+//===- ir/Function.cpp - IR function --------------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace pdgc;
+
+BasicBlock *Function::createBlock(const std::string &BlockName) {
+  unsigned Id = NextBlockId++;
+  std::string N = BlockName.empty() ? "bb" + std::to_string(Id) : BlockName;
+  Blocks.push_back(
+      std::unique_ptr<BasicBlock>(new BasicBlock(Id, std::move(N))));
+  return Blocks.back().get();
+}
+
+void Function::setEdges(BasicBlock *BB,
+                        const std::vector<BasicBlock *> &Succs) {
+  assert(BB->Succs.empty() && "edges already set for this block");
+  BB->Succs = Succs;
+  for (BasicBlock *S : Succs)
+    S->Preds.push_back(BB);
+}
+
+BasicBlock *Function::splitEdge(BasicBlock *From, BasicBlock *To) {
+  BasicBlock *Mid =
+      createBlock(From->name() + "." + To->name() + ".split");
+  Mid->append(Instruction(Opcode::Branch, VReg(), {}));
+
+  // Redirect From's successor entry. A block may list the same successor
+  // twice (both arms of a conditional branch); split only the first match.
+  auto SuccIt = std::find(From->Succs.begin(), From->Succs.end(), To);
+  assert(SuccIt != From->Succs.end() && "From is not a predecessor of To");
+  *SuccIt = Mid;
+
+  // Replace From with Mid in To's predecessor list, in place, so the
+  // phi-operand indexing of To is preserved.
+  auto PredIt = std::find(To->Preds.begin(), To->Preds.end(), From);
+  assert(PredIt != To->Preds.end() && "edge to split does not exist");
+  *PredIt = Mid;
+
+  Mid->Succs = {To};
+  Mid->Preds = {From};
+  return Mid;
+}
+
+void Function::reorderPredecessors(BasicBlock *BB,
+                                   const std::vector<BasicBlock *> &Order) {
+  assert(std::is_permutation(Order.begin(), Order.end(), BB->Preds.begin(),
+                             BB->Preds.end()) &&
+         "new order must permute the existing predecessors");
+  BB->Preds = Order;
+}
+
+std::vector<unsigned> Function::reversePostOrder() const {
+  std::vector<unsigned> Order;
+  if (Blocks.empty())
+    return Order;
+
+  std::vector<char> Visited(Blocks.size(), 0);
+  std::vector<unsigned> PostOrder;
+  // Iterative DFS carrying (block, next successor index) pairs.
+  std::vector<std::pair<const BasicBlock *, unsigned>> Stack;
+  Stack.push_back({entry(), 0});
+  Visited[entry()->id()] = 1;
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    if (NextSucc < BB->numSuccessors()) {
+      const BasicBlock *S = BB->successors()[NextSucc++];
+      if (!Visited[S->id()]) {
+        Visited[S->id()] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(BB->id());
+    Stack.pop_back();
+  }
+
+  Order.assign(PostOrder.rbegin(), PostOrder.rend());
+  // Append unreachable blocks deterministically.
+  for (unsigned I = 0, E = numBlocks(); I != E; ++I)
+    if (!Visited[Blocks[I]->id()])
+      Order.push_back(Blocks[I]->id());
+  return Order;
+}
+
+VReg Function::createVReg(RegClass RC) {
+  VRegs.push_back(VRegInfo{RC, -1, false});
+  return VReg(static_cast<unsigned>(VRegs.size()) - 1);
+}
+
+VReg Function::createPinnedVReg(RegClass RC, int PhysReg) {
+  assert(PhysReg >= 0 && "pinned register must be valid");
+  VRegs.push_back(VRegInfo{RC, PhysReg, false});
+  return VReg(static_cast<unsigned>(VRegs.size()) - 1);
+}
+
+VReg Function::addParam(RegClass RC, int PhysReg) {
+  VReg R = createPinnedVReg(RC, PhysReg);
+  Params.push_back(R);
+  return R;
+}

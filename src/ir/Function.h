@@ -1,0 +1,169 @@
+//===- ir/Function.h - IR function ------------------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function of the register-transfer IR: a CFG of basic blocks plus the
+/// virtual-register table. Virtual registers carry their register class, an
+/// optional pinning to a physical register (used for calling-convention
+/// glue: parameter, argument and return registers), and a spill-temp marker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_FUNCTION_H
+#define PDGC_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/VReg.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdgc {
+
+/// Per-virtual-register attributes.
+struct VRegInfo {
+  RegClass Class = RegClass::GPR;
+  /// Physical register this virtual register is pinned to, or -1. Pinned
+  /// registers become precolored interference-graph nodes; they model the
+  /// paper's "dedicated register usage" (parameters, returns).
+  int PinnedReg = -1;
+  /// True for the short-lived fragments created by spill-code insertion;
+  /// they get effectively infinite spill cost so a spilled value is never
+  /// re-spilled indefinitely.
+  bool SpillTemp = false;
+  /// A block-granular spill fragment: long enough that re-spilling it
+  /// (which downgrades it to per-use fragments) is still legal and
+  /// strictly shrinks live ranges, so it stays a spill candidate.
+  bool RespillableTemp = false;
+
+  bool isPinned() const { return PinnedReg >= 0; }
+};
+
+/// A function: CFG, virtual-register table, and parameter list.
+class Function {
+  std::string Name;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<VRegInfo> VRegs;
+  /// Pinned virtual registers holding the incoming parameters, in argument
+  /// order. They are live from the function entry until copied into
+  /// ordinary virtual registers.
+  std::vector<VReg> Params;
+  unsigned NextBlockId = 0;
+
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  //===--------------------------------------------------------------------===
+  // Blocks
+  //===--------------------------------------------------------------------===
+
+  /// Creates a new block appended to the block list. The first block
+  /// created is the entry block.
+  BasicBlock *createBlock(const std::string &BlockName = "");
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  BasicBlock *block(unsigned I) {
+    assert(I < Blocks.size() && "block index out of range");
+    return Blocks[I].get();
+  }
+  const BasicBlock *block(unsigned I) const {
+    assert(I < Blocks.size() && "block index out of range");
+    return Blocks[I].get();
+  }
+  BasicBlock *entry() {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+  const BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  /// Declares the successor edges of \p BB (called once, when its
+  /// terminator is appended) and registers \p BB as predecessor of each.
+  void setEdges(BasicBlock *BB, const std::vector<BasicBlock *> &Succs);
+
+  /// Splits the CFG edge \p From -> \p To by inserting a fresh block with
+  /// an unconditional branch. \p To's predecessor slot (and therefore its
+  /// phi-operand indexing) is updated in place. Returns the new block.
+  BasicBlock *splitEdge(BasicBlock *From, BasicBlock *To);
+
+  /// Replaces \p BB's predecessor order with \p Order (a permutation of
+  /// the current list). Phi operands index the predecessor list, so the
+  /// textual parser uses this to restore the annotated order.
+  void reorderPredecessors(BasicBlock *BB,
+                           const std::vector<BasicBlock *> &Order);
+
+  /// Returns block ids in reverse post order from the entry; unreachable
+  /// blocks are appended at the end in id order so analyses still cover
+  /// them.
+  std::vector<unsigned> reversePostOrder() const;
+
+  //===--------------------------------------------------------------------===
+  // Virtual registers
+  //===--------------------------------------------------------------------===
+
+  /// Creates a fresh virtual register of class \p RC.
+  VReg createVReg(RegClass RC);
+
+  /// Creates a virtual register pinned to physical register \p PhysReg.
+  VReg createPinnedVReg(RegClass RC, int PhysReg);
+
+  unsigned numVRegs() const { return static_cast<unsigned>(VRegs.size()); }
+
+  const VRegInfo &vregInfo(VReg R) const {
+    assert(R.isValid() && R.id() < VRegs.size() && "invalid vreg");
+    return VRegs[R.id()];
+  }
+  VRegInfo &vregInfo(VReg R) {
+    assert(R.isValid() && R.id() < VRegs.size() && "invalid vreg");
+    return VRegs[R.id()];
+  }
+
+  RegClass regClass(VReg R) const { return vregInfo(R).Class; }
+  bool isPinned(VReg R) const { return vregInfo(R).isPinned(); }
+  int pinnedReg(VReg R) const { return vregInfo(R).PinnedReg; }
+  bool isSpillTemp(VReg R) const { return vregInfo(R).SpillTemp; }
+  bool isRespillableTemp(VReg R) const {
+    return vregInfo(R).RespillableTemp;
+  }
+
+  /// Marks \p R as a spill-code fragment; \p Respillable for the longer
+  /// block-granular fragments that may legally be spilled again.
+  void markSpillTemp(VReg R, bool Respillable = false) {
+    vregInfo(R).SpillTemp = true;
+    vregInfo(R).RespillableTemp = Respillable;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Parameters
+  //===--------------------------------------------------------------------===
+
+  /// Appends a parameter: a virtual register pinned to \p PhysReg that is
+  /// live-in at the entry block.
+  VReg addParam(RegClass RC, int PhysReg);
+
+  /// Registers an existing pinned virtual register as a parameter (used by
+  /// the textual parser, which creates registers before it knows their
+  /// roles).
+  void registerParam(VReg R) {
+    assert(isPinned(R) && "parameters must be pinned");
+    Params.push_back(R);
+  }
+
+  const std::vector<VReg> &params() const { return Params; }
+  unsigned numParams() const { return static_cast<unsigned>(Params.size()); }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_IR_FUNCTION_H

@@ -1,0 +1,143 @@
+//===- ir/IRBuilder.cpp - Convenience instruction emitter -----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace pdgc;
+
+VReg IRBuilder::emitLoadImm(std::int64_t Imm, RegClass RC) {
+  assert(BB && "no insertion block");
+  VReg Def = F.createVReg(RC);
+  BB->append(Instruction(Opcode::LoadImm, Def, {}, Imm));
+  return Def;
+}
+
+VReg IRBuilder::emitMove(VReg Src) {
+  assert(BB && "no insertion block");
+  VReg Def = F.createVReg(F.regClass(Src));
+  BB->append(Instruction(Opcode::Move, Def, {Src}));
+  return Def;
+}
+
+void IRBuilder::emitMoveTo(VReg Dst, VReg Src) {
+  assert(BB && "no insertion block");
+  assert(F.regClass(Dst) == F.regClass(Src) && "move across register classes");
+  BB->append(Instruction(Opcode::Move, Dst, {Src}));
+}
+
+VReg IRBuilder::emitLoad(VReg Base, std::int64_t Offset, RegClass RC) {
+  assert(BB && "no insertion block");
+  assert(F.regClass(Base) == RegClass::GPR && "load base must be a GPR");
+  VReg Def = F.createVReg(RC);
+  BB->append(Instruction(Opcode::Load, Def, {Base}, Offset));
+  return Def;
+}
+
+VReg IRBuilder::emitNarrowLoad(VReg Base, std::int64_t Offset,
+                               RegClass RC) {
+  assert(BB && "no insertion block");
+  assert(F.regClass(Base) == RegClass::GPR && "load base must be a GPR");
+  VReg Def = F.createVReg(RC);
+  Instruction Load(Opcode::Load, Def, {Base}, Offset);
+  Load.setNarrowDef(true);
+  BB->append(std::move(Load));
+  return Def;
+}
+
+std::pair<VReg, VReg> IRBuilder::emitPairedLoad(VReg Base,
+                                                std::int64_t Offset,
+                                                RegClass RC) {
+  assert(BB && "no insertion block");
+  VReg First = F.createVReg(RC);
+  VReg Second = F.createVReg(RC);
+  Instruction Head(Opcode::Load, First, {Base}, Offset);
+  Head.setPairHead(true);
+  BB->append(std::move(Head));
+  BB->append(Instruction(Opcode::Load, Second, {Base}, Offset + 1));
+  return {First, Second};
+}
+
+void IRBuilder::emitStore(VReg Value, VReg Base, std::int64_t Offset) {
+  assert(BB && "no insertion block");
+  assert(F.regClass(Base) == RegClass::GPR && "store base must be a GPR");
+  BB->append(Instruction(Opcode::Store, VReg(), {Value, Base}, Offset));
+}
+
+VReg IRBuilder::emitBinary(Opcode Op, VReg LHS, VReg RHS) {
+  assert(BB && "no insertion block");
+  assert((Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Mul) &&
+         "emitBinary expects Add/Sub/Mul");
+  assert(F.regClass(LHS) == F.regClass(RHS) &&
+         "binary operands must share a register class");
+  VReg Def = F.createVReg(F.regClass(LHS));
+  BB->append(Instruction(Op, Def, {LHS, RHS}));
+  return Def;
+}
+
+VReg IRBuilder::emitAddImm(VReg Src, std::int64_t Imm) {
+  assert(BB && "no insertion block");
+  VReg Def = F.createVReg(F.regClass(Src));
+  BB->append(Instruction(Opcode::AddImm, Def, {Src}, Imm));
+  return Def;
+}
+
+VReg IRBuilder::emitCompare(Opcode Op, VReg LHS, VReg RHS) {
+  assert(BB && "no insertion block");
+  assert((Op == Opcode::CmpLT || Op == Opcode::CmpEQ) &&
+         "emitCompare expects CmpLT/CmpEQ");
+  assert(F.regClass(LHS) == F.regClass(RHS) &&
+         "compare operands must share a register class");
+  VReg Def = F.createVReg(RegClass::GPR);
+  BB->append(Instruction(Op, Def, {LHS, RHS}));
+  return Def;
+}
+
+void IRBuilder::emitBranch(BasicBlock *Target) {
+  assert(BB && "no insertion block");
+  BB->append(Instruction(Opcode::Branch, VReg(), {}));
+  F.setEdges(BB, {Target});
+}
+
+void IRBuilder::emitCondBranch(VReg Cond, BasicBlock *Taken,
+                               BasicBlock *NotTaken) {
+  assert(BB && "no insertion block");
+  assert(F.regClass(Cond) == RegClass::GPR && "condition must be a GPR");
+  BB->append(Instruction(Opcode::CondBranch, VReg(), {Cond}));
+  F.setEdges(BB, {Taken, NotTaken});
+}
+
+void IRBuilder::emitCall(unsigned Callee, const std::vector<VReg> &Args,
+                         VReg Ret) {
+  assert(BB && "no insertion block");
+#ifndef NDEBUG
+  for (VReg A : Args)
+    assert(F.isPinned(A) && "call arguments must be pinned registers");
+  assert((!Ret.isValid() || F.isPinned(Ret)) &&
+         "call return must be a pinned register");
+#endif
+  BB->append(Instruction(Opcode::Call, Ret, Args,
+                         static_cast<std::int64_t>(Callee)));
+}
+
+void IRBuilder::emitRet(VReg Value) {
+  assert(BB && "no insertion block");
+  std::vector<VReg> Uses;
+  if (Value.isValid()) {
+    assert(F.isPinned(Value) && "return value must be a pinned register");
+    Uses.push_back(Value);
+  }
+  BB->append(Instruction(Opcode::Ret, VReg(), std::move(Uses)));
+  F.setEdges(BB, {});
+}
+
+VReg IRBuilder::emitPhi(RegClass RC, const std::vector<VReg> &Incoming) {
+  assert(BB && "no insertion block");
+  assert((BB->empty() || BB->instructions().back().isPhi()) &&
+         "phis must precede all other instructions");
+  VReg Def = F.createVReg(RC);
+  BB->append(Instruction(Opcode::Phi, Def, Incoming));
+  return Def;
+}

@@ -1,0 +1,400 @@
+//===- ir/IRParser.cpp - Textual IR parser -----------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace pdgc;
+
+namespace {
+
+/// A parsed operand: a register token or an integer immediate.
+struct Operand {
+  bool IsReg = false;
+  VReg Reg;
+  std::int64_t Imm = 0;
+};
+
+class Parser {
+  std::vector<std::string> Lines;
+  std::unique_ptr<Function> F;
+  std::map<std::string, BasicBlock *> BlocksByName;
+  /// Successor names per block id, filled when terminators are parsed.
+  /// Keyed by id so edge creation order is deterministic.
+  std::map<unsigned, std::vector<std::string>> SuccNames;
+  /// Predecessor names per block id from the header comments, used to
+  /// restore the phi-relevant ordering.
+  std::map<unsigned, std::vector<std::string>> PredNames;
+  std::string Error;
+  unsigned LineNo = 0;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  }
+
+  static std::string trim(const std::string &S) {
+    size_t B = S.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      return "";
+    size_t E = S.find_last_not_of(" \t\r");
+    return S.substr(B, E - B + 1);
+  }
+
+  /// Ensures register id \p Id exists with the given class (and optional
+  /// pin). Conflicting annotations are an error.
+  bool ensureVReg(unsigned Id, RegClass RC, int Pin) {
+    while (F->numVRegs() <= Id)
+      F->createVReg(RegClass::GPR);
+    VRegInfo &Info = F->vregInfo(VReg(Id));
+    Info.Class = RC;
+    if (Pin >= 0) {
+      if (Info.PinnedReg >= 0 && Info.PinnedReg != Pin)
+        return fail("conflicting pin for v" + std::to_string(Id));
+      Info.PinnedReg = Pin;
+    }
+    return true;
+  }
+
+  /// Parses a register token `v<id>[(pinned:r<k>)][f]` starting at \p Pos
+  /// of \p S; advances \p Pos past it.
+  bool parseVReg(const std::string &S, size_t &Pos, VReg &Out) {
+    if (Pos >= S.size() || S[Pos] != 'v')
+      return fail("expected register token in '" + S + "'");
+    size_t P = Pos + 1;
+    size_t Start = P;
+    while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+      ++P;
+    if (P == Start)
+      return fail("malformed register token in '" + S + "'");
+    unsigned Id = static_cast<unsigned>(std::stoul(S.substr(Start, P - Start)));
+    int Pin = -1;
+    if (S.compare(P, 9, "(pinned:r") == 0) {
+      size_t Close = S.find(')', P);
+      if (Close == std::string::npos)
+        return fail("unterminated pin annotation");
+      Pin = std::stoi(S.substr(P + 9, Close - (P + 9)));
+      P = Close + 1;
+    }
+    RegClass RC = RegClass::GPR;
+    if (P < S.size() && S[P] == 'f') {
+      RC = RegClass::FPR;
+      ++P;
+    }
+    if (!ensureVReg(Id, RC, Pin))
+      return false;
+    Out = VReg(Id);
+    Pos = P;
+    return true;
+  }
+
+  /// Splits a comma-separated operand list (registers and integers).
+  bool parseOperands(const std::string &S, std::vector<Operand> &Ops,
+                     int &Callee) {
+    std::string Rest = trim(S);
+    while (!Rest.empty()) {
+      if (Rest[0] == '@') {
+        if (Rest.compare(0, 2, "@f") != 0)
+          return fail("malformed callee token '" + Rest + "'");
+        Callee = std::stoi(Rest.substr(2));
+        size_t Comma = Rest.find(',');
+        Rest = Comma == std::string::npos ? "" : trim(Rest.substr(Comma + 1));
+        continue;
+      }
+      if (Rest[0] == 'v') {
+        Operand Op;
+        Op.IsReg = true;
+        size_t Pos = 0;
+        if (!parseVReg(Rest, Pos, Op.Reg))
+          return false;
+        Ops.push_back(Op);
+        Rest = trim(Rest.substr(Pos));
+      } else if (Rest[0] == '-' ||
+                 std::isdigit(static_cast<unsigned char>(Rest[0]))) {
+        Operand Op;
+        size_t Pos = 0;
+        Op.Imm = std::stoll(Rest, &Pos);
+        Ops.push_back(Op);
+        Rest = trim(Rest.substr(Pos));
+      } else {
+        return fail("unexpected operand text '" + Rest + "'");
+      }
+      if (!Rest.empty()) {
+        if (Rest[0] == ',')
+          Rest = trim(Rest.substr(1));
+        else if (Rest[0] != '@') // The callee token follows a space.
+          return fail("expected ',' in operand list at '" + Rest + "'");
+      }
+    }
+    return true;
+  }
+
+  static Opcode *opcodeByName(const std::string &Name) {
+    static std::map<std::string, Opcode> Table = {
+        {"loadimm", Opcode::LoadImm},   {"move", Opcode::Move},
+        {"load", Opcode::Load},         {"store", Opcode::Store},
+        {"add", Opcode::Add},           {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},           {"addimm", Opcode::AddImm},
+        {"cmplt", Opcode::CmpLT},       {"cmpeq", Opcode::CmpEQ},
+        {"br", Opcode::Branch},         {"condbr", Opcode::CondBranch},
+        {"call", Opcode::Call},         {"ret", Opcode::Ret},
+        {"phi", Opcode::Phi},           {"spillload", Opcode::SpillLoad},
+        {"spillstore", Opcode::SpillStore}};
+    auto It = Table.find(Name);
+    return It == Table.end() ? nullptr : &It->second;
+  }
+
+  bool parseInstruction(BasicBlock *BB, std::string Body) {
+    // Flags ride in the comment tail.
+    bool PairHead = false, Spill = false, Narrow = false;
+    if (size_t C = Body.find("  ;"); C != std::string::npos) {
+      std::string Comment = Body.substr(C);
+      PairHead = Comment.find("pair-head") != std::string::npos;
+      Spill = Comment.find("; spill") != std::string::npos;
+      Narrow = Comment.find("narrow") != std::string::npos;
+      Body = trim(Body.substr(0, C));
+    }
+
+    // Successor names after "->".
+    std::vector<std::string> Succs;
+    if (size_t Arrow = Body.find("->"); Arrow != std::string::npos) {
+      std::istringstream SS(Body.substr(Arrow + 2));
+      std::string Name;
+      while (SS >> Name)
+        Succs.push_back(Name);
+      Body = trim(Body.substr(0, Arrow));
+    }
+
+    // Optional "def = ".
+    VReg Def;
+    if (size_t Eq = Body.find(" = "); Eq != std::string::npos) {
+      size_t Pos = 0;
+      std::string DefTok = trim(Body.substr(0, Eq));
+      if (!parseVReg(DefTok, Pos, Def) || Pos != DefTok.size())
+        return fail("malformed definition '" + DefTok + "'");
+      Body = trim(Body.substr(Eq + 3));
+    }
+
+    size_t Space = Body.find_first_of(" \t");
+    std::string OpName =
+        Space == std::string::npos ? Body : Body.substr(0, Space);
+    std::string Tail =
+        Space == std::string::npos ? "" : trim(Body.substr(Space));
+    Opcode *Op = opcodeByName(OpName);
+    if (!Op)
+      return fail("unknown opcode '" + OpName + "'");
+
+    int Callee = -1;
+    std::vector<Operand> Ops;
+    if (!parseOperands(Tail, Ops, Callee))
+      return false;
+
+    // Assemble: registers become uses, a trailing integer the immediate.
+    std::vector<VReg> Uses;
+    std::int64_t Imm = 0;
+    bool SawImm = false;
+    for (const Operand &O : Ops) {
+      if (O.IsReg) {
+        if (SawImm)
+          return fail("register operand after immediate");
+        Uses.push_back(O.Reg);
+      } else {
+        if (SawImm)
+          return fail("multiple immediates");
+        SawImm = true;
+        Imm = O.Imm;
+      }
+    }
+    if (*Op == Opcode::Call) {
+      if (Callee < 0)
+        return fail("call without a callee");
+      Imm = Callee;
+    } else if (Callee >= 0) {
+      return fail("callee token on a non-call");
+    }
+
+    if (Def.isValid() != opcodeMayDefine(*Op) &&
+        !(*Op == Opcode::Call && !Def.isValid()))
+      return fail("definition arity mismatch for '" + OpName + "'");
+    int WantUses = opcodeNumUses(*Op);
+    if (WantUses >= 0 && static_cast<int>(Uses.size()) != WantUses)
+      return fail("operand count mismatch for '" + OpName + "'");
+
+    Instruction I(*Op, Def, std::move(Uses), Imm);
+    I.setPairHead(PairHead);
+    I.setSpillCode(Spill);
+    I.setNarrowDef(Narrow);
+    if (!BB->empty() && BB->instructions().back().isTerminatorInst())
+      return fail("instruction after terminator");
+    BB->append(std::move(I));
+
+    if (isTerminator(*Op) && *Op != Opcode::Ret) {
+      unsigned Want = *Op == Opcode::Branch ? 1 : 2;
+      if (Succs.size() != Want)
+        return fail("successor count mismatch for '" + OpName + "'");
+      SuccNames[BB->id()] = Succs;
+    }
+    return true;
+  }
+
+public:
+  std::unique_ptr<Function> run(const std::string &Text, std::string &Err) {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line))
+      Lines.push_back(Line);
+
+    // Pass 1: the function header and the block labels, in order.
+    for (LineNo = 1; LineNo <= Lines.size(); ++LineNo) {
+      std::string L = trim(Lines[LineNo - 1]);
+      if (L.empty())
+        continue;
+      if (L.compare(0, 6, "func @") == 0) {
+        if (F) {
+          fail("multiple func headers");
+          break;
+        }
+        size_t Paren = L.find('(');
+        if (Paren == std::string::npos) {
+          fail("malformed func header");
+          break;
+        }
+        F = std::make_unique<Function>(L.substr(6, Paren - 6));
+        continue;
+      }
+      // Block label: "name:" optionally followed by a preds comment.
+      if (!F || Lines[LineNo - 1].compare(0, 2, "  ") == 0)
+        continue;
+      size_t Colon = L.find(':');
+      if (Colon == std::string::npos)
+        continue;
+      std::string Name = L.substr(0, Colon);
+      if (BlocksByName.count(Name)) {
+        fail("duplicate block label '" + Name + "'");
+        break;
+      }
+      BasicBlock *BB = F->createBlock(Name);
+      BlocksByName[Name] = BB;
+      if (size_t P = L.find("preds:"); P != std::string::npos) {
+        std::istringstream SS(L.substr(P + 6));
+        std::string PredName;
+        while (SS >> PredName)
+          PredNames[BB->id()].push_back(PredName);
+      }
+    }
+    if (!F && Error.empty())
+      fail("no func header found");
+    if (!Error.empty()) {
+      Err = Error;
+      return nullptr;
+    }
+
+    // Pass 2: parameters and instructions.
+    BasicBlock *Current = nullptr;
+    for (LineNo = 1; LineNo <= Lines.size(); ++LineNo) {
+      const std::string &Raw = Lines[LineNo - 1];
+      std::string L = trim(Raw);
+      if (L.empty())
+        continue;
+      if (L.compare(0, 6, "func @") == 0) {
+        size_t Paren = L.find('(');
+        size_t Close = L.rfind(')');
+        if (Close == std::string::npos || Close < Paren) {
+          fail("malformed func header");
+          break;
+        }
+        std::string ParamList = L.substr(Paren + 1, Close - Paren - 1);
+        std::vector<Operand> Params;
+        int Callee = -1;
+        if (!parseOperands(ParamList, Params, Callee))
+          break;
+        for (const Operand &P : Params) {
+          if (!P.IsReg || !F->isPinned(P.Reg)) {
+            fail("parameters must be pinned registers");
+            break;
+          }
+          F->registerParam(P.Reg);
+        }
+        continue;
+      }
+      if (Raw.compare(0, 2, "  ") != 0) {
+        // Block label line.
+        size_t Colon = L.find(':');
+        if (Colon != std::string::npos) {
+          auto It = BlocksByName.find(L.substr(0, Colon));
+          if (It != BlocksByName.end())
+            Current = It->second;
+        }
+        continue;
+      }
+      if (!Current) {
+        fail("instruction before any block label");
+        break;
+      }
+      if (!parseInstruction(Current, L))
+        break;
+    }
+    if (!Error.empty()) {
+      Err = Error;
+      return nullptr;
+    }
+
+    // Wire the CFG in block-id order, then restore the annotated
+    // predecessor order (phis index into it).
+    for (auto &[Id, Names] : SuccNames) {
+      BasicBlock *BB = F->block(Id);
+      std::vector<BasicBlock *> Succs;
+      for (const std::string &Name : Names) {
+        auto It = BlocksByName.find(Name);
+        if (It == BlocksByName.end()) {
+          Err = "unknown successor block '" + Name + "'";
+          return nullptr;
+        }
+        Succs.push_back(It->second);
+      }
+      F->setEdges(BB, Succs);
+    }
+    for (auto &[Id, Names] : PredNames) {
+      if (Names.empty())
+        continue;
+      BasicBlock *BB = F->block(Id);
+      std::vector<BasicBlock *> Order;
+      for (const std::string &Name : Names) {
+        auto It = BlocksByName.find(Name);
+        if (It == BlocksByName.end()) {
+          Err = "unknown predecessor block '" + Name + "'";
+          return nullptr;
+        }
+        Order.push_back(It->second);
+      }
+      const std::vector<BasicBlock *> &Existing = BB->predecessors();
+      if (!std::is_permutation(Order.begin(), Order.end(),
+                               Existing.begin(), Existing.end())) {
+        Err = "preds annotation of '" + BB->name() +
+              "' disagrees with the CFG";
+        return nullptr;
+      }
+      F->reorderPredecessors(BB, Order);
+    }
+    return std::move(F);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Function> pdgc::parseFunction(const std::string &Text,
+                                              std::string &Error) {
+  Error.clear();
+  return Parser().run(Text, Error);
+}

@@ -1,0 +1,45 @@
+//===- ir/IRParser.h - Textual IR parser ------------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by ir/IRPrinter.h back into a
+/// Function, so that test cases and the pdgc-alloc command-line tool can
+/// work from readable fixtures. The grammar is exactly the printer's
+/// output:
+///
+///   func @name(v0(pinned:r0), v1(pinned:r1))
+///   entry:    ; preds: ...            <- predecessor comments are ignored
+///     v2 = move v0(pinned:r0)
+///     v3 = load v2, 0  ; pair-head
+///     v4 = load v2, 1
+///     condbr v3  -> loop exit
+///   ...
+///
+/// Register classes come from the `f` suffix of register tokens (`v5f` is
+/// an FPR); pinnings from the `(pinned:rK)` annotation; parameters from
+/// the func-line list. `; pair-head`, `; spill` and `; narrow`
+/// annotations restore the corresponding instruction flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_IRPARSER_H
+#define PDGC_IR_IRPARSER_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+
+namespace pdgc {
+
+/// Parses \p Text. On success returns the function; on failure returns
+/// null and sets \p Error to a message with a line number.
+std::unique_ptr<Function> parseFunction(const std::string &Text,
+                                        std::string &Error);
+
+} // namespace pdgc
+
+#endif // PDGC_IR_IRPARSER_H

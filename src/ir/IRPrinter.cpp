@@ -1,0 +1,76 @@
+//===- ir/IRPrinter.cpp - Textual IR dump ---------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+using namespace pdgc;
+
+std::string pdgc::printVReg(const Function &F, VReg R) {
+  if (!R.isValid())
+    return "<invalid>";
+  std::string S = "v" + std::to_string(R.id());
+  if (F.isPinned(R))
+    S += "(pinned:r" + std::to_string(F.pinnedReg(R)) + ")";
+  if (F.regClass(R) == RegClass::FPR)
+    S += "f";
+  return S;
+}
+
+std::string pdgc::printInstruction(const Function &F, const Instruction &I) {
+  std::string S;
+  if (I.hasDef())
+    S += printVReg(F, I.def()) + " = ";
+  S += opcodeName(I.opcode());
+  for (unsigned U = 0, E = I.numUses(); U != E; ++U)
+    S += (U == 0 ? " " : ", ") + printVReg(F, I.use(U));
+  switch (I.opcode()) {
+  case Opcode::LoadImm:
+  case Opcode::AddImm:
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::SpillLoad:
+  case Opcode::SpillStore:
+    S += (I.numUses() ? ", " : " ") + std::to_string(I.imm());
+    break;
+  case Opcode::Call:
+    S += " @f" + std::to_string(I.callee());
+    break;
+  default:
+    break;
+  }
+  if (I.isPairHead())
+    S += "  ; pair-head";
+  if (I.isSpillCode())
+    S += "  ; spill";
+  if (I.isNarrowDef())
+    S += "  ; narrow";
+  return S;
+}
+
+std::string pdgc::printFunction(const Function &F) {
+  std::string S = "func @" + F.name() + "(";
+  for (unsigned I = 0, E = F.numParams(); I != E; ++I)
+    S += (I ? ", " : "") + printVReg(F, F.params()[I]);
+  S += ")\n";
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    S += BB->name() + ":";
+    S += "    ; preds:";
+    for (const BasicBlock *P : BB->predecessors())
+      S += " " + P->name();
+    S += "\n";
+    for (const Instruction &I : BB->instructions()) {
+      S += "  " + printInstruction(F, I);
+      if (I.isTerminatorInst() && I.opcode() != Opcode::Ret) {
+        S += "  ->";
+        for (const BasicBlock *Succ : BB->successors())
+          S += " " + Succ->name();
+      }
+      S += "\n";
+    }
+  }
+  return S;
+}

@@ -1,0 +1,37 @@
+//===- ir/IRPrinter.h - Textual IR dump -------------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions and instructions as text, e.g.
+///
+///   func @sample(v0)
+///   bb0:                                  ; preds:
+///     v1 = load v0, 0
+///     br bb1
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_IRPRINTER_H
+#define PDGC_IR_IRPRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace pdgc {
+
+/// Returns "vN" for ordinary registers and "vN(pinned:rK)" for pinned ones.
+std::string printVReg(const Function &F, VReg R);
+
+/// Returns a one-line rendering of \p I.
+std::string printInstruction(const Function &F, const Instruction &I);
+
+/// Returns the full textual form of \p F.
+std::string printFunction(const Function &F);
+
+} // namespace pdgc
+
+#endif // PDGC_IR_IRPRINTER_H

@@ -1,0 +1,51 @@
+//===- ir/Opcode.cpp - Instruction opcodes --------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+const char *pdgc::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadImm:
+    return "loadimm";
+  case Opcode::Move:
+    return "move";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::AddImm:
+    return "addimm";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::Branch:
+    return "br";
+  case Opcode::CondBranch:
+    return "condbr";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::SpillLoad:
+    return "spillload";
+  case Opcode::SpillStore:
+    return "spillstore";
+  }
+  pdgc_unreachable("unknown opcode");
+}

@@ -1,0 +1,109 @@
+//===- ir/Opcode.h - Instruction opcodes ------------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opcode set of the PDGC register-transfer IR. It is intentionally
+/// small: just enough to express the live-range structure the paper's
+/// allocators consume — straight-line arithmetic, loads/stores (including
+/// paired-load candidates), copies produced by SSA phi lowering and by
+/// calling-convention glue, calls, and control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_OPCODE_H
+#define PDGC_IR_OPCODE_H
+
+namespace pdgc {
+
+/// Opcodes of the register-transfer IR.
+enum class Opcode {
+  LoadImm,    ///< def = imm
+  Move,       ///< def = use0 (register-to-register copy)
+  Load,       ///< def = memory[use0 + imm]
+  Store,      ///< memory[use1 + imm] = use0
+  Add,        ///< def = use0 + use1
+  Sub,        ///< def = use0 - use1
+  Mul,        ///< def = use0 * use1
+  AddImm,     ///< def = use0 + imm
+  CmpLT,      ///< def = (use0 < use1) ? 1 : 0, def is always GPR
+  CmpEQ,      ///< def = (use0 == use1) ? 1 : 0, def is always GPR
+  Branch,     ///< unconditional jump to successor 0
+  CondBranch, ///< if (use0 != 0) goto successor 0 else successor 1
+  Call,       ///< call external function `imm`; uses pinned argument
+              ///< registers, optionally defines a pinned return register
+  Ret,        ///< function return; optionally uses the pinned return value
+  Phi,        ///< SSA merge: def = value of use_i when entered from pred i
+  SpillLoad,  ///< def = stack_slot[imm]; inserted by the spiller
+  SpillStore, ///< stack_slot[imm] = use0; inserted by the spiller
+};
+
+/// Returns a stable mnemonic for \p Op ("add", "phi", ...).
+const char *opcodeName(Opcode Op);
+
+/// Returns true if \p Op terminates a basic block.
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Branch || Op == Opcode::CondBranch || Op == Opcode::Ret;
+}
+
+/// Returns true if \p Op may define a register.
+inline bool opcodeMayDefine(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Branch:
+  case Opcode::CondBranch:
+  case Opcode::Ret:
+  case Opcode::SpillStore:
+    return false;
+  case Opcode::LoadImm:
+  case Opcode::Move:
+  case Opcode::Load:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::AddImm:
+  case Opcode::CmpLT:
+  case Opcode::CmpEQ:
+  case Opcode::Call:
+  case Opcode::Phi:
+  case Opcode::SpillLoad:
+    return true;
+  }
+  return false;
+}
+
+/// Returns the fixed number of register uses of \p Op, or -1 when variable
+/// (Phi takes one use per predecessor, Call one per pinned argument, Ret
+/// zero or one).
+inline int opcodeNumUses(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadImm:
+  case Opcode::Branch:
+  case Opcode::SpillLoad:
+    return 0;
+  case Opcode::Move:
+  case Opcode::Load:
+  case Opcode::AddImm:
+  case Opcode::CondBranch:
+  case Opcode::SpillStore:
+    return 1;
+  case Opcode::Store:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::CmpLT:
+  case Opcode::CmpEQ:
+    return 2;
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Phi:
+    return -1;
+  }
+  return -1;
+}
+
+} // namespace pdgc
+
+#endif // PDGC_IR_OPCODE_H

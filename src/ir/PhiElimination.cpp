@@ -1,0 +1,89 @@
+//===- ir/PhiElimination.cpp - SSA lowering to copies ----------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PhiElimination.h"
+
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+bool pdgc::hasPhis(const Function &F) {
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+    for (const Instruction &I : F.block(B)->instructions())
+      if (I.isPhi())
+        return true;
+  return false;
+}
+
+PhiEliminationStats pdgc::eliminatePhis(Function &F) {
+  PhiEliminationStats Stats;
+
+  // Split critical edges into blocks that contain phis, so that the
+  // per-predecessor copies execute only on the corresponding edge.
+  // Iterate over a snapshot: splitting appends new blocks.
+  unsigned NumOriginalBlocks = F.numBlocks();
+  for (unsigned B = 0; B != NumOriginalBlocks; ++B) {
+    BasicBlock *BB = F.block(B);
+    bool HasPhi = !BB->empty() && BB->inst(0).isPhi();
+    if (!HasPhi || BB->numPredecessors() < 2)
+      continue;
+    // Copy the predecessor list: splitEdge rewrites it in place.
+    std::vector<BasicBlock *> Preds = BB->predecessors();
+    for (BasicBlock *Pred : Preds) {
+      if (Pred->numSuccessors() < 2)
+        continue;
+      F.splitEdge(Pred, BB);
+      ++Stats.EdgesSplit;
+    }
+  }
+
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    BasicBlock *BB = F.block(B);
+    if (BB->empty() || !BB->inst(0).isPhi())
+      continue;
+
+    unsigned NumPhis = 0;
+    while (NumPhis < BB->size() && BB->inst(NumPhis).isPhi())
+      ++NumPhis;
+
+    // Give each phi a shuttle register and patch the predecessors.
+    std::vector<VReg> Shuttles(NumPhis);
+    for (unsigned P = 0; P != NumPhis; ++P) {
+      const Instruction &Phi = BB->inst(P);
+      assert(Phi.numUses() == BB->numPredecessors() &&
+             "phi operands must match predecessors");
+      Shuttles[P] = F.createVReg(F.regClass(Phi.def()));
+    }
+
+    const std::vector<BasicBlock *> &Preds = BB->predecessors();
+    for (unsigned PredIdx = 0, NP = Preds.size(); PredIdx != NP; ++PredIdx) {
+      BasicBlock *Pred = Preds[PredIdx];
+      assert(Pred->hasTerminator() && "predecessor lacks a terminator");
+      // After critical-edge splitting every predecessor of a phi block has
+      // this block as its only successor, so copies before the terminator
+      // execute exactly on this edge.
+      assert((Pred->numSuccessors() == 1 || BB->numPredecessors() == 1) &&
+             "critical edge survived splitting");
+      unsigned InsertAt = Pred->size() - 1;
+      for (unsigned P = 0; P != NumPhis; ++P) {
+        VReg Src = BB->inst(P).use(PredIdx);
+        Pred->insertBefore(InsertAt++,
+                           Instruction(Opcode::Move, Shuttles[P], {Src}));
+        ++Stats.CopiesInserted;
+      }
+    }
+
+    // Replace each phi with `def = move shuttle`.
+    for (unsigned P = 0; P != NumPhis; ++P) {
+      Instruction &Phi = BB->inst(P);
+      VReg Def = Phi.def();
+      Phi = Instruction(Opcode::Move, Def, {Shuttles[P]});
+      ++Stats.PhisLowered;
+      ++Stats.CopiesInserted;
+    }
+  }
+  return Stats;
+}

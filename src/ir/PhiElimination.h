@@ -1,0 +1,47 @@
+//===- ir/PhiElimination.h - SSA lowering to copies -------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers SSA phi functions to register-to-register copies. The paper's
+/// motivating observation (Section 1) is that a naive SSA-lowered program
+/// contains many such copies, and a good register selection — coalescing in
+/// the baselines, coalesce preferences in the preference-directed allocator
+/// — must remove them. This pass is therefore the source of most of the
+/// copy-related live ranges the allocators compete on.
+///
+/// Lowering scheme (safe for the lost-copy and swap problems):
+///  * critical edges are split;
+///  * each phi `d = phi(a_1..a_n)` gets a fresh shuttle register `d'`;
+///    every predecessor `i` receives `d' = move a_i` before its terminator
+///    (the shuttles are fresh names, never phi sources, so the batch of
+///    copies at a predecessor forms a trivially serializable parallel copy);
+///  * the phi is replaced by `d = move d'` at the head of its block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_PHIELIMINATION_H
+#define PDGC_IR_PHIELIMINATION_H
+
+#include "ir/Function.h"
+
+namespace pdgc {
+
+/// Statistics returned by phi elimination.
+struct PhiEliminationStats {
+  unsigned PhisLowered = 0;
+  unsigned CopiesInserted = 0;
+  unsigned EdgesSplit = 0;
+};
+
+/// Rewrites every phi in \p F into copies. Returns statistics.
+PhiEliminationStats eliminatePhis(Function &F);
+
+/// Returns true if \p F contains any phi instruction.
+bool hasPhis(const Function &F);
+
+} // namespace pdgc
+
+#endif // PDGC_IR_PHIELIMINATION_H

@@ -1,0 +1,175 @@
+//===- ir/Verifier.cpp - IR structural checks ------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace pdgc;
+
+namespace {
+
+class VerifierImpl {
+  const Function &F;
+  std::vector<std::string> &Errors;
+
+public:
+  VerifierImpl(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  void error(const BasicBlock *BB, const std::string &Msg) {
+    Errors.push_back(F.name() + "/" + (BB ? BB->name() : "<func>") + ": " +
+                     Msg);
+  }
+
+  bool checkVReg(const BasicBlock *BB, VReg R, const char *What) {
+    if (R.isValid() && R.id() < F.numVRegs())
+      return true;
+    error(BB, std::string("invalid ") + What + " register");
+    return false;
+  }
+
+  void checkBlock(const BasicBlock *BB) {
+    if (BB->empty() || !BB->hasTerminator()) {
+      error(BB, "block lacks a terminator");
+      return;
+    }
+    bool SeenNonPhi = false;
+    for (unsigned I = 0, E = BB->size(); I != E; ++I) {
+      const Instruction &Inst = BB->inst(I);
+      if (Inst.isTerminatorInst() && I + 1 != E)
+        error(BB, "terminator in the middle of a block");
+      if (Inst.isPhi()) {
+        if (SeenNonPhi)
+          error(BB, "phi after a non-phi instruction");
+        if (Inst.numUses() != BB->numPredecessors())
+          error(BB, "phi operand count does not match predecessors");
+      } else {
+        SeenNonPhi = true;
+      }
+      checkInstruction(BB, Inst);
+    }
+
+    // Successor count must match the terminator kind.
+    unsigned WantSuccs = 0;
+    switch (BB->terminator().opcode()) {
+    case Opcode::Branch:
+      WantSuccs = 1;
+      break;
+    case Opcode::CondBranch:
+      WantSuccs = 2;
+      break;
+    case Opcode::Ret:
+      WantSuccs = 0;
+      break;
+    default:
+      pdgc_unreachable("non-terminator classified as terminator");
+    }
+    if (BB->numSuccessors() != WantSuccs)
+      error(BB, "successor count does not match terminator");
+    // Parallel edges would make a predecessor appear twice in a phi
+    // block's list, breaking phi-operand indexing and edge splitting.
+    if (BB->numSuccessors() == 2 &&
+        BB->successors()[0] == BB->successors()[1])
+      error(BB, "conditional branch with identical targets");
+
+    // Edge symmetry.
+    for (const BasicBlock *S : BB->successors()) {
+      const auto &P = S->predecessors();
+      if (std::count(P.begin(), P.end(), BB) !=
+          std::count(BB->successors().begin(), BB->successors().end(), S))
+        error(BB, "successor/predecessor lists disagree with " + S->name());
+    }
+  }
+
+  void checkInstruction(const BasicBlock *BB, const Instruction &I) {
+    if (I.hasDef())
+      checkVReg(BB, I.def(), "def");
+    for (unsigned U = 0, E = I.numUses(); U != E; ++U)
+      checkVReg(BB, I.use(U), "use");
+
+    switch (I.opcode()) {
+    case Opcode::Move:
+      if (F.regClass(I.def()) != F.regClass(I.use(0)))
+        error(BB, "move across register classes: " + printInstruction(F, I));
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+      if (F.regClass(I.use(0)) != F.regClass(I.use(1)) ||
+          F.regClass(I.def()) != F.regClass(I.use(0)))
+        error(BB, "operand class mismatch: " + printInstruction(F, I));
+      break;
+    case Opcode::CmpLT:
+    case Opcode::CmpEQ:
+      if (F.regClass(I.def()) != RegClass::GPR)
+        error(BB, "compare result must be a GPR");
+      if (F.regClass(I.use(0)) != F.regClass(I.use(1)))
+        error(BB, "compare operand class mismatch");
+      break;
+    case Opcode::CondBranch:
+      if (F.regClass(I.use(0)) != RegClass::GPR)
+        error(BB, "branch condition must be a GPR");
+      break;
+    case Opcode::Load:
+      if (F.regClass(I.use(0)) != RegClass::GPR)
+        error(BB, "load base must be a GPR");
+      break;
+    case Opcode::Store:
+      if (F.regClass(I.use(1)) != RegClass::GPR)
+        error(BB, "store base must be a GPR");
+      break;
+    case Opcode::Call:
+      for (unsigned U = 0, E = I.numUses(); U != E; ++U)
+        if (!F.isPinned(I.use(U)))
+          error(BB, "call argument is not pinned");
+      if (I.hasDef() && !F.isPinned(I.def()))
+        error(BB, "call return is not pinned");
+      break;
+    case Opcode::Ret:
+      if (I.numUses() > 1)
+        error(BB, "ret takes at most one value");
+      if (I.numUses() == 1 && !F.isPinned(I.use(0)))
+        error(BB, "ret value is not pinned");
+      break;
+    default:
+      break;
+    }
+  }
+
+  bool run() {
+    if (F.numBlocks() == 0) {
+      error(nullptr, "function has no blocks");
+      return false;
+    }
+    size_t Before = Errors.size();
+    for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+      checkBlock(F.block(B));
+    if (!F.entry()->predecessors().empty())
+      error(F.entry(), "entry block must not have predecessors");
+    for (VReg P : F.params())
+      if (!F.isPinned(P))
+        error(nullptr, "parameter is not pinned");
+    return Errors.size() == Before;
+  }
+};
+
+} // namespace
+
+bool pdgc::verifyFunction(const Function &F,
+                          std::vector<std::string> &Errors) {
+  return VerifierImpl(F, Errors).run();
+}
+
+void pdgc::verifyFunctionOrAbort(const Function &F) {
+  std::vector<std::string> Errors;
+  if (verifyFunction(F, Errors))
+    return;
+  pdgc_check(false, Errors.front().c_str());
+}

@@ -1,0 +1,22 @@
+//===- machine/TargetDesc.cpp - Machine register model ---------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/TargetDesc.h"
+
+using namespace pdgc;
+
+TargetDesc pdgc::makeTarget(unsigned RegsPerClass, PairingRule Pairing) {
+  unsigned Volatile = RegsPerClass / 2;
+  unsigned Params = Volatile < 8 ? Volatile : 8;
+  return TargetDesc("target" + std::to_string(RegsPerClass), RegsPerClass,
+                    RegsPerClass, Volatile, Params, Pairing);
+}
+
+TargetDesc pdgc::makeHighPressureTarget() { return makeTarget(16); }
+
+TargetDesc pdgc::makeMiddlePressureTarget() { return makeTarget(24); }
+
+TargetDesc pdgc::makeLowPressureTarget() { return makeTarget(32); }

@@ -1,0 +1,28 @@
+//===- regalloc/AllocatorBase.cpp - Allocator interface --------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/AllocatorBase.h"
+
+#include <numeric>
+
+using namespace pdgc;
+
+AllocContext::AllocContext(Function &F, const TargetDesc &Target,
+                           const CostParams &Params)
+    : F(F), Target(Target), LV(Liveness::compute(F)),
+      LI(LoopInfo::compute(F, Params.LoopFreqFactor)),
+      Costs(LiveRangeCosts::compute(F, LV, LI, Params)),
+      IG(InterferenceGraph::build(F, LV, LI)) {}
+
+RoundResult RoundResult::make(unsigned NumVRegs) {
+  RoundResult R;
+  R.Color.assign(NumVRegs, -1);
+  R.CoalesceMap.resize(NumVRegs);
+  std::iota(R.CoalesceMap.begin(), R.CoalesceMap.end(), 0u);
+  return R;
+}
+
+AllocatorBase::~AllocatorBase() = default;

@@ -1,0 +1,81 @@
+//===- regalloc/AllocatorBase.h - Allocator interface -----------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface every register allocator in this repository implements,
+/// and the per-round context the shared driver hands it: the function, the
+/// target description, and freshly computed analyses (liveness, loops,
+/// Appendix costs, interference graph).
+///
+/// The driver (Driver.h) owns the classic Chaitin iteration: analyze, run
+/// one allocation round, insert spill code for any spilled live ranges, and
+/// repeat until a round colors everything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_ALLOCATORBASE_H
+#define PDGC_REGALLOC_ALLOCATORBASE_H
+
+#include "analysis/CostModel.h"
+#include "analysis/InterferenceGraph.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+#include "machine/TargetDesc.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Everything an allocation round may consult or mutate. Rebuilt by the
+/// driver after each spill round.
+struct AllocContext {
+  Function &F;
+  const TargetDesc &Target;
+  Liveness LV;
+  LoopInfo LI;
+  LiveRangeCosts Costs;
+  InterferenceGraph IG;
+
+  AllocContext(Function &F, const TargetDesc &Target,
+               const CostParams &Params);
+};
+
+/// The outcome of one allocation round.
+struct RoundResult {
+  /// Physical register per virtual-register id, or -1. Only coalescing
+  /// representatives need entries; the driver propagates colors to merged
+  /// members through \ref CoalesceMap.
+  std::vector<int> Color;
+  /// Virtual registers the round decided to spill (representatives).
+  std::vector<unsigned> Spilled;
+  /// Union-find style map: virtual register id -> id whose color it shares
+  /// (identity when the round did no coalescing).
+  std::vector<unsigned> CoalesceMap;
+
+  /// Creates an empty result for \p NumVRegs registers.
+  static RoundResult make(unsigned NumVRegs);
+
+  bool anySpill() const { return !Spilled.empty(); }
+};
+
+/// Base class of all register allocators.
+class AllocatorBase {
+public:
+  virtual ~AllocatorBase();
+
+  /// Short stable identifier used in benchmark tables ("chaitin",
+  /// "optimistic", "pdgc", ...).
+  virtual const char *name() const = 0;
+
+  /// Runs one build/color round over \p Ctx. May mutate Ctx.IG (coalescing)
+  /// but not the function; the driver applies spills.
+  virtual RoundResult allocateRound(AllocContext &Ctx) = 0;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_ALLOCATORBASE_H

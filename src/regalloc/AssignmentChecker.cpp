@@ -1,0 +1,81 @@
+//===- regalloc/AssignmentChecker.cpp - Allocation validity ----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/AssignmentChecker.h"
+
+#include "analysis/Liveness.h"
+#include "ir/IRPrinter.h"
+
+using namespace pdgc;
+
+std::vector<std::string>
+pdgc::checkAssignment(const Function &F, const TargetDesc &Target,
+                      const std::vector<int> &Assignment) {
+  std::vector<std::string> Errors;
+  auto Error = [&](const std::string &Msg) { Errors.push_back(Msg); };
+
+  auto ColorOf = [&](VReg V) -> int {
+    if (V.id() >= Assignment.size())
+      return -1;
+    return Assignment[V.id()];
+  };
+
+  // Every register that appears in the code must be colored consistently
+  // with its class and pinning.
+  auto CheckOperand = [&](VReg V) {
+    int C = ColorOf(V);
+    if (C < 0) {
+      Error("register v" + std::to_string(V.id()) + " has no color");
+      return;
+    }
+    if (static_cast<unsigned>(C) >= Target.numRegs()) {
+      Error("color out of range for v" + std::to_string(V.id()));
+      return;
+    }
+    if (Target.regClass(static_cast<PhysReg>(C)) != F.regClass(V))
+      Error("class mismatch for v" + std::to_string(V.id()));
+    if (F.isPinned(V) && C != F.pinnedReg(V))
+      Error("pinned register v" + std::to_string(V.id()) +
+            " not assigned its pinned color");
+  };
+
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    for (const Instruction &I : F.block(B)->instructions()) {
+      if (I.hasDef())
+        CheckOperand(I.def());
+      for (unsigned U = 0, UE = I.numUses(); U != UE; ++U)
+        CheckOperand(I.use(U));
+    }
+  }
+  if (!Errors.empty())
+    return Errors;
+
+  // No two simultaneously live registers may share a color. The same
+  // walk the interference builder uses, including Chaitin's copy rule: at
+  // `d = move s`, d sharing s's register is a no-op copy, not a conflict.
+  Liveness LV = Liveness::compute(F);
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    LV.forEachInstReverse(BB, [&](unsigned I, const BitVector &LiveAfter) {
+      const Instruction &Inst = BB->inst(I);
+      if (!Inst.hasDef())
+        return;
+      VReg D = Inst.def();
+      for (unsigned L : LiveAfter.setBits()) {
+        if (L == D.id())
+          continue;
+        if (Inst.isCopy() && L == Inst.use(0).id())
+          continue;
+        if (ColorOf(D) == ColorOf(VReg(L)))
+          Error("clobber in " + BB->name() + ": " +
+                printInstruction(F, Inst) + " overwrites live v" +
+                std::to_string(L) + " (both in " +
+                Target.regName(static_cast<PhysReg>(ColorOf(D))) + ")");
+      }
+    });
+  }
+  return Errors;
+}

@@ -1,0 +1,37 @@
+//===- regalloc/AssignmentChecker.h - Allocation validity -------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent validity checking of a finished register assignment. This
+/// recomputes liveness from scratch and verifies that no two simultaneously
+/// live virtual registers share a physical register, that register classes
+/// match, and that pinned registers received their pinned color. Every
+/// allocator's output is run through this in the test suite (and by the
+/// driver when verification is enabled), so an allocator bug cannot
+/// silently produce wrong code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_ASSIGNMENTCHECKER_H
+#define PDGC_REGALLOC_ASSIGNMENTCHECKER_H
+
+#include "ir/Function.h"
+#include "machine/TargetDesc.h"
+
+#include <string>
+#include <vector>
+
+namespace pdgc {
+
+/// Checks \p Assignment (physical register per virtual-register id) for
+/// \p F. Returns human-readable error strings; empty means valid.
+std::vector<std::string> checkAssignment(const Function &F,
+                                         const TargetDesc &Target,
+                                         const std::vector<int> &Assignment);
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_ASSIGNMENTCHECKER_H

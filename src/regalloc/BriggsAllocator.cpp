@@ -1,0 +1,78 @@
+//===- regalloc/BriggsAllocator.cpp - Briggs optimistic coloring -----------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/BriggsAllocator.h"
+
+#include "regalloc/CoalescedCosts.h"
+#include "regalloc/Coalescer.h"
+#include "regalloc/Rewriter.h"
+#include "regalloc/SelectState.h"
+#include "regalloc/Simplifier.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+RoundResult BriggsAllocator::allocateRound(AllocContext &Ctx) {
+  const unsigned N = Ctx.F.numVRegs();
+  RoundResult RR = RoundResult::make(N);
+
+  UnionFind UF(N);
+  aggressiveCoalesce(Ctx.IG, UF);
+  CoalescedCosts CC(Ctx.Costs, UF);
+
+  SimplifyResult SR =
+      simplifyGraph(Ctx.IG, Ctx.Target,
+                    [&](unsigned Node) { return CC.spillMetric(Node); },
+                    /*Optimistic=*/true);
+
+  // Select with optimistic retries: uncolorable nodes become real spills.
+  SelectState SS(Ctx.IG, Ctx.Target);
+  std::vector<unsigned> ActualSpills;
+  for (unsigned I = SR.Stack.size(); I-- > 0;) {
+    unsigned Node = SR.Stack[I];
+    BitVector Avail = SS.availableFor(Node);
+    int Color = pickAvailable(Avail, Ctx.Target, NonVolatileFirst);
+    if (Color < 0) {
+      assert(!CC.isInfinite(Node) && "unspillable node found no color");
+      ActualSpills.push_back(Node);
+      continue;
+    }
+    if (Biased) {
+      // Prefer a color already held by a copy-related partner so that the
+      // copy is eliminated without having merged the nodes.
+      for (const MoveRecord &MR : Ctx.IG.moves()) {
+        unsigned A = UF.find(MR.Dst), B = UF.find(MR.Src);
+        unsigned Partner;
+        if (A == Node)
+          Partner = B;
+        else if (B == Node)
+          Partner = A;
+        else
+          continue;
+        int PC = SS.color(Partner);
+        if (PC >= 0 && Avail.test(static_cast<unsigned>(PC))) {
+          Color = PC;
+          break;
+        }
+      }
+    }
+    SS.setColor(Node, Color);
+  }
+
+  if (!ActualSpills.empty()) {
+    std::vector<unsigned> RepOf(N);
+    for (unsigned V = 0; V != N; ++V)
+      RepOf[V] = UF.find(V);
+    rewriteCoalesced(Ctx.F, RepOf);
+    RR.Spilled = std::move(ActualSpills);
+    return RR;
+  }
+
+  RR.Color = SS.colors();
+  for (unsigned V = 0; V != N; ++V)
+    RR.CoalesceMap[V] = UF.find(V);
+  return RR;
+}

@@ -1,0 +1,45 @@
+//===- regalloc/BriggsAllocator.h - Briggs optimistic coloring --*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Briggs-style optimistic coloring (Figure 1(b) of the paper): aggressive
+/// coalescing as in Chaitin, but a blocked simplification pushes the spill
+/// candidate optimistically; only the select phase, on finding no free
+/// color, turns it into a real spill. This is the paper's
+/// "Briggs + aggressive" comparison point in Figures 9–11.
+///
+/// An optional biased-coloring mode makes select prefer, among the
+/// available colors, one already given to a copy-related partner
+/// (Briggs' deferred coalescing; Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_BRIGGSALLOCATOR_H
+#define PDGC_REGALLOC_BRIGGSALLOCATOR_H
+
+#include "regalloc/AllocatorBase.h"
+
+namespace pdgc {
+
+/// Optimistic coloring with aggressive coalescing.
+class BriggsAllocator : public AllocatorBase {
+  bool Biased;
+  bool NonVolatileFirst;
+
+public:
+  explicit BriggsAllocator(bool BiasedColoring = false,
+                           bool NonVolatileFirst = false)
+      : Biased(BiasedColoring), NonVolatileFirst(NonVolatileFirst) {}
+
+  const char *name() const override {
+    return Biased ? "briggs+biased" : "briggs+aggressive";
+  }
+  RoundResult allocateRound(AllocContext &Ctx) override;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_BRIGGSALLOCATOR_H

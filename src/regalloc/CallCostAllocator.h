@@ -1,0 +1,46 @@
+//===- regalloc/CallCostAllocator.h - Call-cost directed --------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Lueh–Gross-style call-cost directed allocator (Figure 3 of the paper;
+/// the "aggressive+volatility" comparison point of Figure 11). On top of
+/// Chaitin-style coloring with aggressive coalescing it adds:
+///
+///  * benefit-driven simplification: among removable low-degree nodes the
+///    lowest-benefit node is pushed first, so higher-benefit nodes are
+///    popped — and choose registers — earlier;
+///  * the preference decision: for every call site, only the most
+///    beneficial R live-across classes (R = number of non-volatile
+///    registers) keep their non-volatile preference, the rest are annotated
+///    to prefer volatile registers;
+///  * a select phase that weighs Mem_Cost against volatile/non-volatile
+///    residence costs: it picks a register from the preferred partition and
+///    actively spills when memory is the cheapest location.
+///
+/// Its register selections are volatility-aware but register-selection
+/// *independent* (decided before select begins), which is exactly the
+/// limitation Section 4 identifies and the preference-directed allocator
+/// removes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_CALLCOSTALLOCATOR_H
+#define PDGC_REGALLOC_CALLCOSTALLOCATOR_H
+
+#include "regalloc/AllocatorBase.h"
+
+namespace pdgc {
+
+/// Call-cost directed coloring ("aggressive+volatility").
+class CallCostAllocator : public AllocatorBase {
+public:
+  const char *name() const override { return "aggressive+volatility"; }
+  RoundResult allocateRound(AllocContext &Ctx) override;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_CALLCOSTALLOCATOR_H

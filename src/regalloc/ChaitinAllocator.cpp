@@ -1,0 +1,56 @@
+//===- regalloc/ChaitinAllocator.cpp - Chaitin's allocator -----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/ChaitinAllocator.h"
+
+#include "regalloc/CoalescedCosts.h"
+#include "regalloc/Coalescer.h"
+#include "regalloc/Rewriter.h"
+#include "regalloc/SelectState.h"
+#include "regalloc/Simplifier.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+RoundResult ChaitinAllocator::allocateRound(AllocContext &Ctx) {
+  const unsigned N = Ctx.F.numVRegs();
+  RoundResult RR = RoundResult::make(N);
+
+  UnionFind UF(N);
+  aggressiveCoalesce(Ctx.IG, UF);
+  CoalescedCosts CC(Ctx.Costs, UF);
+
+  SimplifyResult SR =
+      simplifyGraph(Ctx.IG, Ctx.Target,
+                    [&](unsigned Node) { return CC.spillMetric(Node); },
+                    /*Optimistic=*/false);
+
+  if (!SR.DefiniteSpills.empty()) {
+    // Reflect the coalescing in the code (Chaitin restarts from `renumber`
+    // with the shrunken graph), then report the spills.
+    std::vector<unsigned> RepOf(N);
+    for (unsigned V = 0; V != N; ++V)
+      RepOf[V] = UF.find(V);
+    rewriteCoalesced(Ctx.F, RepOf);
+    RR.Spilled = SR.DefiniteSpills;
+    return RR;
+  }
+
+  // Select: pop nodes and give each a color distinct from its neighbors.
+  // Every stacked node was low-degree at removal, so a color exists.
+  SelectState SS(Ctx.IG, Ctx.Target);
+  for (unsigned I = SR.Stack.size(); I-- > 0;) {
+    unsigned Node = SR.Stack[I];
+    int Color = SS.firstAvailable(Node);
+    assert(Color >= 0 && "Chaitin stacked node must be colorable");
+    SS.setColor(Node, Color);
+  }
+
+  RR.Color = SS.colors();
+  for (unsigned V = 0; V != N; ++V)
+    RR.CoalesceMap[V] = UF.find(V);
+  return RR;
+}

@@ -1,0 +1,34 @@
+//===- regalloc/ChaitinAllocator.h - Chaitin's allocator --------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaitin's original allocator (Figure 1(a) of the paper): aggressive
+/// coalescing iteratively reflected in the interference graph, pessimistic
+/// simplification (a blocked graph spills the cheapest candidate outright
+/// and the whole build phase restarts), and a select phase that assigns
+/// each popped node a color distinct from its neighbors. This is the *base*
+/// algorithm of Figure 9: eliminated-move and spill ratios of every other
+/// allocator are reported relative to it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_CHAITINALLOCATOR_H
+#define PDGC_REGALLOC_CHAITINALLOCATOR_H
+
+#include "regalloc/AllocatorBase.h"
+
+namespace pdgc {
+
+/// Chaitin-style coloring with aggressive coalescing.
+class ChaitinAllocator : public AllocatorBase {
+public:
+  const char *name() const override { return "chaitin"; }
+  RoundResult allocateRound(AllocContext &Ctx) override;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_CHAITINALLOCATOR_H

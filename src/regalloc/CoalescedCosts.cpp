@@ -1,0 +1,28 @@
+//===- regalloc/CoalescedCosts.cpp - Costs of merged classes ---------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/CoalescedCosts.h"
+
+using namespace pdgc;
+
+CoalescedCosts::CoalescedCosts(const LiveRangeCosts &Costs,
+                               const UnionFind &UF)
+    : Params(&Costs.params()) {
+  const unsigned N = UF.size();
+  Spill.assign(N, 0.0);
+  Op.assign(N, 0.0);
+  CallCross.assign(N, 0.0);
+  Infinite.assign(N, 0);
+  for (unsigned V = 0; V != N; ++V) {
+    unsigned Rep = UF.find(V);
+    VReg R(V);
+    Spill[Rep] += Costs.spillCost(R);
+    Op[Rep] += Costs.opCost(R);
+    CallCross[Rep] += Costs.callCrossWeight(R);
+    if (Costs.isInfinite(R))
+      Infinite[Rep] = 1;
+  }
+}

@@ -1,0 +1,71 @@
+//===- regalloc/CoalescedCosts.h - Costs of merged classes ------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When nodes are coalesced, the merged node represents the union of the
+/// member live ranges: its spill cost, operation cost and call-crossing
+/// weight are the sums over members, and it is unspillable if any member
+/// is. This helper aggregates the per-register Appendix costs up to
+/// union-find representatives so simplification and benefit queries see
+/// class-level numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_COALESCEDCOSTS_H
+#define PDGC_REGALLOC_COALESCEDCOSTS_H
+
+#include "analysis/CostModel.h"
+#include "support/UnionFind.h"
+
+#include <limits>
+#include <vector>
+
+namespace pdgc {
+
+/// Appendix cost aggregates per coalescing class.
+class CoalescedCosts {
+  std::vector<double> Spill;
+  std::vector<double> Op;
+  std::vector<double> CallCross;
+  std::vector<char> Infinite;
+  const CostParams *Params = nullptr;
+
+public:
+  /// Aggregates \p Costs over the classes of \p UF (representatives index
+  /// the result; non-representative entries are unspecified).
+  CoalescedCosts(const LiveRangeCosts &Costs, const UnionFind &UF);
+
+  double spillCost(unsigned Rep) const { return Spill[Rep]; }
+  double opCost(unsigned Rep) const { return Op[Rep]; }
+  double memCost(unsigned Rep) const { return Spill[Rep] + Op[Rep]; }
+  double callCrossWeight(unsigned Rep) const { return CallCross[Rep]; }
+  bool crossesCall(unsigned Rep) const { return CallCross[Rep] > 0.0; }
+
+  double callCost(unsigned Rep, bool VolatileReg) const {
+    if (VolatileReg)
+      return Params->SaveRestoreCost * CallCross[Rep];
+    return Params->CalleeSaveCost;
+  }
+
+  /// Mem_Cost - Ideal_Cost with no instruction savings: the benefit of
+  /// keeping the class in a register of the given volatility vs memory.
+  double registerBenefit(unsigned Rep, bool VolatileReg) const {
+    return memCost(Rep) - (callCost(Rep, VolatileReg) + Op[Rep]);
+  }
+
+  bool isInfinite(unsigned Rep) const { return Infinite[Rep] != 0; }
+
+  /// Spill-candidate ranking metric: +inf for unspillable classes.
+  double spillMetric(unsigned Rep) const {
+    if (Infinite[Rep])
+      return std::numeric_limits<double>::infinity();
+    return Spill[Rep];
+  }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_COALESCEDCOSTS_H

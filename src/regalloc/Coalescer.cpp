@@ -1,0 +1,120 @@
+//===- regalloc/Coalescer.cpp - Graph coalescing ---------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Coalescer.h"
+
+#include "support/BitVector.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+bool pdgc::canMergePair(const InterferenceGraph &IG, unsigned A, unsigned B) {
+  if (A == B || IG.isMerged(A) || IG.isMerged(B))
+    return false;
+  if (IG.regClass(A) != IG.regClass(B))
+    return false;
+  if (IG.interferes(A, B))
+    return false;
+  if (IG.isPrecolored(A) && IG.isPrecolored(B))
+    return false;
+  // Merging into a precolored node fixes the color now; reject it when the
+  // ordinary node already conflicts with another node of that color.
+  if (IG.isPrecolored(A) && IG.conflictsWithColor(B, IG.precolor(A)))
+    return false;
+  if (IG.isPrecolored(B) && IG.conflictsWithColor(A, IG.precolor(B)))
+    return false;
+  return true;
+}
+
+unsigned pdgc::mergePair(InterferenceGraph &IG, UnionFind &UF, unsigned A,
+                         unsigned B) {
+  assert(canMergePair(IG, A, B) && "illegal merge");
+  if (IG.isPrecolored(B))
+    std::swap(A, B);
+  IG.merge(A, B);
+  UF.unionSets(A, B);
+  return A;
+}
+
+bool pdgc::briggsTestOk(const InterferenceGraph &IG, const TargetDesc &Target,
+                        unsigned A, unsigned B) {
+  const unsigned K = Target.numRegs(IG.regClass(A));
+  // Count distinct neighbors of the would-be merged node whose degree in
+  // the merged graph would be >= K. A neighbor adjacent to both A and B
+  // loses one edge in the merge, hence the Combined adjustment.
+  unsigned Significant = 0;
+  auto CountFrom = [&](unsigned N, unsigned Other) {
+    for (unsigned M : IG.neighbors(N)) {
+      if (M == Other)
+        continue;
+      bool Both = IG.interferes(M, A) && IG.interferes(M, B);
+      if (Both && N == B)
+        continue; // Counted once, while scanning A's neighbors.
+      unsigned Deg = IG.degree(M);
+      if (Both)
+        --Deg; // The merge fuses M's two edges into one.
+      unsigned MK = Target.numRegs(IG.regClass(M));
+      if (IG.isPrecolored(M) || Deg >= MK)
+        ++Significant;
+    }
+  };
+  CountFrom(A, B);
+  CountFrom(B, A);
+  return Significant < K;
+}
+
+bool pdgc::georgeTestOk(const InterferenceGraph &IG, const TargetDesc &Target,
+                        unsigned A, unsigned B) {
+  // Every neighbor T of B must either already interfere with A, or be of
+  // insignificant degree (then T can always be simplified first).
+  const unsigned K = Target.numRegs(IG.regClass(A));
+  for (unsigned T : IG.neighbors(B)) {
+    if (T == A || IG.interferes(T, A))
+      continue;
+    if (!IG.isPrecolored(T) && IG.degree(T) < K)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+/// Runs \p TryMerge over every copy until a pass performs no merge.
+/// Returns the total number of merges.
+template <typename PredT>
+static unsigned coalesceLoop(InterferenceGraph &IG, UnionFind &UF,
+                             PredT ShouldMerge) {
+  unsigned Total = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const MoveRecord &MR : IG.moves()) {
+      unsigned A = UF.find(MR.Dst);
+      unsigned B = UF.find(MR.Src);
+      if (!canMergePair(IG, A, B))
+        continue;
+      if (!ShouldMerge(A, B))
+        continue;
+      mergePair(IG, UF, A, B);
+      ++Total;
+      Changed = true;
+    }
+  }
+  return Total;
+}
+
+unsigned pdgc::aggressiveCoalesce(InterferenceGraph &IG, UnionFind &UF) {
+  return coalesceLoop(IG, UF, [](unsigned, unsigned) { return true; });
+}
+
+unsigned pdgc::conservativeCoalesce(InterferenceGraph &IG, UnionFind &UF,
+                                    const TargetDesc &Target) {
+  return coalesceLoop(IG, UF, [&](unsigned A, unsigned B) {
+    if (IG.isPrecolored(A) || IG.isPrecolored(B))
+      return georgeTestOk(IG, Target, IG.isPrecolored(A) ? A : B,
+                          IG.isPrecolored(A) ? B : A);
+    return briggsTestOk(IG, Target, A, B);
+  });
+}

@@ -1,0 +1,62 @@
+//===- regalloc/Coalescer.h - Graph coalescing ------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coalescing machinery shared by the baseline allocators (Section 3.2 of
+/// the paper): aggressive coalescing (Chaitin), the Briggs and George
+/// conservative tests, and a conservative coalescing pass. Coalescing
+/// merges copy-related, non-interfering nodes in the interference graph;
+/// membership is tracked in a union-find whose representatives are the
+/// surviving graph nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_COALESCER_H
+#define PDGC_REGALLOC_COALESCER_H
+
+#include "analysis/InterferenceGraph.h"
+#include "machine/TargetDesc.h"
+#include "support/UnionFind.h"
+
+namespace pdgc {
+
+/// Returns true when nodes \p A and \p B (representatives) may legally be
+/// merged: distinct, same register class, non-interfering, at most one
+/// precolored, and — when one is precolored — the other must not interfere
+/// with any node carrying that color.
+bool canMergePair(const InterferenceGraph &IG, unsigned A, unsigned B);
+
+/// Merges \p A and \p B, returning the surviving representative (the
+/// precolored one if any, otherwise \p A). Updates \p IG and \p UF.
+unsigned mergePair(InterferenceGraph &IG, UnionFind &UF, unsigned A,
+                   unsigned B);
+
+/// Briggs conservative criterion: the merged node has fewer than K
+/// neighbors of significant degree, so coalescing cannot turn a K-colorable
+/// graph uncolorable.
+bool briggsTestOk(const InterferenceGraph &IG, const TargetDesc &Target,
+                  unsigned A, unsigned B);
+
+/// George criterion (used when \p A is precolored or of very high degree):
+/// every neighbor of \p B already interferes with \p A or has insignificant
+/// degree.
+bool georgeTestOk(const InterferenceGraph &IG, const TargetDesc &Target,
+                  unsigned A, unsigned B);
+
+/// Chaitin-style aggressive coalescing: merges every legally mergeable
+/// copy-related pair, iterating until no more merges apply. Returns the
+/// number of merges performed.
+unsigned aggressiveCoalesce(InterferenceGraph &IG, UnionFind &UF);
+
+/// Briggs-style conservative coalescing: merges copy-related pairs only
+/// when the Briggs test (or the George test, for precolored pairs) passes.
+/// Returns the number of merges performed.
+unsigned conservativeCoalesce(InterferenceGraph &IG, UnionFind &UF,
+                              const TargetDesc &Target);
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_COALESCER_H

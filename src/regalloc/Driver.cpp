@@ -1,0 +1,66 @@
+//===- regalloc/Driver.cpp - Build-color-spill iteration -------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Driver.h"
+
+#include "ir/PhiElimination.h"
+#include "regalloc/AssignmentChecker.h"
+#include "regalloc/Rewriter.h"
+#include "regalloc/SpillCodeInserter.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+AllocationOutcome pdgc::allocate(Function &F, const TargetDesc &Target,
+                                 AllocatorBase &Allocator,
+                                 const DriverOptions &Options) {
+  AllocationOutcome Out;
+  if (hasPhis(F))
+    eliminatePhis(F);
+  Out.OriginalMoves = countMoves(F);
+
+  unsigned NextSlot = 0;
+  for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
+    AllocContext Ctx(F, Target, Options.Costs);
+    RoundResult RR = Allocator.allocateRound(Ctx);
+    ++Out.Rounds;
+
+    assert(RR.Color.size() == F.numVRegs() && "result size mismatch");
+    assert(RR.CoalesceMap.size() == F.numVRegs() && "map size mismatch");
+
+    if (RR.anySpill()) {
+      Out.SpilledRanges += static_cast<unsigned>(RR.Spilled.size());
+      insertSpillCode(F, RR.Spilled, NextSlot, Options.Rematerialize,
+                      Options.Granularity);
+      continue;
+    }
+
+    // Success: expand colors through the coalesce map.
+    Out.Assignment.assign(F.numVRegs(), -1);
+    for (unsigned V = 0, E = F.numVRegs(); V != E; ++V) {
+      unsigned Rep = RR.CoalesceMap[V];
+      assert(Rep < RR.Color.size() && "bad coalesce representative");
+      Out.Assignment[V] = RR.Color[Rep];
+    }
+
+    Out.StackSlots = NextSlot;
+    Out.SpillInstructions = countSpillInstructions(F);
+    Out.Moves = moveStats(F, Out.Assignment, Ctx.LI);
+
+    if (Options.VerifyAssignment) {
+      std::vector<std::string> Errors =
+          checkAssignment(F, Target, Out.Assignment);
+      if (!Errors.empty())
+        pdgc_check(false, (std::string(Allocator.name()) +
+                           " produced an invalid allocation: " +
+                           Errors.front())
+                              .c_str());
+    }
+    return Out;
+  }
+  pdgc_check(false, "register allocation did not converge");
+  return Out;
+}

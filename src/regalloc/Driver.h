@@ -1,0 +1,75 @@
+//===- regalloc/Driver.h - Build-color-spill iteration ----------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared allocation driver. It lowers phis (once), then iterates the
+/// Chaitin cycle: rebuild the analyses, run the allocator's round, and —
+/// when live ranges were spilled — insert spill code and repeat, until a
+/// round colors everything. It finally expands coalesced colors to every
+/// member and gathers the quality metrics the benchmarks report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_DRIVER_H
+#define PDGC_REGALLOC_DRIVER_H
+
+#include "regalloc/AllocatorBase.h"
+#include "regalloc/Metrics.h"
+#include "regalloc/SpillCodeInserter.h"
+
+namespace pdgc {
+
+/// Final result of running an allocator to completion over a function.
+struct AllocationOutcome {
+  /// Physical register per virtual-register id of the *final* function
+  /// (which gained spill temporaries); -1 only for registers that no
+  /// longer appear in the code.
+  std::vector<int> Assignment;
+  unsigned Rounds = 0;          ///< Allocation rounds (1 = no spilling).
+  unsigned SpilledRanges = 0;   ///< Live ranges sent to memory, cumulative.
+  unsigned SpillInstructions = 0; ///< Spill loads/stores in the final code.
+  MoveStats Moves;              ///< Copy elimination statistics.
+  unsigned StackSlots = 0;      ///< Spill slots allocated.
+  /// Moves present before the first round (after phi lowering). Moves the
+  /// rounds deleted while reflecting coalescing count as eliminated:
+  ///   eliminated = OriginalMoves - (Moves.Total - Moves.Eliminated).
+  unsigned OriginalMoves = 0;
+
+  /// Moves that survive into emitted code (operands in distinct registers).
+  unsigned remainingMoves() const { return Moves.Total - Moves.Eliminated; }
+  /// Moves removed by coalescing/biased selection relative to the input.
+  unsigned eliminatedMoves() const {
+    return OriginalMoves - remainingMoves();
+  }
+};
+
+/// Options controlling the driver.
+struct DriverOptions {
+  CostParams Costs;
+  /// Run the independent assignment checker on the final allocation and
+  /// abort on any error. Cheap relative to allocation; on by default.
+  bool VerifyAssignment = true;
+  /// Safety bound on spill rounds.
+  unsigned MaxRounds = 64;
+  /// Rematerialize spilled constants instead of storing/reloading them
+  /// (Briggs et al.; off by default to match the paper's framework).
+  bool Rematerialize = false;
+  /// Fragment granularity of spilled ranges. Per-use (the default)
+  /// matches the paper's framework; per-block trades fewer spill
+  /// instructions for longer — still unspillable — fragments, so use it
+  /// only when registers are not desperately scarce.
+  SpillGranularity Granularity = SpillGranularity::PerUse;
+};
+
+/// Allocates registers for \p F (modified in place: phis lowered, spill
+/// code inserted) with \p Allocator on \p Target.
+AllocationOutcome allocate(Function &F, const TargetDesc &Target,
+                           AllocatorBase &Allocator,
+                           const DriverOptions &Options = DriverOptions());
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_DRIVER_H

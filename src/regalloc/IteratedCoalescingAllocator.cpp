@@ -1,0 +1,270 @@
+//===- regalloc/IteratedCoalescingAllocator.cpp - George-Appel -------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/IteratedCoalescingAllocator.h"
+
+#include "regalloc/CoalescedCosts.h"
+#include "regalloc/Coalescer.h"
+#include "regalloc/SelectState.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace pdgc;
+
+namespace {
+
+/// The interleaved simplify/coalesce/freeze/spill state machine. Unlike
+/// the one-shot Simplifier, degrees here must reflect both node removal
+/// and ongoing merges, so the reduced graph is tracked locally.
+class IteratedState {
+public:
+  AllocContext &Ctx;
+  InterferenceGraph &IG;
+  UnionFind UF;
+  std::vector<char> Removed;  ///< Simplified/stacked or merged away.
+  std::vector<unsigned> Stack;
+  std::vector<char> Optimistic;
+
+  /// Copy candidates; entries are dropped once dead (same class),
+  /// constrained (interfering), frozen, or an endpoint left the graph.
+  struct MoveEntry {
+    unsigned Dst, Src;
+    bool Dropped = false;
+  };
+  std::vector<MoveEntry> MoveList;
+  std::vector<char> FrozenNode; ///< Node gave up on coalescing.
+  /// Indices into MoveList per current representative (spliced on merge),
+  /// so move-relatedness checks touch only a node's own moves.
+  std::vector<std::vector<unsigned>> NodeMoves;
+
+  explicit IteratedState(AllocContext &Ctx)
+      : Ctx(Ctx), IG(Ctx.IG), UF(IG.numNodes()),
+        Removed(IG.numNodes(), 0), Optimistic(IG.numNodes(), 0),
+        FrozenNode(IG.numNodes(), 0), NodeMoves(IG.numNodes()) {
+    for (const MoveRecord &MR : IG.moves()) {
+      unsigned Idx = static_cast<unsigned>(MoveList.size());
+      MoveList.push_back({MR.Dst, MR.Src, false});
+      NodeMoves[MR.Dst].push_back(Idx);
+      if (MR.Src != MR.Dst)
+        NodeMoves[MR.Src].push_back(Idx);
+    }
+    for (unsigned N = 0, E = IG.numNodes(); N != E; ++N)
+      if (IG.isMerged(N))
+        Removed[N] = 1;
+  }
+
+  unsigned k(unsigned N) const {
+    return Ctx.Target.numRegs(IG.regClass(N));
+  }
+
+  bool isActive(unsigned N) const {
+    return !Removed[N] && !IG.isPrecolored(N) && !IG.isMerged(N);
+  }
+
+  unsigned degreeOf(unsigned N) const {
+    unsigned D = 0;
+    for (unsigned M : IG.neighbors(N))
+      if (!Removed[M])
+        ++D;
+    return D;
+  }
+
+  /// A move is live when both endpoints are distinct representatives still
+  /// in the graph, non-interfering, and neither endpoint is frozen.
+  bool moveIsLive(MoveEntry &ME) {
+    if (ME.Dropped)
+      return false;
+    unsigned A = UF.find(ME.Dst), B = UF.find(ME.Src);
+    if (A == B || IG.interferes(A, B) || Removed[A] || Removed[B] ||
+        (IG.isPrecolored(A) && IG.isPrecolored(B))) {
+      ME.Dropped = true;
+      return false;
+    }
+    if (FrozenNode[A] || FrozenNode[B]) {
+      ME.Dropped = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool moveRelated(unsigned N) {
+    for (unsigned Idx : NodeMoves[N])
+      if (moveIsLive(MoveList[Idx]))
+        return true;
+    return false;
+  }
+
+  /// Briggs conservative test on the reduced graph.
+  bool briggsOk(unsigned A, unsigned B) {
+    const unsigned K = k(A);
+    unsigned Significant = 0;
+    auto Consider = [&](unsigned M, bool FromB) {
+      if (Removed[M] || M == A || M == B)
+        return;
+      bool Both = IG.interferes(M, A) && IG.interferes(M, B);
+      if (Both && FromB)
+        return; // Counted while scanning A.
+      unsigned Deg = degreeOf(M);
+      if (Both)
+        --Deg;
+      if (IG.isPrecolored(M) || Deg >= k(M))
+        ++Significant;
+    };
+    for (unsigned M : IG.neighbors(A))
+      Consider(M, false);
+    for (unsigned M : IG.neighbors(B))
+      Consider(M, true);
+    return Significant < K;
+  }
+
+  /// George test on the reduced graph (A may be precolored).
+  bool georgeOk(unsigned A, unsigned B) {
+    for (unsigned T : IG.neighbors(B)) {
+      if (Removed[T] || T == A || IG.interferes(T, A))
+        continue;
+      if (!IG.isPrecolored(T) && degreeOf(T) < k(T))
+        continue;
+      return false;
+    }
+    return true;
+  }
+
+  void removeAndPush(unsigned N, bool Opt) {
+    assert(isActive(N) && "removing an inactive node");
+    Removed[N] = 1;
+    Stack.push_back(N);
+    Optimistic[N] = Opt;
+  }
+
+  /// One step of the state machine. Returns false when the graph is empty.
+  bool step() {
+    // 1. Simplify a non-move-related low-degree node.
+    for (unsigned N = 0, E = IG.numNodes(); N != E; ++N) {
+      if (!isActive(N) || degreeOf(N) >= k(N))
+        continue;
+      if (moveRelated(N))
+        continue;
+      removeAndPush(N, false);
+      return true;
+    }
+
+    // 2. Conservatively coalesce one live move.
+    for (MoveEntry &ME : MoveList) {
+      if (!moveIsLive(ME))
+        continue;
+      unsigned A = UF.find(ME.Dst), B = UF.find(ME.Src);
+      if (!canMergePair(IG, A, B)) {
+        ME.Dropped = true; // Constrained for good.
+        continue;
+      }
+      bool Ok = (IG.isPrecolored(A) || IG.isPrecolored(B))
+                    ? georgeOk(IG.isPrecolored(A) ? A : B,
+                               IG.isPrecolored(A) ? B : A)
+                    : briggsOk(A, B);
+      if (!Ok)
+        continue;
+      unsigned Survivor = mergePair(IG, UF, A, B);
+      unsigned Gone = Survivor == A ? B : A;
+      Removed[Gone] = 1; // Gone from the graph; colored via the map.
+      NodeMoves[Survivor].insert(NodeMoves[Survivor].end(),
+                                 NodeMoves[Gone].begin(),
+                                 NodeMoves[Gone].end());
+      NodeMoves[Gone].clear();
+      ME.Dropped = true;
+      return true;
+    }
+
+    // 3. Freeze a low-degree move-related node.
+    {
+      int Pick = -1;
+      unsigned PickDeg = 0;
+      for (unsigned N = 0, E = IG.numNodes(); N != E; ++N) {
+        if (!isActive(N))
+          continue;
+        unsigned D = degreeOf(N);
+        if (D >= k(N) || !moveRelated(N))
+          continue;
+        if (Pick < 0 || D < PickDeg) {
+          Pick = static_cast<int>(N);
+          PickDeg = D;
+        }
+      }
+      if (Pick >= 0) {
+        FrozenNode[static_cast<unsigned>(Pick)] = 1;
+        return true;
+      }
+    }
+
+    // 4. Potential spill, pushed optimistically.
+    {
+      int Pick = -1;
+      double PickScore = 0.0;
+      CoalescedCosts CC(Ctx.Costs, UF);
+      for (unsigned N = 0, E = IG.numNodes(); N != E; ++N) {
+        if (!isActive(N))
+          continue;
+        unsigned D = degreeOf(N);
+        if (D == 0)
+          continue; // Low degree; caught by rule 1 or 3.
+        double Score = CC.spillMetric(N) / static_cast<double>(D);
+        if (Pick < 0 || Score < PickScore) {
+          Pick = static_cast<int>(N);
+          PickScore = Score;
+        }
+      }
+      if (Pick >= 0) {
+        removeAndPush(static_cast<unsigned>(Pick), true);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+RoundResult IteratedCoalescingAllocator::allocateRound(AllocContext &Ctx) {
+  const unsigned N = Ctx.F.numVRegs();
+  RoundResult RR = RoundResult::make(N);
+
+  IteratedState St(Ctx);
+  while (St.step())
+    ;
+
+  // Select, optimistically retrying potential spills.
+  SelectState SS(Ctx.IG, Ctx.Target);
+  std::vector<unsigned> SpilledReps;
+  for (unsigned I = St.Stack.size(); I-- > 0;) {
+    unsigned Node = St.Stack[I];
+    int Color = SS.firstAvailable(Node);
+    if (Color < 0) {
+      assert(St.Optimistic[Node] &&
+             "conservatively simplified node must be colorable");
+      SpilledReps.push_back(Node);
+      continue;
+    }
+    SS.setColor(Node, Color);
+  }
+
+  if (!SpilledReps.empty()) {
+    // A spilled representative stands for its whole merged class; spill
+    // every (necessarily unpinned) member. The next round rebuilds and
+    // re-coalesces from scratch, as George-Appel restarts after spilling.
+    std::vector<char> RepSpilled(N, 0);
+    for (unsigned Rep : SpilledReps)
+      RepSpilled[Rep] = 1;
+    for (unsigned V = 0; V != N; ++V)
+      if (RepSpilled[St.UF.find(V)])
+        RR.Spilled.push_back(V);
+    return RR;
+  }
+
+  RR.Color = SS.colors();
+  for (unsigned V = 0; V != N; ++V)
+    RR.CoalesceMap[V] = St.UF.find(V);
+  return RR;
+}

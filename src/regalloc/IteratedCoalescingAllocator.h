@@ -1,0 +1,34 @@
+//===- regalloc/IteratedCoalescingAllocator.h - George-Appel ----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// George and Appel's iterated register coalescing (Figure 2(a) of the
+/// paper). Simplification removes only non-copy-related low-degree nodes;
+/// when it blocks, conservative coalescing (Briggs test, George test
+/// against precolored nodes) runs on the reduced graph; when neither
+/// applies, a low-degree copy-related node is frozen (its moves give up on
+/// coalescing) and simplification resumes; as a last resort a potential
+/// spill is pushed optimistically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_ITERATEDCOALESCINGALLOCATOR_H
+#define PDGC_REGALLOC_ITERATEDCOALESCINGALLOCATOR_H
+
+#include "regalloc/AllocatorBase.h"
+
+namespace pdgc {
+
+/// George–Appel iterated coalescing.
+class IteratedCoalescingAllocator : public AllocatorBase {
+public:
+  const char *name() const override { return "iterated"; }
+  RoundResult allocateRound(AllocContext &Ctx) override;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_ITERATEDCOALESCINGALLOCATOR_H

@@ -1,0 +1,43 @@
+//===- regalloc/Metrics.cpp - Allocation quality metrics -------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Metrics.h"
+
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+MoveStats pdgc::moveStats(const Function &F,
+                          const std::vector<int> &Assignment,
+                          const LoopInfo &LI) {
+  MoveStats S;
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    double Freq = LI.frequency(BB);
+    for (const Instruction &I : BB->instructions()) {
+      if (!I.isCopy())
+        continue;
+      ++S.Total;
+      S.WeightedTotal += Freq;
+      int DstColor = Assignment[I.def().id()];
+      int SrcColor = Assignment[I.use(0).id()];
+      if (DstColor >= 0 && DstColor == SrcColor) {
+        ++S.Eliminated;
+        S.WeightedEliminated += Freq;
+      }
+    }
+  }
+  return S;
+}
+
+unsigned pdgc::countSpillInstructions(const Function &F) {
+  unsigned N = 0;
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+    for (const Instruction &I : F.block(B)->instructions())
+      if (I.isSpillCode())
+        ++N;
+  return N;
+}

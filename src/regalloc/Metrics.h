@@ -1,0 +1,53 @@
+//===- regalloc/Metrics.h - Allocation quality metrics ----------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static metrics the paper's Figure 9 reports: how many move
+/// instructions an allocation eliminates (both operands assigned the same
+/// register, so the copy disappears at emission) and how many spill
+/// instructions were generated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_METRICS_H
+#define PDGC_REGALLOC_METRICS_H
+
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Move elimination statistics for one allocated function.
+struct MoveStats {
+  unsigned Total = 0;       ///< Move instructions in the final code.
+  unsigned Eliminated = 0;  ///< Moves whose operands share a register.
+  double WeightedTotal = 0; ///< Frequency-weighted totals.
+  double WeightedEliminated = 0;
+
+  MoveStats &operator+=(const MoveStats &RHS) {
+    Total += RHS.Total;
+    Eliminated += RHS.Eliminated;
+    WeightedTotal += RHS.WeightedTotal;
+    WeightedEliminated += RHS.WeightedEliminated;
+    return *this;
+  }
+};
+
+/// Computes move statistics for \p F under \p Assignment (physical register
+/// per virtual-register id; -1 allowed only for registers absent from the
+/// code).
+MoveStats moveStats(const Function &F, const std::vector<int> &Assignment,
+                    const LoopInfo &LI);
+
+/// Number of instructions inserted by the spiller (Figure 9(b)/(d) counts
+/// these).
+unsigned countSpillInstructions(const Function &F);
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_METRICS_H

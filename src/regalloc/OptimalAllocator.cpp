@@ -1,0 +1,113 @@
+//===- regalloc/OptimalAllocator.cpp - Exhaustive reference -----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/OptimalAllocator.h"
+
+#include "analysis/InterferenceGraph.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Liveness.h"
+#include "ir/PhiElimination.h"
+#include "sim/CostSimulator.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace pdgc;
+
+namespace {
+
+class Search {
+  const Function &F;
+  const TargetDesc &Target;
+  InterferenceGraph IG;
+  std::vector<unsigned> Order; ///< Variables in decreasing-degree order.
+  std::vector<int> Assign;
+  OptimalResult Best;
+  std::uint64_t Budget;
+
+public:
+  Search(const Function &F, const TargetDesc &Target, std::uint64_t Budget)
+      : F(F), Target(Target),
+        IG([&] {
+          Liveness LV = Liveness::compute(F);
+          LoopInfo LI = LoopInfo::compute(F);
+          return InterferenceGraph::build(F, LV, LI);
+        }()),
+        Assign(F.numVRegs(), -1), Budget(Budget) {
+    // Fixed colors for pinned registers; everything else that appears in
+    // the code is a search variable.
+    std::vector<char> Appears(F.numVRegs(), 0);
+    for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+      for (const Instruction &I : F.block(B)->instructions()) {
+        if (I.hasDef())
+          Appears[I.def().id()] = 1;
+        for (unsigned U = 0; U != I.numUses(); ++U)
+          Appears[I.use(U).id()] = 1;
+      }
+    for (unsigned V = 0; V != F.numVRegs(); ++V) {
+      if (F.isPinned(VReg(V)))
+        Assign[V] = F.pinnedReg(VReg(V));
+      else if (Appears[V])
+        Order.push_back(V);
+      else
+        Assign[V] = static_cast<int>(Target.firstReg(F.regClass(VReg(V))));
+    }
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](unsigned A, unsigned B) {
+                       return IG.degree(A) > IG.degree(B);
+                     });
+  }
+
+  void dfs(unsigned Depth) {
+    if (Best.NodesVisited++ >= Budget) {
+      Best.BudgetExhausted = true;
+      return;
+    }
+    if (Depth == Order.size()) {
+      double Cost = simulateCost(F, Target, Assign).total();
+      if (!Best.Found || Cost < Best.Cost) {
+        Best.Found = true;
+        Best.Cost = Cost;
+        Best.Assignment = Assign;
+      }
+      return;
+    }
+    unsigned V = Order[Depth];
+    RegClass RC = F.regClass(VReg(V));
+    PhysReg First = Target.firstReg(RC);
+    for (unsigned I = 0, E = Target.numRegs(RC); I != E; ++I) {
+      int Candidate = static_cast<int>(First + I);
+      bool Conflict = false;
+      for (unsigned M : IG.neighbors(V))
+        if (Assign[M] == Candidate) {
+          Conflict = true;
+          break;
+        }
+      if (Conflict)
+        continue;
+      Assign[V] = Candidate;
+      dfs(Depth + 1);
+      Assign[V] = -1;
+      if (Best.BudgetExhausted)
+        return;
+    }
+  }
+
+  OptimalResult run() {
+    dfs(0);
+    return std::move(Best);
+  }
+};
+
+} // namespace
+
+OptimalResult pdgc::findOptimalAssignment(const Function &F,
+                                          const TargetDesc &Target,
+                                          std::uint64_t NodeBudget) {
+  pdgc_check(!hasPhis(F),
+             "optimal search requires phi-free IR (run eliminatePhis)");
+  return Search(F, Target, NodeBudget).run();
+}

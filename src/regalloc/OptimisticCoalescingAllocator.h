@@ -1,0 +1,40 @@
+//===- regalloc/OptimisticCoalescingAllocator.h - Park-Moon -----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Park and Moon's optimistic coalescing (Figure 2(b) of the paper): first
+/// coalesce aggressively to reap the positive (degree-reducing) effect of
+/// coalescing, then — when the select phase finds no color for a coalesced
+/// node — *undo* the coalescing: split the node back into its primitive
+/// live ranges, color the most valuable colorable primitive now, and defer
+/// the rest to the bottom of the stack where each is colored individually
+/// or spilled. The paper reports this as the best prior coalescing
+/// algorithm and compares against it in Figures 9–11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_OPTIMISTICCOALESCINGALLOCATOR_H
+#define PDGC_REGALLOC_OPTIMISTICCOALESCINGALLOCATOR_H
+
+#include "regalloc/AllocatorBase.h"
+
+namespace pdgc {
+
+/// Park–Moon optimistic coalescing.
+class OptimisticCoalescingAllocator : public AllocatorBase {
+  bool NonVolatileFirst;
+
+public:
+  explicit OptimisticCoalescingAllocator(bool NonVolatileFirst = false)
+      : NonVolatileFirst(NonVolatileFirst) {}
+
+  const char *name() const override { return "optimistic"; }
+  RoundResult allocateRound(AllocContext &Ctx) override;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_OPTIMISTICCOALESCINGALLOCATOR_H

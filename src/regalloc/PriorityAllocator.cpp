@@ -1,0 +1,82 @@
+//===- regalloc/PriorityAllocator.cpp - Chow-Hennessy style -----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/PriorityAllocator.h"
+
+#include "regalloc/SelectState.h"
+
+#include <limits>
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace pdgc;
+
+RoundResult PriorityAllocator::allocateRound(AllocContext &Ctx) {
+  const unsigned N = Ctx.F.numVRegs();
+  RoundResult RR = RoundResult::make(N);
+  SelectState SS(Ctx.IG, Ctx.Target);
+
+  // Partition into unconstrained (always colorable) and constrained
+  // ranges; order the constrained ones by priority.
+  std::vector<unsigned> Constrained;
+  std::vector<unsigned> Unconstrained;
+  for (unsigned V = 0; V != N; ++V) {
+    if (Ctx.IG.isPrecolored(V) || Ctx.IG.isMerged(V))
+      continue;
+    unsigned K = Ctx.Target.numRegs(Ctx.IG.regClass(V));
+    (Ctx.IG.degree(V) < K ? Unconstrained : Constrained).push_back(V);
+  }
+
+  // Priority: the penalty of living in memory, normalized by size — a
+  // short hot range outranks a long lukewarm one (Chow's
+  // savings-per-unit-length rule, on this repository's cost model).
+  auto Priority = [&](unsigned V) {
+    unsigned Occurrences =
+        Ctx.Costs.numDefs(VReg(V)) + Ctx.Costs.numUses(VReg(V));
+    if (Ctx.Costs.isInfinite(VReg(V)))
+      return std::numeric_limits<double>::infinity();
+    return Ctx.Costs.spillCost(VReg(V)) /
+           static_cast<double>(Occurrences ? Occurrences : 1);
+  };
+  std::stable_sort(Constrained.begin(), Constrained.end(),
+                   [&](unsigned A, unsigned B) {
+                     double PA = Priority(A), PB = Priority(B);
+                     if (PA != PB)
+                       return PA > PB;
+                     return A < B;
+                   });
+
+  // Color in priority order; failures spill immediately (no later range
+  // can evict an earlier, more important one).
+  std::vector<unsigned> Spills;
+  for (unsigned V : Constrained) {
+    int Color = SS.firstAvailable(V);
+    if (Color < 0) {
+      pdgc_check(!Ctx.Costs.isInfinite(VReg(V)),
+                 "priority coloring had to spill an unspillable range");
+      Spills.push_back(V);
+      continue;
+    }
+    SS.setColor(V, Color);
+  }
+
+  if (!Spills.empty()) {
+    RR.Spilled = std::move(Spills);
+    return RR;
+  }
+
+  // Unconstrained ranges are guaranteed a color. Note the difference from
+  // Chaitin: no attempt is made to minimize the number of registers used.
+  for (unsigned V : Unconstrained) {
+    int Color = SS.firstAvailable(V);
+    assert(Color >= 0 && "unconstrained range must be colorable");
+    SS.setColor(V, Color);
+  }
+
+  RR.Color = SS.colors();
+  return RR;
+}

@@ -1,0 +1,46 @@
+//===- regalloc/PriorityAllocator.h - Chow-Hennessy style -------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A priority-based coloring allocator in the style of Chow and Hennessy
+/// (TOPLAS 1990) — the *other* school of coloring allocators, which the
+/// paper contrasts with Chaitin's in Section 7: "the former favors packing
+/// live ranges while the latter favors allocating more live ranges with
+/// higher priority though that may use more colors."
+///
+/// This implementation keeps the defining structure and omits Chow's
+/// live-range splitting (our framework spills whole ranges and iterates,
+/// like the rest of the repository):
+///
+///  * unconstrained live ranges (fewer interferences than registers) are
+///    set aside — they can always be colored;
+///  * constrained ranges are colored in decreasing priority order, where
+///    priority is the estimated memory-residence penalty normalized by
+///    live-range size (occurrences);
+///  * a constrained range with no available register is spilled — higher
+///    priority ranges therefore never lose their register to lower
+///    priority ones, at the price of using more registers than Chaitin
+///    (the paper's point about IA-64's register stack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_PRIORITYALLOCATOR_H
+#define PDGC_REGALLOC_PRIORITYALLOCATOR_H
+
+#include "regalloc/AllocatorBase.h"
+
+namespace pdgc {
+
+/// Chow–Hennessy-style priority-based coloring.
+class PriorityAllocator : public AllocatorBase {
+public:
+  const char *name() const override { return "priority"; }
+  RoundResult allocateRound(AllocContext &Ctx) override;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_PRIORITYALLOCATOR_H

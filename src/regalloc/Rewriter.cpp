@@ -1,0 +1,44 @@
+//===- regalloc/Rewriter.cpp - Apply coalescing to the IR ------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Rewriter.h"
+
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+unsigned pdgc::rewriteCoalesced(Function &F,
+                                const std::vector<unsigned> &RepOf) {
+  assert(RepOf.size() == F.numVRegs() && "representative map size mismatch");
+  unsigned Deleted = 0;
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    BasicBlock *BB = F.block(B);
+    std::vector<Instruction> Kept;
+    Kept.reserve(BB->size());
+    for (Instruction &I : BB->instructions()) {
+      if (I.hasDef())
+        I.setDef(VReg(RepOf[I.def().id()]));
+      for (unsigned U = 0, UE = I.numUses(); U != UE; ++U)
+        I.setUse(U, VReg(RepOf[I.use(U).id()]));
+      if (I.isCopy() && I.def() == I.use(0)) {
+        ++Deleted;
+        continue;
+      }
+      Kept.push_back(std::move(I));
+    }
+    BB->instructions() = std::move(Kept);
+  }
+  return Deleted;
+}
+
+unsigned pdgc::countMoves(const Function &F) {
+  unsigned N = 0;
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B)
+    for (const Instruction &I : F.block(B)->instructions())
+      if (I.isCopy())
+        ++N;
+  return N;
+}

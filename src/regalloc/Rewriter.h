@@ -1,0 +1,34 @@
+//===- regalloc/Rewriter.h - Apply coalescing to the IR ---------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites a function so that every coalesced virtual register is replaced
+/// by its class representative, deleting the copies that become
+/// self-assignments. Chaitin's allocator "iteratively reflects" coalescing
+/// in this way before a spill round restarts the build phase; the baseline
+/// allocators call this when a round ends in spills.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_REWRITER_H
+#define PDGC_REGALLOC_REWRITER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Replaces every register \p V by \p RepOf[V.id()] and removes moves that
+/// become `x = move x`. Returns the number of deleted moves.
+unsigned rewriteCoalesced(Function &F, const std::vector<unsigned> &RepOf);
+
+/// Counts the move instructions currently in \p F.
+unsigned countMoves(const Function &F);
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_REWRITER_H

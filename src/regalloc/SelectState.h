@@ -1,0 +1,90 @@
+//===- regalloc/SelectState.h - Select-phase color tracking -----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks colors during the select phase: which physical register each
+/// node has received and which registers remain available for a node given
+/// its already-colored neighbors. Works against any interference graph
+/// (coalesced or pristine), so both the ordinary allocators and the
+/// undo-coalescing path of optimistic coalescing reuse it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_SELECTSTATE_H
+#define PDGC_REGALLOC_SELECTSTATE_H
+
+#include "analysis/InterferenceGraph.h"
+#include "machine/TargetDesc.h"
+#include "support/BitVector.h"
+
+namespace pdgc {
+
+/// Color bookkeeping for one select phase.
+class SelectState {
+  const InterferenceGraph &IG;
+  const TargetDesc &Target;
+  std::vector<int> Colors; ///< Per node id; -1 = uncolored.
+
+public:
+  /// Initializes with every precolored node already holding its color.
+  SelectState(const InterferenceGraph &IG, const TargetDesc &Target)
+      : IG(IG), Target(Target), Colors(IG.numNodes(), -1) {
+    for (unsigned N = 0, E = IG.numNodes(); N != E; ++N)
+      if (IG.isPrecolored(N))
+        Colors[N] = IG.precolor(N);
+  }
+
+  int color(unsigned N) const { return Colors[N]; }
+  bool hasColor(unsigned N) const { return Colors[N] >= 0; }
+
+  void setColor(unsigned N, int C) {
+    assert(C >= 0 && static_cast<unsigned>(C) < Target.numRegs() &&
+           "color out of range");
+    assert(Target.regClass(static_cast<PhysReg>(C)) == IG.regClass(N) &&
+           "color from the wrong register class");
+    Colors[N] = C;
+  }
+
+  const std::vector<int> &colors() const { return Colors; }
+
+  /// Returns the set of physical registers (as a bit vector over register
+  /// ids) that node \p N could take: the registers of N's class minus the
+  /// colors of N's already-colored neighbors in the graph.
+  BitVector availableFor(unsigned N) const {
+    BitVector Avail(Target.numRegs());
+    RegClass RC = IG.regClass(N);
+    PhysReg First = Target.firstReg(RC);
+    for (unsigned I = 0, E = Target.numRegs(RC); I != E; ++I)
+      Avail.set(First + I);
+    for (unsigned M : IG.neighbors(N))
+      if (Colors[M] >= 0)
+        Avail.reset(static_cast<unsigned>(Colors[M]));
+    return Avail;
+  }
+
+  /// Returns the lowest-numbered available register for \p N, or -1.
+  int firstAvailable(unsigned N) const {
+    return availableFor(N).findFirst();
+  }
+};
+
+/// Picks a register from \p Avail: the lowest-numbered one, or — with
+/// \p NonVolatileFirst — the lowest non-volatile one when any is free (the
+/// "simple heuristic to use non-volatile registers first, then volatile"
+/// the paper gives preference-unaware allocators in Section 6.2). Returns
+/// -1 when \p Avail is empty.
+inline int pickAvailable(const BitVector &Avail, const TargetDesc &Target,
+                         bool NonVolatileFirst) {
+  if (NonVolatileFirst)
+    for (unsigned R : Avail.setBits())
+      if (!Target.isVolatile(static_cast<PhysReg>(R)))
+        return static_cast<int>(R);
+  return Avail.findFirst();
+}
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_SELECTSTATE_H

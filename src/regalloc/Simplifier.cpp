@@ -1,0 +1,152 @@
+//===- regalloc/Simplifier.cpp - Graph simplification ----------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Simplifier.h"
+
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+namespace {
+
+/// Mutable degree-tracking view of the interference graph during
+/// simplification.
+class SimplifyState {
+public:
+  const InterferenceGraph &IG;
+  const TargetDesc &Target;
+  std::vector<char> Removed;
+  std::vector<unsigned> Degree;
+
+  SimplifyState(const InterferenceGraph &IG, const TargetDesc &Target)
+      : IG(IG), Target(Target), Removed(IG.numNodes(), 0),
+        Degree(IG.numNodes(), 0) {
+    for (unsigned N = 0, E = IG.numNodes(); N != E; ++N) {
+      if (IG.isMerged(N)) {
+        Removed[N] = 1;
+        continue;
+      }
+      Degree[N] = IG.degree(N);
+    }
+  }
+
+  unsigned k(unsigned N) const { return Target.numRegs(IG.regClass(N)); }
+
+  bool isActive(unsigned N) const {
+    return !Removed[N] && !IG.isPrecolored(N);
+  }
+
+  bool isLowDegree(unsigned N) const { return Degree[N] < k(N); }
+
+  /// Removes \p N from the working graph, decrementing neighbor degrees.
+  void remove(unsigned N) {
+    assert(!Removed[N] && "node removed twice");
+    Removed[N] = 1;
+    for (unsigned M : IG.neighbors(N))
+      if (!Removed[M])
+        --Degree[M];
+  }
+};
+
+} // namespace
+
+SimplifyResult pdgc::simplifyGraph(
+    const InterferenceGraph &IG, const TargetDesc &Target,
+    const std::function<double(unsigned)> &SpillMetric, bool Optimistic,
+    const std::function<double(unsigned)> &RemovalPriority) {
+  SimplifyState S(IG, Target);
+  SimplifyResult R;
+  R.OptimisticallySpilled.assign(IG.numNodes(), 0);
+
+  unsigned NumActive = 0;
+  for (unsigned N = 0, E = IG.numNodes(); N != E; ++N)
+    if (S.isActive(N))
+      ++NumActive;
+
+  // Low-degree nodes are removed in the order they become removable (a
+  // FIFO worklist), which is the order the paper's Figure 7 walkthrough
+  // exhibits. With a priority hook, the smallest-priority removable node
+  // goes first instead (so that high-priority nodes are popped, i.e.
+  // colored, earlier).
+  std::vector<unsigned> Worklist;
+  std::vector<char> Enqueued(IG.numNodes(), 0);
+  size_t Head = 0;
+  auto Enqueue = [&](unsigned N) {
+    if (!Enqueued[N] && S.isActive(N) && S.isLowDegree(N)) {
+      Enqueued[N] = 1;
+      Worklist.push_back(N);
+    }
+  };
+  for (unsigned N = 0, E = IG.numNodes(); N != E; ++N)
+    Enqueue(N);
+
+  while (NumActive != 0) {
+    int Pick = -1;
+    if (!RemovalPriority) {
+      while (Head < Worklist.size()) {
+        unsigned N = Worklist[Head++];
+        if (S.isActive(N)) {
+          Pick = static_cast<int>(N);
+          break;
+        }
+      }
+    } else {
+      // Compact the worklist and choose the minimum-priority entry.
+      double PickPrio = 0.0;
+      size_t Out = Head;
+      for (size_t I = Head; I != Worklist.size(); ++I) {
+        unsigned N = Worklist[I];
+        if (!S.isActive(N))
+          continue;
+        Worklist[Out++] = N;
+        double Prio = RemovalPriority(N);
+        if (Pick < 0 || Prio < PickPrio) {
+          Pick = static_cast<int>(N);
+          PickPrio = Prio;
+        }
+      }
+      Worklist.resize(Out);
+    }
+
+    if (Pick >= 0) {
+      unsigned N = static_cast<unsigned>(Pick);
+      S.remove(N);
+      R.Stack.push_back(N);
+      --NumActive;
+      for (unsigned M : IG.neighbors(N))
+        Enqueue(M);
+      continue;
+    }
+
+    // Blocked: every active node is significant-degree. Choose the spill
+    // candidate minimizing spill-metric / degree.
+    int Candidate = -1;
+    double CandidateScore = 0.0;
+    for (unsigned N = 0, E = IG.numNodes(); N != E; ++N) {
+      if (!S.isActive(N))
+        continue;
+      assert(S.Degree[N] > 0 && "significant-degree node with no neighbors");
+      double Score = SpillMetric(N) / static_cast<double>(S.Degree[N]);
+      if (Candidate < 0 || Score < CandidateScore) {
+        Candidate = static_cast<int>(N);
+        CandidateScore = Score;
+      }
+    }
+    assert(Candidate >= 0 && "no spill candidate in a blocked graph");
+    unsigned C = static_cast<unsigned>(Candidate);
+    S.remove(C);
+    --NumActive;
+    for (unsigned M : IG.neighbors(C))
+      Enqueue(M);
+    if (Optimistic) {
+      R.Stack.push_back(C);
+      R.OptimisticallySpilled[C] = 1;
+    } else {
+      R.DefiniteSpills.push_back(C);
+    }
+  }
+  return R;
+}

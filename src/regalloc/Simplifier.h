@@ -1,0 +1,66 @@
+//===- regalloc/Simplifier.h - Graph simplification -------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaitin- and Briggs-style simplification of the interference graph
+/// (Figure 1 of the paper). Simplification repeatedly removes a node with
+/// fewer than K same-class neighbors and pushes it onto a stack; when only
+/// significant-degree nodes remain it either removes a spill candidate
+/// outright (Chaitin: pessimistic) or pushes it optimistically and lets the
+/// select phase discover whether a color is available (Briggs).
+///
+/// The spill candidate is the node minimizing spill-metric / degree, the
+/// classic heuristic; all allocators in this repository share it (the paper
+/// likewise uses one heuristic for every compared algorithm).
+///
+/// An optional removal-priority hook orders the removal of low-degree nodes
+/// so that higher-priority nodes are *popped* earlier in select — this is
+/// Lueh–Gross benefit-driven simplification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_SIMPLIFIER_H
+#define PDGC_REGALLOC_SIMPLIFIER_H
+
+#include "analysis/CostModel.h"
+#include "analysis/InterferenceGraph.h"
+#include "machine/TargetDesc.h"
+
+#include <functional>
+#include <vector>
+
+namespace pdgc {
+
+/// Result of simplifying the interference graph.
+struct SimplifyResult {
+  /// Nodes in push order; select pops from the back. Contains every
+  /// non-precolored, non-merged node except Chaitin-mode definite spills.
+  std::vector<unsigned> Stack;
+  /// Per-node flag: pushed as an optimistic (potential-spill) node.
+  std::vector<char> OptimisticallySpilled;
+  /// Chaitin mode only: nodes removed as definite spills (never stacked).
+  std::vector<unsigned> DefiniteSpills;
+};
+
+/// Simplifies \p IG down to the empty graph.
+///
+/// \p Optimistic selects Briggs behaviour (potential spills are stacked)
+/// versus Chaitin behaviour (they are spilled outright).
+/// \p SpillMetric maps a node to its estimated spill cost; when the graph
+/// blocks, the node minimizing SpillMetric(N) / degree(N) is chosen. Use a
+/// metric that aggregates over coalesced members when nodes were merged.
+/// \p RemovalPriority, when provided, picks which of the currently
+/// low-degree nodes is removed next: the node with the *smallest* priority
+/// is removed (pushed) first and therefore colored last.
+SimplifyResult
+simplifyGraph(const InterferenceGraph &IG, const TargetDesc &Target,
+              const std::function<double(unsigned)> &SpillMetric,
+              bool Optimistic,
+              const std::function<double(unsigned)> &RemovalPriority = {});
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_SIMPLIFIER_H

@@ -1,0 +1,168 @@
+//===- regalloc/SpillCodeInserter.cpp - Live-range splitting ---------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/SpillCodeInserter.h"
+
+#include "support/Debug.h"
+
+#include <unordered_map>
+
+using namespace pdgc;
+
+namespace {
+
+/// Finds registers in \p Spilled whose every definition is `loadimm C`
+/// for one constant C; their uses can recompute C instead of reloading.
+std::unordered_map<unsigned, std::int64_t>
+findRematerializable(const Function &F,
+                     const std::vector<unsigned> &Spilled) {
+  std::unordered_map<unsigned, std::int64_t> Constant;
+  std::unordered_map<unsigned, char> Disqualified;
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    for (const Instruction &I : F.block(B)->instructions()) {
+      if (!I.hasDef())
+        continue;
+      unsigned D = I.def().id();
+      if (Disqualified.count(D))
+        continue;
+      if (I.opcode() != Opcode::LoadImm) {
+        Disqualified[D] = 1;
+        Constant.erase(D);
+        continue;
+      }
+      auto [It, Inserted] = Constant.try_emplace(D, I.imm());
+      if (!Inserted && It->second != I.imm()) {
+        Disqualified[D] = 1;
+        Constant.erase(D);
+      }
+    }
+  }
+  std::unordered_map<unsigned, std::int64_t> Result;
+  for (unsigned V : Spilled) {
+    auto It = Constant.find(V);
+    if (It != Constant.end())
+      Result.emplace(V, It->second);
+  }
+  return Result;
+}
+
+} // namespace
+
+SpillInsertStats pdgc::insertSpillCode(Function &F,
+                                       const std::vector<unsigned> &Spilled,
+                                       unsigned &NextSlot, bool Rematerialize,
+                                       SpillGranularity Granularity) {
+  SpillInsertStats Stats;
+  if (Spilled.empty())
+    return Stats;
+
+  std::unordered_map<unsigned, std::int64_t> Remat;
+  if (Rematerialize)
+    Remat = findRematerializable(F, Spilled);
+
+  // Slot assignment per spilled register (rematerializable ones need no
+  // slot).
+  std::unordered_map<unsigned, unsigned> SlotOf;
+  for (unsigned V : Spilled) {
+    assert(!F.isPinned(VReg(V)) && "cannot spill a pinned register");
+    assert((!F.isSpillTemp(VReg(V)) || F.isRespillableTemp(VReg(V))) &&
+           "re-spilling a per-use spill fragment");
+    if (!Remat.count(V))
+      SlotOf.emplace(V, NextSlot++);
+  }
+
+  // A register spilled per-block may come back; it is then re-split at
+  // per-use granularity so its fragments strictly shrink.
+  auto UsePerBlock = [&](unsigned V) {
+    return Granularity == SpillGranularity::PerBlock &&
+           !F.isSpillTemp(VReg(V));
+  };
+
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    BasicBlock *BB = F.block(B);
+    std::vector<Instruction> NewInsts;
+    NewInsts.reserve(BB->size());
+
+    // Per-block mode keeps one fragment per spilled register alive for
+    // the whole block; per-use mode clears this map at every instruction.
+    std::unordered_map<unsigned, VReg> BlockTemp;
+
+    for (Instruction &I : BB->instructions()) {
+      // Rematerializable definitions vanish: every use recomputes.
+      if (I.hasDef() && Remat.count(I.def().id())) {
+        assert(I.opcode() == Opcode::LoadImm &&
+               "rematerializable register with a non-constant definition");
+        continue;
+      }
+
+      // Reload (or recompute) each distinct spilled register this
+      // instruction uses.
+      std::unordered_map<unsigned, VReg> PerUseTemp;
+      for (unsigned U = 0, UE = I.numUses(); U != UE; ++U) {
+        unsigned V = I.use(U).id();
+        auto RematIt = Remat.find(V);
+        auto SlotIt = SlotOf.find(V);
+        if (RematIt == Remat.end() && SlotIt == SlotOf.end())
+          continue;
+        bool PerBlockV = UsePerBlock(V);
+        std::unordered_map<unsigned, VReg> &Reloaded =
+            PerBlockV ? BlockTemp : PerUseTemp;
+        auto [TmpIt, Inserted] = Reloaded.try_emplace(V, VReg());
+        if (Inserted) {
+          VReg Tmp = F.createVReg(F.regClass(VReg(V)));
+          F.markSpillTemp(Tmp, /*Respillable=*/PerBlockV);
+          Instruction Fill =
+              RematIt != Remat.end()
+                  ? Instruction(Opcode::LoadImm, Tmp, {}, RematIt->second)
+                  : Instruction(Opcode::SpillLoad, Tmp, {},
+                                static_cast<std::int64_t>(SlotIt->second));
+          Fill.setSpillCode(true);
+          NewInsts.push_back(std::move(Fill));
+          if (RematIt != Remat.end())
+            ++Stats.Rematerialized;
+          else
+            ++Stats.Loads;
+          TmpIt->second = Tmp;
+        }
+        I.setUse(U, TmpIt->second);
+      }
+
+      bool DefSpilled = I.hasDef() && SlotOf.count(I.def().id());
+      unsigned DefSlot = DefSpilled ? SlotOf[I.def().id()] : 0;
+      if (DefSpilled) {
+        unsigned V = I.def().id();
+        bool PerBlockV = UsePerBlock(V);
+        VReg Tmp = F.createVReg(F.regClass(I.def()));
+        F.markSpillTemp(Tmp, /*Respillable=*/PerBlockV);
+        I.setDef(Tmp);
+        NewInsts.push_back(std::move(I));
+        Instruction Save(Opcode::SpillStore, VReg(), {Tmp},
+                         static_cast<std::int64_t>(DefSlot));
+        Save.setSpillCode(true);
+        NewInsts.push_back(std::move(Save));
+        ++Stats.Stores;
+        // In per-block mode, later uses in this block read the freshly
+        // defined fragment instead of reloading from the slot.
+        if (PerBlockV)
+          BlockTemp[V] = Tmp;
+        continue;
+      }
+      NewInsts.push_back(std::move(I));
+    }
+    BB->instructions() = std::move(NewInsts);
+
+    // Spill code inserted between a paired-load head and its mate breaks
+    // the adjacency the fusion needs; drop the candidate flag there.
+    for (unsigned I = 0, E = BB->size(); I != E; ++I) {
+      Instruction &Head = BB->inst(I);
+      if (!Head.isPairHead())
+        continue;
+      if (I + 1 == E || BB->inst(I + 1).opcode() != Opcode::Load)
+        Head.setPairHead(false);
+    }
+  }
+  return Stats;
+}

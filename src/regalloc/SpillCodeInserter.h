@@ -1,0 +1,63 @@
+//===- regalloc/SpillCodeInserter.h - Live-range splitting ------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spill-code insertion: splits each spilled live range into tiny fragments
+/// by storing to a stack slot after every definition and reloading before
+/// every use ("spilling out the value after its definitions and spilling in
+/// before its uses", Section 2). The fragments are marked as spill temps so
+/// the next allocation round never re-spills them, and the inserted
+/// instructions carry the spill-code flag that Figure 9(b)/(d) counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_SPILLCODEINSERTER_H
+#define PDGC_REGALLOC_SPILLCODEINSERTER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Counts of inserted spill instructions.
+struct SpillInsertStats {
+  unsigned Loads = 0;
+  unsigned Stores = 0;
+  unsigned Rematerialized = 0; ///< Uses served by recomputation.
+};
+
+/// How finely a spilled live range is split.
+enum class SpillGranularity {
+  /// A fresh reload before every using instruction (Chaitin's scheme,
+  /// the default): minimal fragments, maximal spill instructions.
+  PerUse,
+  /// One reload per basic block, reused by later uses in the same block
+  /// (defs still store through immediately): fewer spill instructions,
+  /// longer fragments — the classic granularity tradeoff. The fragments
+  /// are still unspillable, so prefer this only when registers are not
+  /// desperately scarce.
+  PerBlock,
+};
+
+/// Rewrites \p F so that every virtual register in \p Spilled lives in a
+/// stack slot. \p NextSlot is the first free slot number and is advanced.
+/// Returns the number of inserted loads/stores.
+///
+/// With \p Rematerialize set, a spilled register whose every definition is
+/// the same constant is never stored: each use recomputes the constant
+/// instead (Briggs-style rematerialization — cheaper than a memory load,
+/// and the reason conservative coalescing avoids merging such ranges,
+/// Section 3.2). The recomputations still carry the spill-code flag so
+/// the spill-instruction metrics see them.
+SpillInsertStats
+insertSpillCode(Function &F, const std::vector<unsigned> &Spilled,
+                unsigned &NextSlot, bool Rematerialize = false,
+                SpillGranularity Granularity = SpillGranularity::PerUse);
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_SPILLCODEINSERTER_H

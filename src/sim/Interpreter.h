@@ -1,0 +1,77 @@
+//===- sim/Interpreter.h - Reference IR interpreter -------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the PDGC IR, runnable in two modes:
+///
+///  * virtual mode — registers are virtual registers; this defines the
+///    semantics of a function;
+///  * allocated mode — every register access goes through the physical
+///    register assigned by an allocator, and spill loads/stores go through
+///    stack slots.
+///
+/// The two modes must produce identical observable results (return value
+/// and a digest of all stores) for any valid allocation; the property tests
+/// run every allocator's output through this check, so aliasing bugs in an
+/// allocator show up as semantic divergence, exactly as a miscompiled
+/// program would crash.
+///
+/// External calls are deterministic: callee `k` applied to arguments
+/// `a1..an` returns a fixed mixing function of (k, a1..an). Volatile
+/// registers are preserved across calls — the save/restore code a real
+/// compiler would emit is implied, and its cost is charged by the cost
+/// simulator rather than simulated instruction by instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SIM_INTERPRETER_H
+#define PDGC_SIM_INTERPRETER_H
+
+#include "ir/Function.h"
+#include "machine/TargetDesc.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pdgc {
+
+/// Observable outcome of executing a function.
+struct ExecutionResult {
+  bool Completed = false;       ///< False when the step budget ran out.
+  std::int64_t ReturnValue = 0; ///< 0 when the function returns nothing.
+  std::uint64_t StoreDigest = 0; ///< FNV-1a digest over (address, value)
+                                 ///< of every executed store, in order.
+  std::uint64_t Steps = 0;       ///< Instructions executed.
+
+  bool operator==(const ExecutionResult &RHS) const {
+    return Completed == RHS.Completed && ReturnValue == RHS.ReturnValue &&
+           StoreDigest == RHS.StoreDigest;
+  }
+};
+
+/// Interpreter configuration.
+struct InterpreterOptions {
+  std::uint64_t MaxSteps = 2'000'000; ///< Fuel limit.
+  unsigned HeapWords = 4096;          ///< Heap size per value class.
+  unsigned MaxSpillSlots = 4096;      ///< Spill-slot array size.
+};
+
+/// Executes \p F on virtual registers with the given integer arguments
+/// (floating-point parameters receive `double(arg)`).
+ExecutionResult runVirtual(const Function &F,
+                           const std::vector<std::int64_t> &Args,
+                           const InterpreterOptions &Options = {});
+
+/// Executes \p F routing every register access through \p Assignment
+/// (physical register per virtual-register id).
+ExecutionResult runAllocated(const Function &F, const TargetDesc &Target,
+                             const std::vector<int> &Assignment,
+                             const std::vector<std::int64_t> &Args,
+                             const InterpreterOptions &Options = {});
+
+} // namespace pdgc
+
+#endif // PDGC_SIM_INTERPRETER_H

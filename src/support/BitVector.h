@@ -1,0 +1,196 @@
+//===- support/BitVector.h - Dense resizable bit vector --------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense bit vector used throughout the analyses (liveness sets,
+/// interference rows, register availability masks). The interface follows
+/// llvm::BitVector where the two overlap so the code reads familiarly to
+/// compiler engineers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_BITVECTOR_H
+#define PDGC_SUPPORT_BITVECTOR_H
+
+#include "support/Debug.h"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace pdgc {
+
+/// Dense, resizable vector of bits with set-algebra operations.
+class BitVector {
+  using Word = std::uint64_t;
+  static constexpr unsigned WordBits = 64;
+
+  std::vector<Word> Words;
+  unsigned NumBits = 0;
+
+  static unsigned numWords(unsigned Bits) {
+    return (Bits + WordBits - 1) / WordBits;
+  }
+
+  /// Clears any bits in the final word beyond NumBits so that whole-word
+  /// operations (count, equality, any) stay exact.
+  void clearUnusedBits() {
+    if (NumBits % WordBits == 0 || Words.empty())
+      return;
+    Words.back() &= (Word(1) << (NumBits % WordBits)) - 1;
+  }
+
+public:
+  BitVector() = default;
+
+  /// Creates a vector of \p N bits, all initialized to \p Value.
+  explicit BitVector(unsigned N, bool Value = false)
+      : Words(numWords(N), Value ? ~Word(0) : Word(0)), NumBits(N) {
+    clearUnusedBits();
+  }
+
+  unsigned size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  /// Grows or shrinks to \p N bits; new bits are initialized to \p Value.
+  void resize(unsigned N, bool Value = false) {
+    unsigned OldBits = NumBits;
+    Words.resize(numWords(N), Value ? ~Word(0) : Word(0));
+    NumBits = N;
+    if (Value && OldBits < N && OldBits % WordBits != 0) {
+      // The partial word shared by old and new bits must get its new high
+      // bits set by hand; resize() only fills whole new words.
+      Words[OldBits / WordBits] |= ~((Word(1) << (OldBits % WordBits)) - 1);
+    }
+    clearUnusedBits();
+  }
+
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "BitVector::test out of range");
+    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+  }
+
+  bool operator[](unsigned Idx) const { return test(Idx); }
+
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "BitVector::set out of range");
+    Words[Idx / WordBits] |= Word(1) << (Idx % WordBits);
+  }
+
+  /// Sets every bit.
+  void set() {
+    for (Word &W : Words)
+      W = ~Word(0);
+    clearUnusedBits();
+  }
+
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "BitVector::reset out of range");
+    Words[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
+  }
+
+  /// Clears every bit.
+  void reset() {
+    for (Word &W : Words)
+      W = 0;
+  }
+
+  /// Returns the number of set bits.
+  unsigned count() const {
+    unsigned N = 0;
+    for (Word W : Words)
+      N += static_cast<unsigned>(std::popcount(W));
+    return N;
+  }
+
+  /// Returns true if any bit is set.
+  bool any() const {
+    for (Word W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// Returns the index of the first set bit, or -1 if none.
+  int findFirst() const { return findNext(0); }
+
+  /// Returns the index of the first set bit at or after \p From, or -1.
+  int findNext(unsigned From) const {
+    if (From >= NumBits)
+      return -1;
+    unsigned WordIdx = From / WordBits;
+    Word W = Words[WordIdx] & ~((Word(1) << (From % WordBits)) - 1);
+    while (true) {
+      if (W)
+        return static_cast<int>(WordIdx * WordBits +
+                                std::countr_zero(W));
+      if (++WordIdx >= Words.size())
+        return -1;
+      W = Words[WordIdx];
+    }
+  }
+
+  /// Set union; both operands must have the same size.
+  BitVector &operator|=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch in operator|=");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= RHS.Words[I];
+    return *this;
+  }
+
+  /// Set intersection; both operands must have the same size.
+  BitVector &operator&=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch in operator&=");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= RHS.Words[I];
+    return *this;
+  }
+
+  /// Set difference (this \ RHS); both operands must have the same size.
+  BitVector &resetAll(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch in resetAll");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~RHS.Words[I];
+    return *this;
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// Iterator over the indices of set bits, enabling range-based for loops:
+  /// `for (unsigned Idx : BV.setBits())`.
+  class SetBitIterator {
+    const BitVector *BV;
+    int Idx;
+
+  public:
+    SetBitIterator(const BitVector *BV, int Idx) : BV(BV), Idx(Idx) {}
+    unsigned operator*() const { return static_cast<unsigned>(Idx); }
+    SetBitIterator &operator++() {
+      Idx = BV->findNext(static_cast<unsigned>(Idx) + 1);
+      return *this;
+    }
+    bool operator!=(const SetBitIterator &RHS) const { return Idx != RHS.Idx; }
+  };
+
+  struct SetBitRange {
+    const BitVector *BV;
+    SetBitIterator begin() const { return {BV, BV->findFirst()}; }
+    SetBitIterator end() const { return {BV, -1}; }
+  };
+
+  /// Returns a range over the indices of set bits, in increasing order.
+  SetBitRange setBits() const { return {this}; }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_BITVECTOR_H

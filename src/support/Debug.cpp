@@ -1,0 +1,26 @@
+//===- support/Debug.cpp - Assertions and unreachable markers ------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pdgc;
+
+void pdgc::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+void pdgc::checkInternal(bool Cond, const char *Msg, const char *File,
+                         unsigned Line) {
+  if (Cond)
+    return;
+  std::fprintf(stderr, "%s:%u: check failed: %s\n", File, Line, Msg);
+  std::abort();
+}

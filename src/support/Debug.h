@@ -1,0 +1,46 @@
+//===- support/Debug.h - Assertions and unreachable markers ----*- C++ -*-===//
+//
+// Part of the PDGC project: a reproduction of "Preference-Directed Graph
+// Coloring" (Koseki, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small debugging helpers shared by every PDGC library: an `unreachable`
+/// marker that aborts with a message in all build modes, and a lightweight
+/// runtime check that is kept in release builds (unlike `assert`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_DEBUG_H
+#define PDGC_SUPPORT_DEBUG_H
+
+#include <cassert>
+
+namespace pdgc {
+
+/// Aborts the program, reporting \p Msg together with the source location.
+///
+/// Use this to mark control-flow points that program invariants make
+/// impossible, e.g. the default arm of a fully covered switch. Unlike
+/// `assert(false)` it also fires in release builds, so an invariant violation
+/// never silently falls through into undefined behaviour.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+/// Aborts with \p Msg if \p Cond is false, in every build mode.
+///
+/// Reserved for cheap checks guarding memory safety (index bounds on
+/// externally supplied data); hot-path invariants should use `assert`.
+void checkInternal(bool Cond, const char *Msg, const char *File,
+                   unsigned Line);
+
+} // namespace pdgc
+
+#define pdgc_unreachable(MSG)                                                  \
+  ::pdgc::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#define pdgc_check(COND, MSG)                                                  \
+  ::pdgc::checkInternal(static_cast<bool>(COND), MSG, __FILE__, __LINE__)
+
+#endif // PDGC_SUPPORT_DEBUG_H

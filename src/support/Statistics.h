@@ -1,0 +1,41 @@
+//===- support/Statistics.h - Aggregation helpers --------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregation helpers used by the benchmark harness: arithmetic and
+/// geometric means (the paper reports geometric means across the SPECjvm98
+/// suites) and ratio formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_STATISTICS_H
+#define PDGC_SUPPORT_STATISTICS_H
+
+#include <string>
+#include <vector>
+
+namespace pdgc {
+
+/// Returns the arithmetic mean of \p Values; 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Returns the geometric mean of \p Values; 0 for an empty input.
+///
+/// Non-positive entries are clamped to a tiny positive value so a single
+/// zero ratio (e.g. "all spills eliminated") does not collapse the mean to
+/// exactly zero and hide the other entries.
+double geomean(const std::vector<double> &Values);
+
+/// Formats \p Value with \p Decimals fractional digits.
+std::string formatDouble(double Value, unsigned Decimals);
+
+/// Formats \p Value as a percentage string with \p Decimals digits,
+/// e.g. formatPercent(0.125, 1) == "12.5%".
+std::string formatPercent(double Value, unsigned Decimals);
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_STATISTICS_H

@@ -1,0 +1,63 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/Debug.h"
+
+#include <cstdio>
+
+using namespace pdgc;
+
+void TablePrinter::setHeader(std::vector<std::string> Columns) {
+  assert(Rows.empty() && "setHeader must precede addRow");
+  Header = std::move(Columns);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(!Header.empty() && "setHeader must be called first");
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (unsigned I = 0, E = Header.size(); I != E; ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (unsigned I = 0, E = Row.size(); I != E; ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  std::printf("\n== %s ==\n", Title.c_str());
+  auto PrintRule = [&] {
+    for (size_t I = 0; I != Total; ++I)
+      std::putchar('-');
+    std::putchar('\n');
+  };
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (unsigned I = 0, E = Header.size(); I != E; ++I) {
+      const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+      // First column left-aligned (labels), the rest right-aligned (numbers).
+      if (I == 0)
+        std::printf("%-*s  ", static_cast<int>(Widths[I]), Cell.c_str());
+      else
+        std::printf("%*s  ", static_cast<int>(Widths[I]), Cell.c_str());
+    }
+    std::putchar('\n');
+  };
+
+  PrintRule();
+  PrintRow(Header);
+  PrintRule();
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+  PrintRule();
+}

@@ -1,0 +1,43 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned plain-text tables. The benchmark binaries use this to
+/// print the rows/series of each paper figure in a uniform format that
+/// EXPERIMENTS.md can quote directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_TABLEPRINTER_H
+#define PDGC_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace pdgc {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+
+public:
+  explicit TablePrinter(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the column headers; must be called before addRow.
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row. Shorter rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Prints the table to stdout: title, rule, header, rule, rows.
+  void print() const;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,54 @@
+//===- support/UnionFind.cpp - Disjoint-set forest -----------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UnionFind.h"
+
+#include "support/Debug.h"
+
+#include <numeric>
+
+using namespace pdgc;
+
+void UnionFind::reset(unsigned N) {
+  Parent.resize(N);
+  std::iota(Parent.begin(), Parent.end(), 0u);
+  Rank.assign(N, 0);
+}
+
+void UnionFind::grow(unsigned N) {
+  unsigned Old = size();
+  if (N <= Old)
+    return;
+  Parent.resize(N);
+  std::iota(Parent.begin() + Old, Parent.end(), Old);
+  Rank.resize(N, 0);
+}
+
+unsigned UnionFind::find(unsigned X) const {
+  assert(X < Parent.size() && "UnionFind::find out of range");
+  unsigned Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[X] != Root) {
+    unsigned Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+bool UnionFind::unionSets(unsigned A, unsigned B) {
+  unsigned RA = find(A), RB = find(B);
+  if (RA == RB)
+    return false;
+  // The caller expects RA to survive as representative, so always attach RB
+  // under RA regardless of rank; rank is still tracked to keep find() cheap.
+  Parent[RB] = RA;
+  if (Rank[RA] <= Rank[RB])
+    Rank[RA] = Rank[RB] + 1;
+  return true;
+}

@@ -1,0 +1,55 @@
+//===- support/UnionFind.h - Disjoint-set forest ---------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find over dense unsigned ids, used by the coalescing phases to
+/// track which live ranges have been merged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_UNIONFIND_H
+#define PDGC_SUPPORT_UNIONFIND_H
+
+#include <vector>
+
+namespace pdgc {
+
+/// Disjoint-set forest with union by rank and path compression.
+///
+/// `unionSets(A, B)` makes the representative of A the representative of the
+/// merged class; coalescing relies on that to keep the surviving live range
+/// deterministic.
+class UnionFind {
+  // Parent pointer per element; Rank bounds tree height.
+  mutable std::vector<unsigned> Parent;
+  std::vector<unsigned> Rank;
+
+public:
+  UnionFind() = default;
+  explicit UnionFind(unsigned N) { reset(N); }
+
+  /// Reinitializes to \p N singleton classes.
+  void reset(unsigned N);
+
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Grows to hold ids up to \p N - 1; new elements form singleton classes.
+  void grow(unsigned N);
+
+  /// Returns the representative of \p X's class.
+  unsigned find(unsigned X) const;
+
+  /// Merges the classes of \p A and \p B; the representative of \p A becomes
+  /// the representative of the merged class. Returns false if they were
+  /// already in the same class.
+  bool unionSets(unsigned A, unsigned B);
+
+  bool connected(unsigned A, unsigned B) const { return find(A) == find(B); }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_UNIONFIND_H

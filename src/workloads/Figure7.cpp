@@ -1,0 +1,59 @@
+//===- workloads/Figure7.cpp - The paper's running example -------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Figure7.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace pdgc;
+
+TargetDesc pdgc::makeFigure7Target() {
+  // 3 GPRs (2 volatile, 1 non-volatile), 2 parameter registers; the FPR
+  // side exists but is unused by the example.
+  return TargetDesc("fig7", /*GPRs=*/3, /*FPRs=*/3, /*VolatilePerClass=*/2,
+                    /*MaxParamRegs=*/2, PairingRule::Adjacent);
+}
+
+std::unique_ptr<Function>
+pdgc::makeFigure7Function(const TargetDesc &Target, Figure7Regs *Regs) {
+  auto F = std::make_unique<Function>("figure7");
+  IRBuilder B(*F);
+
+  VReg Arg0 = F->addParam(RegClass::GPR,
+                          static_cast<int>(Target.paramReg(RegClass::GPR, 0)));
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *L1 = F->createBlock("L1");
+  BasicBlock *Out = F->createBlock("out");
+
+  // i0: v0 = [arg0]
+  B.setInsertBlock(Entry);
+  VReg V0 = B.emitLoad(Arg0, 0);
+  B.emitBranch(L1);
+
+  // L1 body. The paired load i1/i2 reads [v0] and [v0+1].
+  B.setInsertBlock(L1);
+  auto [V1, V2] = B.emitPairedLoad(V0, 0);
+  VReg V3 = B.emitMove(V0);                       // i3: v3 = v0
+  VReg V4 = B.emitBinary(Opcode::Add, V1, V2);    // i4: v4 = v1 + v2
+  VReg CallArg = F->createPinnedVReg(
+      RegClass::GPR, static_cast<int>(Target.paramReg(RegClass::GPR, 0)));
+  B.emitMoveTo(CallArg, V3);                      // i5: arg0 = v3
+  B.emitCall(/*Callee=*/1, {CallArg}, VReg());    // i6: call
+  // i7: v0 = v4 + 1 — the same live range as i0's v0, as in the paper.
+  L1->append(Instruction(Opcode::AddImm, V0, {V4}, 1));
+  // i8: if v0 != 0 goto L1
+  L1->append(Instruction(Opcode::CondBranch, VReg(), {V0}));
+  F->setEdges(L1, {L1, Out});
+
+  // i9: ret
+  B.setInsertBlock(Out);
+  B.emitRet();
+
+  if (Regs)
+    *Regs = Figure7Regs{Arg0, V0, V1, V2, V3, V4, CallArg};
+  return F;
+}

@@ -1,0 +1,57 @@
+//===- workloads/Figure7.h - The paper's running example --------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worked example of Figure 7: the sample loop (a), whose interference
+/// graph (b), Register Preference Graph (c), simplification stack (d),
+/// Coloring Precedence Graphs (e)/(f) and final assignment (g)/(h) the
+/// paper walks through. Used by the figure-7 benchmark, an example program
+/// and the exact-structure unit tests.
+///
+///   i0:      v0 = [arg0]
+///   i1: L1:  v1 = [v0]        ; paired-load head
+///   i2:      v2 = [v0+1]      ; paired-load mate
+///   i3:      v3 = v0
+///   i4:      v4 = v1 + v2
+///   i5:      arg0' = v3
+///   i6:      call f(arg0')
+///   i7:      v0 = v4 + 1
+///   i8:      if v0 != 0 goto L1
+///   i9:      ret
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_WORKLOADS_FIGURE7_H
+#define PDGC_WORKLOADS_FIGURE7_H
+
+#include "ir/Function.h"
+#include "machine/TargetDesc.h"
+
+#include <memory>
+
+namespace pdgc {
+
+/// The registers of interest in the Figure 7 function.
+struct Figure7Regs {
+  VReg Arg0;    ///< Parameter, pinned to r0 (the paper's r1).
+  VReg V0, V1, V2, V3, V4;
+  VReg CallArg; ///< arg0' of i5/i6, pinned to r0.
+};
+
+/// Builds the Figure 7 function (no phis; v0 is multiply defined exactly
+/// as in the paper's code).
+std::unique_ptr<Function> makeFigure7Function(const TargetDesc &Target,
+                                              Figure7Regs *Regs = nullptr);
+
+/// The paper's machine for the example: three integer registers, r0 and r1
+/// volatile (r0 doubles as the argument/return register), r2 non-volatile;
+/// adjacent-register paired loads. Matches the paper's r1/r2/r3 up to
+/// renaming.
+TargetDesc makeFigure7Target();
+
+} // namespace pdgc
+
+#endif // PDGC_WORKLOADS_FIGURE7_H

@@ -1,0 +1,356 @@
+//===- workloads/Generator.cpp - Synthetic SSA workloads --------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Generator.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Debug.h"
+#include "support/Rng.h"
+
+using namespace pdgc;
+
+namespace {
+
+/// Stateful generator walking the function under construction.
+class Generator {
+  const GeneratorParams &P;
+  const TargetDesc &T;
+  Function &F;
+  IRBuilder B;
+  Rng R;
+
+  std::vector<VReg> IntScope; ///< Values valid at the insertion point.
+  std::vector<VReg> FpScope;
+  std::vector<VReg> IntPressure; ///< Long-lived values, used again at exit.
+  std::vector<VReg> FpPressure;
+  unsigned LoopDepth = 0;
+  unsigned NextCallee = 1;
+
+  static constexpr unsigned ScopeCap = 24;
+
+public:
+  Generator(const GeneratorParams &P, const TargetDesc &T, Function &F)
+      : P(P), T(T), F(F), B(F), R(P.Seed) {}
+
+  RegClass rollClass() {
+    return R.roll(P.FpPercent) ? RegClass::FPR : RegClass::GPR;
+  }
+
+  std::vector<VReg> &scope(RegClass RC) {
+    return RC == RegClass::GPR ? IntScope : FpScope;
+  }
+  std::vector<VReg> &pressure(RegClass RC) {
+    return RC == RegClass::GPR ? IntPressure : FpPressure;
+  }
+
+  /// Publishes a freshly defined value into the scope.
+  void publish(VReg V) {
+    std::vector<VReg> &S = scope(F.regClass(V));
+    S.push_back(V);
+    if (S.size() > ScopeCap)
+      S.erase(S.begin());
+  }
+
+  /// Picks a value of class \p RC valid at the insertion point; pressure
+  /// values are sampled occasionally to keep their ranges busy.
+  VReg pick(RegClass RC) {
+    std::vector<VReg> &Press = pressure(RC);
+    if (!Press.empty() && R.roll(25))
+      return Press[R.nextBelow(Press.size())];
+    std::vector<VReg> &S = scope(RC);
+    if (S.empty()) {
+      VReg V = B.emitLoadImm(static_cast<std::int64_t>(R.nextBelow(64)), RC);
+      publish(V);
+      return V;
+    }
+    return S[R.nextBelow(S.size())];
+  }
+
+  VReg pickInt() { return pick(RegClass::GPR); }
+
+  //===------------------------------------------------------------------===
+  // Fragments
+  //===------------------------------------------------------------------===
+
+  void emitStraightOp() {
+    if (R.roll(P.CopyPercent)) {
+      // Copies model SSA renames and convention glue: the old name
+      // retires at the copy (so the pair is coalescible), as in the
+      // paper's JIT where a naive SSA program has many such copies.
+      RegClass RC = rollClass();
+      std::vector<VReg> &S = scope(RC);
+      if (!S.empty()) {
+        unsigned Idx = static_cast<unsigned>(R.nextBelow(S.size()));
+        VReg Src = S[Idx];
+        S.erase(S.begin() + Idx);
+        publish(B.emitMove(Src));
+        return;
+      }
+      publish(B.emitMove(pick(RC)));
+      return;
+    }
+    switch (R.nextBelow(6)) {
+    case 0: {
+      RegClass RC = rollClass();
+      publish(B.emitBinary(Opcode::Add, pick(RC), pick(RC)));
+      break;
+    }
+    case 1: {
+      RegClass RC = rollClass();
+      publish(B.emitBinary(R.roll(50) ? Opcode::Sub : Opcode::Mul, pick(RC),
+                           pick(RC)));
+      break;
+    }
+    case 2:
+      publish(B.emitAddImm(pick(rollClass()),
+                           static_cast<std::int64_t>(R.nextBelow(16))));
+      break;
+    case 3: {
+      std::int64_t Off = static_cast<std::int64_t>(R.nextBelow(64));
+      RegClass RC = rollClass();
+      publish(R.roll(P.NarrowLoadPercent)
+                  ? B.emitNarrowLoad(pickInt(), Off, RC)
+                  : B.emitLoad(pickInt(), Off, RC));
+      break;
+    }
+    case 4: {
+      RegClass RC = rollClass();
+      publish(B.emitCompare(R.roll(50) ? Opcode::CmpLT : Opcode::CmpEQ,
+                            pick(RC), pick(RC)));
+      break;
+    }
+    case 5:
+      publish(
+          B.emitLoadImm(static_cast<std::int64_t>(R.nextBelow(256)),
+                        rollClass()));
+      break;
+    }
+  }
+
+  void emitCallSite() {
+    unsigned MaxArgs = T.maxParamRegs() < 3 ? T.maxParamRegs() : 3;
+    unsigned NumArgs = 1 + static_cast<unsigned>(R.nextBelow(MaxArgs));
+    unsigned GprIdx = 0, FprIdx = 0;
+    std::vector<VReg> Args;
+    for (unsigned I = 0; I != NumArgs; ++I) {
+      RegClass RC = rollClass();
+      unsigned &Idx = RC == RegClass::GPR ? GprIdx : FprIdx;
+      if (Idx >= T.maxParamRegs())
+        RC = RC == RegClass::GPR ? RegClass::FPR : RegClass::GPR;
+      unsigned &Idx2 = RC == RegClass::GPR ? GprIdx : FprIdx;
+      VReg Val = pick(RC);
+      VReg Pinned =
+          F.createPinnedVReg(RC, static_cast<int>(T.paramReg(RC, Idx2++)));
+      B.emitMoveTo(Pinned, Val);
+      Args.push_back(Pinned);
+    }
+    unsigned Callee = NextCallee++;
+    if (R.roll(70)) {
+      RegClass RetRC = rollClass();
+      VReg Ret =
+          F.createPinnedVReg(RetRC, static_cast<int>(T.returnReg(RetRC)));
+      B.emitCall(Callee, Args, Ret);
+      publish(B.emitMove(Ret));
+    } else {
+      B.emitCall(Callee, Args, VReg());
+    }
+  }
+
+  void emitPairedLoadFragment() {
+    RegClass RC = rollClass();
+    auto [First, Second] = B.emitPairedLoad(
+        pickInt(), static_cast<std::int64_t>(R.nextBelow(32)) * 2, RC);
+    publish(First);
+    publish(Second);
+    // Consume the pair so both ranges matter.
+    publish(B.emitBinary(Opcode::Add, First, Second));
+  }
+
+  void emitStoreFragment() {
+    RegClass RC = rollClass();
+    B.emitStore(pick(RC), pickInt(),
+                static_cast<std::int64_t>(R.nextBelow(64)));
+  }
+
+  /// An if/else diamond merged with phis.
+  void emitDiamond(unsigned Budget) {
+    VReg Cond = B.emitCompare(Opcode::CmpLT, pickInt(), pickInt());
+    BasicBlock *Then = F.createBlock();
+    BasicBlock *Else = F.createBlock();
+    BasicBlock *Join = F.createBlock();
+    B.emitCondBranch(Cond, Then, Else);
+
+    std::vector<VReg> SavedInt = IntScope, SavedFp = FpScope;
+
+    B.setInsertBlock(Then);
+    emitFragments(Budget);
+    // Candidate merge values from this arm, one per class.
+    VReg ThenInt = pickInt();
+    VReg ThenFp = FpScope.empty() ? VReg() : pick(RegClass::FPR);
+    B.emitBranch(Join);
+
+    IntScope = SavedInt;
+    FpScope = SavedFp;
+    B.setInsertBlock(Else);
+    emitFragments(Budget);
+    VReg ElseInt = pickInt();
+    VReg ElseFp = FpScope.empty() ? VReg() : pick(RegClass::FPR);
+    B.emitBranch(Join);
+
+    // Only dominating values stay in scope past the join; phi merges
+    // reintroduce one value per class.
+    IntScope = std::move(SavedInt);
+    FpScope = std::move(SavedFp);
+    B.setInsertBlock(Join);
+    publish(B.emitPhi(RegClass::GPR, {ThenInt, ElseInt}));
+    if (ThenFp.isValid() && ElseFp.isValid())
+      publish(B.emitPhi(RegClass::FPR, {ThenFp, ElseFp}));
+  }
+
+  /// A counted do-while loop with an induction variable and accumulators.
+  void emitLoop(unsigned Budget) {
+    VReg Init = B.emitLoadImm(0);
+    VReg Trip = B.emitLoadImm(
+        2 + static_cast<std::int64_t>(R.nextBelow(6)));
+
+    // Pre-pick accumulator initial values while still in the preheader:
+    // pick() may have to materialize a constant, which must not land
+    // between the header phis.
+    std::vector<std::pair<RegClass, VReg>> AccInits;
+    for (unsigned A = 0; A != P.Accumulators; ++A) {
+      RegClass RC = rollClass();
+      AccInits.push_back({RC, pick(RC)});
+    }
+
+    BasicBlock *Header = F.createBlock();
+    BasicBlock *Exit = F.createBlock();
+    B.emitBranch(Header);
+
+    // Header phis: incoming use 0 is the preheader value; use 1 (the
+    // latch value) is patched once the latch exists.
+    B.setInsertBlock(Header);
+    VReg Ind = B.emitPhi(RegClass::GPR, {Init, Init});
+    unsigned IndPhiIdx = Header->size() - 1;
+
+    std::vector<std::pair<VReg, unsigned>> AccPhis;
+    for (auto &[RC, InitVal] : AccInits) {
+      VReg Acc = B.emitPhi(RC, {InitVal, InitVal});
+      AccPhis.push_back({Acc, Header->size() - 1});
+      publish(Acc);
+    }
+    publish(Ind);
+
+    ++LoopDepth;
+    emitFragments(Budget);
+    --LoopDepth;
+
+    // Latch: update accumulators and the induction variable, then branch.
+    for (auto &[Acc, PhiIdx] : AccPhis) {
+      RegClass RC = F.regClass(Acc);
+      VReg Next = B.emitBinary(Opcode::Add, Acc, pick(RC));
+      Header->inst(PhiIdx).setUse(1, Next);
+    }
+    VReg IndNext = B.emitAddImm(Ind, 1);
+    Header->inst(IndPhiIdx).setUse(1, IndNext);
+    VReg Cond = B.emitCompare(Opcode::CmpLT, IndNext, Trip);
+    B.emitCondBranch(Cond, Header, Exit);
+
+    B.setInsertBlock(Exit);
+    // The latch dominates the exit, so the current scope remains valid.
+  }
+
+  /// Emits \p Budget fragments at the insertion point.
+  void emitFragments(unsigned Budget) {
+    while (Budget > 0) {
+      if (LoopDepth < P.MaxLoopDepth && Budget >= 6 &&
+          R.roll(P.LoopPercent)) {
+        emitLoop(Budget >= 12 ? 6 : Budget / 2);
+        Budget -= 6;
+        continue;
+      }
+      if (Budget >= 4 && R.roll(P.BranchPercent)) {
+        emitDiamond(Budget >= 8 ? 3 : Budget / 2);
+        Budget -= 4;
+        continue;
+      }
+      if (R.roll(P.CallPercent)) {
+        emitCallSite();
+        Budget -= Budget >= 2 ? 2 : 1;
+        continue;
+      }
+      if (R.roll(P.PairedLoadPercent)) {
+        emitPairedLoadFragment();
+        --Budget;
+        continue;
+      }
+      if (R.roll(P.StorePercent)) {
+        emitStoreFragment();
+        --Budget;
+        continue;
+      }
+      for (unsigned I = 0; I != P.OpsPerFragment; ++I)
+        emitStraightOp();
+      --Budget;
+    }
+  }
+
+  void run() {
+    BasicBlock *Entry = F.createBlock("entry");
+    B.setInsertBlock(Entry);
+
+    // Parameters arrive in pinned registers; copy them into ordinary
+    // ranges immediately (the copies are coalescing fodder).
+    unsigned NumParams = P.NumParams < T.maxParamRegs() ? P.NumParams
+                                                        : T.maxParamRegs();
+    for (unsigned I = 0; I != NumParams; ++I) {
+      VReg Param =
+          F.addParam(RegClass::GPR,
+                     static_cast<int>(T.paramReg(RegClass::GPR, I)));
+      publish(B.emitMove(Param));
+    }
+
+    // Long-lived pressure values.
+    for (unsigned I = 0; I != P.PressureValues; ++I) {
+      RegClass RC = rollClass();
+      VReg V;
+      if (RC == RegClass::GPR && !IntScope.empty() && R.roll(50))
+        V = B.emitLoad(pickInt(), static_cast<std::int64_t>(I));
+      else
+        V = B.emitLoadImm(static_cast<std::int64_t>(R.nextBelow(1024)), RC);
+      pressure(RC).push_back(V);
+      publish(V);
+    }
+
+    emitFragments(P.FragmentBudget);
+
+    // Fold the pressure values into the result so their ranges span the
+    // whole function, store a value, and return.
+    VReg Result = pickInt();
+    for (VReg V : IntPressure)
+      Result = B.emitBinary(Opcode::Add, Result, V);
+    if (!FpPressure.empty()) {
+      VReg FpSum = FpPressure.front();
+      for (unsigned I = 1; I < FpPressure.size(); ++I)
+        FpSum = B.emitBinary(Opcode::Add, FpSum, FpPressure[I]);
+      VReg AsFlag = B.emitCompare(Opcode::CmpLT, FpSum, FpSum);
+      Result = B.emitBinary(Opcode::Add, Result, AsFlag);
+    }
+    B.emitStore(Result, pickInt(), 7);
+    VReg Ret = F.createPinnedVReg(
+        RegClass::GPR, static_cast<int>(T.returnReg(RegClass::GPR)));
+    B.emitMoveTo(Ret, Result);
+    B.emitRet(Ret);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Function> pdgc::generateFunction(const GeneratorParams &P,
+                                                 const TargetDesc &T) {
+  auto F = std::make_unique<Function>(P.Name);
+  Generator(P, T, *F).run();
+  return F;
+}

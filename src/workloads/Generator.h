@@ -1,0 +1,67 @@
+//===- workloads/Generator.h - Synthetic SSA workloads ----------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic generator of SSA-form IR functions. The paper evaluates
+/// on SPECjvm98 compiled by IBM's IA-64 Java JIT, which is unavailable; the
+/// generator produces functions with the structural features the allocators
+/// actually consume — loop nests with induction variables and accumulators
+/// (long live ranges, high frequencies), if/else diamonds with phi merges
+/// (copy-related live ranges after SSA lowering), call sites with pinned
+/// argument/return registers (dedicated preferences, call-crossing
+/// liveness), paired-load candidates (sequential preferences), and tunable
+/// register pressure.
+///
+/// Generation is structured (loops are counted), so every generated
+/// function terminates, and fully seeded, so the corpus is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_WORKLOADS_GENERATOR_H
+#define PDGC_WORKLOADS_GENERATOR_H
+
+#include "ir/Function.h"
+#include "machine/TargetDesc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pdgc {
+
+/// Shape knobs for one generated function.
+struct GeneratorParams {
+  std::string Name = "synth";
+  std::uint64_t Seed = 1;
+
+  unsigned NumParams = 2;      ///< Integer parameters (pinned registers).
+  unsigned FragmentBudget = 24;///< Code fragments to emit at the top level.
+  unsigned OpsPerFragment = 4; ///< Straight-line ops per plain fragment.
+
+  unsigned LoopPercent = 20;   ///< Chance a fragment is a counted loop.
+  unsigned MaxLoopDepth = 2;   ///< Loop nesting bound.
+  unsigned BranchPercent = 20; ///< Chance a fragment is an if/else diamond.
+  unsigned CallPercent = 20;   ///< Chance a fragment is a call site.
+  unsigned CopyPercent = 20;   ///< Chance a straight-line op is a copy.
+  unsigned PairedLoadPercent = 10; ///< Chance a fragment emits a paired
+                                   ///< load.
+  unsigned NarrowLoadPercent = 0;  ///< Chance a load is narrow (limited
+                                   ///< register usage, e.g. byte loads).
+  unsigned StorePercent = 15;  ///< Chance a fragment stores a value.
+  unsigned FpPercent = 10;     ///< Portion of values in the FPR class.
+  unsigned Accumulators = 2;   ///< Live-through values updated per loop.
+  unsigned PressureValues = 6; ///< Long-lived values created at entry and
+                               ///< kept live to the end.
+};
+
+/// Generates a function. The result is in SSA form (phis present); run it
+/// through an allocator driver (which lowers phis) or eliminatePhis().
+std::unique_ptr<Function> generateFunction(const GeneratorParams &Params,
+                                           const TargetDesc &Target);
+
+} // namespace pdgc
+
+#endif // PDGC_WORKLOADS_GENERATOR_H

@@ -1,0 +1,167 @@
+//===- workloads/Suites.cpp - SPECjvm98-like workload suites ----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suites.h"
+
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+namespace {
+
+/// Builds one suite of \p NumFunctions variations of \p Base.
+WorkloadSuite makeSuite(const char *Name, unsigned NumFunctions,
+                        GeneratorParams Base, std::uint64_t SeedBase) {
+  WorkloadSuite S;
+  S.Name = Name;
+  for (unsigned I = 0; I != NumFunctions; ++I) {
+    GeneratorParams P = Base;
+    P.Name = std::string(Name) + "_f" + std::to_string(I);
+    P.Seed = SeedBase + 0x9E3779B97F4A7C15ULL * (I + 1);
+    // Vary the size a little across the suite.
+    P.FragmentBudget = Base.FragmentBudget + (I % 3) * 6;
+    S.Functions.push_back(std::move(P));
+  }
+  return S;
+}
+
+} // namespace
+
+std::vector<WorkloadSuite> pdgc::specJvmLikeSuites() {
+  std::vector<WorkloadSuite> Suites;
+
+  // compress: tight nested integer loops over buffers; few calls.
+  {
+    GeneratorParams P;
+    P.FragmentBudget = 26;
+    P.LoopPercent = 45;
+    P.MaxLoopDepth = 3;
+    P.BranchPercent = 15;
+    P.CallPercent = 6;
+    P.CopyPercent = 15;
+    P.PairedLoadPercent = 12;
+    P.StorePercent = 25;
+    P.FpPercent = 5;
+    P.Accumulators = 3;
+    P.PressureValues = 7;
+    Suites.push_back(makeSuite("compress", 10, P, 0xC0317E55ULL));
+  }
+
+  // jess: rule-engine style — call-saturated, branchy, shallow loops.
+  {
+    GeneratorParams P;
+    P.FragmentBudget = 24;
+    P.LoopPercent = 12;
+    P.MaxLoopDepth = 1;
+    P.BranchPercent = 30;
+    P.CallPercent = 48;
+    P.CopyPercent = 25;
+    P.PairedLoadPercent = 0;
+    P.StorePercent = 12;
+    P.FpPercent = 4;
+    P.Accumulators = 2;
+    P.PressureValues = 8;
+    Suites.push_back(makeSuite("jess", 12, P, 0x1E55ULL));
+  }
+
+  // db: database shell — many calls and copies, light loops.
+  {
+    GeneratorParams P;
+    P.FragmentBudget = 24;
+    P.LoopPercent = 18;
+    P.MaxLoopDepth = 1;
+    P.BranchPercent = 25;
+    P.CallPercent = 38;
+    P.CopyPercent = 32;
+    P.PairedLoadPercent = 0;
+    P.NarrowLoadPercent = 30; // String/byte handling: narrow loads.
+    P.StorePercent = 18;
+    P.FpPercent = 0;
+    P.Accumulators = 2;
+    P.PressureValues = 7;
+    Suites.push_back(makeSuite("db", 10, P, 0xDBDBULL));
+  }
+
+  // javac: large branchy methods, calls, high pressure.
+  {
+    GeneratorParams P;
+    P.FragmentBudget = 30;
+    P.LoopPercent = 18;
+    P.MaxLoopDepth = 2;
+    P.BranchPercent = 35;
+    P.CallPercent = 32;
+    P.CopyPercent = 25;
+    P.PairedLoadPercent = 4;
+    P.NarrowLoadPercent = 15; // Token/character scanning.
+    P.StorePercent = 15;
+    P.FpPercent = 0;
+    P.Accumulators = 2;
+    P.PressureValues = 10;
+    Suites.push_back(makeSuite("javac", 12, P, 0x7A9ACULL));
+  }
+
+  // mpegaudio: floating-point kernels, deep loops, many paired loads.
+  {
+    GeneratorParams P;
+    P.FragmentBudget = 26;
+    P.LoopPercent = 45;
+    P.MaxLoopDepth = 3;
+    P.BranchPercent = 10;
+    P.CallPercent = 8;
+    P.CopyPercent = 15;
+    P.PairedLoadPercent = 40;
+    P.StorePercent = 20;
+    P.FpPercent = 60;
+    P.Accumulators = 3;
+    P.PressureValues = 8;
+    Suites.push_back(makeSuite("mpegaudio", 10, P, 0x3E6ULL));
+  }
+
+  // mtrt: ray tracing — floating point plus calls, moderate loops.
+  {
+    GeneratorParams P;
+    P.FragmentBudget = 26;
+    P.LoopPercent = 25;
+    P.MaxLoopDepth = 2;
+    P.BranchPercent = 20;
+    P.CallPercent = 26;
+    P.CopyPercent = 20;
+    P.PairedLoadPercent = 22;
+    P.StorePercent = 15;
+    P.FpPercent = 55;
+    P.Accumulators = 3;
+    P.PressureValues = 8;
+    Suites.push_back(makeSuite("mtrt", 10, P, 0x307D7ULL));
+  }
+
+  // jack: parser generator — call heavy, branchy.
+  {
+    GeneratorParams P;
+    P.FragmentBudget = 24;
+    P.LoopPercent = 15;
+    P.MaxLoopDepth = 1;
+    P.BranchPercent = 28;
+    P.CallPercent = 42;
+    P.CopyPercent = 24;
+    P.PairedLoadPercent = 0;
+    P.NarrowLoadPercent = 25; // Parser input handling: byte loads.
+    P.StorePercent = 14;
+    P.FpPercent = 5;
+    P.Accumulators = 2;
+    P.PressureValues = 6;
+    Suites.push_back(makeSuite("jack", 12, P, 0x7ACCULL));
+  }
+
+  return Suites;
+}
+
+WorkloadSuite pdgc::suiteByName(const std::string &Name) {
+  for (WorkloadSuite &S : specJvmLikeSuites())
+    if (S.Name == Name)
+      return S;
+  pdgc_check(false, ("unknown workload suite: " + Name).c_str());
+  return {};
+}

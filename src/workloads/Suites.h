@@ -1,0 +1,49 @@
+//===- workloads/Suites.h - SPECjvm98-like workload suites ------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus: seven suites named after the SPECjvm98 tests the
+/// paper evaluates on (compress, jess, db, javac, mpegaudio, mtrt, jack),
+/// each a set of generated functions whose structural profile follows the
+/// paper's characterization of that test — compress and mpegaudio are
+/// loop-dominated (mpegaudio floating-point heavy with many paired-load
+/// candidates), jess/db/javac/jack "make frequent function calls"
+/// (Section 6.2), mtrt mixes floating-point work with calls. This is a
+/// substitution for the unavailable Java workloads; see DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_WORKLOADS_SUITES_H
+#define PDGC_WORKLOADS_SUITES_H
+
+#include "workloads/Generator.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// A named set of generator configurations.
+struct WorkloadSuite {
+  std::string Name;
+  std::vector<GeneratorParams> Functions;
+
+  /// Generates function \p I of the suite fresh (allocation mutates
+  /// functions, so benchmarks regenerate per allocator).
+  std::unique_ptr<Function> generate(unsigned I,
+                                     const TargetDesc &Target) const {
+    return generateFunction(Functions.at(I), Target);
+  }
+};
+
+/// Returns the seven SPECjvm98-like suites with deterministic seeds.
+std::vector<WorkloadSuite> specJvmLikeSuites();
+
+/// Returns one suite by name; aborts on an unknown name.
+WorkloadSuite suiteByName(const std::string &Name);
+
+} // namespace pdgc
+
+#endif // PDGC_WORKLOADS_SUITES_H

@@ -1,0 +1,206 @@
+//===- tests/test_coalescer.cpp - Coalescing machinery tests -------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "regalloc/Coalescer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+struct GraphFixture {
+  Function F;
+  std::unique_ptr<InterferenceGraph> IG;
+
+  explicit GraphFixture(const char *Name = "g") : F(Name) {}
+
+  void finish() {
+    Liveness LV = Liveness::compute(F);
+    LoopInfo LI = LoopInfo::compute(F);
+    IG = std::make_unique<InterferenceGraph>(
+        InterferenceGraph::build(F, LV, LI));
+  }
+};
+
+TEST(Coalescer, AggressiveMergesSimpleCopy) {
+  GraphFixture G;
+  IRBuilder B(G.F);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+  G.finish();
+
+  UnionFind UF(G.F.numVRegs());
+  unsigned Merged = aggressiveCoalesce(*G.IG, UF);
+  EXPECT_EQ(Merged, 1u);
+  EXPECT_TRUE(UF.connected(S.id(), D.id()));
+  EXPECT_TRUE(G.IG->isMerged(D.id()) || G.IG->isMerged(S.id()));
+}
+
+TEST(Coalescer, InterferingCopyIsConstrained) {
+  GraphFixture G;
+  IRBuilder B(G.F);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  BB->append(Instruction(Opcode::LoadImm, S, {}, 2)); // Redefine S: conflict.
+  VReg T = B.emitBinary(Opcode::Add, D, S);
+  B.emitStore(T, T, 0);
+  B.emitRet();
+  G.finish();
+
+  ASSERT_TRUE(G.IG->interferes(S.id(), D.id()));
+  EXPECT_FALSE(canMergePair(*G.IG, S.id(), D.id()));
+  UnionFind UF(G.F.numVRegs());
+  EXPECT_EQ(aggressiveCoalesce(*G.IG, UF), 0u);
+}
+
+TEST(Coalescer, PrecoloredSurvivesAsRepresentative) {
+  GraphFixture G;
+  IRBuilder B(G.F);
+  VReg P = G.F.addParam(RegClass::GPR, 2);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg D = B.emitMove(P);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+  G.finish();
+
+  UnionFind UF(G.F.numVRegs());
+  ASSERT_EQ(aggressiveCoalesce(*G.IG, UF), 1u);
+  EXPECT_EQ(UF.find(D.id()), P.id());
+  EXPECT_FALSE(G.IG->isMerged(P.id()));
+  EXPECT_TRUE(G.IG->isMerged(D.id()));
+}
+
+TEST(Coalescer, TwoPrecoloredNeverMerge) {
+  GraphFixture G;
+  IRBuilder B(G.F);
+  VReg P0 = G.F.createPinnedVReg(RegClass::GPR, 0);
+  VReg P1 = G.F.createPinnedVReg(RegClass::GPR, 1);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  B.emitMoveTo(P1, P0);
+  B.emitRet();
+  G.finish();
+
+  EXPECT_FALSE(canMergePair(*G.IG, P0.id(), P1.id()));
+  UnionFind UF(G.F.numVRegs());
+  EXPECT_EQ(aggressiveCoalesce(*G.IG, UF), 0u);
+}
+
+TEST(Coalescer, ColorConflictBlocksRegisterCoalescing) {
+  // v is copy-related with a register pinned to r0 but also interferes
+  // with another node pinned to r0: merging would be illegal.
+  GraphFixture G;
+  IRBuilder B(G.F);
+  VReg P = G.F.addParam(RegClass::GPR, 0); // Pinned r0, live at entry.
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg V = B.emitAddImm(P, 1); // V live while P lives: interferes with r0.
+  B.emitStore(V, P, 0);
+  VReg Ret = G.F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, V); // Copy-related with r0-pinned Ret.
+  B.emitRet(Ret);
+  G.finish();
+
+  ASSERT_TRUE(G.IG->interferes(V.id(), P.id()));
+  ASSERT_FALSE(G.IG->interferes(V.id(), Ret.id()));
+  EXPECT_TRUE(G.IG->conflictsWithColor(V.id(), 0));
+  EXPECT_FALSE(canMergePair(*G.IG, Ret.id(), V.id()));
+}
+
+/// A chain a -> b -> c of copies: aggressive coalescing folds all three.
+TEST(Coalescer, CopyChainsCollapse) {
+  GraphFixture G;
+  IRBuilder B(G.F);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg Bv = B.emitMove(A);
+  VReg C = B.emitMove(Bv);
+  B.emitStore(C, C, 0);
+  B.emitRet();
+  G.finish();
+
+  UnionFind UF(G.F.numVRegs());
+  EXPECT_EQ(aggressiveCoalesce(*G.IG, UF), 2u);
+  EXPECT_TRUE(UF.connected(A.id(), C.id()));
+}
+
+TEST(Coalescer, BriggsTestBlocksDegreeExplosion) {
+  // Build x = move y where the merged node would have K significant
+  // neighbors: conservative coalescing must refuse, aggressive accepts.
+  GraphFixture G;
+  IRBuilder B(G.F);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  TargetDesc Target("t2", 2, 2, 1, 1, PairingRule::Adjacent);
+
+  // Two high-degree cliques around the copy endpoints.
+  VReg Y = B.emitLoadImm(1);
+  VReg N1 = B.emitLoadImm(2);
+  VReg N2 = B.emitLoadImm(3);
+  VReg X = B.emitMove(Y);
+  // After the copy, Y dead; X live together with N1 and N2 — and N1, N2
+  // are live together as well: N1, N2 are significant (degree >= 2).
+  VReg S1 = B.emitBinary(Opcode::Add, N1, N2);
+  VReg S2 = B.emitBinary(Opcode::Add, X, S1);
+  B.emitStore(S2, N1, 0);
+  B.emitStore(N2, X, 1);
+  B.emitRet();
+  G.finish();
+
+  ASSERT_TRUE(canMergePair(*G.IG, X.id(), Y.id()));
+  UnionFind UF(G.F.numVRegs());
+  unsigned Conservative = conservativeCoalesce(*G.IG, UF, Target);
+  // The X<-Y merge is refused by the Briggs test (merged node keeps >= K
+  // significant-degree neighbors on this 2-register machine).
+  EXPECT_FALSE(UF.connected(X.id(), Y.id()));
+  (void)Conservative;
+}
+
+TEST(Coalescer, GeorgeTestAcceptsSafePrecoloredMerge) {
+  GraphFixture G;
+  IRBuilder B(G.F);
+  VReg P = G.F.addParam(RegClass::GPR, 1);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg D = B.emitMove(P); // D's only neighbors are low degree.
+  B.emitStore(D, D, 0);
+  B.emitRet();
+  G.finish();
+
+  TargetDesc Target = makeTarget(16);
+  EXPECT_TRUE(georgeTestOk(*G.IG, Target, P.id(), D.id()));
+  UnionFind UF(G.F.numVRegs());
+  EXPECT_EQ(conservativeCoalesce(*G.IG, UF, Target), 1u);
+  EXPECT_EQ(UF.find(D.id()), P.id());
+}
+
+TEST(Coalescer, CrossClassCopyNeverProposed) {
+  // Moves are class-checked at construction, so just confirm the pair
+  // test rejects hypothetical cross-class merges.
+  GraphFixture G;
+  IRBuilder B(G.F);
+  BasicBlock *BB = G.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1, RegClass::GPR);
+  VReg X = B.emitLoadImm(2, RegClass::FPR);
+  B.emitStore(A, A, 0);
+  B.emitStore(X, A, 1);
+  B.emitRet();
+  G.finish();
+  EXPECT_FALSE(canMergePair(*G.IG, A.id(), X.id()));
+}
+
+} // namespace

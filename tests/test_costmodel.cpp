@@ -1,0 +1,144 @@
+//===- tests/test_costmodel.cpp - Appendix cost model tests --------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(CostModel, InstCostConstants) {
+  CostParams P;
+  EXPECT_DOUBLE_EQ(instCost(Instruction(Opcode::Load, VReg(0), {VReg(1)}, 0),
+                            P),
+                   2.0);
+  EXPECT_DOUBLE_EQ(
+      instCost(Instruction(Opcode::SpillLoad, VReg(0), {}, 0), P), 2.0);
+  EXPECT_DOUBLE_EQ(
+      instCost(Instruction(Opcode::Move, VReg(0), {VReg(1)}), P), 1.0);
+  // The call itself is not attributed to any live range ("undefined").
+  EXPECT_DOUBLE_EQ(instCost(Instruction(Opcode::Call, VReg(), {}, 0), P),
+                   0.0);
+}
+
+/// A single block: a = imm; b = a + 1; store b; call; ret — with b live
+/// across the call.
+struct CostFixture {
+  Function F{"cost"};
+  BasicBlock *BB;
+  VReg A, C, Arg;
+
+  CostFixture() {
+    IRBuilder B(F);
+    BB = F.createBlock();
+    B.setInsertBlock(BB);
+    A = B.emitLoadImm(7);
+    C = B.emitAddImm(A, 1);
+    Arg = F.createPinnedVReg(RegClass::GPR, 0);
+    B.emitMoveTo(Arg, A);
+    B.emitCall(1, {Arg}, VReg());
+    B.emitStore(C, C, 0); // C used after the call: crosses it.
+    B.emitRet();
+  }
+
+  LiveRangeCosts costs() {
+    Liveness LV = Liveness::compute(F);
+    LoopInfo LI = LoopInfo::compute(F);
+    return LiveRangeCosts::compute(F, LV, LI);
+  }
+};
+
+TEST(CostModel, SpillAndOpCostAccumulate) {
+  CostFixture Fix;
+  LiveRangeCosts C = Fix.costs();
+  // A: one def (store cost 1), two uses (2 loads of 2): Spill = 5.
+  EXPECT_DOUBLE_EQ(C.spillCost(Fix.A), 5.0);
+  // A participates in loadimm (1) + addimm (1) + move (1) at freq 1.
+  EXPECT_DOUBLE_EQ(C.opCost(Fix.A), 3.0);
+  EXPECT_DOUBLE_EQ(C.memCost(Fix.A), 8.0);
+  EXPECT_EQ(C.numDefs(Fix.A), 1u);
+  EXPECT_EQ(C.numUses(Fix.A), 2u);
+}
+
+TEST(CostModel, CallCrossingDetection) {
+  CostFixture Fix;
+  LiveRangeCosts C = Fix.costs();
+  EXPECT_TRUE(C.crossesCall(Fix.C));
+  EXPECT_DOUBLE_EQ(C.callCrossWeight(Fix.C), 1.0);
+  // A dies at the argument copy before the call.
+  EXPECT_FALSE(C.crossesCall(Fix.A));
+  // Call_Cost: 3 per crossed call when volatile, flat 2 when non-volatile.
+  EXPECT_DOUBLE_EQ(C.callCost(Fix.C, /*VolatileReg=*/true), 3.0);
+  EXPECT_DOUBLE_EQ(C.callCost(Fix.C, /*VolatileReg=*/false), 2.0);
+  EXPECT_DOUBLE_EQ(C.callCost(Fix.A, /*VolatileReg=*/true), 0.0);
+}
+
+TEST(CostModel, RegisterBenefitOrdersPlacements) {
+  CostFixture Fix;
+  LiveRangeCosts C = Fix.costs();
+  // For the call-crossing C the non-volatile benefit must beat volatile.
+  EXPECT_GT(C.registerBenefit(Fix.C, /*VolatileReg=*/false),
+            C.registerBenefit(Fix.C, /*VolatileReg=*/true));
+  // For the call-free A the volatile benefit is at least the non-volatile.
+  EXPECT_GE(C.registerBenefit(Fix.A, /*VolatileReg=*/true),
+            C.registerBenefit(Fix.A, /*VolatileReg=*/false));
+}
+
+TEST(CostModel, PinnedAndSpillTempsAreUnspillable) {
+  CostFixture Fix;
+  VReg Temp = Fix.F.createVReg(RegClass::GPR);
+  Fix.F.markSpillTemp(Temp);
+  LiveRangeCosts C = Fix.costs();
+  EXPECT_TRUE(C.isInfinite(Fix.Arg));
+  EXPECT_TRUE(C.isInfinite(Temp));
+  EXPECT_FALSE(C.isInfinite(Fix.A));
+  EXPECT_TRUE(std::isinf(C.spillMetric(Temp)));
+  EXPECT_FALSE(std::isinf(C.spillMetric(Fix.A)));
+}
+
+TEST(CostModel, LoopFrequencyScalesCosts) {
+  // The same code inside a loop costs FreqFactor times more.
+  Function F("inloop");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg C = B.emitLoadImm(1);
+  B.emitBranch(Loop);
+  B.setInsertBlock(Loop);
+  VReg X = B.emitLoadImm(5);
+  B.emitStore(X, X, 0);
+  B.emitCondBranch(C, Loop, Done);
+  B.setInsertBlock(Done);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(F, LV, LI);
+  // X: def (1) + 2 uses as store value/base (2+2)... the store uses X
+  // twice, each a reload site: Spill = (2+2)*10 + 1*10 = 50.
+  EXPECT_DOUBLE_EQ(Costs.spillCost(X), 50.0);
+}
+
+TEST(CostModel, CustomParamsAreHonored) {
+  CostFixture Fix;
+  Liveness LV = Liveness::compute(Fix.F);
+  LoopInfo LI = LoopInfo::compute(Fix.F);
+  CostParams P;
+  P.LoadCost = 10.0;
+  P.StoreCost = 5.0;
+  LiveRangeCosts C = LiveRangeCosts::compute(Fix.F, LV, LI, P);
+  // A: 1 def * 5 + 2 uses * 10 = 25.
+  EXPECT_DOUBLE_EQ(C.spillCost(Fix.A), 25.0);
+}
+
+} // namespace

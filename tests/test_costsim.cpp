@@ -1,0 +1,186 @@
+//===- tests/test_costsim.cpp - Cost simulator tests ---------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "sim/CostSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(CostSim, StraightLineBreakdown) {
+  // loadimm(1) + addimm(1) + store(1) + ret(1) = 4, no moves/spills/calls.
+  Function F("sl");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitAddImm(A, 2);
+  B.emitStore(C, A, 0);
+  B.emitRet();
+
+  TargetDesc T = makeTarget(16);
+  std::vector<int> Assign(F.numVRegs());
+  Assign[A.id()] = 0;
+  Assign[C.id()] = 1;
+  SimulatedCost Cost = simulateCost(F, T, Assign);
+  EXPECT_DOUBLE_EQ(Cost.OpCost, 4.0);
+  EXPECT_DOUBLE_EQ(Cost.MoveCost, 0.0);
+  EXPECT_DOUBLE_EQ(Cost.SpillCost, 0.0);
+  EXPECT_DOUBLE_EQ(Cost.CallerSaveCost, 0.0);
+  EXPECT_DOUBLE_EQ(Cost.CalleeSaveCost, 0.0);
+  EXPECT_DOUBLE_EQ(Cost.total(), 4.0);
+}
+
+TEST(CostSim, EliminatedMovesAreFree) {
+  Function F("mv");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+
+  TargetDesc T = makeTarget(16);
+  std::vector<int> Same{0, 0, 0};
+  Same.resize(F.numVRegs(), 0);
+  std::vector<int> Diff(F.numVRegs(), 0);
+  Diff[D.id()] = 1;
+  SimulatedCost Shared = simulateCost(F, T, Same);
+  SimulatedCost Copied = simulateCost(F, T, Diff);
+  EXPECT_DOUBLE_EQ(Shared.MoveCost, 0.0);
+  EXPECT_DOUBLE_EQ(Copied.MoveCost, 1.0);
+}
+
+TEST(CostSim, LoadsCostTwoAndFusedPairsAreFree) {
+  Function F("pair");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Base = B.emitLoadImm(0);
+  auto [A, C] = B.emitPairedLoad(Base, 4);
+  VReg S = B.emitBinary(Opcode::Add, A, C);
+  B.emitStore(S, Base, 0);
+  B.emitRet();
+
+  TargetDesc T = makeTarget(16, PairingRule::Adjacent);
+  std::vector<int> Fused(F.numVRegs(), 0);
+  Fused[Base.id()] = 0;
+  Fused[A.id()] = 4;
+  Fused[C.id()] = 5; // Adjacent: fuses.
+  Fused[S.id()] = 1;
+  std::vector<int> Unfused = Fused;
+  Unfused[C.id()] = 6; // Gap: no fusion.
+
+  SimulatedCost CF = simulateCost(F, T, Fused);
+  SimulatedCost CU = simulateCost(F, T, Unfused);
+  EXPECT_EQ(CF.FusedPairs, 1u);
+  EXPECT_EQ(CF.MissedPairs, 0u);
+  EXPECT_EQ(CU.FusedPairs, 0u);
+  EXPECT_EQ(CU.MissedPairs, 1u);
+  // The fused variant saves exactly one load (cost 2).
+  EXPECT_DOUBLE_EQ(CU.OpCost - CF.OpCost, 2.0);
+}
+
+TEST(CostSim, CallerSaveChargedPerVolatileLiveAcross) {
+  Function F("calls");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1); // Will cross the call.
+  VReg C = B.emitLoadImm(2); // Will cross the call.
+  B.emitCall(1, {}, VReg());
+  VReg S = B.emitBinary(Opcode::Add, A, C);
+  B.emitStore(S, S, 0);
+  B.emitRet();
+
+  TargetDesc T = makeTarget(16);
+  std::vector<int> Assign(F.numVRegs(), 0);
+  Assign[A.id()] = 0; // volatile
+  Assign[C.id()] = 1; // volatile
+  Assign[S.id()] = 2;
+  SimulatedCost BothVolatile = simulateCost(F, T, Assign);
+  EXPECT_DOUBLE_EQ(BothVolatile.CallerSaveCost, 6.0); // 2 regs * 3.
+
+  Assign[A.id()] = 8; // non-volatile
+  SimulatedCost Mixed = simulateCost(F, T, Assign);
+  EXPECT_DOUBLE_EQ(Mixed.CallerSaveCost, 3.0);
+  // ...but the non-volatile register now charges a prologue save.
+  EXPECT_DOUBLE_EQ(Mixed.CalleeSaveCost, 2.0);
+}
+
+TEST(CostSim, CalleeSaveChargedOncePerRegister) {
+  Function F("nv");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitLoadImm(2);
+  VReg D = B.emitLoadImm(3);
+  VReg S = B.emitBinary(Opcode::Add, A, C);
+  VReg S2 = B.emitBinary(Opcode::Add, S, D);
+  B.emitStore(S2, S2, 0);
+  B.emitRet();
+
+  TargetDesc T = makeTarget(16);
+  std::vector<int> Assign(F.numVRegs(), 0);
+  Assign[A.id()] = 8;  // non-volatile
+  Assign[C.id()] = 9;  // non-volatile
+  Assign[D.id()] = 0;  // volatile
+  Assign[S.id()] = 10; // non-volatile
+  Assign[S2.id()] = 0; // D is dead by S2's definition: reuse is legal.
+  SimulatedCost Cost = simulateCost(F, T, Assign);
+  // Three distinct non-volatile registers (r8, r9, r10), charged once
+  // each regardless of how many values pass through them.
+  EXPECT_DOUBLE_EQ(Cost.CalleeSaveCost, 3.0 * 2.0);
+}
+
+TEST(CostSim, SpillCodeChargedAtLoadStoreRates) {
+  Function F("sp");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = F.createVReg(RegClass::GPR);
+  BB->append(Instruction(Opcode::SpillLoad, A, {}, 0));
+  BB->append(Instruction(Opcode::SpillStore, VReg(), {A}, 0));
+  B.emitRet();
+
+  TargetDesc T = makeTarget(16);
+  std::vector<int> Assign(F.numVRegs(), 0);
+  SimulatedCost Cost = simulateCost(F, T, Assign);
+  EXPECT_DOUBLE_EQ(Cost.SpillCost, 3.0); // Load 2 + store 1.
+}
+
+TEST(CostSim, LoopFrequencyMultipliesEverything) {
+  Function F("loop");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg C = B.emitLoadImm(1);
+  B.emitBranch(Loop);
+  B.setInsertBlock(Loop);
+  VReg S = B.emitLoadImm(2);
+  VReg D = B.emitMove(S);
+  B.emitStore(D, D, 0);
+  B.emitCondBranch(C, Loop, Done);
+  B.setInsertBlock(Done);
+  B.emitRet();
+
+  TargetDesc T = makeTarget(16);
+  std::vector<int> Assign(F.numVRegs(), 0);
+  Assign[S.id()] = 1;
+  Assign[D.id()] = 2;
+  SimulatedCost Cost = simulateCost(F, T, Assign);
+  // The surviving move runs at loop frequency 10.
+  EXPECT_DOUBLE_EQ(Cost.MoveCost, 10.0);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- tests/test_cpg.cpp - Coloring Precedence Graph tests --------------------===//
+//
+// Part of the PDGC project.
+//
+// Structural unit tests on hand-built graphs plus the central property
+// sweep: for generated functions at every pressure model, the CPG must be
+// an acyclic partial order whose every linearization preserves the
+// colorability established by simplification (the defining claim of
+// Section 5.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ColoringPrecedenceGraph.h"
+#include "ir/IRBuilder.h"
+#include "ir/PhiElimination.h"
+#include "regalloc/Simplifier.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pdgc;
+
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<Function> F;
+  std::unique_ptr<InterferenceGraph> IG;
+  std::unique_ptr<LiveRangeCosts> Costs;
+
+  explicit Analyzed(std::unique_ptr<Function> Fn) : F(std::move(Fn)) {
+    if (hasPhis(*F))
+      eliminatePhis(*F);
+    Liveness LV = Liveness::compute(*F);
+    LoopInfo LI = LoopInfo::compute(*F);
+    IG = std::make_unique<InterferenceGraph>(
+        InterferenceGraph::build(*F, LV, LI));
+    Costs = std::make_unique<LiveRangeCosts>(
+        LiveRangeCosts::compute(*F, LV, LI));
+  }
+
+  SimplifyResult simplify(const TargetDesc &T) {
+    return simplifyGraph(
+        *IG, T, [&](unsigned N) { return Costs->spillMetric(VReg(N)); },
+        /*Optimistic=*/true);
+  }
+};
+
+bool isAcyclic(const ColoringPrecedenceGraph &CPG) {
+  // Kahn's algorithm: all in-graph nodes must drain.
+  unsigned N = CPG.numNodes();
+  std::vector<unsigned> InDeg(N, 0);
+  unsigned Total = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    if (!CPG.contains(I))
+      continue;
+    ++Total;
+    InDeg[I] = static_cast<unsigned>(CPG.predecessors(I).size());
+  }
+  std::vector<unsigned> Work = CPG.roots();
+  unsigned Drained = 0;
+  while (!Work.empty()) {
+    unsigned Cur = Work.back();
+    Work.pop_back();
+    ++Drained;
+    for (unsigned S : CPG.successors(Cur))
+      if (--InDeg[S] == 0)
+        Work.push_back(S);
+  }
+  return Drained == Total;
+}
+
+TEST(Cpg, ChainGraphDegeneratesToTotalOrder) {
+  // K interfering values simultaneously live on a K-register machine:
+  // every node significant — simplification's order is forced, and the
+  // CPG must keep enough edges that colorability survives.
+  Function F("chain");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  std::vector<VReg> V;
+  for (unsigned I = 0; I != 3; ++I)
+    V.push_back(B.emitLoadImm(static_cast<std::int64_t>(I)));
+  VReg Acc = B.emitBinary(Opcode::Add, V[0], V[1]);
+  Acc = B.emitBinary(Opcode::Add, Acc, V[2]);
+  B.emitStore(Acc, V[0], 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  InterferenceGraph IG = InterferenceGraph::build(F, LV, LI);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(F, LV, LI);
+  TargetDesc Target("t3", 3, 3, 1, 1, PairingRule::Adjacent);
+  SimplifyResult SR = simplifyGraph(
+      IG, Target, [&](unsigned N) { return Costs.spillMetric(VReg(N)); },
+      true);
+  ColoringPrecedenceGraph CPG = ColoringPrecedenceGraph::build(IG, Target,
+                                                               SR);
+  EXPECT_TRUE(isAcyclic(CPG));
+  EXPECT_TRUE(CPG.preservesColorability(IG, Target, SR));
+}
+
+TEST(Cpg, LinearFromStackIsAChain) {
+  Function F("lin");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitLoadImm(2);
+  VReg S = B.emitBinary(Opcode::Add, A, C);
+  B.emitStore(S, A, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  InterferenceGraph IG = InterferenceGraph::build(F, LV, LI);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(F, LV, LI);
+  TargetDesc Target = makeTarget(16);
+  SimplifyResult SR = simplifyGraph(
+      IG, Target, [&](unsigned N) { return Costs.spillMetric(VReg(N)); },
+      true);
+
+  ColoringPrecedenceGraph Chain =
+      ColoringPrecedenceGraph::linearFromStack(IG, SR);
+  // Exactly one root (the stack top) and a single path through all nodes.
+  EXPECT_EQ(Chain.roots().size(), 1u);
+  EXPECT_EQ(Chain.roots()[0], SR.Stack.back());
+  EXPECT_EQ(Chain.numEdges(), SR.Stack.size() - 1);
+  EXPECT_TRUE(isAcyclic(Chain));
+}
+
+TEST(Cpg, RootsAreExactlyPredecessorFreeNodes) {
+  GeneratorParams P;
+  P.Seed = 77;
+  P.FragmentBudget = 16;
+  TargetDesc Target = makeTarget(16);
+  Analyzed A(generateFunction(P, Target));
+  SimplifyResult SR = A.simplify(Target);
+  ColoringPrecedenceGraph CPG =
+      ColoringPrecedenceGraph::build(*A.IG, Target, SR);
+  for (unsigned Root : CPG.roots()) {
+    EXPECT_TRUE(CPG.contains(Root));
+    EXPECT_TRUE(CPG.predecessors(Root).empty());
+  }
+  // Edges are symmetric between Succs and Preds.
+  for (unsigned N = 0; N != CPG.numNodes(); ++N)
+    for (unsigned S : CPG.successors(N)) {
+      const auto &Preds = CPG.predecessors(S);
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), N), Preds.end());
+    }
+}
+
+struct CpgPropertyCase {
+  std::uint64_t Seed;
+  unsigned Regs;
+};
+
+class CpgProperty : public ::testing::TestWithParam<CpgPropertyCase> {};
+
+TEST_P(CpgProperty, PartialOrderPreservesColorability) {
+  GeneratorParams P;
+  P.Seed = GetParam().Seed;
+  P.FragmentBudget = 20;
+  P.CallPercent = 30;
+  P.PairedLoadPercent = 10;
+  P.FpPercent = 30;
+  P.PressureValues = 9;
+  TargetDesc Target = makeTarget(GetParam().Regs);
+  Analyzed A(generateFunction(P, Target));
+  SimplifyResult SR = A.simplify(Target);
+  ColoringPrecedenceGraph CPG =
+      ColoringPrecedenceGraph::build(*A.IG, Target, SR);
+
+  EXPECT_TRUE(isAcyclic(CPG));
+  EXPECT_TRUE(CPG.preservesColorability(*A.IG, Target, SR));
+  // Every stacked node is in the graph, no others.
+  std::vector<char> OnStack(A.IG->numNodes(), 0);
+  for (unsigned N : SR.Stack)
+    OnStack[N] = 1;
+  for (unsigned N = 0; N != A.IG->numNodes(); ++N)
+    EXPECT_EQ(CPG.contains(N), OnStack[N] != 0) << N;
+}
+
+std::vector<CpgPropertyCase> cpgCases() {
+  std::vector<CpgPropertyCase> Cases;
+  for (unsigned Regs : {16u, 24u, 32u})
+    for (std::uint64_t Seed = 500; Seed != 512; ++Seed)
+      Cases.push_back({Seed, Regs});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpgProperty, ::testing::ValuesIn(cpgCases()),
+                         [](const ::testing::TestParamInfo<CpgPropertyCase>
+                                &Info) {
+                           return "s" + std::to_string(Info.param.Seed) +
+                                  "_r" + std::to_string(Info.param.Regs);
+                         });
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/test_dce.cpp - Dead code elimination tests -------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DeadCodeElimination.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(Dce, RemovesUnusedDefinitions) {
+  Function F("d");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Live = B.emitLoadImm(1);
+  B.emitLoadImm(2);              // Dead.
+  VReg DeadChainA = B.emitLoadImm(3);
+  B.emitAddImm(DeadChainA, 1);   // Dead, and so is its input.
+  B.emitStore(Live, Live, 0);
+  B.emitRet();
+
+  DceStats Stats = eliminateDeadCode(F);
+  EXPECT_EQ(Stats.InstructionsRemoved, 3u);
+  EXPECT_EQ(BB->size(), 3u); // loadimm, store, ret.
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(F, Errors)) << Errors.front();
+}
+
+TEST(Dce, KeepsSideEffectsAndTheirInputs) {
+  Function F("keep");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg V = B.emitLoadImm(1);
+  VReg Arg = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Arg, V);
+  B.emitCall(1, {Arg}, VReg()); // Calls are roots.
+  B.emitRet();
+
+  DceStats Stats = eliminateDeadCode(F);
+  EXPECT_EQ(Stats.InstructionsRemoved, 0u);
+}
+
+TEST(Dce, DeadPhiCyclesDisappear) {
+  // A classic: two phis feeding only each other around a loop are dead,
+  // even though each has a "use".
+  Function F("cycle");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+
+  B.setInsertBlock(Entry);
+  VReg A0 = B.emitLoadImm(1);
+  VReg N = B.emitLoadImm(3);
+  VReg I0 = B.emitLoadImm(0);
+  B.emitBranch(Loop);
+
+  B.setInsertBlock(Loop);
+  VReg DeadPhi = B.emitPhi(RegClass::GPR, {A0, A0});
+  VReg I = B.emitPhi(RegClass::GPR, {I0, I0});
+  VReg DeadNext = B.emitAddImm(DeadPhi, 1);
+  Loop->inst(0).setUse(1, DeadNext); // Cycle: phi <-> add, no other use.
+  VReg INext = B.emitAddImm(I, 1);
+  Loop->inst(1).setUse(1, INext);
+  VReg C = B.emitCompare(Opcode::CmpLT, INext, N);
+  B.emitCondBranch(C, Loop, Done);
+
+  B.setInsertBlock(Done);
+  VReg Ret = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, INext);
+  B.emitRet(Ret);
+
+  ExecutionResult Before = runVirtual(F, {});
+  DceStats Stats = eliminateDeadCode(F);
+  // The dead phi, its increment, and its entry initializer all vanish.
+  EXPECT_GE(Stats.InstructionsRemoved, 3u);
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyFunction(F, Errors)) << Errors.front();
+  ExecutionResult After = runVirtual(F, {});
+  EXPECT_EQ(Before.ReturnValue, After.ReturnValue);
+  EXPECT_EQ(Before.StoreDigest, After.StoreDigest);
+}
+
+TEST(Dce, BrokenPairCandidatesLoseTheFlag) {
+  Function F("pair");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Base = B.emitLoadImm(0);
+  auto [First, Second] = B.emitPairedLoad(Base, 2);
+  (void)Second; // Second is dead; First is stored.
+  B.emitStore(First, Base, 0);
+  B.emitRet();
+
+  eliminateDeadCode(F);
+  for (const Instruction &I : BB->instructions())
+    EXPECT_FALSE(I.isPairHead());
+}
+
+TEST(Dce, GeneratedFunctionsKeepTheirBehaviour) {
+  TargetDesc Target = makeTarget(24);
+  for (std::uint64_t Seed : {2100ull, 2101ull, 2102ull, 2103ull}) {
+    GeneratorParams P;
+    P.Seed = Seed;
+    P.FragmentBudget = 18;
+    P.CallPercent = 25;
+    P.FpPercent = 25;
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    ExecutionResult Before = runVirtual(*F, {4, 9});
+    ASSERT_TRUE(Before.Completed);
+    DceStats Stats = eliminateDeadCode(*F);
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(verifyFunction(*F, Errors)) << Errors.front();
+    ExecutionResult After = runVirtual(*F, {4, 9});
+    EXPECT_EQ(Before.ReturnValue, After.ReturnValue) << Seed;
+    EXPECT_EQ(Before.StoreDigest, After.StoreDigest) << Seed;
+    (void)Stats;
+  }
+}
+
+TEST(Dce, IdempotentOnCleanCode) {
+  Function F("clean");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  B.emitStore(A, A, 0);
+  B.emitRet();
+  eliminateDeadCode(F);
+  DceStats Second = eliminateDeadCode(F);
+  EXPECT_EQ(Second.InstructionsRemoved, 0u);
+}
+
+} // namespace

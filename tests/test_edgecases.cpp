@@ -1,0 +1,209 @@
+//===- tests/test_edgecases.cpp - Corner-case coverage --------------------------===//
+//
+// Part of the PDGC project.
+//
+// Coverage for the corners the main suites don't reach: driver round
+// bounds, call-cost preference decisions under oversubscription, iterated
+// coalescing's freeze path, tiny register files, FPR-pinned round trips,
+// and interpreter configuration knobs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "regalloc/CallCostAllocator.h"
+#include "regalloc/Driver.h"
+#include "regalloc/IteratedCoalescingAllocator.h"
+#include "sim/Interpreter.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(EdgeCases, CallCostPreferenceDecisionForcesOverflowToVolatile) {
+  // More call-crossing values than non-volatile registers: the Lueh-Gross
+  // preference decision must keep the hottest R in non-volatile registers
+  // and push the rest to volatile ones, spilling nothing.
+  TargetDesc Tiny("nv2", 6, 6, /*Volatile=*/4, /*Params=*/2,
+                  PairingRule::Adjacent); // 2 non-volatile GPRs.
+  Function F("overflow");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+
+  B.setInsertBlock(Entry);
+  VReg Hot1 = B.emitLoadImm(1);
+  VReg Hot2 = B.emitLoadImm(2);
+  VReg Cold = B.emitLoadImm(3);
+  B.emitBranch(Loop);
+
+  B.setInsertBlock(Loop);
+  B.emitCall(1, {}, VReg());
+  B.emitStore(Hot1, Hot2, 0); // Hot uses each iteration.
+  VReg C = B.emitCompare(Opcode::CmpEQ, Hot1, Hot2);
+  B.emitCondBranch(C, Loop, Done);
+
+  B.setInsertBlock(Done);
+  B.emitStore(Cold, Hot1, 1); // Cold used once; also crossed the loop.
+  B.emitRet();
+
+  CallCostAllocator CallCost;
+  AllocationOutcome Out = allocate(F, Tiny, CallCost);
+  unsigned NonVolCount = 0;
+  for (VReg V : {Hot1, Hot2, Cold})
+    if (Out.Assignment[V.id()] >= 0 &&
+        !Tiny.isVolatile(static_cast<PhysReg>(Out.Assignment[V.id()])))
+      ++NonVolCount;
+  EXPECT_LE(NonVolCount, Tiny.numNonVolatile(RegClass::GPR));
+  // The hot values outrank the cold one for the two callee-saved slots.
+  EXPECT_FALSE(
+      Tiny.isVolatile(static_cast<PhysReg>(Out.Assignment[Hot1.id()])));
+  EXPECT_FALSE(
+      Tiny.isVolatile(static_cast<PhysReg>(Out.Assignment[Hot2.id()])));
+}
+
+TEST(EdgeCases, IteratedCoalescingFreezesWhenNothingElseApplies) {
+  // a = move b where a's and b's precolored neighborhoods union to all
+  // three registers: the Briggs test rejects the merge forever, both
+  // endpoints are low-degree and move-related, so the only way forward is
+  // a freeze — after which both color fine and the copy survives.
+  TargetDesc Tiny("k3f", 3, 3, /*Volatile=*/3, /*Params=*/3,
+                  PairingRule::Adjacent);
+  Function F("freeze");
+  IRBuilder B(F);
+  VReg P0 = F.addParam(RegClass::GPR, 0);
+  VReg P1 = F.addParam(RegClass::GPR, 1);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Bv = B.emitLoadImm(7); // Neighbors: {P0, P1}.
+  B.emitStore(Bv, P0, 0);     // P0's last use.
+  VReg A = B.emitMove(Bv);    // b dies; a born.
+  VReg Q = F.createPinnedVReg(RegClass::GPR, 2);
+  BB->append(Instruction(Opcode::LoadImm, Q, {}, 9)); // a-Q overlap.
+  VReg S = B.emitBinary(Opcode::Add, A, Q); // a's neighbors: {P1, Q}.
+  B.emitStore(S, P1, 0);
+  B.emitRet();
+
+  IteratedCoalescingAllocator Iterated;
+  AllocationOutcome Out = allocate(F, Tiny, Iterated);
+  EXPECT_EQ(Out.Rounds, 1u);
+  EXPECT_EQ(Out.SpilledRanges, 0u);
+  // The frozen copy survives with different registers on each side.
+  EXPECT_EQ(Out.remainingMoves(), 1u);
+  EXPECT_NE(Out.Assignment[A.id()], Out.Assignment[Bv.id()]);
+}
+
+TEST(EdgeCases, DriverRespectsMaxRounds) {
+  // An adversarial budget of one round on a function that needs spills
+  // must abort via pdgc_check (death test) rather than loop.
+  TargetDesc Tiny("k2m", 2, 2, 1, 1, PairingRule::Adjacent);
+  auto Build = [](Function &F) {
+    IRBuilder B(F);
+    BasicBlock *BB = F.createBlock();
+    B.setInsertBlock(BB);
+    std::vector<VReg> V;
+    for (unsigned I = 0; I != 5; ++I)
+      V.push_back(B.emitLoadImm(static_cast<std::int64_t>(I)));
+    VReg Acc = V[0];
+    for (unsigned I = 1; I != 5; ++I)
+      Acc = B.emitBinary(Opcode::Add, Acc, V[I]);
+    B.emitStore(Acc, V[0], 0);
+    B.emitRet();
+  };
+  Function F("burn");
+  Build(F);
+  DriverOptions Options;
+  Options.MaxRounds = 1;
+  IteratedCoalescingAllocator Alloc;
+  EXPECT_DEATH(allocate(F, Tiny, Alloc, Options), "did not converge");
+}
+
+TEST(EdgeCases, FprPinnedRegistersRoundTripThroughText) {
+  TargetDesc Target = makeTarget(16);
+  Function F("fpr");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg X = B.emitLoadImm(3, RegClass::FPR);
+  VReg FArg = F.createPinnedVReg(
+      RegClass::FPR, static_cast<int>(Target.paramReg(RegClass::FPR, 0)));
+  B.emitMoveTo(FArg, X);
+  VReg FRet = F.createPinnedVReg(
+      RegClass::FPR, static_cast<int>(Target.returnReg(RegClass::FPR)));
+  B.emitCall(3, {FArg}, FRet);
+  VReg Y = B.emitMove(FRet);
+  B.emitStore(Y, B.emitLoadImm(0), 0);
+  B.emitRet();
+
+  std::string Text = printFunction(F);
+  std::string Error;
+  std::unique_ptr<Function> Parsed = parseFunction(Text, Error);
+  ASSERT_NE(Parsed, nullptr) << Error << "\n" << Text;
+  EXPECT_EQ(printFunction(*Parsed), Text);
+  EXPECT_EQ(Parsed->regClass(FArg), RegClass::FPR);
+  EXPECT_EQ(Parsed->pinnedReg(FArg), static_cast<int>(16));
+}
+
+TEST(EdgeCases, InterpreterHeapSizeChangesAddressWrapping) {
+  Function F("wrap");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Base = B.emitLoadImm(5000); // Beyond a 4096-word heap.
+  VReg L = B.emitLoad(Base, 0);
+  VReg Ret = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, L);
+  B.emitRet(Ret);
+
+  InterpreterOptions Small;
+  Small.HeapWords = 1024;
+  InterpreterOptions Large;
+  Large.HeapWords = 8192;
+  // Different wrapping, different initial cell, different value.
+  EXPECT_NE(runVirtual(F, {}, Small).ReturnValue,
+            runVirtual(F, {}, Large).ReturnValue);
+}
+
+TEST(EdgeCases, GeneratorHandlesDegenerateKnobs) {
+  TargetDesc Target = makeTarget(16);
+  GeneratorParams P;
+  P.Seed = 3000;
+  P.FragmentBudget = 1;
+  P.OpsPerFragment = 1;
+  P.NumParams = 0;
+  P.PressureValues = 0;
+  P.Accumulators = 0;
+  P.LoopPercent = 0;
+  P.BranchPercent = 0;
+  P.CallPercent = 0;
+  std::unique_ptr<Function> F = generateFunction(P, Target);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(*F, Errors)) << Errors.front();
+  EXPECT_TRUE(runVirtual(*F, {}).Completed);
+}
+
+TEST(EdgeCases, TwoRegisterMachineStillAllocates) {
+  TargetDesc Tiny("k2t", 2, 2, 1, 1, PairingRule::Adjacent);
+  GeneratorParams P;
+  P.Seed = 3100;
+  P.FragmentBudget = 8;
+  P.NumParams = 1;
+  P.PressureValues = 2;
+  P.CallPercent = 15;
+  std::unique_ptr<Function> F = generateFunction(P, Tiny);
+  ExecutionResult Before = runVirtual(*F, {6});
+  ASSERT_TRUE(Before.Completed);
+  IteratedCoalescingAllocator Alloc;
+  AllocationOutcome Out = allocate(*F, Tiny, Alloc);
+  ExecutionResult After = runAllocated(*F, Tiny, Out.Assignment, {6});
+  EXPECT_EQ(Before.ReturnValue, After.ReturnValue);
+  EXPECT_EQ(Before.StoreDigest, After.StoreDigest);
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tests/test_figure7.cpp - The paper's worked example ------------------===//
+//
+// Part of the PDGC project.
+//
+// Reproduces Figure 7 of the paper exactly: the interference graph (b),
+// the Register Preference Graph strengths of Section 5.1 (40/38 for v3's
+// coalesce edge, 28 for v4's non-volatile preference), the Coloring
+// Precedence Graphs for K=3 (e) and K>=4 (f), and the final assignment (g):
+// v0,v3 with arg0 in r0; v1,v2 in the paired registers r1,r2; v4 in the
+// non-volatile r2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+#include "analysis/InterferenceGraph.h"
+#include "core/ColoringPrecedenceGraph.h"
+#include "core/PreferenceDirectedAllocator.h"
+#include "core/RegisterPreferenceGraph.h"
+#include "ir/Verifier.h"
+#include "regalloc/Driver.h"
+#include "regalloc/Simplifier.h"
+#include "workloads/Figure7.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+class Figure7Test : public ::testing::Test {
+protected:
+  TargetDesc Target = makeFigure7Target();
+  Figure7Regs R;
+  std::unique_ptr<Function> F;
+
+  void SetUp() override {
+    F = makeFigure7Function(Target, &R);
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(verifyFunction(*F, Errors)) << Errors.front();
+  }
+};
+
+TEST_F(Figure7Test, TargetConventions) {
+  EXPECT_EQ(Target.numRegs(RegClass::GPR), 3u);
+  EXPECT_TRUE(Target.isVolatile(0));
+  EXPECT_TRUE(Target.isVolatile(1));
+  EXPECT_FALSE(Target.isVolatile(2));
+  EXPECT_EQ(Target.returnReg(RegClass::GPR), 0u);
+  EXPECT_TRUE(Target.pairFuses(1, 2));
+  EXPECT_FALSE(Target.pairFuses(2, 1));
+}
+
+TEST_F(Figure7Test, InterferenceGraphMatchesFigure7b) {
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  InterferenceGraph IG = InterferenceGraph::build(*F, LV, LI);
+
+  auto Edge = [&](VReg A, VReg B) { return IG.interferes(A.id(), B.id()); };
+
+  // The paper's graph: v0-v1, v0-v2, v1-v2, v1-v3, v2-v3, v3-v4, and v4
+  // against the call-argument copy of arg0.
+  EXPECT_TRUE(Edge(R.V0, R.V1));
+  EXPECT_TRUE(Edge(R.V0, R.V2));
+  EXPECT_TRUE(Edge(R.V1, R.V2));
+  EXPECT_TRUE(Edge(R.V1, R.V3));
+  EXPECT_TRUE(Edge(R.V2, R.V3));
+  EXPECT_TRUE(Edge(R.V3, R.V4));
+  EXPECT_TRUE(Edge(R.V4, R.CallArg));
+
+  // v3 = v0 is a copy: they do not interfere (coalescible), and v4 was
+  // born at v2's death.
+  EXPECT_FALSE(Edge(R.V0, R.V3));
+  EXPECT_FALSE(Edge(R.V0, R.V4));
+  EXPECT_FALSE(Edge(R.V2, R.V4));
+  EXPECT_FALSE(Edge(R.V1, R.V4));
+}
+
+TEST_F(Figure7Test, LoopFrequenciesMatchAppendix) {
+  LoopInfo LI = LoopInfo::compute(*F);
+  // Freq_Fact is 1 for i0/i9 (entry/exit) and 10 for the loop body.
+  EXPECT_DOUBLE_EQ(LI.frequency(F->block(0)), 1.0);
+  EXPECT_DOUBLE_EQ(LI.frequency(F->block(1)), 10.0);
+  EXPECT_DOUBLE_EQ(LI.frequency(F->block(2)), 1.0);
+}
+
+TEST_F(Figure7Test, StrengthsMatchSection51) {
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(*F, LV, LI);
+  RegisterPreferenceGraph RPG =
+      RegisterPreferenceGraph::build(*F, LV, LI, Costs, Target);
+
+  // Mem_Cost(v3) = Spill_Cost + Op_Cost = (1*10 + 2*10) + (1*10 + 1*10).
+  EXPECT_DOUBLE_EQ(Costs.memCost(R.V3), 50.0);
+
+  // "The node v3 has a coalesce edge to v0, with strength 40 when
+  // coalescing to a volatile register, but 38 for a non-volatile
+  // register."
+  const Preference *ToV0 = nullptr;
+  for (const Preference &P : RPG.preferencesOf(R.V3))
+    if (P.Kind == PrefKind::Coalesce &&
+        P.Target == PrefTarget::liveRange(R.V0.id()))
+      ToV0 = &P;
+  ASSERT_NE(ToV0, nullptr);
+  EXPECT_DOUBLE_EQ(RPG.strength(*ToV0, /*volatile r1=*/1), 40.0);
+  EXPECT_DOUBLE_EQ(RPG.strength(*ToV0, /*non-volatile r2=*/2), 38.0);
+
+  // "The strength of the preference of v4 for a non-volatile register is
+  // 28."
+  const Preference *V4NonVol = nullptr;
+  for (const Preference &P : RPG.preferencesOf(R.V4))
+    if (P.Kind == PrefKind::Prefers &&
+        P.Target.Kind == PrefTarget::NonVolatileClass)
+      V4NonVol = &P;
+  ASSERT_NE(V4NonVol, nullptr);
+  EXPECT_DOUBLE_EQ(RPG.bestStrength(*V4NonVol), 28.0);
+
+  // v3 also prefers the dedicated argument register (the i5 copy).
+  bool HasArgEdge = false;
+  for (const Preference &P : RPG.preferencesOf(R.V3))
+    if (P.Kind == PrefKind::Coalesce && P.Target.Kind == PrefTarget::Register)
+      HasArgEdge = true;
+  EXPECT_TRUE(HasArgEdge);
+
+  // The paired load yields sequential edges both ways.
+  bool V2SeqPlus = false, V1SeqMinus = false;
+  for (const Preference &P : RPG.preferencesOf(R.V2))
+    if (P.Kind == PrefKind::SequentialPlus &&
+        P.Target == PrefTarget::liveRange(R.V1.id()))
+      V2SeqPlus = true;
+  for (const Preference &P : RPG.preferencesOf(R.V1))
+    if (P.Kind == PrefKind::SequentialMinus &&
+        P.Target == PrefTarget::liveRange(R.V2.id()))
+      V1SeqMinus = true;
+  EXPECT_TRUE(V2SeqPlus);
+  EXPECT_TRUE(V1SeqMinus);
+}
+
+TEST_F(Figure7Test, CpgMatchesFigure7eForThreeRegisters) {
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(*F, LV, LI);
+  InterferenceGraph IG = InterferenceGraph::build(*F, LV, LI);
+
+  SimplifyResult SR = simplifyGraph(
+      IG, Target, [&](unsigned N) { return Costs.spillMetric(VReg(N)); },
+      /*Optimistic=*/true);
+  // The paper's stack (d): v0 and v4 removed first (low degree).
+  ASSERT_EQ(SR.Stack.size(), 5u);
+  EXPECT_TRUE((SR.Stack[0] == R.V0.id() && SR.Stack[1] == R.V4.id()) ||
+              (SR.Stack[0] == R.V4.id() && SR.Stack[1] == R.V0.id()));
+  for (char Flag : SR.OptimisticallySpilled)
+    EXPECT_EQ(Flag, 0);
+
+  ColoringPrecedenceGraph CPG =
+      ColoringPrecedenceGraph::build(IG, Target, SR);
+
+  // Figure 7(e): v1 -> v0, v2 -> v0, v3 -> v4; v1, v2, v3 are roots.
+  EXPECT_TRUE(CPG.hasEdge(R.V1.id(), R.V0.id()));
+  EXPECT_TRUE(CPG.hasEdge(R.V2.id(), R.V0.id()));
+  EXPECT_TRUE(CPG.hasEdge(R.V3.id(), R.V4.id()));
+  EXPECT_EQ(CPG.numEdges(), 3u);
+
+  std::vector<unsigned> Roots = CPG.roots();
+  ASSERT_EQ(Roots.size(), 3u);
+  EXPECT_TRUE(CPG.contains(R.V1.id()));
+  EXPECT_TRUE(CPG.contains(R.V2.id()));
+  EXPECT_TRUE(CPG.contains(R.V3.id()));
+
+  // The defining property: any linearization preserves colorability.
+  EXPECT_TRUE(CPG.preservesColorability(IG, Target, SR));
+}
+
+TEST_F(Figure7Test, CpgIsEdgeFreeForFourRegisters) {
+  // Figure 7(f): with K >= 4 every node is low degree from the start, so
+  // the partial order degenerates to "any order".
+  TargetDesc Wide("fig7wide", 4, 4, 2, 2, PairingRule::Adjacent);
+  auto F4 = makeFigure7Function(Wide, nullptr);
+  Liveness LV = Liveness::compute(*F4);
+  LoopInfo LI = LoopInfo::compute(*F4);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(*F4, LV, LI);
+  InterferenceGraph IG = InterferenceGraph::build(*F4, LV, LI);
+  SimplifyResult SR = simplifyGraph(
+      IG, Wide, [&](unsigned N) { return Costs.spillMetric(VReg(N)); },
+      /*Optimistic=*/true);
+  ColoringPrecedenceGraph CPG = ColoringPrecedenceGraph::build(IG, Wide, SR);
+  EXPECT_EQ(CPG.numEdges(), 0u);
+  EXPECT_EQ(CPG.roots().size(), SR.Stack.size());
+}
+
+TEST_F(Figure7Test, FullAllocationMatchesFigure7g) {
+  PreferenceDirectedAllocator Alloc(pdgcFullOptions());
+  AllocationOutcome Out = allocate(*F, Target, Alloc);
+
+  EXPECT_EQ(Out.Rounds, 1u);
+  EXPECT_EQ(Out.SpillInstructions, 0u);
+
+  // Figure 7(g)/(h) with the paper's r1,r2,r3 renamed to r0,r1,r2:
+  // v3 and v0 share the argument register r0 (both copies eliminated),
+  // v1/v2 take the pairable r1/r2 (the paired load fuses), and v4 takes
+  // the non-volatile r2.
+  EXPECT_EQ(Out.Assignment[R.V3.id()], 0);
+  EXPECT_EQ(Out.Assignment[R.V0.id()], 0);
+  EXPECT_EQ(Out.Assignment[R.V1.id()], 1);
+  EXPECT_EQ(Out.Assignment[R.V2.id()], 2);
+  EXPECT_EQ(Out.Assignment[R.V4.id()], 2);
+
+  // Both moves disappear: v3 = v0 and arg0 = v3 are same-register copies.
+  EXPECT_EQ(Out.Moves.Total, 2u);
+  EXPECT_EQ(Out.Moves.Eliminated, 2u);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- tests/test_generator.cpp - Workload generator tests ----------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+#include "workloads/Generator.h"
+#include "workloads/Suites.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+unsigned countOpcode(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (unsigned B = 0; B != F.numBlocks(); ++B)
+    for (const Instruction &I : F.block(B)->instructions())
+      if (I.opcode() == Op)
+        ++N;
+  return N;
+}
+
+unsigned countPairHeads(const Function &F) {
+  unsigned N = 0;
+  for (unsigned B = 0; B != F.numBlocks(); ++B)
+    for (const Instruction &I : F.block(B)->instructions())
+      if (I.isPairHead())
+        ++N;
+  return N;
+}
+
+TEST(Generator, ProducesVerifiableFunctions) {
+  TargetDesc Target = makeTarget(24);
+  for (std::uint64_t Seed = 1; Seed != 30; ++Seed) {
+    GeneratorParams P;
+    P.Seed = Seed;
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyFunction(*F, Errors))
+        << "seed " << Seed << ": " << Errors.front();
+  }
+}
+
+TEST(Generator, IsDeterministicPerSeed) {
+  TargetDesc Target = makeTarget(24);
+  GeneratorParams P;
+  P.Seed = 1234;
+  std::unique_ptr<Function> A = generateFunction(P, Target);
+  std::unique_ptr<Function> B = generateFunction(P, Target);
+  EXPECT_EQ(printFunction(*A), printFunction(*B));
+
+  P.Seed = 1235;
+  std::unique_ptr<Function> C = generateFunction(P, Target);
+  EXPECT_NE(printFunction(*A), printFunction(*C));
+}
+
+TEST(Generator, GeneratedProgramsTerminate) {
+  TargetDesc Target = makeTarget(24);
+  for (std::uint64_t Seed = 50; Seed != 70; ++Seed) {
+    GeneratorParams P;
+    P.Seed = Seed;
+    P.LoopPercent = 40;
+    P.MaxLoopDepth = 3;
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    ExecutionResult R = runVirtual(*F, {1, 2});
+    EXPECT_TRUE(R.Completed) << "seed " << Seed << " did not terminate";
+  }
+}
+
+TEST(Generator, KnobsControlFeatures) {
+  TargetDesc Target = makeTarget(24);
+
+  GeneratorParams NoCalls;
+  NoCalls.Seed = 7;
+  NoCalls.CallPercent = 0;
+  NoCalls.PairedLoadPercent = 0;
+  NoCalls.FpPercent = 0;
+  std::unique_ptr<Function> F1 = generateFunction(NoCalls, Target);
+  EXPECT_EQ(countOpcode(*F1, Opcode::Call), 0u);
+  EXPECT_EQ(countPairHeads(*F1), 0u);
+
+  GeneratorParams Rich;
+  Rich.Seed = 7;
+  Rich.CallPercent = 60;
+  Rich.PairedLoadPercent = 40;
+  Rich.FragmentBudget = 30;
+  std::unique_ptr<Function> F2 = generateFunction(Rich, Target);
+  EXPECT_GT(countOpcode(*F2, Opcode::Call), 0u);
+  EXPECT_GT(countPairHeads(*F2), 0u);
+
+  GeneratorParams Loopy;
+  Loopy.Seed = 7;
+  Loopy.LoopPercent = 60;
+  Loopy.MaxLoopDepth = 2;
+  std::unique_ptr<Function> F3 = generateFunction(Loopy, Target);
+  EXPECT_GT(countOpcode(*F3, Opcode::Phi), 0u);
+}
+
+TEST(Generator, ParametersArePinnedAndUsed) {
+  TargetDesc Target = makeTarget(24);
+  GeneratorParams P;
+  P.Seed = 3;
+  P.NumParams = 3;
+  std::unique_ptr<Function> F = generateFunction(P, Target);
+  ASSERT_EQ(F->numParams(), 3u);
+  for (unsigned I = 0; I != 3; ++I) {
+    VReg Param = F->params()[I];
+    EXPECT_TRUE(F->isPinned(Param));
+    EXPECT_EQ(F->pinnedReg(Param),
+              static_cast<int>(Target.paramReg(RegClass::GPR, I)));
+  }
+  // The results depend on the parameter values.
+  ExecutionResult R1 = runVirtual(*F, {1, 2, 3});
+  ExecutionResult R2 = runVirtual(*F, {4, 5, 6});
+  EXPECT_TRUE(R1.Completed);
+  EXPECT_NE(R1.ReturnValue, R2.ReturnValue);
+}
+
+TEST(Suites, SevenSuitesWithPaperNames) {
+  std::vector<WorkloadSuite> Suites = specJvmLikeSuites();
+  ASSERT_EQ(Suites.size(), 7u);
+  const char *Expected[] = {"compress", "jess",      "db",  "javac",
+                            "mpegaudio", "mtrt",     "jack"};
+  for (unsigned I = 0; I != 7; ++I) {
+    EXPECT_EQ(Suites[I].Name, Expected[I]);
+    EXPECT_GE(Suites[I].Functions.size(), 10u);
+  }
+}
+
+TEST(Suites, ProfilesMatchPaperCharacterization) {
+  TargetDesc Target = makeTarget(24);
+  auto CallDensity = [&](const char *Name) {
+    WorkloadSuite S = suiteByName(Name);
+    unsigned Calls = 0, Insts = 0;
+    for (unsigned I = 0; I != S.Functions.size(); ++I) {
+      std::unique_ptr<Function> F = S.generate(I, Target);
+      Calls += countOpcode(*F, Opcode::Call);
+      for (unsigned B = 0; B != F->numBlocks(); ++B)
+        Insts += F->block(B)->size();
+    }
+    return static_cast<double>(Calls) / Insts;
+  };
+  // "Those tests make frequent function calls" — jess vs the
+  // loop-dominated compress/mpegaudio.
+  EXPECT_GT(CallDensity("jess"), 2.0 * CallDensity("compress"));
+  EXPECT_GT(CallDensity("jack"), 2.0 * CallDensity("mpegaudio"));
+
+  auto PairDensity = [&](const char *Name) {
+    WorkloadSuite S = suiteByName(Name);
+    unsigned Pairs = 0;
+    for (unsigned I = 0; I != S.Functions.size(); ++I)
+      Pairs += countPairHeads(*S.generate(I, Target));
+    return Pairs;
+  };
+  EXPECT_GT(PairDensity("mpegaudio"), PairDensity("jess"));
+
+  auto FpShare = [&](const char *Name) {
+    WorkloadSuite S = suiteByName(Name);
+    unsigned Fp = 0, Total = 0;
+    for (unsigned I = 0; I != S.Functions.size(); ++I) {
+      std::unique_ptr<Function> F = S.generate(I, Target);
+      for (unsigned V = 0; V != F->numVRegs(); ++V) {
+        ++Total;
+        if (F->regClass(VReg(V)) == RegClass::FPR)
+          ++Fp;
+      }
+    }
+    return static_cast<double>(Fp) / Total;
+  };
+  EXPECT_GT(FpShare("mpegaudio"), 0.3);
+  EXPECT_LT(FpShare("db"), 0.05);
+}
+
+TEST(Suites, SuiteGenerationIsStable) {
+  TargetDesc Target = makeTarget(16);
+  WorkloadSuite S = suiteByName("compress");
+  EXPECT_EQ(printFunction(*S.generate(0, Target)),
+            printFunction(*S.generate(0, Target)));
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tests/test_interference.cpp - Interference graph tests ------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InterferenceGraph.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pdgc;
+
+namespace {
+
+InterferenceGraph buildFor(const Function &F) {
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  return InterferenceGraph::build(F, LV, LI);
+}
+
+TEST(Interference, SimultaneouslyLiveValuesInterfere) {
+  Function F("basic");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitLoadImm(2);
+  VReg S = B.emitBinary(Opcode::Add, A, C);
+  B.emitStore(S, A, 0);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_TRUE(IG.interferes(A.id(), C.id()));
+  // S is born as C dies but A is still live (store base).
+  EXPECT_TRUE(IG.interferes(S.id(), A.id()));
+  EXPECT_FALSE(IG.interferes(S.id(), C.id()));
+  EXPECT_EQ(IG.degree(A.id()), 2u);
+}
+
+TEST(Interference, ChaitinCopyException) {
+  // d = move s with s dead afterwards: no edge, they can coalesce.
+  Function F("copy");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_FALSE(IG.interferes(D.id(), S.id()));
+  ASSERT_EQ(IG.moves().size(), 1u);
+  EXPECT_EQ(IG.moves()[0].Dst, D.id());
+  EXPECT_EQ(IG.moves()[0].Src, S.id());
+}
+
+TEST(Interference, CopyPairHoldingSameValueMayShareARegister) {
+  // d = move s with s still used later but never redefined: both hold the
+  // same value, so Chaitin's exception correctly omits the edge — sharing
+  // one register turns the copy into a no-op without changing any read.
+  Function F("copy2");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  VReg T = B.emitBinary(Opcode::Add, D, S); // S used after the copy.
+  B.emitStore(T, T, 0);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_FALSE(IG.interferes(D.id(), S.id()));
+}
+
+TEST(Interference, RedefinedCopySourceInterferesWithLiveDestination) {
+  // d = move s; s = ...; use d, s: the redefinition of s while d is live
+  // restores the edge — they no longer hold one value.
+  Function F("copy3");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  BB->append(Instruction(Opcode::LoadImm, S, {}, 9)); // Redefine S.
+  VReg T = B.emitBinary(Opcode::Add, D, S);
+  B.emitStore(T, T, 0);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_TRUE(IG.interferes(D.id(), S.id()));
+}
+
+TEST(Interference, CrossClassValuesNeverInterfere) {
+  Function F("cross");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg G = B.emitLoadImm(1, RegClass::GPR);
+  VReg X = B.emitLoadImm(2, RegClass::FPR);
+  B.emitStore(G, G, 0);
+  B.emitStore(X, G, 1);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_FALSE(IG.interferes(G.id(), X.id()));
+}
+
+TEST(Interference, ParametersInterferePairwiseAndWithEntryLive) {
+  Function F("params");
+  IRBuilder B(F);
+  VReg P0 = F.addParam(RegClass::GPR, 0);
+  VReg P1 = F.addParam(RegClass::GPR, 1);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitBinary(Opcode::Add, P0, P1);
+  B.emitStore(S, S, 0);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_TRUE(IG.interferes(P0.id(), P1.id()));
+  EXPECT_TRUE(IG.isPrecolored(P0.id()));
+  EXPECT_EQ(IG.precolor(P0.id()), 0);
+}
+
+TEST(Interference, MergeUnionsNeighborhoods) {
+  Function F("merge");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitLoadImm(2);
+  B.emitStore(A, C, 1);   // A's last use before the copy.
+  VReg D = B.emitMove(A); // Copy-related with A; both interfere with C.
+  B.emitStore(D, C, 0);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  ASSERT_FALSE(IG.interferes(A.id(), D.id()));
+  ASSERT_TRUE(IG.interferes(A.id(), C.id()));
+  ASSERT_TRUE(IG.interferes(D.id(), C.id()));
+
+  unsigned DegC = IG.degree(C.id());
+  IG.merge(A.id(), D.id());
+  EXPECT_TRUE(IG.isMerged(D.id()));
+  EXPECT_FALSE(IG.isMerged(A.id()));
+  EXPECT_EQ(IG.degree(D.id()), 0u);
+  // C's two edges to A and D fused into one.
+  EXPECT_EQ(IG.degree(C.id()), DegC - 1);
+  EXPECT_TRUE(IG.interferes(A.id(), C.id()));
+  // Neighbor lists stay clean: D no longer appears anywhere.
+  for (unsigned N : IG.neighbors(C.id()))
+    EXPECT_NE(N, D.id());
+}
+
+TEST(Interference, ConflictsWithColorSeesPrecoloredNeighbors) {
+  Function F("conflict");
+  IRBuilder B(F);
+  VReg P0 = F.addParam(RegClass::GPR, 3);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitBinary(Opcode::Add, P0, P0);
+  B.emitStore(A, P0, 0); // A live while P0 live.
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  ASSERT_TRUE(IG.interferes(A.id(), P0.id()));
+  EXPECT_TRUE(IG.conflictsWithColor(A.id(), 3));
+  EXPECT_FALSE(IG.conflictsWithColor(A.id(), 4));
+}
+
+TEST(Interference, DeadDefStillGetsEdges) {
+  // A dead definition momentarily occupies a register: it must interfere
+  // with everything live at that point.
+  Function F("deaddef");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Live = B.emitLoadImm(1);
+  VReg Dead = B.emitLoadImm(2); // Never used.
+  B.emitStore(Live, Live, 0);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_TRUE(IG.interferes(Dead.id(), Live.id()));
+}
+
+TEST(Interference, MoveWeightsAreFrequencyScaled) {
+  Function F("weights");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg C = B.emitLoadImm(1);
+  VReg X = B.emitLoadImm(2);
+  B.emitBranch(Loop);
+  B.setInsertBlock(Loop);
+  VReg Y = B.emitMove(X);
+  B.emitStore(Y, Y, 0);
+  B.emitCondBranch(C, Loop, Done);
+  B.setInsertBlock(Done);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  ASSERT_EQ(IG.moves().size(), 1u);
+  EXPECT_DOUBLE_EQ(IG.moves()[0].Weight, 10.0);
+}
+
+} // namespace

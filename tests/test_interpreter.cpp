@@ -1,0 +1,249 @@
+//===- tests/test_interpreter.cpp - Reference interpreter tests ----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+/// Returns a function computing (a + 3) * b for parameters a, b.
+std::unique_ptr<Function> arith(const TargetDesc &T) {
+  auto F = std::make_unique<Function>("arith");
+  IRBuilder B(*F);
+  VReg A = F->addParam(RegClass::GPR,
+                       static_cast<int>(T.paramReg(RegClass::GPR, 0)));
+  VReg Bv = F->addParam(RegClass::GPR,
+                        static_cast<int>(T.paramReg(RegClass::GPR, 1)));
+  BasicBlock *BB = F->createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitAddImm(A, 3);
+  VReg M = B.emitBinary(Opcode::Mul, S, Bv);
+  VReg Ret = F->createPinnedVReg(
+      RegClass::GPR, static_cast<int>(T.returnReg(RegClass::GPR)));
+  B.emitMoveTo(Ret, M);
+  B.emitRet(Ret);
+  return F;
+}
+
+TEST(Interpreter, ArithmeticAndParameters) {
+  TargetDesc T = makeTarget(16);
+  auto F = arith(T);
+  ExecutionResult R = runVirtual(*F, {4, 5});
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.ReturnValue, (4 + 3) * 5);
+  // Missing arguments default to zero.
+  EXPECT_EQ(runVirtual(*F, {4}).ReturnValue, 0);
+}
+
+TEST(Interpreter, BranchesSelectSuccessor) {
+  Function F("br");
+  IRBuilder B(F);
+  VReg P = F.addParam(RegClass::GPR, 0);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *T = F.createBlock();
+  BasicBlock *E = F.createBlock();
+  B.setInsertBlock(Entry);
+  B.emitCondBranch(P, T, E);
+  B.setInsertBlock(T);
+  VReg R1 = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(R1, B.emitLoadImm(111));
+  B.emitRet(R1);
+  B.setInsertBlock(E);
+  VReg R2 = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(R2, B.emitLoadImm(222));
+  B.emitRet(R2);
+
+  EXPECT_EQ(runVirtual(F, {1}).ReturnValue, 111);
+  EXPECT_EQ(runVirtual(F, {0}).ReturnValue, 222);
+  EXPECT_EQ(runVirtual(F, {-5}).ReturnValue, 111); // Nonzero is taken.
+}
+
+TEST(Interpreter, StoresFeedLoadsAndDigest) {
+  Function F("mem");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Base = B.emitLoadImm(100);
+  VReg V = B.emitLoadImm(1234);
+  B.emitStore(V, Base, 5);
+  VReg L = B.emitLoad(Base, 5);
+  VReg Ret = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, L);
+  B.emitRet(Ret);
+
+  ExecutionResult R = runVirtual(F, {});
+  EXPECT_EQ(R.ReturnValue, 1234);
+  EXPECT_NE(R.StoreDigest, 0u);
+
+  // The digest distinguishes different stored values.
+  Function F2("mem2");
+  IRBuilder B2(F2);
+  BasicBlock *BB2 = F2.createBlock();
+  B2.setInsertBlock(BB2);
+  VReg Base2 = B2.emitLoadImm(100);
+  VReg V2 = B2.emitLoadImm(4321);
+  B2.emitStore(V2, Base2, 5);
+  B2.emitRet();
+  EXPECT_NE(runVirtual(F2, {}).StoreDigest, R.StoreDigest);
+}
+
+TEST(Interpreter, CallsAreDeterministicFunctionsOfArguments) {
+  TargetDesc T = makeTarget(16);
+  auto Make = [&](unsigned Callee, std::int64_t Arg) {
+    auto F = std::make_unique<Function>("call");
+    IRBuilder B(*F);
+    BasicBlock *BB = F->createBlock();
+    B.setInsertBlock(BB);
+    VReg V = B.emitLoadImm(Arg);
+    VReg AP = F->createPinnedVReg(
+        RegClass::GPR, static_cast<int>(T.paramReg(RegClass::GPR, 0)));
+    B.emitMoveTo(AP, V);
+    VReg RP = F->createPinnedVReg(
+        RegClass::GPR, static_cast<int>(T.returnReg(RegClass::GPR)));
+    B.emitCall(Callee, {AP}, RP);
+    VReg Ret = F->createPinnedVReg(
+        RegClass::GPR, static_cast<int>(T.returnReg(RegClass::GPR)));
+    B.emitMoveTo(Ret, B.emitMove(RP));
+    B.emitRet(Ret);
+    return F;
+  };
+  std::int64_t R1 = runVirtual(*Make(1, 42), {}).ReturnValue;
+  std::int64_t R2 = runVirtual(*Make(1, 42), {}).ReturnValue;
+  std::int64_t R3 = runVirtual(*Make(1, 43), {}).ReturnValue;
+  std::int64_t R4 = runVirtual(*Make(2, 42), {}).ReturnValue;
+  EXPECT_EQ(R1, R2);       // Same callee, same args.
+  EXPECT_NE(R1, R3);       // Arg-sensitive.
+  EXPECT_NE(R1, R4);       // Callee-sensitive.
+}
+
+TEST(Interpreter, FuelLimitStopsInfiniteLoops) {
+  Function F("inf");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  B.setInsertBlock(Entry);
+  B.emitBranch(Loop);
+  B.setInsertBlock(Loop);
+  B.emitLoadImm(1);
+  B.emitBranch(Loop);
+
+  InterpreterOptions Options;
+  Options.MaxSteps = 1000;
+  ExecutionResult R = runVirtual(F, {}, Options);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_GE(R.Steps, 1000u);
+}
+
+TEST(Interpreter, PhiSemanticsArePerEdge) {
+  // x = phi(entry: 7, loop: x+1); loop 3 times.
+  Function F("phi");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg X0 = B.emitLoadImm(7);
+  VReg N = B.emitLoadImm(10);
+  B.emitBranch(Loop);
+  B.setInsertBlock(Loop);
+  VReg X = B.emitPhi(RegClass::GPR, {X0, X0});
+  VReg XN = B.emitAddImm(X, 1);
+  Loop->inst(0).setUse(1, XN);
+  VReg C = B.emitCompare(Opcode::CmpLT, XN, N);
+  B.emitCondBranch(C, Loop, Done);
+  B.setInsertBlock(Done);
+  VReg Ret = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, XN);
+  B.emitRet(Ret);
+
+  EXPECT_EQ(runVirtual(F, {}).ReturnValue, 10);
+}
+
+TEST(Interpreter, AllocatedModeRoutesThroughPhysRegs) {
+  TargetDesc T = makeTarget(16);
+  auto F = arith(T);
+  // Hand out a trivially valid assignment: params keep their pins; the
+  // temporaries use distinct high registers.
+  std::vector<int> Assign(F->numVRegs(), -1);
+  Assign[F->params()[0].id()] = 0;
+  Assign[F->params()[1].id()] = 1;
+  for (unsigned V = 0; V != F->numVRegs(); ++V) {
+    if (Assign[V] >= 0)
+      continue;
+    if (F->isPinned(VReg(V)))
+      Assign[V] = F->pinnedReg(VReg(V));
+    else
+      Assign[V] = static_cast<int>(10 + V); // Distinct, non-conflicting.
+  }
+  ExecutionResult Virtual = runVirtual(*F, {4, 5});
+  ExecutionResult Allocated = runAllocated(*F, T, Assign, {4, 5});
+  EXPECT_EQ(Virtual.ReturnValue, Allocated.ReturnValue);
+}
+
+TEST(Interpreter, AllocatedModeExposesClobberBugs) {
+  // Deliberately alias two simultaneously live values to one register:
+  // the allocated result must diverge — this is the property the
+  // integration suite relies on to catch allocator bugs.
+  Function F("clobber");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(5);
+  VReg C = B.emitLoadImm(9);
+  VReg S = B.emitBinary(Opcode::Sub, A, C);
+  VReg Ret = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, S);
+  B.emitRet(Ret);
+
+  TargetDesc T = makeTarget(16);
+  std::vector<int> Bad(F.numVRegs(), -1);
+  Bad[A.id()] = 3;
+  Bad[C.id()] = 3; // Clobbers A.
+  Bad[S.id()] = 4;
+  Bad[Ret.id()] = 0;
+  ExecutionResult Virtual = runVirtual(F, {});
+  ExecutionResult Broken = runAllocated(F, T, Bad, {});
+  EXPECT_EQ(Virtual.ReturnValue, -4);
+  EXPECT_NE(Broken.ReturnValue, Virtual.ReturnValue);
+}
+
+TEST(Interpreter, SpillSlotsRoundTrip) {
+  Function F("slots");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(77);
+  BB->append(Instruction(Opcode::SpillStore, VReg(), {A}, 3));
+  VReg L = F.createVReg(RegClass::GPR);
+  BB->append(Instruction(Opcode::SpillLoad, L, {}, 3));
+  VReg Ret = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, L);
+  B.emitRet(Ret);
+
+  EXPECT_EQ(runVirtual(F, {}).ReturnValue, 77);
+}
+
+TEST(Interpreter, FloatingPointPath) {
+  Function F("fp");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg X = B.emitLoadImm(3, RegClass::FPR);
+  VReg Y = B.emitLoadImm(4, RegClass::FPR);
+  VReg P = B.emitBinary(Opcode::Mul, X, Y);
+  VReg C = B.emitCompare(Opcode::CmpLT, X, P); // 3.0 < 12.0 -> 1
+  VReg Ret = F.createPinnedVReg(RegClass::GPR, 0);
+  B.emitMoveTo(Ret, C);
+  B.emitRet(Ret);
+
+  EXPECT_EQ(runVirtual(F, {}).ReturnValue, 1);
+}
+
+} // namespace

@@ -1,0 +1,261 @@
+//===- tests/test_ir.cpp - IR structure unit tests ---------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(Opcode, TerminatorClassification) {
+  EXPECT_TRUE(isTerminator(Opcode::Branch));
+  EXPECT_TRUE(isTerminator(Opcode::CondBranch));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Move));
+  EXPECT_FALSE(isTerminator(Opcode::Call));
+}
+
+TEST(Opcode, DefAndUseArity) {
+  EXPECT_TRUE(opcodeMayDefine(Opcode::Load));
+  EXPECT_TRUE(opcodeMayDefine(Opcode::SpillLoad));
+  EXPECT_FALSE(opcodeMayDefine(Opcode::Store));
+  EXPECT_FALSE(opcodeMayDefine(Opcode::SpillStore));
+  EXPECT_EQ(opcodeNumUses(Opcode::Add), 2);
+  EXPECT_EQ(opcodeNumUses(Opcode::Move), 1);
+  EXPECT_EQ(opcodeNumUses(Opcode::LoadImm), 0);
+  EXPECT_EQ(opcodeNumUses(Opcode::Phi), -1);
+  EXPECT_EQ(opcodeNumUses(Opcode::Call), -1);
+}
+
+TEST(Opcode, NamesAreStable) {
+  EXPECT_STREQ(opcodeName(Opcode::Move), "move");
+  EXPECT_STREQ(opcodeName(Opcode::CondBranch), "condbr");
+  EXPECT_STREQ(opcodeName(Opcode::SpillStore), "spillstore");
+}
+
+TEST(VRegHandle, InvalidSentinel) {
+  VReg Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  VReg Valid(3);
+  EXPECT_TRUE(Valid.isValid());
+  EXPECT_EQ(Valid.id(), 3u);
+  EXPECT_NE(Invalid, Valid);
+}
+
+TEST(FunctionStructure, BlocksAndVRegs) {
+  Function F("f");
+  BasicBlock *B0 = F.createBlock("start");
+  BasicBlock *B1 = F.createBlock();
+  EXPECT_EQ(F.numBlocks(), 2u);
+  EXPECT_EQ(F.entry(), B0);
+  EXPECT_EQ(B0->name(), "start");
+  EXPECT_EQ(B1->name(), "bb1");
+
+  VReg A = F.createVReg(RegClass::GPR);
+  VReg B = F.createVReg(RegClass::FPR);
+  VReg P = F.createPinnedVReg(RegClass::GPR, 5);
+  EXPECT_EQ(F.numVRegs(), 3u);
+  EXPECT_EQ(F.regClass(A), RegClass::GPR);
+  EXPECT_EQ(F.regClass(B), RegClass::FPR);
+  EXPECT_FALSE(F.isPinned(A));
+  EXPECT_TRUE(F.isPinned(P));
+  EXPECT_EQ(F.pinnedReg(P), 5);
+  EXPECT_FALSE(F.isSpillTemp(A));
+  F.markSpillTemp(A);
+  EXPECT_TRUE(F.isSpillTemp(A));
+}
+
+/// entry -> (then | else) -> join; then also loops back to itself? No:
+/// a diamond used by several tests below.
+struct Diamond {
+  Function F{"diamond"};
+  BasicBlock *Entry, *Then, *Else, *Join;
+  VReg Cond, T, E;
+
+  Diamond() {
+    IRBuilder B(F);
+    Entry = F.createBlock("entry");
+    Then = F.createBlock("then");
+    Else = F.createBlock("else");
+    Join = F.createBlock("join");
+
+    B.setInsertBlock(Entry);
+    Cond = B.emitLoadImm(1);
+    B.emitCondBranch(Cond, Then, Else);
+
+    B.setInsertBlock(Then);
+    T = B.emitLoadImm(10);
+    B.emitBranch(Join);
+
+    B.setInsertBlock(Else);
+    E = B.emitLoadImm(20);
+    B.emitBranch(Join);
+
+    B.setInsertBlock(Join);
+    VReg M = B.emitPhi(RegClass::GPR, {T, E});
+    (void)M;
+    B.emitRet();
+  }
+};
+
+TEST(FunctionStructure, EdgesAreSymmetric) {
+  Diamond D;
+  EXPECT_EQ(D.Entry->numSuccessors(), 2u);
+  EXPECT_EQ(D.Join->numPredecessors(), 2u);
+  EXPECT_EQ(D.Join->predecessorIndex(D.Then), 0u);
+  EXPECT_EQ(D.Join->predecessorIndex(D.Else), 1u);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(D.F, Errors)) << Errors.front();
+}
+
+TEST(FunctionStructure, ReversePostOrderVisitsBeforeSuccessors) {
+  Diamond D;
+  std::vector<unsigned> RPO = D.F.reversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), D.Entry->id());
+  EXPECT_EQ(RPO.back(), D.Join->id());
+}
+
+TEST(FunctionStructure, SplitEdgePreservesPhiIndexing) {
+  Diamond D;
+  BasicBlock *Mid = D.F.splitEdge(D.Then, D.Join);
+  // The predecessor slot of Then is replaced in place by Mid.
+  EXPECT_EQ(D.Join->predecessorIndex(Mid), 0u);
+  EXPECT_EQ(D.Join->predecessorIndex(D.Else), 1u);
+  EXPECT_EQ(Mid->numPredecessors(), 1u);
+  EXPECT_EQ(Mid->successors()[0], D.Join);
+  EXPECT_EQ(D.Then->successors()[0], Mid);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(D.F, Errors)) << Errors.front();
+}
+
+TEST(Printer, RendersInstructionsReadably) {
+  Function F("p");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock("entry");
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(42);
+  VReg C = B.emitAddImm(A, 7);
+  B.emitStore(C, A, 3);
+  B.emitRet();
+
+  std::string Text = printFunction(F);
+  EXPECT_NE(Text.find("v0 = loadimm 42"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("v1 = addimm v0, 7"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("store v1, v0, 3"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("ret"), std::string::npos) << Text;
+}
+
+TEST(Printer, MarksPairHeadsAndSpillCode) {
+  Function F("p2");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock("entry");
+  B.setInsertBlock(BB);
+  VReg Base = B.emitLoadImm(0);
+  B.emitPairedLoad(Base, 4);
+  Instruction SL(Opcode::SpillLoad, F.createVReg(RegClass::GPR), {}, 2);
+  SL.setSpillCode(true);
+  BB->append(std::move(SL));
+  B.emitRet();
+  std::string Text = printFunction(F);
+  EXPECT_NE(Text.find("pair-head"), std::string::npos);
+  EXPECT_NE(Text.find("spillload 2  ; spill"), std::string::npos) << Text;
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  Diamond D;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(D.F, Errors));
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Function F("bad");
+  BasicBlock *BB = F.createBlock();
+  (void)BB;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, Errors));
+  EXPECT_NE(Errors.front().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsPhiAfterNonPhi) {
+  Diamond D;
+  // Insert a phi after the existing (phi, ret) pair's ret... easier: add
+  // a second phi after a loadimm in Join.
+  Instruction Imm(Opcode::LoadImm, D.F.createVReg(RegClass::GPR), {}, 1);
+  D.Join->insertBefore(1, std::move(Imm));
+  Instruction Phi(Opcode::Phi, D.F.createVReg(RegClass::GPR),
+                  {D.T, D.E});
+  D.Join->insertBefore(2, std::move(Phi));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(D.F, Errors));
+}
+
+TEST(Verifier, RejectsPhiOperandCountMismatch) {
+  Diamond D;
+  D.Join->inst(0).removeUse(1);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(D.F, Errors));
+}
+
+TEST(Verifier, RejectsCrossClassMove) {
+  Function F("bad2");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg G = B.emitLoadImm(1, RegClass::GPR);
+  VReg D = F.createVReg(RegClass::FPR);
+  BB->append(Instruction(Opcode::Move, D, {G}));
+  B.emitRet();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, Errors));
+  EXPECT_NE(Errors.front().find("class"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUnpinnedCallArgument) {
+  Function F("bad3");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg V = B.emitLoadImm(1);
+  BB->append(Instruction(Opcode::Call, VReg(), {V}, 0));
+  B.emitRet();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, Errors));
+  EXPECT_NE(Errors.front().find("pinned"), std::string::npos);
+}
+
+TEST(Verifier, RejectsParallelCondBranchEdges) {
+  Function F("par");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Next = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg C = B.emitLoadImm(1);
+  Entry->append(Instruction(Opcode::CondBranch, VReg(), {C}));
+  F.setEdges(Entry, {Next, Next});
+  B.setInsertBlock(Next);
+  B.emitRet();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, Errors));
+  EXPECT_NE(Errors.front().find("identical targets"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEntryWithPredecessors) {
+  Function F("bad4");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  B.setInsertBlock(Entry);
+  B.emitBranch(Entry);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(F, Errors));
+}
+
+} // namespace

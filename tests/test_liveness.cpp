@@ -1,0 +1,149 @@
+//===- tests/test_liveness.cpp - Liveness analysis tests ----------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(Liveness, StraightLineKillAndGen) {
+  Function F("sl");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitAddImm(A, 2);
+  B.emitStore(C, A, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  EXPECT_TRUE(LV.liveIn(BB).none());
+  EXPECT_TRUE(LV.liveOut(BB).none());
+
+  // Before the store both A and C are live.
+  BitVector BeforeStore = LV.liveBefore(BB, 2);
+  EXPECT_TRUE(BeforeStore.test(A.id()));
+  EXPECT_TRUE(BeforeStore.test(C.id()));
+  // Before the addimm only A is live.
+  BitVector BeforeAdd = LV.liveBefore(BB, 1);
+  EXPECT_TRUE(BeforeAdd.test(A.id()));
+  EXPECT_FALSE(BeforeAdd.test(C.id()));
+  // After the store nothing is live.
+  EXPECT_TRUE(LV.liveAfter(BB, 2).none());
+}
+
+TEST(Liveness, ValueLiveAcrossBranchJoin) {
+  Function F("dj");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Then = F.createBlock();
+  BasicBlock *Else = F.createBlock();
+  BasicBlock *Join = F.createBlock();
+
+  B.setInsertBlock(Entry);
+  VReg X = B.emitLoadImm(5);
+  VReg C = B.emitLoadImm(1);
+  B.emitCondBranch(C, Then, Else);
+
+  B.setInsertBlock(Then);
+  B.emitAddImm(X, 1);
+  B.emitBranch(Join);
+
+  B.setInsertBlock(Else);
+  B.emitBranch(Join);
+
+  B.setInsertBlock(Join);
+  B.emitStore(X, X, 0); // X used after the join: live through both arms.
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  EXPECT_TRUE(LV.liveOut(Entry).test(X.id()));
+  EXPECT_TRUE(LV.liveIn(Then).test(X.id()));
+  EXPECT_TRUE(LV.liveIn(Else).test(X.id()));
+  EXPECT_TRUE(LV.liveIn(Join).test(X.id()));
+  EXPECT_FALSE(LV.liveOut(Join).test(X.id()));
+  // The condition dies at the branch.
+  EXPECT_FALSE(LV.liveIn(Then).test(C.id()));
+}
+
+TEST(Liveness, LoopCarriedValueLiveAroundBackedge) {
+  Function F("loop");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+
+  B.setInsertBlock(Entry);
+  VReg X = B.emitLoadImm(0);
+  B.emitBranch(Loop);
+
+  B.setInsertBlock(Loop);
+  // X is redefined each iteration and tested: live around the backedge.
+  VReg X2 = B.emitAddImm(X, 1);
+  Loop->append(Instruction(Opcode::Move, X, {X2}));
+  VReg K = B.emitLoadImm(10);
+  VReg C = B.emitCompare(Opcode::CmpLT, X, K);
+  B.emitCondBranch(C, Loop, Done);
+
+  B.setInsertBlock(Done);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  EXPECT_TRUE(LV.liveIn(Loop).test(X.id()));
+  EXPECT_TRUE(LV.liveOut(Loop).test(X.id()));
+  EXPECT_FALSE(LV.liveIn(Loop).test(X2.id()));
+  EXPECT_FALSE(LV.liveIn(Done).test(C.id()));
+}
+
+TEST(Liveness, ParametersAreLiveInAtEntry) {
+  Function F("params");
+  IRBuilder B(F);
+  VReg P0 = F.addParam(RegClass::GPR, 0);
+  VReg P1 = F.addParam(RegClass::GPR, 1);
+  BasicBlock *Entry = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg S = B.emitBinary(Opcode::Add, P0, P1);
+  B.emitStore(S, P0, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  EXPECT_TRUE(LV.liveIn(Entry).test(P0.id()));
+  EXPECT_TRUE(LV.liveIn(Entry).test(P1.id()));
+}
+
+TEST(Liveness, ForEachInstReverseMatchesQueries) {
+  Function F("walk");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitAddImm(A, 1);
+  B.emitStore(C, A, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LV.forEachInstReverse(BB, [&](unsigned I, const BitVector &LiveAfter) {
+    EXPECT_EQ(LiveAfter, LV.liveAfter(BB, I)) << "at instruction " << I;
+  });
+}
+
+TEST(Liveness, DeadDefinitionIsNotLive) {
+  Function F("dead");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg D = B.emitLoadImm(9); // Never used.
+  B.emitRet();
+  Liveness LV = Liveness::compute(F);
+  EXPECT_FALSE(LV.liveAfter(BB, 0).test(D.id()));
+  EXPECT_TRUE(LV.liveIn(BB).none());
+}
+
+} // namespace

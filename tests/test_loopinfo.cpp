@@ -1,0 +1,153 @@
+//===- tests/test_loopinfo.cpp - Loop analysis tests ---------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+/// entry -> outerH -> innerH -> innerH(back) -> outerLatch -> outerH(back)
+///                                        \-> done
+struct NestedLoops {
+  Function F{"nested"};
+  BasicBlock *Entry, *OuterH, *InnerH, *OuterLatch, *Done;
+
+  NestedLoops() {
+    IRBuilder B(F);
+    Entry = F.createBlock("entry");
+    OuterH = F.createBlock("outerH");
+    InnerH = F.createBlock("innerH");
+    OuterLatch = F.createBlock("outerLatch");
+    Done = F.createBlock("done");
+
+    B.setInsertBlock(Entry);
+    VReg C = B.emitLoadImm(1);
+    B.emitBranch(OuterH);
+
+    B.setInsertBlock(OuterH);
+    B.emitBranch(InnerH);
+
+    B.setInsertBlock(InnerH);
+    // Inner self-loop: InnerH -> InnerH or exit to OuterLatch.
+    B.emitCondBranch(C, InnerH, OuterLatch);
+
+    B.setInsertBlock(OuterLatch);
+    B.emitCondBranch(C, OuterH, Done);
+
+    B.setInsertBlock(Done);
+    B.emitRet();
+  }
+};
+
+TEST(LoopInfo, NestedLoopDepths) {
+  NestedLoops N;
+  LoopInfo LI = LoopInfo::compute(N.F);
+  EXPECT_EQ(LI.loopDepth(N.Entry), 0u);
+  EXPECT_EQ(LI.loopDepth(N.OuterH), 1u);
+  EXPECT_EQ(LI.loopDepth(N.OuterLatch), 1u);
+  EXPECT_EQ(LI.loopDepth(N.InnerH), 2u);
+  EXPECT_EQ(LI.loopDepth(N.Done), 0u);
+}
+
+TEST(LoopInfo, FrequenciesAreFreqFactPowers) {
+  NestedLoops N;
+  LoopInfo LI = LoopInfo::compute(N.F, 10.0);
+  EXPECT_DOUBLE_EQ(LI.frequency(N.Entry), 1.0);
+  EXPECT_DOUBLE_EQ(LI.frequency(N.OuterH), 10.0);
+  EXPECT_DOUBLE_EQ(LI.frequency(N.InnerH), 100.0);
+  LoopInfo LI2 = LoopInfo::compute(N.F, 2.0);
+  EXPECT_DOUBLE_EQ(LI2.frequency(N.InnerH), 4.0);
+}
+
+TEST(LoopInfo, DiamondHasNoLoops) {
+  Function F("d");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *T = F.createBlock();
+  BasicBlock *E = F.createBlock();
+  BasicBlock *J = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg C = B.emitLoadImm(0);
+  B.emitCondBranch(C, T, E);
+  B.setInsertBlock(T);
+  B.emitBranch(J);
+  B.setInsertBlock(E);
+  B.emitBranch(J);
+  B.setInsertBlock(J);
+  B.emitRet();
+
+  LoopInfo LI = LoopInfo::compute(F);
+  for (unsigned I = 0; I != F.numBlocks(); ++I) {
+    EXPECT_EQ(LI.loopDepth(F.block(I)), 0u);
+    EXPECT_DOUBLE_EQ(LI.frequency(F.block(I)), 1.0);
+  }
+}
+
+TEST(LoopInfo, ImmediateDominatorsOfDiamond) {
+  Function F("dom");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *T = F.createBlock();
+  BasicBlock *E = F.createBlock();
+  BasicBlock *J = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg C = B.emitLoadImm(0);
+  B.emitCondBranch(C, T, E);
+  B.setInsertBlock(T);
+  B.emitBranch(J);
+  B.setInsertBlock(E);
+  B.emitBranch(J);
+  B.setInsertBlock(J);
+  B.emitRet();
+
+  std::vector<unsigned> IDom = computeImmediateDominators(F);
+  EXPECT_EQ(IDom[Entry->id()], Entry->id());
+  EXPECT_EQ(IDom[T->id()], Entry->id());
+  EXPECT_EQ(IDom[E->id()], Entry->id());
+  // The join is dominated by the entry, not by either arm.
+  EXPECT_EQ(IDom[J->id()], Entry->id());
+}
+
+TEST(LoopInfo, UnreachableBlocksAreBenign) {
+  Function F("unreach");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  B.setInsertBlock(Entry);
+  B.emitRet();
+  BasicBlock *Island = F.createBlock();
+  B.setInsertBlock(Island);
+  B.emitRet();
+
+  std::vector<unsigned> IDom = computeImmediateDominators(F);
+  EXPECT_EQ(IDom[Island->id()], ~0u);
+  LoopInfo LI = LoopInfo::compute(F);
+  EXPECT_EQ(LI.loopDepth(Island), 0u);
+}
+
+TEST(LoopInfo, SelfLoopIsDepthOne) {
+  Function F("self");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Loop = F.createBlock();
+  BasicBlock *Done = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg C = B.emitLoadImm(1);
+  B.emitBranch(Loop);
+  B.setInsertBlock(Loop);
+  B.emitCondBranch(C, Loop, Done);
+  B.setInsertBlock(Done);
+  B.emitRet();
+
+  LoopInfo LI = LoopInfo::compute(F);
+  EXPECT_EQ(LI.loopDepth(Loop), 1u);
+  EXPECT_EQ(LI.loopDepth(Done), 0u);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/test_machine.cpp - Machine model unit tests --------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/TargetDesc.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(TargetDesc, CannedModelsMatchPaperPressure) {
+  // Section 6: 16 / 24 / 32 registers, half volatile, <= 8 parameter regs.
+  TargetDesc High = makeHighPressureTarget();
+  EXPECT_EQ(High.numRegs(RegClass::GPR), 16u);
+  EXPECT_EQ(High.numRegs(RegClass::FPR), 16u);
+  EXPECT_EQ(High.numVolatile(RegClass::GPR), 8u);
+  EXPECT_EQ(High.numNonVolatile(RegClass::GPR), 8u);
+  EXPECT_EQ(High.maxParamRegs(), 8u);
+
+  TargetDesc Mid = makeMiddlePressureTarget();
+  EXPECT_EQ(Mid.numRegs(RegClass::GPR), 24u);
+  EXPECT_EQ(Mid.numVolatile(RegClass::GPR), 12u);
+
+  TargetDesc Low = makeLowPressureTarget();
+  EXPECT_EQ(Low.numRegs(RegClass::GPR), 32u);
+  EXPECT_EQ(Low.numRegs(), 64u);
+}
+
+TEST(TargetDesc, ClassLayoutIsContiguous) {
+  TargetDesc T = makeTarget(16);
+  EXPECT_EQ(T.firstReg(RegClass::GPR), 0u);
+  EXPECT_EQ(T.firstReg(RegClass::FPR), 16u);
+  EXPECT_EQ(T.regClass(0), RegClass::GPR);
+  EXPECT_EQ(T.regClass(15), RegClass::GPR);
+  EXPECT_EQ(T.regClass(16), RegClass::FPR);
+  EXPECT_EQ(T.regClass(31), RegClass::FPR);
+  EXPECT_EQ(T.classIndex(16), 0u);
+  EXPECT_EQ(T.classIndex(31), 15u);
+}
+
+TEST(TargetDesc, RegAtClassIndexBounds) {
+  TargetDesc T = makeTarget(16);
+  EXPECT_EQ(T.regAtClassIndex(RegClass::GPR, 0), 0);
+  EXPECT_EQ(T.regAtClassIndex(RegClass::FPR, 0), 16);
+  EXPECT_EQ(T.regAtClassIndex(RegClass::GPR, 15), 15);
+  EXPECT_EQ(T.regAtClassIndex(RegClass::GPR, 16), -1);
+  EXPECT_EQ(T.regAtClassIndex(RegClass::GPR, -1), -1);
+}
+
+TEST(TargetDesc, VolatilityPartition) {
+  TargetDesc T = makeTarget(16);
+  // Registers 0..7 of each class volatile, 8..15 non-volatile.
+  for (unsigned I = 0; I != 8; ++I) {
+    EXPECT_TRUE(T.isVolatile(I));
+    EXPECT_TRUE(T.isVolatile(16 + I));
+  }
+  for (unsigned I = 8; I != 16; ++I) {
+    EXPECT_FALSE(T.isVolatile(I));
+    EXPECT_FALSE(T.isVolatile(16 + I));
+  }
+}
+
+TEST(TargetDesc, ParamAndReturnConventions) {
+  TargetDesc T = makeTarget(24);
+  EXPECT_EQ(T.paramReg(RegClass::GPR, 0), 0u);
+  EXPECT_EQ(T.paramReg(RegClass::GPR, 7), 7u);
+  EXPECT_EQ(T.paramReg(RegClass::FPR, 0), 24u);
+  // Return register doubles as the first parameter register.
+  EXPECT_EQ(T.returnReg(RegClass::GPR), T.paramReg(RegClass::GPR, 0));
+  // Parameter registers are always volatile (caller-owned).
+  for (unsigned I = 0; I != T.maxParamRegs(); ++I)
+    EXPECT_TRUE(T.isVolatile(T.paramReg(RegClass::GPR, I)));
+}
+
+TEST(TargetDesc, AdjacentPairingRule) {
+  TargetDesc T = makeTarget(16, PairingRule::Adjacent);
+  EXPECT_TRUE(T.pairFuses(3, 4));
+  EXPECT_FALSE(T.pairFuses(4, 3));
+  EXPECT_FALSE(T.pairFuses(3, 5));
+  EXPECT_FALSE(T.pairFuses(3, 3));
+  // Adjacency is within a class: GPR15 and FPR0 are not a pair.
+  EXPECT_FALSE(T.pairFuses(15, 16));
+  EXPECT_TRUE(T.pairFuses(16, 17));
+}
+
+TEST(TargetDesc, OddEvenPairingRule) {
+  TargetDesc T = makeTarget(16, PairingRule::OddEven);
+  EXPECT_TRUE(T.pairFuses(0, 1));
+  EXPECT_TRUE(T.pairFuses(1, 0));
+  EXPECT_TRUE(T.pairFuses(3, 6));
+  EXPECT_FALSE(T.pairFuses(0, 2));
+  EXPECT_FALSE(T.pairFuses(1, 3));
+  EXPECT_FALSE(T.pairFuses(15, 16)); // Cross-class.
+}
+
+TEST(TargetDesc, RegNames) {
+  TargetDesc T = makeTarget(16);
+  EXPECT_EQ(T.regName(0), "r0");
+  EXPECT_EQ(T.regName(15), "r15");
+  EXPECT_EQ(T.regName(16), "f0");
+  EXPECT_EQ(T.regName(31), "f15");
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- tests/test_optimal.cpp - Exhaustive reference tests ----------------------===//
+//
+// Part of the PDGC project.
+//
+// The exhaustive optimal assigner, and the near-optimality claim of the
+// paper's Section 7: on tiny functions the preference-directed heuristic
+// should land within a modest factor of the true optimum of the same
+// objective, at a fraction of the search cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreferenceDirectedAllocator.h"
+#include "ir/IRBuilder.h"
+#include "ir/PhiElimination.h"
+#include "regalloc/AssignmentChecker.h"
+#include "regalloc/Driver.h"
+#include "regalloc/OptimalAllocator.h"
+#include "sim/CostSimulator.h"
+#include "workloads/Figure7.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(Optimal, FindsAValidMinimalAssignment) {
+  TargetDesc Target("t3", 3, 3, 1, 1, PairingRule::Adjacent);
+  Function F("tiny");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitMove(A);
+  B.emitStore(C, C, 0);
+  B.emitRet();
+
+  OptimalResult R = findOptimalAssignment(F, Target);
+  ASSERT_TRUE(R.Found);
+  EXPECT_FALSE(R.BudgetExhausted);
+  EXPECT_TRUE(checkAssignment(F, Target, R.Assignment).empty());
+  // The optimum shares one register across the copy (move eliminated).
+  EXPECT_EQ(R.Assignment[A.id()], R.Assignment[C.id()]);
+}
+
+TEST(Optimal, DetectsUncolorableGraphs) {
+  // A 3-clique on two registers has no spill-free assignment.
+  TargetDesc Tiny("k2", 2, 2, 1, 1, PairingRule::Adjacent);
+  Function F("clique");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitLoadImm(2);
+  VReg D = B.emitLoadImm(3);
+  VReg S = B.emitBinary(Opcode::Add, A, C);
+  VReg S2 = B.emitBinary(Opcode::Add, S, D);
+  B.emitStore(S2, S2, 0);
+  B.emitRet();
+
+  OptimalResult R = findOptimalAssignment(F, Tiny);
+  EXPECT_FALSE(R.Found);
+  EXPECT_FALSE(R.BudgetExhausted);
+}
+
+TEST(Optimal, BudgetStopsTheSearch) {
+  TargetDesc Target = makeTarget(16);
+  GeneratorParams P;
+  P.Seed = 808;
+  P.FragmentBudget = 14;
+  std::unique_ptr<Function> F = generateFunction(P, Target);
+  eliminatePhis(*F);
+  OptimalResult R = findOptimalAssignment(*F, Target, /*NodeBudget=*/100);
+  EXPECT_TRUE(R.BudgetExhausted);
+}
+
+TEST(Optimal, MatchesThePaperOnFigure7) {
+  // The paper's hand-derived Figure 7 assignment is optimal under the
+  // cost model; the exhaustive search must agree with the
+  // preference-directed allocator's cost exactly.
+  TargetDesc Target = makeFigure7Target();
+  Figure7Regs R;
+  auto FOpt = makeFigure7Function(Target, &R);
+  OptimalResult Optimal = findOptimalAssignment(*FOpt, Target);
+  ASSERT_TRUE(Optimal.Found);
+  ASSERT_FALSE(Optimal.BudgetExhausted);
+
+  auto FHeur = makeFigure7Function(Target, nullptr);
+  PreferenceDirectedAllocator Alloc(pdgcFullOptions());
+  AllocationOutcome Out = allocate(*FHeur, Target, Alloc);
+  double HeuristicCost = simulateCost(*FHeur, Target, Out.Assignment).total();
+  EXPECT_DOUBLE_EQ(HeuristicCost, Optimal.Cost);
+}
+
+TEST(Optimal, PdgcIsNearOptimalOnTinyFunctions) {
+  // Section 7's claim, made testable: within a modest factor of the true
+  // optimum on colorable tiny inputs, and orders of magnitude fewer
+  // "search nodes" (PDGC touches each live range once).
+  TargetDesc Target("t4", 4, 4, 2, 2, PairingRule::Adjacent);
+  unsigned Compared = 0;
+  double WorstRatio = 1.0;
+  double LogRatioSum = 0.0;
+  for (std::uint64_t Seed = 1200; Seed != 1215; ++Seed) {
+    GeneratorParams P;
+    P.Seed = Seed;
+    P.FragmentBudget = 3;
+    P.OpsPerFragment = 2;
+    P.NumParams = 1;
+    P.PressureValues = 1;
+    P.Accumulators = 1;
+    P.CallPercent = 25;
+    P.CopyPercent = 30;
+    P.LoopPercent = 25;
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    eliminatePhis(*F);
+    if (F->numVRegs() > 16)
+      continue; // Keep the exhaustive side tractable.
+
+    OptimalResult Optimal = findOptimalAssignment(*F, Target);
+    if (!Optimal.Found || Optimal.BudgetExhausted)
+      continue; // Uncolorable at 4 registers: PDGC would need spills.
+
+    std::unique_ptr<Function> F2 = generateFunction(P, Target);
+    PreferenceDirectedAllocator Alloc(pdgcFullOptions());
+    AllocationOutcome Out = allocate(*F2, Target, Alloc);
+    if (Out.SpilledRanges > 0)
+      continue; // Different problem once spill code is inserted.
+    double Heuristic = simulateCost(*F2, Target, Out.Assignment).total();
+
+    ASSERT_GE(Heuristic, Optimal.Cost - 1e-9) << "seed " << Seed
+        << ": 'optimal' beaten — the search is broken";
+    WorstRatio = std::max(WorstRatio, Heuristic / Optimal.Cost);
+    LogRatioSum += std::log(Heuristic / Optimal.Cost);
+    ++Compared;
+  }
+  ASSERT_GE(Compared, 5u) << "too few comparable cases";
+  // The paper concedes "some cases however remain, in which a greedy
+  // algorithm to resolve preference gives better results" (Section 8) —
+  // on functions this small a single missed fusion is a large relative
+  // slip, so bound the worst case loosely and the geometric mean tightly.
+  EXPECT_LE(WorstRatio, 1.5) << "PDGC strayed far from optimal";
+  EXPECT_LE(std::exp(LogRatioSum / Compared), 1.12)
+      << "PDGC is not near-optimal on average";
+}
+
+} // namespace

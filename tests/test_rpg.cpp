@@ -1,0 +1,210 @@
+//===- tests/test_rpg.cpp - Register Preference Graph tests --------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegisterPreferenceGraph.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+struct RpgFixture {
+  Function F;
+  TargetDesc Target = makeTarget(16);
+  // The RPG keeps pointers into the cost model, so the fixture owns it.
+  std::unique_ptr<LiveRangeCosts> Costs;
+
+  explicit RpgFixture(const char *Name = "rpg") : F(Name) {}
+
+  RegisterPreferenceGraph build() {
+    Liveness LV = Liveness::compute(F);
+    LoopInfo LI = LoopInfo::compute(F);
+    Costs = std::make_unique<LiveRangeCosts>(
+        LiveRangeCosts::compute(F, LV, LI));
+    return RegisterPreferenceGraph::build(F, LV, LI, *Costs, Target);
+  }
+};
+
+const Preference *findPref(const RegisterPreferenceGraph &RPG, VReg V,
+                           PrefKind K, PrefTarget T) {
+  for (const Preference &P : RPG.preferencesOf(V))
+    if (P.Kind == K && P.Target == T)
+      return &P;
+  return nullptr;
+}
+
+TEST(Rpg, CopyCreatesBidirectionalCoalesceEdges) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  EXPECT_NE(findPref(RPG, D, PrefKind::Coalesce,
+                     PrefTarget::liveRange(S.id())),
+            nullptr);
+  EXPECT_NE(findPref(RPG, S, PrefKind::Coalesce,
+                     PrefTarget::liveRange(D.id())),
+            nullptr);
+  // And the reverse index sees both.
+  EXPECT_EQ(RPG.preferencesTargeting(S).size(), 1u);
+  EXPECT_EQ(RPG.preferencesTargeting(D).size(), 1u);
+}
+
+TEST(Rpg, PinnedEndpointYieldsRegisterTarget) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  VReg P = Fix.F.addParam(RegClass::GPR, 4);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg D = B.emitMove(P);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  const Preference *Pref =
+      findPref(RPG, D, PrefKind::Coalesce, PrefTarget::reg(4));
+  ASSERT_NE(Pref, nullptr);
+  // The pinned side gets no preferences — it has no choice to make.
+  EXPECT_TRUE(RPG.preferencesOf(P).empty());
+}
+
+TEST(Rpg, RepeatedCopiesAccumulateSavings) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = Fix.F.createVReg(RegClass::GPR);
+  BB->append(Instruction(Opcode::Move, D, {S}));
+  B.emitStore(D, D, 0);
+  BB->append(Instruction(Opcode::Move, D, {S})); // Same pair again.
+  B.emitStore(D, D, 1);
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  const Preference *Pref =
+      findPref(RPG, D, PrefKind::Coalesce, PrefTarget::liveRange(S.id()));
+  ASSERT_NE(Pref, nullptr);
+  EXPECT_DOUBLE_EQ(Pref->Savings, 2.0); // Two copies at frequency 1.
+  // Exactly one edge despite two copies.
+  unsigned CoalesceEdges = 0;
+  for (const Preference &P : RPG.preferencesOf(D))
+    if (P.Kind == PrefKind::Coalesce)
+      ++CoalesceEdges;
+  EXPECT_EQ(CoalesceEdges, 1u);
+}
+
+TEST(Rpg, PairedLoadYieldsSequentialEdges) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Base = B.emitLoadImm(0);
+  auto [First, Second] = B.emitPairedLoad(Base, 8);
+  VReg S = B.emitBinary(Opcode::Add, First, Second);
+  B.emitStore(S, Base, 0);
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  const Preference *Minus = findPref(RPG, First, PrefKind::SequentialMinus,
+                                     PrefTarget::liveRange(Second.id()));
+  const Preference *Plus = findPref(RPG, Second, PrefKind::SequentialPlus,
+                                    PrefTarget::liveRange(First.id()));
+  ASSERT_NE(Minus, nullptr);
+  ASSERT_NE(Plus, nullptr);
+  // Fusing removes a load of cost 2 at frequency 1.
+  EXPECT_DOUBLE_EQ(Minus->Savings, 2.0);
+  EXPECT_DOUBLE_EQ(Plus->Savings, 2.0);
+}
+
+TEST(Rpg, EveryLiveRangeGetsBothVolatilityEdges) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  B.emitStore(A, A, 0);
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  EXPECT_NE(findPref(RPG, A, PrefKind::Prefers,
+                     PrefTarget::volatileClass()),
+            nullptr);
+  EXPECT_NE(findPref(RPG, A, PrefKind::Prefers,
+                     PrefTarget::nonVolatileClass()),
+            nullptr);
+}
+
+TEST(Rpg, DeadRegistersGetNoPreferences) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Dead = Fix.F.createVReg(RegClass::GPR); // Never referenced.
+  B.emitLoadImm(1);
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  EXPECT_TRUE(RPG.preferencesOf(Dead).empty());
+}
+
+TEST(Rpg, CallCrossingFlipsVolatilityOrdering) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Crossing = B.emitLoadImm(5);
+  VReg Local = B.emitLoadImm(6);
+  B.emitStore(Local, Local, 0); // Local dies before the call.
+  B.emitCall(1, {}, VReg());
+  B.emitStore(Crossing, Crossing, 1); // Crossing survives the call.
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  auto StrengthOf = [&](VReg V, PrefTarget T) {
+    const Preference *P = findPref(RPG, V, PrefKind::Prefers, T);
+    return P ? RPG.bestStrength(*P)
+             : -std::numeric_limits<double>::infinity();
+  };
+  // The call-crossing value scores higher non-volatile; the local value
+  // scores at least as high volatile.
+  EXPECT_GT(StrengthOf(Crossing, PrefTarget::nonVolatileClass()),
+            StrengthOf(Crossing, PrefTarget::volatileClass()));
+  EXPECT_GE(StrengthOf(Local, PrefTarget::volatileClass()),
+            StrengthOf(Local, PrefTarget::nonVolatileClass()));
+}
+
+TEST(Rpg, StrengthDependsOnCandidateVolatility) {
+  RpgFixture Fix;
+  IRBuilder B(Fix.F);
+  BasicBlock *BB = Fix.F.createBlock();
+  B.setInsertBlock(BB);
+  VReg S = B.emitLoadImm(1);
+  VReg D = B.emitMove(S);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+
+  RegisterPreferenceGraph RPG = Fix.build();
+  const Preference *P =
+      findPref(RPG, D, PrefKind::Coalesce, PrefTarget::liveRange(S.id()));
+  ASSERT_NE(P, nullptr);
+  // Not crossing a call: the volatile strength beats non-volatile by the
+  // flat callee-save cost of 2.
+  EXPECT_DOUBLE_EQ(RPG.strength(*P, /*volatile r0=*/0) -
+                       RPG.strength(*P, /*non-volatile r8=*/8),
+                   2.0);
+  // bestStrength picks the better of the two.
+  EXPECT_DOUBLE_EQ(RPG.bestStrength(*P), RPG.strength(*P, 0));
+}
+
+} // namespace

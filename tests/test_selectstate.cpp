@@ -1,0 +1,141 @@
+//===- tests/test_selectstate.cpp - Select-state and coalesced costs ------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "regalloc/CoalescedCosts.h"
+#include "regalloc/SelectState.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pdgc;
+
+namespace {
+
+struct Fixture {
+  Function F{"ss"};
+  TargetDesc Target = makeTarget(16);
+  VReg A, C, S;
+  std::unique_ptr<InterferenceGraph> IG;
+
+  Fixture() {
+    IRBuilder B(F);
+    BasicBlock *BB = F.createBlock();
+    B.setInsertBlock(BB);
+    A = B.emitLoadImm(1);
+    C = B.emitLoadImm(2);
+    S = B.emitBinary(Opcode::Add, A, C);
+    B.emitStore(S, A, 0);
+    B.emitRet();
+    Liveness LV = Liveness::compute(F);
+    LoopInfo LI = LoopInfo::compute(F);
+    IG = std::make_unique<InterferenceGraph>(
+        InterferenceGraph::build(F, LV, LI));
+  }
+};
+
+TEST(SelectState, PrecoloredNodesStartColored) {
+  Function F("pins");
+  IRBuilder B(F);
+  VReg P = F.addParam(RegClass::GPR, 5);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  B.emitStore(P, P, 0);
+  B.emitRet();
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  InterferenceGraph IG = InterferenceGraph::build(F, LV, LI);
+  TargetDesc T = makeTarget(16);
+  SelectState SS(IG, T);
+  EXPECT_TRUE(SS.hasColor(P.id()));
+  EXPECT_EQ(SS.color(P.id()), 5);
+}
+
+TEST(SelectState, AvailabilityExcludesColoredNeighbors) {
+  Fixture Fix;
+  SelectState SS(*Fix.IG, Fix.Target);
+  SS.setColor(Fix.A.id(), 0);
+  SS.setColor(Fix.C.id(), 1);
+  BitVector Avail = SS.availableFor(Fix.S.id());
+  // S interferes with A (store base) but not C (dead at S's def).
+  EXPECT_FALSE(Avail.test(0));
+  EXPECT_TRUE(Avail.test(1));
+  EXPECT_EQ(SS.firstAvailable(Fix.S.id()), 1);
+}
+
+TEST(SelectState, AvailabilityIsClassLocal) {
+  Fixture Fix;
+  SelectState SS(*Fix.IG, Fix.Target);
+  BitVector Avail = SS.availableFor(Fix.A.id());
+  // A GPR node sees only GPRs.
+  for (unsigned R : Avail.setBits())
+    EXPECT_EQ(Fix.Target.regClass(static_cast<PhysReg>(R)), RegClass::GPR);
+  EXPECT_EQ(Avail.count(), 16u);
+}
+
+TEST(SelectState, PickAvailableHonorsNonVolatileFirst) {
+  Fixture Fix;
+  SelectState SS(*Fix.IG, Fix.Target);
+  BitVector Avail = SS.availableFor(Fix.A.id());
+  EXPECT_EQ(pickAvailable(Avail, Fix.Target, /*NonVolatileFirst=*/false),
+            0);
+  EXPECT_EQ(pickAvailable(Avail, Fix.Target, /*NonVolatileFirst=*/true),
+            8);
+  BitVector Empty(Fix.Target.numRegs());
+  EXPECT_EQ(pickAvailable(Empty, Fix.Target, true), -1);
+}
+
+TEST(CoalescedCosts, AggregatesOverClasses) {
+  Fixture Fix;
+  Liveness LV = Liveness::compute(Fix.F);
+  LoopInfo LI = LoopInfo::compute(Fix.F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(Fix.F, LV, LI);
+
+  UnionFind UF(Fix.F.numVRegs());
+  UF.unionSets(Fix.A.id(), Fix.C.id());
+  CoalescedCosts CC(Costs, UF);
+
+  unsigned Rep = UF.find(Fix.A.id());
+  EXPECT_DOUBLE_EQ(CC.spillCost(Rep),
+                   Costs.spillCost(Fix.A) + Costs.spillCost(Fix.C));
+  EXPECT_DOUBLE_EQ(CC.opCost(Rep),
+                   Costs.opCost(Fix.A) + Costs.opCost(Fix.C));
+  EXPECT_DOUBLE_EQ(CC.memCost(Rep),
+                   Costs.memCost(Fix.A) + Costs.memCost(Fix.C));
+  // Unmerged nodes keep their own numbers.
+  EXPECT_DOUBLE_EQ(CC.spillCost(Fix.S.id()), Costs.spillCost(Fix.S));
+}
+
+TEST(CoalescedCosts, InfinityInfectsTheWholeClass) {
+  Fixture Fix;
+  Fix.F.markSpillTemp(Fix.C);
+  Liveness LV = Liveness::compute(Fix.F);
+  LoopInfo LI = LoopInfo::compute(Fix.F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(Fix.F, LV, LI);
+
+  UnionFind UF(Fix.F.numVRegs());
+  UF.unionSets(Fix.A.id(), Fix.C.id());
+  CoalescedCosts CC(Costs, UF);
+  EXPECT_TRUE(CC.isInfinite(UF.find(Fix.A.id())));
+  EXPECT_TRUE(std::isinf(CC.spillMetric(UF.find(Fix.A.id()))));
+  EXPECT_FALSE(CC.isInfinite(Fix.S.id()));
+}
+
+TEST(CoalescedCosts, CallCostMatchesVolatilityRule) {
+  Fixture Fix;
+  Liveness LV = Liveness::compute(Fix.F);
+  LoopInfo LI = LoopInfo::compute(Fix.F);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(Fix.F, LV, LI);
+  UnionFind UF(Fix.F.numVRegs());
+  CoalescedCosts CC(Costs, UF);
+  // No calls in the fixture: volatile residence is free, non-volatile
+  // charges the flat callee save.
+  EXPECT_DOUBLE_EQ(CC.callCost(Fix.A.id(), /*VolatileReg=*/true), 0.0);
+  EXPECT_DOUBLE_EQ(CC.callCost(Fix.A.id(), /*VolatileReg=*/false), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+//===- tests/test_simplifier.cpp - Simplification tests ------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "regalloc/Simplifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pdgc;
+
+namespace {
+
+/// Builds a function whose K+1 values are simultaneously live (a
+/// (K+1)-clique in the interference graph).
+struct Clique {
+  Function F{"clique"};
+  std::vector<VReg> Values;
+
+  explicit Clique(unsigned N) {
+    IRBuilder B(F);
+    BasicBlock *BB = F.createBlock();
+    B.setInsertBlock(BB);
+    for (unsigned I = 0; I != N; ++I)
+      Values.push_back(B.emitLoadImm(static_cast<std::int64_t>(I)));
+    // Use them all at the end so they are pairwise live.
+    VReg Acc = Values[0];
+    for (unsigned I = 1; I != N; ++I)
+      Acc = B.emitBinary(Opcode::Add, Acc, Values[I]);
+    B.emitStore(Acc, Values[0], 0);
+    B.emitRet();
+  }
+
+  InterferenceGraph graph() {
+    Liveness LV = Liveness::compute(F);
+    LoopInfo LI = LoopInfo::compute(F);
+    return InterferenceGraph::build(F, LV, LI);
+  }
+
+  LiveRangeCosts costs() {
+    Liveness LV = Liveness::compute(F);
+    LoopInfo LI = LoopInfo::compute(F);
+    return LiveRangeCosts::compute(F, LV, LI);
+  }
+};
+
+std::function<double(unsigned)> metricOf(const LiveRangeCosts &C) {
+  return [&C](unsigned N) { return C.spillMetric(VReg(N)); };
+}
+
+TEST(Simplifier, ColorableGraphStacksEverything) {
+  Clique Q(4); // 4-clique plus accumulator temps.
+  TargetDesc Target = makeTarget(16);
+  InterferenceGraph IG = Q.graph();
+  LiveRangeCosts Costs = Q.costs();
+  SimplifyResult SR =
+      simplifyGraph(IG, Target, metricOf(Costs), /*Optimistic=*/false);
+  EXPECT_EQ(SR.Stack.size(), Q.F.numVRegs());
+  EXPECT_TRUE(SR.DefiniteSpills.empty());
+  for (char Flag : SR.OptimisticallySpilled)
+    EXPECT_EQ(Flag, 0);
+}
+
+TEST(Simplifier, ChaitinSpillsWhenBlocked) {
+  // A 5-clique on a 3-register machine must spill pessimistically.
+  Clique Q(5);
+  TargetDesc Target("tiny", 3, 3, 1, 1, PairingRule::Adjacent);
+  InterferenceGraph IG = Q.graph();
+  LiveRangeCosts Costs = Q.costs();
+  SimplifyResult SR =
+      simplifyGraph(IG, Target, metricOf(Costs), /*Optimistic=*/false);
+  EXPECT_FALSE(SR.DefiniteSpills.empty());
+  // Stack + spills covers every node exactly once.
+  EXPECT_EQ(SR.Stack.size() + SR.DefiniteSpills.size(), Q.F.numVRegs());
+}
+
+TEST(Simplifier, OptimisticPushesPotentialSpills) {
+  Clique Q(5);
+  TargetDesc Target("tiny", 3, 3, 1, 1, PairingRule::Adjacent);
+  InterferenceGraph IG = Q.graph();
+  LiveRangeCosts Costs = Q.costs();
+  SimplifyResult SR =
+      simplifyGraph(IG, Target, metricOf(Costs), /*Optimistic=*/true);
+  EXPECT_TRUE(SR.DefiniteSpills.empty());
+  EXPECT_EQ(SR.Stack.size(), Q.F.numVRegs());
+  unsigned Optimistic = 0;
+  for (char Flag : SR.OptimisticallySpilled)
+    Optimistic += Flag;
+  EXPECT_GT(Optimistic, 0u);
+}
+
+TEST(Simplifier, SpillCandidateMinimizesMetricOverDegree) {
+  // In a uniform clique the candidate with the smallest spill metric is
+  // chosen; give one node a tiny cost by using it least.
+  Function F("pick");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  std::vector<VReg> V;
+  for (unsigned I = 0; I != 4; ++I)
+    V.push_back(B.emitLoadImm(static_cast<std::int64_t>(I)));
+  // Use three of them heavily, the last one (V[3]) only once.
+  for (unsigned Rep = 0; Rep != 3; ++Rep)
+    for (unsigned I = 0; I != 3; ++I)
+      B.emitStore(V[I], V[(I + 1) % 3], 0);
+  VReg Acc = B.emitBinary(Opcode::Add, V[0], V[3]);
+  B.emitStore(Acc, V[1], 0);
+  B.emitStore(V[2], V[0], 1);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  InterferenceGraph IG = InterferenceGraph::build(F, LV, LI);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(F, LV, LI);
+  TargetDesc Target("tiny2", 2, 2, 1, 1, PairingRule::Adjacent);
+  SimplifyResult SR =
+      simplifyGraph(IG, Target, metricOf(Costs), /*Optimistic=*/false);
+  ASSERT_FALSE(SR.DefiniteSpills.empty());
+  // The rarely used node is among the spills.
+  EXPECT_NE(std::find(SR.DefiniteSpills.begin(), SR.DefiniteSpills.end(),
+                      V[3].id()),
+            SR.DefiniteSpills.end());
+}
+
+TEST(Simplifier, RemovalPriorityControlsPushOrder) {
+  Clique Q(3);
+  TargetDesc Target = makeTarget(16);
+  InterferenceGraph IG = Q.graph();
+  LiveRangeCosts Costs = Q.costs();
+  // Give node ids descending priority: the highest id has the smallest
+  // priority, so it must be pushed first (and popped last).
+  SimplifyResult SR = simplifyGraph(
+      IG, Target, metricOf(Costs), /*Optimistic=*/false,
+      [&](unsigned N) { return -static_cast<double>(N); });
+  ASSERT_FALSE(SR.Stack.empty());
+  EXPECT_EQ(SR.Stack.front(), Q.F.numVRegs() - 1);
+  // And the whole stack is in strictly descending id order.
+  for (unsigned I = 0; I + 1 < SR.Stack.size(); ++I)
+    EXPECT_GT(SR.Stack[I], SR.Stack[I + 1]);
+}
+
+TEST(Simplifier, PrecoloredNodesAreNeverStacked) {
+  Function F("pins");
+  IRBuilder B(F);
+  VReg P = F.addParam(RegClass::GPR, 0);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitMove(P);
+  B.emitStore(A, A, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  InterferenceGraph IG = InterferenceGraph::build(F, LV, LI);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(F, LV, LI);
+  TargetDesc Target = makeTarget(16);
+  SimplifyResult SR =
+      simplifyGraph(IG, Target, metricOf(Costs), /*Optimistic=*/true);
+  for (unsigned N : SR.Stack)
+    EXPECT_FALSE(IG.isPrecolored(N));
+}
+
+TEST(Simplifier, MergedNodesAreSkipped) {
+  Function F("merged");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg D = B.emitMove(A);
+  B.emitStore(D, D, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  InterferenceGraph IG = InterferenceGraph::build(F, LV, LI);
+  LiveRangeCosts Costs = LiveRangeCosts::compute(F, LV, LI);
+  IG.merge(A.id(), D.id());
+  TargetDesc Target = makeTarget(16);
+  SimplifyResult SR =
+      simplifyGraph(IG, Target, metricOf(Costs), /*Optimistic=*/true);
+  for (unsigned N : SR.Stack)
+    EXPECT_NE(N, D.id());
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/test_spill_granularity.cpp - Per-block spill placement -------------===//
+//
+// Part of the PDGC project.
+//
+// Block-granular spill placement: one reload per block, reused by later
+// uses; definitions store through and feed later uses directly. Fewer
+// spill instructions, longer fragments, identical semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "regalloc/ChaitinAllocator.h"
+#include "regalloc/Driver.h"
+#include "regalloc/SpillCodeInserter.h"
+#include "sim/Interpreter.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(SpillGranularityTest, PerBlockReusesOneReload) {
+  auto Build = [](Function &F, VReg &V) {
+    IRBuilder B(F);
+    BasicBlock *BB = F.createBlock();
+    B.setInsertBlock(BB);
+    V = B.emitLoadImm(7);
+    VReg Base = B.emitLoadImm(0);
+    // Three uses of V in one block.
+    B.emitStore(V, Base, 0);
+    B.emitStore(V, Base, 1);
+    B.emitStore(V, Base, 2);
+    B.emitRet();
+  };
+
+  Function F1("peruse"), F2("perblock");
+  VReg V1, V2;
+  Build(F1, V1);
+  Build(F2, V2);
+
+  unsigned Slot1 = 0, Slot2 = 0;
+  SpillInsertStats PerUse = insertSpillCode(F1, {V1.id()}, Slot1, false,
+                                            SpillGranularity::PerUse);
+  SpillInsertStats PerBlock = insertSpillCode(F2, {V2.id()}, Slot2, false,
+                                              SpillGranularity::PerBlock);
+  EXPECT_EQ(PerUse.Loads, 3u);
+  // The definition is in the same block: it stores through once and then
+  // feeds all three uses directly — no reload at all.
+  EXPECT_EQ(PerBlock.Loads, 0u);
+  EXPECT_EQ(PerUse.Stores, PerBlock.Stores);
+
+  // Identical observable behaviour.
+  EXPECT_EQ(runVirtual(F1, {}).StoreDigest, runVirtual(F2, {}).StoreDigest);
+}
+
+TEST(SpillGranularityTest, DefFeedsLaterUsesInTheBlock) {
+  Function F("deffeeds");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg Base = B.emitLoadImm(0);
+  VReg V = B.emitAddImm(Base, 5); // Def of the spilled register.
+  B.emitStore(V, Base, 0);        // Use right after the def.
+  B.emitStore(V, Base, 1);        // And again.
+  B.emitRet();
+
+  unsigned Slot = 0;
+  SpillInsertStats Stats = insertSpillCode(F, {V.id()}, Slot, false,
+                                           SpillGranularity::PerBlock);
+  // The def stores through once; no reload is ever needed.
+  EXPECT_EQ(Stats.Stores, 1u);
+  EXPECT_EQ(Stats.Loads, 0u);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(F, Errors)) << Errors.front();
+}
+
+TEST(SpillGranularityTest, FreshReloadPerBlock) {
+  // The defining block is served by the stored-through definition; the
+  // second block has no local fragment and must reload exactly once.
+  Function F("twoblocks");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Next = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg V = B.emitLoadImm(9);
+  VReg Base = B.emitLoadImm(0);
+  B.emitStore(V, Base, 0);
+  B.emitBranch(Next);
+  B.setInsertBlock(Next);
+  B.emitStore(V, Base, 1);
+  B.emitStore(V, Base, 2); // Second use in the block: reuses the reload.
+  B.emitRet();
+
+  unsigned Slot = 0;
+  SpillInsertStats Stats = insertSpillCode(F, {V.id()}, Slot, false,
+                                           SpillGranularity::PerBlock);
+  EXPECT_EQ(Stats.Loads, 1u);
+  EXPECT_EQ(Stats.Stores, 1u);
+}
+
+TEST(SpillGranularityTest, EndToEndSemanticsUnderPressure) {
+  TargetDesc Target = makeTarget(8); // Enough slack for longer fragments.
+  for (std::uint64_t Seed : {4000ull, 4001ull, 4002ull}) {
+    GeneratorParams P;
+    P.Seed = Seed;
+    P.FragmentBudget = 16;
+    P.PressureValues = 8;
+    P.CallPercent = 20;
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    ExecutionResult Reference = runVirtual(*F, {2, 3});
+    ASSERT_TRUE(Reference.Completed);
+
+    ChaitinAllocator Alloc;
+    DriverOptions Options;
+    Options.Granularity = SpillGranularity::PerBlock;
+    AllocationOutcome Out = allocate(*F, Target, Alloc, Options);
+    ExecutionResult After = runAllocated(*F, Target, Out.Assignment, {2, 3});
+    EXPECT_EQ(Reference.ReturnValue, After.ReturnValue) << Seed;
+    EXPECT_EQ(Reference.StoreDigest, After.StoreDigest) << Seed;
+  }
+}
+
+TEST(SpillGranularityTest, PerBlockNeverInsertsMoreSpillCode) {
+  TargetDesc Target = makeTarget(8);
+  for (std::uint64_t Seed : {4100ull, 4101ull}) {
+    GeneratorParams P;
+    P.Seed = Seed;
+    P.FragmentBudget = 16;
+    P.PressureValues = 8;
+
+    std::unique_ptr<Function> F1 = generateFunction(P, Target);
+    ChaitinAllocator A1;
+    AllocationOutcome O1 = allocate(*F1, Target, A1);
+
+    std::unique_ptr<Function> F2 = generateFunction(P, Target);
+    ChaitinAllocator A2;
+    DriverOptions Options;
+    Options.Granularity = SpillGranularity::PerBlock;
+    AllocationOutcome O2 = allocate(*F2, Target, A2, Options);
+
+    // Spill decisions can differ across rounds, so compare loosely: the
+    // per-block variant should not blow up the spill-instruction count.
+    EXPECT_LE(O2.SpillInstructions,
+              O1.SpillInstructions + O1.SpillInstructions / 2 + 8)
+        << Seed;
+  }
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tools/pdgc-alloc.cpp - Command-line register allocator -----------------===//
+//
+// Part of the PDGC project.
+//
+// Allocates registers for a textual IR function and prints the result.
+//
+//   pdgc-alloc [options] [input.ir]
+//
+//   --allocator=NAME   chaitin | briggs+aggressive | iterated |
+//                      optimistic | aggressive+volatility |
+//                      only-coalescing | full-preferences (default) | ...
+//   --regs=N           registers per class: 16 | 24 (default) | 32 | any
+//   --pairing=RULE     adjacent (default) | oddeven
+//   --remat            rematerialize spilled constants
+//   --emit-sample=SEED print a generated sample function and exit (useful
+//                      for producing fixtures)
+//   --quiet            print only the summary line
+//
+// Reads from stdin when no input file is given. Exits nonzero on parse or
+// allocation errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "regalloc/Driver.h"
+#include "sim/CostSimulator.h"
+#include "workloads/Generator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <iostream>
+#include <sstream>
+
+using namespace pdgc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: pdgc-alloc [--allocator=NAME] [--regs=N] "
+      "[--pairing=adjacent|oddeven]\n"
+      "                  [--remat] [--quiet] [--emit-sample=SEED] "
+      "[input.ir]\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string AllocatorName = "full-preferences";
+  unsigned Regs = 24;
+  PairingRule Pairing = PairingRule::Adjacent;
+  bool Remat = false;
+  bool Quiet = false;
+  long EmitSample = -1;
+  std::string InputPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--allocator=", 0) == 0) {
+      AllocatorName = Arg.substr(12);
+    } else if (Arg.rfind("--regs=", 0) == 0) {
+      Regs = static_cast<unsigned>(std::stoul(Arg.substr(7)));
+    } else if (Arg.rfind("--pairing=", 0) == 0) {
+      std::string Rule = Arg.substr(10);
+      if (Rule == "adjacent")
+        Pairing = PairingRule::Adjacent;
+      else if (Rule == "oddeven")
+        Pairing = PairingRule::OddEven;
+      else {
+        std::fprintf(stderr, "error: unknown pairing rule '%s'\n",
+                     Rule.c_str());
+        return 1;
+      }
+    } else if (Arg == "--remat") {
+      Remat = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg.rfind("--emit-sample=", 0) == 0) {
+      EmitSample = std::stol(Arg.substr(14));
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    } else {
+      InputPath = Arg;
+    }
+  }
+
+  if (Regs < 2) {
+    std::fprintf(stderr, "error: at least two registers per class\n");
+    return 1;
+  }
+  TargetDesc Target = makeTarget(Regs, Pairing);
+
+  if (EmitSample >= 0) {
+    GeneratorParams P;
+    P.Seed = static_cast<std::uint64_t>(EmitSample);
+    P.Name = "sample" + std::to_string(EmitSample);
+    P.CallPercent = 30;
+    P.PairedLoadPercent = 15;
+    P.NarrowLoadPercent = 10;
+    P.FpPercent = 25;
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    std::fputs(printFunction(*F).c_str(), stdout);
+    return 0;
+  }
+
+  std::string Text;
+  if (InputPath.empty()) {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Text = SS.str();
+  } else {
+    std::ifstream In(InputPath);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", InputPath.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  }
+
+  std::string ParseError;
+  std::unique_ptr<Function> F = parseFunction(Text, ParseError);
+  if (!F) {
+    std::fprintf(stderr, "error: %s\n", ParseError.c_str());
+    return 1;
+  }
+  std::vector<std::string> VerifyErrors;
+  if (!verifyFunction(*F, VerifyErrors)) {
+    std::fprintf(stderr, "error: invalid IR: %s\n",
+                 VerifyErrors.front().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<AllocatorBase> Allocator =
+      makeAllocatorByName(AllocatorName);
+
+  DriverOptions Options;
+  Options.Rematerialize = Remat;
+  AllocationOutcome Out = allocate(*F, Target, *Allocator, Options);
+  SimulatedCost Cost = simulateCost(*F, Target, Out.Assignment);
+
+  if (!Quiet) {
+    std::printf("; allocated with %s on %s (%u regs/class)\n",
+                Allocator->name(), Target.name().c_str(),
+                Target.numRegs(RegClass::GPR));
+    std::fputs(printFunction(*F).c_str(), stdout);
+    std::printf("\n; assignment:\n");
+    for (unsigned V = 0, E = F->numVRegs(); V != E; ++V)
+      if (Out.Assignment[V] >= 0)
+        std::printf(";   v%-4u -> %s\n", V,
+                    Target.regName(static_cast<PhysReg>(Out.Assignment[V]))
+                        .c_str());
+  }
+  std::printf(
+      "; %s: rounds=%u spilled=%u spill-insts=%u moves=%u eliminated=%u "
+      "cost=%.0f (ops=%.0f moves=%.0f spill=%.0f caller-save=%.0f "
+      "callee-save=%.0f fixups=%.0f) pairs=%u/%u\n",
+      Allocator->name(), Out.Rounds, Out.SpilledRanges,
+      Out.SpillInstructions, Out.OriginalMoves, Out.eliminatedMoves(),
+      Cost.total(), Cost.OpCost, Cost.MoveCost, Cost.SpillCost,
+      Cost.CallerSaveCost, Cost.CalleeSaveCost, Cost.NarrowFixupCost,
+      Cost.FusedPairs, Cost.FusedPairs + Cost.MissedPairs);
+  return 0;
+}

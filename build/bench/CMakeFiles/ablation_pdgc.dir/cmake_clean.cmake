@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pdgc.dir/ablation_pdgc.cpp.o"
+  "CMakeFiles/ablation_pdgc.dir/ablation_pdgc.cpp.o.d"
+  "ablation_pdgc"
+  "ablation_pdgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pdgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_preferences.dir/fig10_preferences.cpp.o"
+  "CMakeFiles/fig10_preferences.dir/fig10_preferences.cpp.o.d"
+  "fig10_preferences"
+  "fig10_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

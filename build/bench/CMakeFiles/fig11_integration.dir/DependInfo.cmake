@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_integration.cpp" "bench/CMakeFiles/fig11_integration.dir/fig11_integration.cpp.o" "gcc" "bench/CMakeFiles/fig11_integration.dir/fig11_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pdgc_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/pdgc_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pdgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pdgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pdgc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_integration.dir/fig11_integration.cpp.o"
+  "CMakeFiles/fig11_integration.dir/fig11_integration.cpp.o.d"
+  "fig11_integration"
+  "fig11_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

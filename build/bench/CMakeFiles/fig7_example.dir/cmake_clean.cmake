@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_example.dir/fig7_example.cpp.o"
+  "CMakeFiles/fig7_example.dir/fig7_example.cpp.o.d"
+  "fig7_example"
+  "fig7_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

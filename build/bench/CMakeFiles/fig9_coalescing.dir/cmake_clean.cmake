@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_coalescing.dir/fig9_coalescing.cpp.o"
+  "CMakeFiles/fig9_coalescing.dir/fig9_coalescing.cpp.o.d"
+  "fig9_coalescing"
+  "fig9_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

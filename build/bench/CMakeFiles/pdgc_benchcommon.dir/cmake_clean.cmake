@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_benchcommon.dir/BenchCommon.cpp.o"
+  "CMakeFiles/pdgc_benchcommon.dir/BenchCommon.cpp.o.d"
+  "libpdgc_benchcommon.a"
+  "libpdgc_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_optimality.dir/sec7_optimality.cpp.o"
+  "CMakeFiles/sec7_optimality.dir/sec7_optimality.cpp.o.d"
+  "sec7_optimality"
+  "sec7_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callcost_tuning.dir/callcost_tuning.cpp.o"
+  "CMakeFiles/callcost_tuning.dir/callcost_tuning.cpp.o.d"
+  "callcost_tuning"
+  "callcost_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callcost_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_walkthrough.dir/figure7_walkthrough.cpp.o"
+  "CMakeFiles/figure7_walkthrough.dir/figure7_walkthrough.cpp.o.d"
+  "figure7_walkthrough"
+  "figure7_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

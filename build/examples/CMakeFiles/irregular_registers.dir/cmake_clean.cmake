@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_registers.dir/irregular_registers.cpp.o"
+  "CMakeFiles/irregular_registers.dir/irregular_registers.cpp.o.d"
+  "irregular_registers"
+  "irregular_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_analysis.dir/CostModel.cpp.o"
+  "CMakeFiles/pdgc_analysis.dir/CostModel.cpp.o.d"
+  "CMakeFiles/pdgc_analysis.dir/InterferenceGraph.cpp.o"
+  "CMakeFiles/pdgc_analysis.dir/InterferenceGraph.cpp.o.d"
+  "CMakeFiles/pdgc_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/pdgc_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/pdgc_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/pdgc_analysis.dir/LoopInfo.cpp.o.d"
+  "libpdgc_analysis.a"
+  "libpdgc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_core.dir/ColoringPrecedenceGraph.cpp.o"
+  "CMakeFiles/pdgc_core.dir/ColoringPrecedenceGraph.cpp.o.d"
+  "CMakeFiles/pdgc_core.dir/PreferenceDirectedAllocator.cpp.o"
+  "CMakeFiles/pdgc_core.dir/PreferenceDirectedAllocator.cpp.o.d"
+  "CMakeFiles/pdgc_core.dir/RegisterPreferenceGraph.cpp.o"
+  "CMakeFiles/pdgc_core.dir/RegisterPreferenceGraph.cpp.o.d"
+  "libpdgc_core.a"
+  "libpdgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

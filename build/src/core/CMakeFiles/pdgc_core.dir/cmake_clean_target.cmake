@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdgc_core.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_ir.dir/DeadCodeElimination.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/DeadCodeElimination.cpp.o.d"
+  "CMakeFiles/pdgc_ir.dir/Function.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/pdgc_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/pdgc_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/pdgc_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/pdgc_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/pdgc_ir.dir/PhiElimination.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/PhiElimination.cpp.o.d"
+  "CMakeFiles/pdgc_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/pdgc_ir.dir/Verifier.cpp.o.d"
+  "libpdgc_ir.a"
+  "libpdgc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

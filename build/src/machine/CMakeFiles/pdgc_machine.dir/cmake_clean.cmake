@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_machine.dir/TargetDesc.cpp.o"
+  "CMakeFiles/pdgc_machine.dir/TargetDesc.cpp.o.d"
+  "libpdgc_machine.a"
+  "libpdgc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

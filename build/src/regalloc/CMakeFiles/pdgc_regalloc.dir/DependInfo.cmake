@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regalloc/AllocatorBase.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/AllocatorBase.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/AllocatorBase.cpp.o.d"
+  "/root/repo/src/regalloc/AssignmentChecker.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/AssignmentChecker.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/AssignmentChecker.cpp.o.d"
+  "/root/repo/src/regalloc/BriggsAllocator.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/BriggsAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/BriggsAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/CallCostAllocator.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/CallCostAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/CallCostAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/ChaitinAllocator.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/ChaitinAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/ChaitinAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/CoalescedCosts.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/CoalescedCosts.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/CoalescedCosts.cpp.o.d"
+  "/root/repo/src/regalloc/Coalescer.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Coalescer.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Coalescer.cpp.o.d"
+  "/root/repo/src/regalloc/Driver.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Driver.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Driver.cpp.o.d"
+  "/root/repo/src/regalloc/IteratedCoalescingAllocator.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/IteratedCoalescingAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/IteratedCoalescingAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/Metrics.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Metrics.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Metrics.cpp.o.d"
+  "/root/repo/src/regalloc/OptimalAllocator.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/OptimalAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/OptimalAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/OptimisticCoalescingAllocator.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/OptimisticCoalescingAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/OptimisticCoalescingAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/PriorityAllocator.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/PriorityAllocator.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/PriorityAllocator.cpp.o.d"
+  "/root/repo/src/regalloc/Rewriter.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Rewriter.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Rewriter.cpp.o.d"
+  "/root/repo/src/regalloc/Simplifier.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Simplifier.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/Simplifier.cpp.o.d"
+  "/root/repo/src/regalloc/SpillCodeInserter.cpp" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/SpillCodeInserter.cpp.o" "gcc" "src/regalloc/CMakeFiles/pdgc_regalloc.dir/SpillCodeInserter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pdgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pdgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pdgc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_sim.dir/CostSimulator.cpp.o"
+  "CMakeFiles/pdgc_sim.dir/CostSimulator.cpp.o.d"
+  "CMakeFiles/pdgc_sim.dir/Interpreter.cpp.o"
+  "CMakeFiles/pdgc_sim.dir/Interpreter.cpp.o.d"
+  "libpdgc_sim.a"
+  "libpdgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

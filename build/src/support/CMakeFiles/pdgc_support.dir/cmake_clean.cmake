@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_support.dir/Debug.cpp.o"
+  "CMakeFiles/pdgc_support.dir/Debug.cpp.o.d"
+  "CMakeFiles/pdgc_support.dir/Statistics.cpp.o"
+  "CMakeFiles/pdgc_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/pdgc_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/pdgc_support.dir/TablePrinter.cpp.o.d"
+  "CMakeFiles/pdgc_support.dir/UnionFind.cpp.o"
+  "CMakeFiles/pdgc_support.dir/UnionFind.cpp.o.d"
+  "libpdgc_support.a"
+  "libpdgc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc_workloads.dir/Figure7.cpp.o"
+  "CMakeFiles/pdgc_workloads.dir/Figure7.cpp.o.d"
+  "CMakeFiles/pdgc_workloads.dir/Generator.cpp.o"
+  "CMakeFiles/pdgc_workloads.dir/Generator.cpp.o.d"
+  "CMakeFiles/pdgc_workloads.dir/Suites.cpp.o"
+  "CMakeFiles/pdgc_workloads.dir/Suites.cpp.o.d"
+  "libpdgc_workloads.a"
+  "libpdgc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costsim.dir/test_costsim.cpp.o"
+  "CMakeFiles/test_costsim.dir/test_costsim.cpp.o.d"
+  "test_costsim"
+  "test_costsim.pdb"
+  "test_costsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpg.dir/test_cpg.cpp.o"
+  "CMakeFiles/test_cpg.dir/test_cpg.cpp.o.d"
+  "test_cpg"
+  "test_cpg.pdb"
+  "test_cpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cpg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dce.dir/test_dce.cpp.o"
+  "CMakeFiles/test_dce.dir/test_dce.cpp.o.d"
+  "test_dce"
+  "test_dce.pdb"
+  "test_dce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure7.dir/test_figure7.cpp.o"
+  "CMakeFiles/test_figure7.dir/test_figure7.cpp.o.d"
+  "test_figure7"
+  "test_figure7.pdb"
+  "test_figure7[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

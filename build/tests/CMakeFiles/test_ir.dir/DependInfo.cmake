@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/test_ir.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/test_ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/pdgc_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pdgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pdgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pdgc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loopinfo.dir/test_loopinfo.cpp.o"
+  "CMakeFiles/test_loopinfo.dir/test_loopinfo.cpp.o.d"
+  "test_loopinfo"
+  "test_loopinfo.pdb"
+  "test_loopinfo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loopinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_problems.dir/test_paper_problems.cpp.o"
+  "CMakeFiles/test_paper_problems.dir/test_paper_problems.cpp.o.d"
+  "test_paper_problems"
+  "test_paper_problems.pdb"
+  "test_paper_problems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

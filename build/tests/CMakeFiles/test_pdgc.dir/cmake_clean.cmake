@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdgc.dir/test_pdgc.cpp.o"
+  "CMakeFiles/test_pdgc.dir/test_pdgc.cpp.o.d"
+  "test_pdgc"
+  "test_pdgc.pdb"
+  "test_pdgc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

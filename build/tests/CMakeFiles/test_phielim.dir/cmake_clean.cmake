@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phielim.dir/test_phielim.cpp.o"
+  "CMakeFiles/test_phielim.dir/test_phielim.cpp.o.d"
+  "test_phielim"
+  "test_phielim.pdb"
+  "test_phielim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phielim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

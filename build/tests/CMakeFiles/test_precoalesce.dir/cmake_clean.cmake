@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precoalesce.dir/test_precoalesce.cpp.o"
+  "CMakeFiles/test_precoalesce.dir/test_precoalesce.cpp.o.d"
+  "test_precoalesce"
+  "test_precoalesce.pdb"
+  "test_precoalesce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precoalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

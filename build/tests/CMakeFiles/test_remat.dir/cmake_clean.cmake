@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remat.dir/test_remat.cpp.o"
+  "CMakeFiles/test_remat.dir/test_remat.cpp.o.d"
+  "test_remat"
+  "test_remat.pdb"
+  "test_remat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_remat.
+# This may be replaced when dependencies are built.

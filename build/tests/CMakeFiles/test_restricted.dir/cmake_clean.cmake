@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restricted.dir/test_restricted.cpp.o"
+  "CMakeFiles/test_restricted.dir/test_restricted.cpp.o.d"
+  "test_restricted"
+  "test_restricted.pdb"
+  "test_restricted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

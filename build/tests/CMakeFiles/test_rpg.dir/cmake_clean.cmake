@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpg.dir/test_rpg.cpp.o"
+  "CMakeFiles/test_rpg.dir/test_rpg.cpp.o.d"
+  "test_rpg"
+  "test_rpg.pdb"
+  "test_rpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

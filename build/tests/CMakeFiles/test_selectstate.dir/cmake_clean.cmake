@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selectstate.dir/test_selectstate.cpp.o"
+  "CMakeFiles/test_selectstate.dir/test_selectstate.cpp.o.d"
+  "test_selectstate"
+  "test_selectstate.pdb"
+  "test_selectstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selectstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simplifier.dir/test_simplifier.cpp.o"
+  "CMakeFiles/test_simplifier.dir/test_simplifier.cpp.o.d"
+  "test_simplifier"
+  "test_simplifier.pdb"
+  "test_simplifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simplifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

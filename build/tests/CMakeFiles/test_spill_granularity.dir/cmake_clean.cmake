@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spill_granularity.dir/test_spill_granularity.cpp.o"
+  "CMakeFiles/test_spill_granularity.dir/test_spill_granularity.cpp.o.d"
+  "test_spill_granularity"
+  "test_spill_granularity.pdb"
+  "test_spill_granularity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spill_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

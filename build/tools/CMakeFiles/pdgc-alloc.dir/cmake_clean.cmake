@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgc-alloc.dir/pdgc-alloc.cpp.o"
+  "CMakeFiles/pdgc-alloc.dir/pdgc-alloc.cpp.o.d"
+  "pdgc-alloc"
+  "pdgc-alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgc-alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,20 +6,19 @@
 
 #include "bench/BenchCommon.h"
 
-#include "core/PreferenceDirectedAllocator.h"
+#include "core/PDGCRegistration.h"
+#include "regalloc/AllocatorRegistry.h"
 #include "regalloc/BriggsAllocator.h"
-#include "regalloc/CallCostAllocator.h"
-#include "regalloc/ChaitinAllocator.h"
 #include "regalloc/Driver.h"
-#include "regalloc/IteratedCoalescingAllocator.h"
 #include "regalloc/OptimisticCoalescingAllocator.h"
-#include "regalloc/PriorityAllocator.h"
 #include "support/Debug.h"
 
 using namespace pdgc;
 
 std::unique_ptr<AllocatorBase>
 pdgc::makeAllocatorByName(const std::string &FullName) {
+  registerPDGCAllocators();
+
   std::string Name = FullName;
   bool NonVolatileFirst = false;
   if (auto Pos = Name.find("#nvf"); Pos != std::string::npos) {
@@ -27,78 +26,24 @@ pdgc::makeAllocatorByName(const std::string &FullName) {
     Name.erase(Pos);
   }
 
-  if (Name == "chaitin")
-    return std::make_unique<ChaitinAllocator>();
-  if (Name == "briggs+aggressive")
-    return std::make_unique<BriggsAllocator>(/*BiasedColoring=*/false,
-                                             NonVolatileFirst);
-  if (Name == "briggs+biased")
-    return std::make_unique<BriggsAllocator>(/*BiasedColoring=*/true,
-                                             NonVolatileFirst);
-  if (Name == "iterated")
-    return std::make_unique<IteratedCoalescingAllocator>();
-  if (Name == "priority")
-    return std::make_unique<PriorityAllocator>();
-  if (Name == "optimistic")
-    return std::make_unique<OptimisticCoalescingAllocator>(NonVolatileFirst);
-  if (Name == "aggressive+volatility")
-    return std::make_unique<CallCostAllocator>();
-  if (Name == "full-preferences")
-    return std::make_unique<PreferenceDirectedAllocator>(pdgcFullOptions());
-  if (Name == "only-coalescing")
-    return std::make_unique<PreferenceDirectedAllocator>(
-        pdgcCoalesceOnlyOptions());
-
-  if (Name == "pdgc-stack-order") {
-    PDGCOptions O = pdgcFullOptions();
-    O.UseCPG = false;
-    O.Name = "pdgc-stack-order";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
+  // The #nvf variants are constructed directly; everything else resolves
+  // through the allocator registry (which the fallback driver and the
+  // fuzzer also use).
+  if (NonVolatileFirst) {
+    if (Name == "briggs+aggressive")
+      return std::make_unique<BriggsAllocator>(/*BiasedColoring=*/false,
+                                               /*NonVolatileFirst=*/true);
+    if (Name == "briggs+biased")
+      return std::make_unique<BriggsAllocator>(/*BiasedColoring=*/true,
+                                               /*NonVolatileFirst=*/true);
+    if (Name == "optimistic")
+      return std::make_unique<OptimisticCoalescingAllocator>(
+          /*NonVolatileFirst=*/true);
   }
-  if (Name == "pdgc-no-lookahead") {
-    PDGCOptions O = pdgcFullOptions();
-    O.PendingLookahead = false;
-    O.Name = "pdgc-no-lookahead";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
-  }
-  if (Name == "pdgc-no-active-spill") {
-    PDGCOptions O = pdgcFullOptions();
-    O.ActiveSpill = false;
-    O.Name = "pdgc-no-active-spill";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
-  }
-  if (Name == "pdgc-no-sequential") {
-    PDGCOptions O = pdgcFullOptions();
-    O.SequentialPreferences = false;
-    O.Name = "pdgc-no-sequential";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
-  }
-  if (Name == "pdgc-no-volatility") {
-    PDGCOptions O = pdgcFullOptions();
-    O.VolatilityPreferences = false;
-    O.Name = "pdgc-no-volatility";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
-  }
-  if (Name == "pdgc-no-restricted") {
-    PDGCOptions O = pdgcFullOptions();
-    O.RestrictedPreferences = false;
-    O.Name = "pdgc-no-restricted";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
-  }
-  if (Name == "pdgc-precoalesce") {
-    PDGCOptions O = pdgcFullOptions();
-    O.PreCoalesce = true;
-    O.Name = "pdgc-precoalesce";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
-  }
-  if (Name == "only-coalescing+pre") {
-    PDGCOptions O = pdgcCoalesceOnlyOptions();
-    O.PreCoalesce = true;
-    O.Name = "only-coalescing+pre";
-    return std::make_unique<PreferenceDirectedAllocator>(O);
-  }
-  pdgc_check(false, ("unknown allocator name: " + FullName).c_str());
-  return nullptr;
+  std::unique_ptr<AllocatorBase> Allocator = createRegisteredAllocator(Name);
+  pdgc_check(Allocator != nullptr,
+             ("unknown allocator name: " + FullName).c_str());
+  return Allocator;
 }
 
 SuiteResult pdgc::runSuiteAllocation(const WorkloadSuite &Suite,

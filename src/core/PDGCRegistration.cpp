@@ -1,0 +1,71 @@
+//===- core/PDGCRegistration.cpp - Registry hookup -------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PDGCRegistration.h"
+
+#include "core/PreferenceDirectedAllocator.h"
+#include "regalloc/AllocatorRegistry.h"
+
+using namespace pdgc;
+
+namespace {
+
+void registerVariant(const std::string &Name, PDGCOptions Options) {
+  registerAllocatorFactory(Name, [Options] {
+    return std::make_unique<PreferenceDirectedAllocator>(Options);
+  });
+}
+
+} // namespace
+
+void pdgc::registerPDGCAllocators() {
+  static const bool Once = [] {
+    registerVariant("full-preferences", pdgcFullOptions());
+    registerVariant("only-coalescing", pdgcCoalesceOnlyOptions());
+
+    PDGCOptions O = pdgcFullOptions();
+    O.UseCPG = false;
+    O.Name = "pdgc-stack-order";
+    registerVariant(O.Name, O);
+
+    O = pdgcFullOptions();
+    O.PendingLookahead = false;
+    O.Name = "pdgc-no-lookahead";
+    registerVariant(O.Name, O);
+
+    O = pdgcFullOptions();
+    O.ActiveSpill = false;
+    O.Name = "pdgc-no-active-spill";
+    registerVariant(O.Name, O);
+
+    O = pdgcFullOptions();
+    O.SequentialPreferences = false;
+    O.Name = "pdgc-no-sequential";
+    registerVariant(O.Name, O);
+
+    O = pdgcFullOptions();
+    O.VolatilityPreferences = false;
+    O.Name = "pdgc-no-volatility";
+    registerVariant(O.Name, O);
+
+    O = pdgcFullOptions();
+    O.RestrictedPreferences = false;
+    O.Name = "pdgc-no-restricted";
+    registerVariant(O.Name, O);
+
+    O = pdgcFullOptions();
+    O.PreCoalesce = true;
+    O.Name = "pdgc-precoalesce";
+    registerVariant(O.Name, O);
+
+    O = pdgcCoalesceOnlyOptions();
+    O.PreCoalesce = true;
+    O.Name = "only-coalescing+pre";
+    registerVariant(O.Name, O);
+    return true;
+  }();
+  (void)Once;
+}

@@ -1,0 +1,29 @@
+//===- core/PDGCRegistration.h - Registry hookup ----------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers the preference-directed allocator family (full-preferences,
+/// only-coalescing, the ablations) in the regalloc AllocatorRegistry. The
+/// registry lives one layer below core, so registration is an explicit,
+/// idempotent call rather than a static initializer the linker could drop;
+/// the benchmark harness, the tools and the tests that resolve allocators
+/// by name call it first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_CORE_PDGCREGISTRATION_H
+#define PDGC_CORE_PDGCREGISTRATION_H
+
+namespace pdgc {
+
+/// Registers every preference-directed allocator variant by its benchmark
+/// name. Idempotent and cheap; call before resolving chain tiers or
+/// enumerating the registry.
+void registerPDGCAllocators();
+
+} // namespace pdgc
+
+#endif // PDGC_CORE_PDGCREGISTRATION_H

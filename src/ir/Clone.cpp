@@ -1,0 +1,51 @@
+//===- ir/Clone.cpp - Deep function copy -----------------------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+
+using namespace pdgc;
+
+std::unique_ptr<Function> pdgc::cloneFunction(const Function &F) {
+  auto Copy = std::make_unique<Function>(F.name());
+
+  // Virtual registers, attributes included.
+  for (unsigned V = 0, E = F.numVRegs(); V != E; ++V) {
+    VReg R = Copy->createVReg(RegClass::GPR);
+    Copy->vregInfo(R) = F.vregInfo(VReg(V));
+  }
+  for (VReg P : F.params())
+    Copy->registerParam(P);
+
+  // Blocks in id order, so ids match. Instructions are value types.
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    BasicBlock *NewBB = Copy->createBlock(BB->name());
+    for (const Instruction &I : BB->instructions())
+      NewBB->append(I);
+  }
+
+  // Edges in id order, then restore each block's predecessor ordering
+  // (phi operands are parallel to it).
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    if (BB->successors().empty())
+      continue;
+    std::vector<BasicBlock *> Succs;
+    for (const BasicBlock *S : BB->successors())
+      Succs.push_back(Copy->block(S->id()));
+    Copy->setEdges(Copy->block(B), Succs);
+  }
+  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = F.block(B);
+    if (BB->numPredecessors() < 2)
+      continue;
+    std::vector<BasicBlock *> Order;
+    for (const BasicBlock *P : BB->predecessors())
+      Order.push_back(Copy->block(P->id()));
+    Copy->reorderPredecessors(Copy->block(B), Order);
+  }
+  return Copy;
+}

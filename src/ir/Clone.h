@@ -1,0 +1,32 @@
+//===- ir/Clone.h - Deep function copy --------------------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural deep copy of a Function. The fallback-chain driver allocates
+/// each tier on a fresh clone so a failed tier cannot leave the caller's
+/// function half-rewritten, and the differential fuzzer allocates the same
+/// input with every registered allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_IR_CLONE_H
+#define PDGC_IR_CLONE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+
+namespace pdgc {
+
+/// Returns a structurally identical copy of \p F: same block names and
+/// ids, same instructions (flags included), same virtual-register table
+/// (classes, pins, spill-temp markers), same parameter list, and the same
+/// predecessor ordering (phi operands stay aligned).
+std::unique_ptr<Function> cloneFunction(const Function &F);
+
+} // namespace pdgc
+
+#endif // PDGC_IR_CLONE_H

@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pdgc {
@@ -162,6 +163,22 @@ public:
 
   const std::vector<VReg> &params() const { return Params; }
   unsigned numParams() const { return static_cast<unsigned>(Params.size()); }
+
+  //===--------------------------------------------------------------------===
+  // Whole-body exchange
+  //===--------------------------------------------------------------------===
+
+  /// Swaps the entire contents (blocks, registers, parameters, name) with
+  /// \p Other. The fallback-chain driver allocates on a clone and swaps the
+  /// winning clone in, so a failed tier never leaves this function
+  /// half-rewritten. Invalidates BasicBlock pointers held by callers.
+  void swapWith(Function &Other) {
+    std::swap(Name, Other.Name);
+    Blocks.swap(Other.Blocks);
+    VRegs.swap(Other.VRegs);
+    Params.swap(Other.Params);
+    std::swap(NextBlockId, Other.NextBlockId);
+  }
 };
 
 } // namespace pdgc

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -25,6 +27,31 @@ struct Operand {
   std::int64_t Imm = 0;
 };
 
+/// Largest register id the parser accepts. Malformed or adversarial input
+/// (the fuzzer's bread and butter) must not be able to request a
+/// multi-gigabyte register table via `v99999999999`.
+constexpr unsigned MaxVRegId = 1u << 20;
+
+/// Parses the decimal digits starting at \p Pos into \p Out without ever
+/// throwing; advances \p Pos past them. Fails on no digits or overflow of
+/// \p Max.
+bool parseDigits(const std::string &S, size_t &Pos, std::uint64_t Max,
+                 std::uint64_t &Out) {
+  size_t Start = Pos;
+  std::uint64_t V = 0;
+  while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos]))) {
+    unsigned D = static_cast<unsigned>(S[Pos] - '0');
+    if (V > (Max - D) / 10)
+      return false;
+    V = V * 10 + D;
+    ++Pos;
+  }
+  if (Pos == Start)
+    return false;
+  Out = V;
+  return true;
+}
+
 class Parser {
   std::vector<std::string> Lines;
   std::unique_ptr<Function> F;
@@ -37,6 +64,9 @@ class Parser {
   std::map<unsigned, std::vector<std::string>> PredNames;
   std::string Error;
   unsigned LineNo = 0;
+  /// Register ids whose class annotation has been seen; a later token
+  /// naming a different class is a conflict, not a silent overwrite.
+  std::vector<char> SeenClass;
 
   bool fail(const std::string &Msg) {
     if (Error.empty())
@@ -55,9 +85,16 @@ class Parser {
   /// Ensures register id \p Id exists with the given class (and optional
   /// pin). Conflicting annotations are an error.
   bool ensureVReg(unsigned Id, RegClass RC, int Pin) {
-    while (F->numVRegs() <= Id)
+    while (F->numVRegs() <= Id) {
       F->createVReg(RegClass::GPR);
+      SeenClass.push_back(0);
+    }
+    if (SeenClass.size() < F->numVRegs())
+      SeenClass.resize(F->numVRegs(), 0);
     VRegInfo &Info = F->vregInfo(VReg(Id));
+    if (SeenClass[Id] && Info.Class != RC)
+      return fail("conflicting register class for v" + std::to_string(Id));
+    SeenClass[Id] = 1;
     Info.Class = RC;
     if (Pin >= 0) {
       if (Info.PinnedReg >= 0 && Info.PinnedReg != Pin)
@@ -73,18 +110,20 @@ class Parser {
     if (Pos >= S.size() || S[Pos] != 'v')
       return fail("expected register token in '" + S + "'");
     size_t P = Pos + 1;
-    size_t Start = P;
-    while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
-      ++P;
-    if (P == Start)
-      return fail("malformed register token in '" + S + "'");
-    unsigned Id = static_cast<unsigned>(std::stoul(S.substr(Start, P - Start)));
+    std::uint64_t Id64 = 0;
+    if (!parseDigits(S, P, MaxVRegId, Id64))
+      return fail("malformed or out-of-range register token in '" + S + "'");
+    unsigned Id = static_cast<unsigned>(Id64);
     int Pin = -1;
     if (S.compare(P, 9, "(pinned:r") == 0) {
       size_t Close = S.find(')', P);
       if (Close == std::string::npos)
         return fail("unterminated pin annotation");
-      Pin = std::stoi(S.substr(P + 9, Close - (P + 9)));
+      size_t PinPos = P + 9;
+      std::uint64_t Pin64 = 0;
+      if (!parseDigits(S, PinPos, 100000, Pin64) || PinPos != Close)
+        return fail("malformed pin annotation in '" + S + "'");
+      Pin = static_cast<int>(Pin64);
       P = Close + 1;
     }
     RegClass RC = RegClass::GPR;
@@ -107,7 +146,12 @@ class Parser {
       if (Rest[0] == '@') {
         if (Rest.compare(0, 2, "@f") != 0)
           return fail("malformed callee token '" + Rest + "'");
-        Callee = std::stoi(Rest.substr(2));
+        size_t Pos = 2;
+        std::uint64_t Callee64 = 0;
+        if (!parseDigits(Rest, Pos, 1u << 30, Callee64) ||
+            (Pos < Rest.size() && Rest[Pos] != ',' && Rest[Pos] != ' '))
+          return fail("malformed callee token '" + Rest + "'");
+        Callee = static_cast<int>(Callee64);
         size_t Comma = Rest.find(',');
         Rest = Comma == std::string::npos ? "" : trim(Rest.substr(Comma + 1));
         continue;
@@ -123,8 +167,17 @@ class Parser {
       } else if (Rest[0] == '-' ||
                  std::isdigit(static_cast<unsigned char>(Rest[0]))) {
         Operand Op;
-        size_t Pos = 0;
-        Op.Imm = std::stoll(Rest, &Pos);
+        bool Negative = Rest[0] == '-';
+        size_t Pos = Negative ? 1 : 0;
+        std::uint64_t Mag = 0;
+        if (!parseDigits(Rest, Pos,
+                         static_cast<std::uint64_t>(
+                             std::numeric_limits<std::int64_t>::max()),
+                         Mag))
+          return fail("malformed or out-of-range immediate in '" + Rest +
+                      "'");
+        Op.Imm = Negative ? -static_cast<std::int64_t>(Mag)
+                          : static_cast<std::int64_t>(Mag);
         Ops.push_back(Op);
         Rest = trim(Rest.substr(Pos));
       } else {
@@ -280,6 +333,10 @@ public:
       if (Colon == std::string::npos)
         continue;
       std::string Name = L.substr(0, Colon);
+      if (Name.empty()) {
+        fail("empty block label");
+        break;
+      }
       if (BlocksByName.count(Name)) {
         fail("duplicate block label '" + Name + "'");
         break;
@@ -396,5 +453,15 @@ public:
 std::unique_ptr<Function> pdgc::parseFunction(const std::string &Text,
                                               std::string &Error) {
   Error.clear();
-  return Parser().run(Text, Error);
+  // The parser validates before it converts, so it should never throw; the
+  // guard turns any residual exception (and fatal checks fired while an
+  // error trap is active) into the documented error-string contract
+  // instead of tearing down the process on adversarial input.
+  try {
+    ScopedErrorTrap Trap;
+    return Parser().run(Text, Error);
+  } catch (const std::exception &E) {
+    Error = std::string("internal parser error: ") + E.what();
+    return nullptr;
+  }
 }

@@ -7,6 +7,7 @@
 #include "ir/Verifier.h"
 
 #include "ir/IRPrinter.h"
+#include "support/BitVector.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -52,6 +53,17 @@ public:
           error(BB, "phi operand count does not match predecessors");
       } else {
         SeenNonPhi = true;
+      }
+      // A paired-load candidate is the head Load immediately followed by
+      // its mate Load; the preference graph and the cost simulator read
+      // the mate at I + 1 without re-checking, so the invariant must hold
+      // for any function that reaches them (the parser accepts a
+      // `pair-head` annotation anywhere).
+      if (Inst.isPairHead()) {
+        if (Inst.opcode() != Opcode::Load)
+          error(BB, "pair-head annotation on a non-load instruction");
+        else if (I + 1 == E || BB->inst(I + 1).opcode() != Opcode::Load)
+          error(BB, "pair-head load is not followed by its mate load");
       }
       checkInstruction(BB, Inst);
     }
@@ -143,6 +155,67 @@ public:
     }
   }
 
+  /// Every use must be reached by a definition (or a parameter) on every
+  /// path from entry. Without this, a value with no def slips through to
+  /// allocation, where a pinned undefined call operand that is live across
+  /// its own call produces an unsatisfiable instance no allocator can
+  /// color — found by fuzzing mutated fixtures. Standard backward liveness
+  /// with phi operand k treated as live out of predecessor k; anything
+  /// live into entry besides the parameters is a possibly-undefined use.
+  void checkDefinedUses() {
+    const unsigned NumBlocks = F.numBlocks();
+    const unsigned NumRegs = F.numVRegs();
+    std::vector<BitVector> Gen(NumBlocks, BitVector(NumRegs));
+    std::vector<BitVector> Kill(NumBlocks, BitVector(NumRegs));
+    std::vector<BitVector> PhiOut(NumBlocks, BitVector(NumRegs));
+    for (unsigned B = 0; B != NumBlocks; ++B) {
+      const BasicBlock *BB = F.block(B);
+      for (unsigned I = BB->size(); I-- > 0;) {
+        const Instruction &Inst = BB->inst(I);
+        if (Inst.hasDef()) {
+          Gen[B].reset(Inst.def().id());
+          Kill[B].set(Inst.def().id());
+        }
+        if (Inst.isPhi()) {
+          // Operand U is consumed on the edge from predecessor U, not
+          // upward-exposed here.
+          for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
+            PhiOut[BB->predecessors()[U]->id()].set(Inst.use(U).id());
+        } else {
+          for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
+            Gen[B].set(Inst.use(U).id());
+        }
+      }
+    }
+
+    std::vector<BitVector> LiveIn(NumBlocks, BitVector(NumRegs));
+    std::vector<unsigned> RPO = F.reversePostOrder();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned It = RPO.size(); It-- > 0;) {
+        unsigned B = RPO[It];
+        BitVector Out = PhiOut[B];
+        for (const BasicBlock *S : F.block(B)->successors())
+          Out |= LiveIn[S->id()];
+        Out.resetAll(Kill[B]);
+        Out |= Gen[B];
+        if (Out != LiveIn[B]) {
+          LiveIn[B] = std::move(Out);
+          Changed = true;
+        }
+      }
+    }
+
+    BitVector Undefined = LiveIn[F.entry()->id()];
+    for (VReg P : F.params())
+      Undefined.reset(P.id());
+    for (unsigned R : Undefined.setBits())
+      error(nullptr,
+            "use of undefined value v" + std::to_string(R) +
+                " (no definition reaches it)");
+  }
+
   bool run() {
     if (F.numBlocks() == 0) {
       error(nullptr, "function has no blocks");
@@ -156,6 +229,10 @@ public:
     for (VReg P : F.params())
       if (!F.isPinned(P))
         error(nullptr, "parameter is not pinned");
+    // The dataflow check indexes phi operands by predecessor position and
+    // walks the CFG; only run it on structurally sound functions.
+    if (Errors.size() == Before)
+      checkDefinedUses();
     return Errors.size() == Before;
   }
 };

@@ -1,0 +1,49 @@
+//===- regalloc/AllocatorRegistry.h - Allocator factories -------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of allocator factories keyed by stable name.
+/// The fallback-chain driver resolves its tier names here, the
+/// differential fuzzer enumerates it to run every allocator against the
+/// same input, and the benchmark harness's `makeAllocatorByName` is a thin
+/// wrapper over it. The regalloc-layer allocators self-register on first
+/// use; the preference-directed family registers through
+/// `registerPDGCAllocators()` (core layer) so the link-layering stays
+/// acyclic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_ALLOCATORREGISTRY_H
+#define PDGC_REGALLOC_ALLOCATORREGISTRY_H
+
+#include "regalloc/AllocatorBase.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdgc {
+
+using AllocatorFactory = std::function<std::unique_ptr<AllocatorBase>()>;
+
+/// Registers \p Factory under \p Name. Returns false (and keeps the
+/// existing entry) when the name is already taken, so repeated
+/// registration is harmless.
+bool registerAllocatorFactory(const std::string &Name,
+                              AllocatorFactory Factory);
+
+/// Creates the allocator registered under \p Name, or null when the name
+/// is unknown — callers degrade instead of aborting.
+std::unique_ptr<AllocatorBase>
+createRegisteredAllocator(const std::string &Name);
+
+/// All registered names, sorted.
+std::vector<std::string> registeredAllocatorNames();
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_ALLOCATORREGISTRY_H

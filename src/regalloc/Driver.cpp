@@ -6,61 +6,243 @@
 
 #include "regalloc/Driver.h"
 
+#include "ir/Clone.h"
 #include "ir/PhiElimination.h"
+#include "ir/Verifier.h"
+#include "regalloc/AllocatorRegistry.h"
 #include "regalloc/AssignmentChecker.h"
 #include "regalloc/Rewriter.h"
 #include "regalloc/SpillCodeInserter.h"
 #include "support/Debug.h"
 
+#include <chrono>
+
 using namespace pdgc;
+
+namespace {
+
+/// Validates the shape of a round result against the allocator contract;
+/// returns a non-empty message on violation.
+std::string roundResultError(const RoundResult &RR, const Function &F,
+                             const TargetDesc &Target) {
+  const unsigned N = F.numVRegs();
+  if (RR.Color.size() != N)
+    return "color vector size mismatch";
+  if (RR.CoalesceMap.size() != N)
+    return "coalesce map size mismatch";
+  for (unsigned V = 0; V != N; ++V)
+    if (RR.CoalesceMap[V] >= N)
+      return "coalesce representative out of range";
+  for (int C : RR.Color)
+    if (C >= 0 && static_cast<unsigned>(C) >= Target.numRegs())
+      return "color out of range";
+  for (unsigned V : RR.Spilled) {
+    if (V >= N)
+      return "spilled register out of range";
+    if (F.isPinned(VReg(V)))
+      return "spilled a pinned register";
+    if (F.isSpillTemp(VReg(V)) && !F.isRespillableTemp(VReg(V)))
+      return "spilled an unspillable fragment";
+  }
+  return "";
+}
+
+/// A pin outside the target's register file (or in the wrong class) makes
+/// the instance unsatisfiable before any allocator runs — e.g. a fixture
+/// generated for 24 registers per class fed to an 8-register target.
+/// Catching it up front turns "every tier failed with color out of range"
+/// into one actionable diagnostic.
+std::string pinTargetError(const Function &F, const TargetDesc &Target) {
+  for (unsigned V = 0, E = F.numVRegs(); V != E; ++V) {
+    const VReg R(V);
+    if (!F.isPinned(R))
+      continue;
+    const int Pin = F.pinnedReg(R);
+    if (Pin < 0 || static_cast<unsigned>(Pin) >= Target.numRegs())
+      return "v" + std::to_string(V) + " is pinned to r" +
+             std::to_string(Pin) + ", outside the target's " +
+             std::to_string(Target.numRegs()) + " registers";
+    if (Target.regClass(static_cast<PhysReg>(Pin)) != F.regClass(R))
+      return "v" + std::to_string(V) + " is pinned to r" +
+             std::to_string(Pin) + " of the wrong register class";
+  }
+  return "";
+}
+
+} // namespace
+
+std::vector<FallbackTier> pdgc::defaultFallbackChain() {
+  return {{"full-preferences", nullptr},
+          {"briggs+aggressive", nullptr},
+          {"spill-everything", nullptr}};
+}
+
+StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
+                                              const TargetDesc &Target,
+                                              AllocatorBase &Allocator,
+                                              const DriverOptions &Options) {
+  if (std::string PinErr = pinTargetError(F, Target); !PinErr.empty())
+    return Status::error(ErrorCode::VerifyError, PinErr);
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(Options.TimeBudgetMs);
+
+  AllocationOutcome Out;
+  // Everything under the trap converts fatal checks into FatalError, so a
+  // buggy allocator (or analysis fed garbage) surfaces as a structured
+  // error instead of killing the process.
+  try {
+    ScopedErrorTrap Trap;
+    if (hasPhis(F))
+      eliminatePhis(F);
+    Out.OriginalMoves = countMoves(F);
+
+    unsigned NextSlot = 0;
+    for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
+      if (Options.TimeBudgetMs != 0 && Clock::now() > Deadline)
+        return Status::error(ErrorCode::BudgetExceeded,
+                             std::string(Allocator.name()) +
+                                 ": wall-clock budget of " +
+                                 std::to_string(Options.TimeBudgetMs) +
+                                 "ms exhausted in round " +
+                                 std::to_string(Round + 1));
+
+      AllocContext Ctx(F, Target, Options.Costs);
+      RoundResult RR = Allocator.allocateRound(Ctx);
+      ++Out.Rounds;
+
+      std::string Shape = roundResultError(RR, F, Target);
+      if (!Shape.empty())
+        return Status::error(ErrorCode::AllocatorInternal,
+                             std::string(Allocator.name()) + ": " + Shape);
+
+      if (RR.anySpill()) {
+        Out.SpilledRanges += static_cast<unsigned>(RR.Spilled.size());
+        insertSpillCode(F, RR.Spilled, NextSlot, Options.Rematerialize,
+                        Options.Granularity);
+        continue;
+      }
+
+      // Success: expand colors through the coalesce map.
+      Out.Assignment.assign(F.numVRegs(), -1);
+      for (unsigned V = 0, E = F.numVRegs(); V != E; ++V)
+        Out.Assignment[V] = RR.Color[RR.CoalesceMap[V]];
+
+      Out.StackSlots = NextSlot;
+      Out.SpillInstructions = countSpillInstructions(F);
+      Out.Moves = moveStats(F, Out.Assignment, Ctx.LI);
+
+      if (Options.VerifyAssignment) {
+        std::vector<std::string> Errors =
+            checkAssignment(F, Target, Out.Assignment);
+        if (!Errors.empty())
+          return Status::error(ErrorCode::CheckerMismatch,
+                               std::string(Allocator.name()) +
+                                   " produced an invalid allocation: " +
+                                   Errors.front());
+      }
+      return Out;
+    }
+  } catch (const FatalError &E) {
+    return Status::error(ErrorCode::AllocatorInternal,
+                         std::string(Allocator.name()) +
+                             ": fatal check: " + E.what());
+  } catch (const std::exception &E) {
+    return Status::error(ErrorCode::AllocatorInternal,
+                         std::string(Allocator.name()) +
+                             ": uncaught exception: " + E.what());
+  }
+  return Status::error(ErrorCode::BudgetExceeded,
+                       std::string(Allocator.name()) +
+                           ": register allocation did not converge within " +
+                           std::to_string(Options.MaxRounds) + " rounds");
+}
 
 AllocationOutcome pdgc::allocate(Function &F, const TargetDesc &Target,
                                  AllocatorBase &Allocator,
                                  const DriverOptions &Options) {
-  AllocationOutcome Out;
-  if (hasPhis(F))
-    eliminatePhis(F);
-  Out.OriginalMoves = countMoves(F);
+  StatusOr<AllocationOutcome> Result =
+      tryAllocate(F, Target, Allocator, Options);
+  pdgc_check(Result.ok(), Result.ok() ? "" : Result.status().toString().c_str());
+  return std::move(Result.value());
+}
 
-  unsigned NextSlot = 0;
-  for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
-    AllocContext Ctx(F, Target, Options.Costs);
-    RoundResult RR = Allocator.allocateRound(Ctx);
-    ++Out.Rounds;
+StatusOr<AllocationOutcome>
+pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
+                           const DriverOptions &Options) {
+  {
+    std::vector<std::string> Errors;
+    ScopedErrorTrap Trap;
+    try {
+      if (!verifyFunction(F, Errors))
+        return Status::error(ErrorCode::VerifyError,
+                             Errors.empty() ? "function does not verify"
+                                            : Errors.front());
+    } catch (const std::exception &E) {
+      return Status::error(ErrorCode::VerifyError,
+                           std::string("verifier raised: ") + E.what());
+    }
+  }
+  if (std::string PinErr = pinTargetError(F, Target); !PinErr.empty())
+    return Status::error(ErrorCode::VerifyError, PinErr);
+  if (Options.FallbackChain.empty())
+    return Status::error(ErrorCode::AllocatorInternal,
+                         "empty fallback chain");
 
-    assert(RR.Color.size() == F.numVRegs() && "result size mismatch");
-    assert(RR.CoalesceMap.size() == F.numVRegs() && "map size mismatch");
+  // The chain guarantees checker validity even when the caller opted out
+  // for the raw entry points.
+  DriverOptions TierOptions = Options;
+  TierOptions.VerifyAssignment = true;
 
-    if (RR.anySpill()) {
-      Out.SpilledRanges += static_cast<unsigned>(RR.Spilled.size());
-      insertSpillCode(F, RR.Spilled, NextSlot, Options.Rematerialize,
-                      Options.Granularity);
+  DegradationInfo Degradation;
+  for (unsigned Tier = 0; Tier != Options.FallbackChain.size(); ++Tier) {
+    const FallbackTier &T = Options.FallbackChain[Tier];
+    std::unique_ptr<AllocatorBase> Allocator =
+        T.Factory ? T.Factory() : createRegisteredAllocator(T.Name);
+    if (!Allocator) {
+      Degradation.FailedTiers.push_back(
+          T.Name + ": ALLOCATOR_INTERNAL: allocator is not registered "
+                   "in this binary");
+      continue;
+    }
+    if (Options.FailTierHook && Options.FailTierHook(T.Name)) {
+      Degradation.FailedTiers.push_back(
+          T.Name + ": ALLOCATOR_INTERNAL: failure injected by test hook");
       continue;
     }
 
-    // Success: expand colors through the coalesce map.
-    Out.Assignment.assign(F.numVRegs(), -1);
-    for (unsigned V = 0, E = F.numVRegs(); V != E; ++V) {
-      unsigned Rep = RR.CoalesceMap[V];
-      assert(Rep < RR.Color.size() && "bad coalesce representative");
-      Out.Assignment[V] = RR.Color[Rep];
+    // Each tier works on a fresh clone; only the winner is swapped in, so
+    // a failed tier never leaves F half-rewritten.
+    std::unique_ptr<Function> Work;
+    {
+      ScopedErrorTrap Trap;
+      try {
+        Work = cloneFunction(F);
+      } catch (const std::exception &E) {
+        return Status::error(ErrorCode::AllocatorInternal,
+                             std::string("function clone failed: ") +
+                                 E.what());
+      }
     }
 
-    Out.StackSlots = NextSlot;
-    Out.SpillInstructions = countSpillInstructions(F);
-    Out.Moves = moveStats(F, Out.Assignment, Ctx.LI);
-
-    if (Options.VerifyAssignment) {
-      std::vector<std::string> Errors =
-          checkAssignment(F, Target, Out.Assignment);
-      if (!Errors.empty())
-        pdgc_check(false, (std::string(Allocator.name()) +
-                           " produced an invalid allocation: " +
-                           Errors.front())
-                              .c_str());
+    StatusOr<AllocationOutcome> Result =
+        tryAllocate(*Work, Target, *Allocator, TierOptions);
+    if (Result.ok()) {
+      F.swapWith(*Work);
+      AllocationOutcome Out = std::move(Result.value());
+      Degradation.Degraded = Tier != 0;
+      Degradation.ServedBy = T.Name;
+      Degradation.TierIndex = Tier;
+      Out.Degradation = std::move(Degradation);
+      return Out;
     }
-    return Out;
+    Degradation.FailedTiers.push_back(T.Name + ": " +
+                                      Result.status().toString());
   }
-  pdgc_check(false, "register allocation did not converge");
-  return Out;
+
+  std::string Summary = "all fallback tiers failed:";
+  for (const std::string &Failure : Degradation.FailedTiers)
+    Summary += " [" + Failure + "]";
+  return Status::error(ErrorCode::AllocatorInternal, Summary);
 }

@@ -1,0 +1,66 @@
+//===- regalloc/SpillEverythingAllocator.cpp - Terminal fallback -----------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/SpillEverythingAllocator.h"
+
+#include "regalloc/SelectState.h"
+#include "regalloc/Simplifier.h"
+#include "support/Debug.h"
+
+using namespace pdgc;
+
+RoundResult SpillEverythingAllocator::allocateRound(AllocContext &Ctx) {
+  const unsigned N = Ctx.F.numVRegs();
+  RoundResult RR = RoundResult::make(N);
+
+  // Round one: every register that occurs in the code and may legally be
+  // spilled (not pinned, not already a spill fragment) goes to memory.
+  // Registers with no occurrences are skipped — spilling them inserts no
+  // code and would loop forever.
+  for (unsigned V = 0; V != N; ++V) {
+    VReg R(V);
+    if (Ctx.F.isPinned(R) || Ctx.F.isSpillTemp(R))
+      continue;
+    if (Ctx.Costs.numDefs(R) + Ctx.Costs.numUses(R) == 0)
+      continue;
+    RR.Spilled.push_back(V);
+  }
+  if (!RR.Spilled.empty())
+    return RR;
+
+  // Later rounds: only pinned registers and tiny spill fragments remain,
+  // so pressure is minimal. Optimistic simplify/select with no coalescing;
+  // an uncolorable respillable fragment is spilled again, an uncolorable
+  // unspillable fragment means even spill-everywhere cannot serve this
+  // target (e.g. one register per class) — report it as a fatal check so
+  // the hardened driver converts it into a structured error.
+  SimplifyResult SR = simplifyGraph(
+      Ctx.IG, Ctx.Target,
+      [&](unsigned Node) { return Ctx.Costs.spillMetric(VReg(Node)); },
+      /*Optimistic=*/true);
+
+  SelectState SS(Ctx.IG, Ctx.Target);
+  std::vector<unsigned> Spills;
+  for (unsigned I = static_cast<unsigned>(SR.Stack.size()); I-- > 0;) {
+    unsigned Node = SR.Stack[I];
+    int Color = SS.firstAvailable(Node);
+    if (Color >= 0) {
+      SS.setColor(Node, Color);
+      continue;
+    }
+    pdgc_check(Ctx.F.isRespillableTemp(VReg(Node)) ||
+                   !Ctx.F.isSpillTemp(VReg(Node)),
+               "spill-everything: unspillable fragment is uncolorable");
+    Spills.push_back(Node);
+  }
+  if (!Spills.empty()) {
+    RR.Spilled = std::move(Spills);
+    return RR;
+  }
+
+  RR.Color = SS.colors();
+  return RR;
+}

@@ -1,0 +1,36 @@
+//===- regalloc/SpillEverythingAllocator.h - Terminal fallback --*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spill-everything baseline: round one sends every spillable live
+/// range to memory, the next round colors the remaining short spill
+/// fragments (plus pinned registers) with a plain optimistic
+/// simplify/select. Bouchez, Darte and Rastello identify spill-everywhere
+/// as the tractable degenerate case of the spilling problem; here it is
+/// the terminal tier of the driver's fallback chain — maximally slow code,
+/// but it essentially cannot fail, so the pipeline always terminates with
+/// a checker-valid assignment even when every smarter allocator above it
+/// misbehaved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_SPILLEVERYTHINGALLOCATOR_H
+#define PDGC_REGALLOC_SPILLEVERYTHINGALLOCATOR_H
+
+#include "regalloc/AllocatorBase.h"
+
+namespace pdgc {
+
+/// Always-succeeds baseline allocator (see file comment).
+class SpillEverythingAllocator : public AllocatorBase {
+public:
+  const char *name() const override { return "spill-everything"; }
+  RoundResult allocateRound(AllocContext &Ctx) override;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_SPILLEVERYTHINGALLOCATOR_H

@@ -11,16 +11,34 @@
 
 using namespace pdgc;
 
+namespace {
+
+/// Nesting depth of active error traps on this thread.
+thread_local unsigned TrapDepth = 0;
+
+[[noreturn]] void raise(const char *Msg, const char *File, unsigned Line,
+                        const char *Kind) {
+  if (TrapDepth > 0)
+    throw FatalError(std::string(File) + ":" + std::to_string(Line) + ": " +
+                     Kind + ": " + Msg);
+  std::fprintf(stderr, "%s:%u: %s: %s\n", File, Line, Kind, Msg);
+  std::abort();
+}
+
+} // namespace
+
+ScopedErrorTrap::ScopedErrorTrap() { ++TrapDepth; }
+ScopedErrorTrap::~ScopedErrorTrap() { --TrapDepth; }
+bool ScopedErrorTrap::active() { return TrapDepth > 0; }
+
 void pdgc::unreachableInternal(const char *Msg, const char *File,
                                unsigned Line) {
-  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
-  std::abort();
+  raise(Msg, File, Line, "unreachable executed");
 }
 
 void pdgc::checkInternal(bool Cond, const char *Msg, const char *File,
                          unsigned Line) {
   if (Cond)
     return;
-  std::fprintf(stderr, "%s:%u: check failed: %s\n", File, Line, Msg);
-  std::abort();
+  raise(Msg, File, Line, "check failed");
 }

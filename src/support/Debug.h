@@ -16,8 +16,35 @@
 #define PDGC_SUPPORT_DEBUG_H
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pdgc {
+
+/// Exception thrown by `pdgc_check` / `pdgc_unreachable` while a
+/// ScopedErrorTrap is active. The hardened allocation driver installs a
+/// trap around each allocator round so an internal invariant violation is
+/// converted into a structured AllocatorInternal error (and the next
+/// fallback tier gets a chance) instead of aborting the process.
+class FatalError : public std::runtime_error {
+public:
+  explicit FatalError(const std::string &Msg) : std::runtime_error(Msg) {}
+};
+
+/// While at least one instance is alive on this thread, failed
+/// `pdgc_check`s and reached `pdgc_unreachable`s throw FatalError instead
+/// of printing and aborting. Nests; restores the previous behaviour on
+/// destruction.
+class ScopedErrorTrap {
+public:
+  ScopedErrorTrap();
+  ~ScopedErrorTrap();
+  ScopedErrorTrap(const ScopedErrorTrap &) = delete;
+  ScopedErrorTrap &operator=(const ScopedErrorTrap &) = delete;
+
+  /// True when a trap is active on the calling thread.
+  static bool active();
+};
 
 /// Aborts the program, reporting \p Msg together with the source location.
 ///

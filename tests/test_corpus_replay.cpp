@@ -1,0 +1,136 @@
+//===- tests/test_corpus_replay.cpp - Fuzzer corpus regression tests ------------===//
+//
+// Part of the PDGC project.
+//
+// Replays every IR file under tests/corpus/ (the fuzzer's persisted
+// failure corpus plus hand-seeded regressions) through the full hardened
+// pipeline. The corpus invariant mirrors the fuzzer's oracles: every file
+// either fails to parse (with a diagnostic), fails to verify (and the
+// pipeline rejects it with VERIFY_ERROR), or allocates to a checker-valid,
+// behavior-preserving assignment through the fallback chain. Files that
+// once crashed the process must stay rejected-or-allocated forever.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PDGCRegistration.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "regalloc/AssignmentChecker.h"
+#include "regalloc/Driver.h"
+#include "sim/Interpreter.h"
+#include "support/Debug.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace pdgc;
+
+#ifndef PDGC_CORPUS_DIR
+#error "PDGC_CORPUS_DIR must point at the corpus directory"
+#endif
+
+namespace {
+
+[[maybe_unused]] const bool AllocatorsRegistered = [] {
+  registerPDGCAllocators();
+  return true;
+}();
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  const std::filesystem::path Dir(PDGC_CORPUS_DIR);
+  std::error_code EC;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".ir")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string readFile(const std::filesystem::path &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Replays one corpus file on one target; the case must resolve to a
+/// clean rejection or a valid behavior-preserving allocation.
+void replay(const std::filesystem::path &Path, const TargetDesc &Target) {
+  SCOPED_TRACE(Path.filename().string() + " on " + Target.name());
+  const std::string Text = readFile(Path);
+
+  std::string ParseError;
+  std::unique_ptr<Function> F = parseFunction(Text, ParseError);
+  if (!F) {
+    EXPECT_FALSE(ParseError.empty()) << "rejection without a diagnostic";
+    return;
+  }
+
+  std::vector<std::string> VerifyErrors;
+  bool Verified = false;
+  {
+    ScopedErrorTrap Trap;
+    Verified = verifyFunction(*F, VerifyErrors);
+  }
+
+  std::vector<std::int64_t> Args;
+  for (unsigned I = 0, E = F->numParams(); I != E; ++I)
+    Args.push_back(static_cast<std::int64_t>(I) * 7 + 3);
+  ExecutionResult Reference;
+  if (Verified)
+    Reference = runVirtual(*F, Args);
+
+  StatusOr<AllocationOutcome> Result =
+      allocateWithFallback(*F, Target, DriverOptions());
+  if (!Verified) {
+    ASSERT_FALSE(Result.ok())
+        << "unverifiable function was not rejected (verifier said: "
+        << (VerifyErrors.empty() ? "<trap>" : VerifyErrors.front()) << ")";
+    EXPECT_EQ(Result.code(), ErrorCode::VerifyError)
+        << Result.status().toString();
+    return;
+  }
+
+  // A corpus entry recorded on a wider target may pin registers this
+  // target does not have; the driver rejects that combination up front.
+  if (!Result.ok() && Result.code() == ErrorCode::VerifyError &&
+      Result.status().toString().find("pinned") != std::string::npos)
+    return;
+
+  ASSERT_TRUE(Result.ok()) << Result.status().toString();
+  std::vector<std::string> CheckErrors =
+      checkAssignment(*F, Target, Result->Assignment);
+  EXPECT_TRUE(CheckErrors.empty()) << CheckErrors.front();
+
+  if (Reference.Completed) {
+    ExecutionResult Allocated =
+        runAllocated(*F, Target, Result->Assignment, Args);
+    EXPECT_TRUE(Allocated == Reference)
+        << "allocation changed observable behavior";
+  }
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty) {
+  // The corpus ships with seeded regressions; an empty directory means
+  // the build is replaying the wrong path.
+  EXPECT_FALSE(corpusFiles().empty())
+      << "no .ir files under " << PDGC_CORPUS_DIR;
+}
+
+TEST(CorpusReplay, ReplaysOnDefaultTarget) {
+  for (const auto &Path : corpusFiles())
+    replay(Path, makeTarget(16));
+}
+
+TEST(CorpusReplay, ReplaysUnderScarcity) {
+  for (const auto &Path : corpusFiles())
+    replay(Path, makeTarget(8));
+}
+
+} // namespace

@@ -28,8 +28,10 @@
 #include "ir/Verifier.h"
 #include "regalloc/Driver.h"
 #include "sim/CostSimulator.h"
+#include "support/Debug.h"
 #include "workloads/Generator.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,8 +48,27 @@ void usage() {
       stderr,
       "usage: pdgc-alloc [--allocator=NAME] [--regs=N] "
       "[--pairing=adjacent|oddeven]\n"
-      "                  [--remat] [--quiet] [--emit-sample=SEED] "
-      "[input.ir]\n");
+      "                  [--remat] [--quiet] [--no-fallback] "
+      "[--emit-sample=SEED] [input.ir]\n");
+}
+
+/// Parses a strictly numeric decimal option value into [\p Min, \p Max].
+/// Returns false on garbage or overflow instead of letting std::stoul
+/// throw out of main.
+bool parseNumericOption(const std::string &Value, unsigned long Min,
+                        unsigned long Max, unsigned long &Out) {
+  if (Value.empty() || Value.size() > 10)
+    return false;
+  unsigned long V = 0;
+  for (char C : Value) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    V = V * 10 + static_cast<unsigned long>(C - '0');
+  }
+  if (V < Min || V > Max)
+    return false;
+  Out = V;
+  return true;
 }
 
 } // namespace
@@ -58,6 +79,7 @@ int main(int argc, char **argv) {
   PairingRule Pairing = PairingRule::Adjacent;
   bool Remat = false;
   bool Quiet = false;
+  bool NoFallback = false;
   long EmitSample = -1;
   std::string InputPath;
 
@@ -66,7 +88,15 @@ int main(int argc, char **argv) {
     if (Arg.rfind("--allocator=", 0) == 0) {
       AllocatorName = Arg.substr(12);
     } else if (Arg.rfind("--regs=", 0) == 0) {
-      Regs = static_cast<unsigned>(std::stoul(Arg.substr(7)));
+      unsigned long Value = 0;
+      if (!parseNumericOption(Arg.substr(7), 2, 4096, Value)) {
+        std::fprintf(stderr,
+                     "error: --regs expects a number in [2, 4096], got '%s'\n",
+                     Arg.substr(7).c_str());
+        usage();
+        return 1;
+      }
+      Regs = static_cast<unsigned>(Value);
     } else if (Arg.rfind("--pairing=", 0) == 0) {
       std::string Rule = Arg.substr(10);
       if (Rule == "adjacent")
@@ -82,8 +112,19 @@ int main(int argc, char **argv) {
       Remat = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg == "--no-fallback") {
+      NoFallback = true;
     } else if (Arg.rfind("--emit-sample=", 0) == 0) {
-      EmitSample = std::stol(Arg.substr(14));
+      unsigned long Value = 0;
+      if (!parseNumericOption(Arg.substr(14), 0, 999999999, Value)) {
+        std::fprintf(
+            stderr,
+            "error: --emit-sample expects a numeric seed, got '%s'\n",
+            Arg.substr(14).c_str());
+        usage();
+        return 1;
+      }
+      EmitSample = static_cast<long>(Value);
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -144,17 +185,61 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::unique_ptr<AllocatorBase> Allocator =
-      makeAllocatorByName(AllocatorName);
+  std::unique_ptr<AllocatorBase> Allocator;
+  try {
+    ScopedErrorTrap Trap;
+    Allocator = makeAllocatorByName(AllocatorName);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
 
   DriverOptions Options;
   Options.Rematerialize = Remat;
-  AllocationOutcome Out = allocate(*F, Target, *Allocator, Options);
+  AllocationOutcome Out;
+  if (NoFallback) {
+    StatusOr<AllocationOutcome> Result =
+        tryAllocate(*F, Target, *Allocator, Options);
+    if (!Result.ok()) {
+      std::fprintf(stderr, "error: %s\n", Result.status().toString().c_str());
+      return 1;
+    }
+    Out = std::move(Result.value());
+  } else {
+    // The requested allocator leads the chain; Briggs and the
+    // spill-everything baseline stand behind it, so the tool always emits
+    // a checker-valid allocation.
+    Options.FallbackChain = {
+        {AllocatorName, [&] { return makeAllocatorByName(AllocatorName); }},
+        {"briggs+aggressive", nullptr},
+        {"spill-everything", nullptr}};
+    StatusOr<AllocationOutcome> Result =
+        allocateWithFallback(*F, Target, Options);
+    if (!Result.ok()) {
+      std::fprintf(stderr, "error: %s\n", Result.status().toString().c_str());
+      return 1;
+    }
+    Out = std::move(Result.value());
+    if (Out.Degradation.Degraded) {
+      std::fprintf(stderr, "warning: '%s' failed; allocation served by "
+                           "fallback tier %u ('%s')\n",
+                   AllocatorName.c_str(), Out.Degradation.TierIndex,
+                   Out.Degradation.ServedBy.c_str());
+      for (const std::string &Failure : Out.Degradation.FailedTiers)
+        std::fprintf(stderr, "warning:   failed tier: %s\n", Failure.c_str());
+    }
+  }
   SimulatedCost Cost = simulateCost(*F, Target, Out.Assignment);
+
+  // When a fallback tier served the request, label the output with the
+  // tier that actually produced the assignment, not the requested one.
+  const std::string ServedBy = Out.Degradation.ServedBy.empty()
+                                   ? std::string(Allocator->name())
+                                   : Out.Degradation.ServedBy;
 
   if (!Quiet) {
     std::printf("; allocated with %s on %s (%u regs/class)\n",
-                Allocator->name(), Target.name().c_str(),
+                ServedBy.c_str(), Target.name().c_str(),
                 Target.numRegs(RegClass::GPR));
     std::fputs(printFunction(*F).c_str(), stdout);
     std::printf("\n; assignment:\n");
@@ -168,7 +253,7 @@ int main(int argc, char **argv) {
       "; %s: rounds=%u spilled=%u spill-insts=%u moves=%u eliminated=%u "
       "cost=%.0f (ops=%.0f moves=%.0f spill=%.0f caller-save=%.0f "
       "callee-save=%.0f fixups=%.0f) pairs=%u/%u\n",
-      Allocator->name(), Out.Rounds, Out.SpilledRanges,
+      ServedBy.c_str(), Out.Rounds, Out.SpilledRanges,
       Out.SpillInstructions, Out.OriginalMoves, Out.eliminatedMoves(),
       Cost.total(), Cost.OpCost, Cost.MoveCost, Cost.SpillCost,
       Cost.CallerSaveCost, Cost.CalleeSaveCost, Cost.NarrowFixupCost,

@@ -1,0 +1,529 @@
+//===- tools/pdgc-fuzz.cpp - Differential allocation fuzzer -------------------===//
+//
+// Part of the PDGC project.
+//
+// Differential fuzzing of the whole allocation pipeline, in the spirit of
+// randomized CSP-instance stress testing: seeded random IR generation
+// (reusing workloads/Generator) plus structural mutation of the textual
+// form, run through every registered allocator, with three oracles:
+//
+//   1. the independent AssignmentChecker must accept every produced
+//      assignment (the driver runs it on every tier);
+//   2. observable behaviour must not change: the reference interpreter's
+//      (return value, store digest) of the allocated function must equal
+//      the virtual-register execution of the original;
+//   3. the cost simulator must run and produce finite, non-negative costs.
+//
+// Mutated inputs that no longer parse or verify must be *rejected* (error
+// string, nonzero status) — any crash or abort is a finding. A SIGALRM
+// guard bounds each case; the case being executed is written to the corpus
+// directory beforehand, so a hang or crash leaves the reproducer behind.
+// Failures are greedily reduced (line removal) and persisted under the
+// corpus directory, which the test suite replays via test_corpus_replay.
+//
+//   pdgc-fuzz [--runs=N] [--seed=S] [--corpus-dir=PATH] [--timeout=SECS]
+//             [--mutate-percent=P] [--kill-tier=NAME] [--max-save=N]
+//             [--quiet]
+//
+// Exits 0 when no findings, 1 on findings, 2 on bad usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/PDGCRegistration.h"
+#include "ir/Clone.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "regalloc/AllocatorRegistry.h"
+#include "regalloc/Driver.h"
+#include "sim/CostSimulator.h"
+#include "sim/Interpreter.h"
+#include "support/Rng.h"
+#include "workloads/Generator.h"
+
+#include <cctype>
+#include <cmath>
+#include <csetjmp>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace pdgc;
+
+namespace {
+
+sigjmp_buf TimeoutJmp;
+volatile sig_atomic_t TimedOut = 0;
+
+void onAlarm(int) {
+  TimedOut = 1;
+  siglongjmp(TimeoutJmp, 1);
+}
+
+struct FuzzConfig {
+  unsigned long Runs = 1000;
+  std::uint64_t Seed = 1;
+  std::string CorpusDir = "tests/corpus";
+  unsigned TimeoutSecs = 20;
+  unsigned MutatePercent = 30;
+  std::string KillTier;
+  unsigned long MaxSave = 16;
+  bool Quiet = false;
+};
+
+struct FuzzStats {
+  unsigned long Cases = 0;
+  unsigned long ParseRejects = 0;
+  unsigned long VerifyRejects = 0;
+  unsigned long Allocations = 0;
+  unsigned long Degradations = 0;
+  unsigned long BudgetStops = 0;
+  unsigned long TierFailures = 0;
+  unsigned long Failures = 0;
+  unsigned long Timeouts = 0;
+};
+
+/// One detected finding, before reduction.
+struct Finding {
+  std::string Kind;      ///< "checker-mismatch", "behavior-divergence", ...
+  std::string Allocator; ///< Allocator (or "pipeline") that produced it.
+  std::string Detail;
+};
+
+bool parseNumeric(const std::string &Value, unsigned long Max,
+                  unsigned long &Out) {
+  if (Value.empty() || Value.size() > 10)
+    return false;
+  unsigned long V = 0;
+  for (char C : Value) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    V = V * 10 + static_cast<unsigned long>(C - '0');
+  }
+  if (V > Max)
+    return false;
+  Out = V;
+  return true;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: pdgc-fuzz [--runs=N] [--seed=S] [--corpus-dir=PATH] "
+               "[--timeout=SECS]\n"
+               "                 [--mutate-percent=P] [--kill-tier=NAME] "
+               "[--max-save=N] [--quiet]\n");
+}
+
+/// Random generator parameters: spans tiny straight-line functions up to
+/// deep loop nests under heavy pressure.
+GeneratorParams randomParams(Rng &R, std::uint64_t CaseSeed,
+                             const TargetDesc &Target) {
+  GeneratorParams P;
+  P.Seed = CaseSeed;
+  P.Name = "fuzz" + std::to_string(CaseSeed);
+  unsigned MaxParams = Target.maxParamRegs() < 4 ? Target.maxParamRegs() : 4;
+  P.NumParams = static_cast<unsigned>(R.nextBelow(MaxParams + 1));
+  P.FragmentBudget = 2 + static_cast<unsigned>(R.nextBelow(36));
+  P.OpsPerFragment = 1 + static_cast<unsigned>(R.nextBelow(7));
+  P.LoopPercent = static_cast<unsigned>(R.nextBelow(60));
+  P.MaxLoopDepth = 1 + static_cast<unsigned>(R.nextBelow(3));
+  P.BranchPercent = static_cast<unsigned>(R.nextBelow(60));
+  P.CallPercent = static_cast<unsigned>(R.nextBelow(50));
+  P.CopyPercent = static_cast<unsigned>(R.nextBelow(60));
+  P.PairedLoadPercent = static_cast<unsigned>(R.nextBelow(40));
+  P.NarrowLoadPercent = static_cast<unsigned>(R.nextBelow(30));
+  P.StorePercent = static_cast<unsigned>(R.nextBelow(40));
+  P.FpPercent = static_cast<unsigned>(R.nextBelow(50));
+  P.Accumulators = static_cast<unsigned>(R.nextBelow(4));
+  P.PressureValues = static_cast<unsigned>(R.nextBelow(12));
+  return P;
+}
+
+/// Structural text mutation: line-level edits plus token/byte noise. The
+/// result frequently fails to parse or verify — exactly the point.
+std::string mutateText(const std::string &Text, Rng &R) {
+  std::vector<std::string> Lines;
+  {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line))
+      Lines.push_back(Line);
+  }
+  unsigned Edits = 1 + static_cast<unsigned>(R.nextBelow(4));
+  for (unsigned I = 0; I != Edits && !Lines.empty(); ++I) {
+    switch (R.nextBelow(6)) {
+    case 0: // Delete a random line.
+      Lines.erase(Lines.begin() +
+                  static_cast<long>(R.nextBelow(Lines.size())));
+      break;
+    case 1: { // Duplicate a random line.
+      size_t At = R.nextBelow(Lines.size());
+      Lines.insert(Lines.begin() + static_cast<long>(At), Lines[At]);
+      break;
+    }
+    case 2: { // Swap two lines.
+      size_t A = R.nextBelow(Lines.size());
+      size_t B = R.nextBelow(Lines.size());
+      std::swap(Lines[A], Lines[B]);
+      break;
+    }
+    case 3: // Truncate the function.
+      Lines.resize(1 + R.nextBelow(Lines.size()));
+      break;
+    case 4: { // Perturb one character.
+      std::string &L = Lines[R.nextBelow(Lines.size())];
+      if (!L.empty()) {
+        static const char Alphabet[] = "v0123456789frb@(),;:= ";
+        L[R.nextBelow(L.size())] =
+            Alphabet[R.nextBelow(sizeof(Alphabet) - 1)];
+      }
+      break;
+    }
+    case 5: { // Blow up a number token (id/immediate out-of-range probes).
+      std::string &L = Lines[R.nextBelow(Lines.size())];
+      size_t Digit = L.find_first_of("0123456789");
+      if (Digit != std::string::npos)
+        L.insert(Digit, std::to_string(R.next()));
+      break;
+    }
+    }
+  }
+  std::string Out;
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+std::vector<std::int64_t> interpreterArgs(const Function &F) {
+  std::vector<std::int64_t> Args;
+  for (unsigned I = 0, E = F.numParams(); I != E; ++I)
+    Args.push_back(static_cast<std::int64_t>(I) * 7 + 3);
+  return Args;
+}
+
+/// Runs one allocator over a clone of \p F and applies the oracles.
+/// Returns a finding kind ("" = clean). Structured failures are not
+/// findings on their own — BudgetExceeded and AllocatorInternal are
+/// honest capitulations the fallback chain exists to absorb (the chain is
+/// probed separately per case, and losing every tier IS a finding); they
+/// are reported back through \p BudgetStop / \p TierFailed for the stats.
+/// CheckerMismatch stays a finding: the allocator produced a *wrong*
+/// assignment on verified input, which is an allocator bug regardless of
+/// the checker netting it.
+std::string runOneAllocator(const Function &F, const TargetDesc &Target,
+                            const std::string &Name,
+                            const ExecutionResult &Reference,
+                            bool &BudgetStop, bool &TierFailed) {
+  std::unique_ptr<AllocatorBase> Allocator = createRegisteredAllocator(Name);
+  if (!Allocator)
+    return "unregistered-allocator";
+
+  std::unique_ptr<Function> Work = cloneFunction(F);
+  DriverOptions Options;
+  Options.MaxRounds = 64;
+  Options.TimeBudgetMs = 10000;
+  StatusOr<AllocationOutcome> Result =
+      tryAllocate(*Work, Target, *Allocator, Options);
+  if (!Result.ok()) {
+    if (Result.code() == ErrorCode::BudgetExceeded) {
+      BudgetStop = true;
+      return "";
+    }
+    if (Result.code() == ErrorCode::AllocatorInternal) {
+      TierFailed = true;
+      return "";
+    }
+    // A mutant can carry pins that verify structurally but lie outside
+    // this target's register file; the driver rejects those up front.
+    if (Result.code() == ErrorCode::VerifyError)
+      return "";
+    return Result.code() == ErrorCode::CheckerMismatch ? "checker-mismatch"
+                                                       : "allocator-internal";
+  }
+
+  // Oracle 2: observable behaviour is preserved by allocation.
+  ExecutionResult Allocated =
+      runAllocated(*Work, Target, Result->Assignment, interpreterArgs(F));
+  if (Reference.Completed && !(Allocated == Reference))
+    return "behavior-divergence";
+
+  // Oracle 3: the cost model accepts the result.
+  SimulatedCost Cost = simulateCost(*Work, Target, Result->Assignment);
+  if (!std::isfinite(Cost.total()) || Cost.total() < 0)
+    return "cost-model-anomaly";
+  return "";
+}
+
+/// Runs the full per-case pipeline over IR text. Findings are appended;
+/// returns false when the text was (acceptably) rejected by parser or
+/// verifier.
+bool runCase(const std::string &Text, const TargetDesc &Target,
+             const std::vector<std::string> &Allocators,
+             const std::string &KillTier, FuzzStats &Stats,
+             std::vector<Finding> &Findings) {
+  std::string ParseError;
+  std::unique_ptr<Function> F = parseFunction(Text, ParseError);
+  if (!F) {
+    ++Stats.ParseRejects;
+    return false;
+  }
+  std::vector<std::string> VerifyErrors;
+  bool Verified = false;
+  try {
+    ScopedErrorTrap Trap;
+    Verified = verifyFunction(*F, VerifyErrors);
+  } catch (const std::exception &) {
+    Verified = false;
+  }
+  if (!Verified) {
+    ++Stats.VerifyRejects;
+    // The hardened pipeline must reject it too, not crash.
+    DriverOptions Options;
+    std::unique_ptr<Function> Copy = cloneFunction(*F);
+    StatusOr<AllocationOutcome> Result =
+        allocateWithFallback(*Copy, Target, Options);
+    if (Result.ok() || Result.code() != ErrorCode::VerifyError)
+      Findings.push_back({"verify-escape", "pipeline",
+                          "unverifiable function was not rejected with "
+                          "VERIFY_ERROR"});
+    return false;
+  }
+
+  ExecutionResult Reference = runVirtual(*F, interpreterArgs(*F));
+
+  for (const std::string &Name : Allocators) {
+    bool BudgetStop = false, TierFailed = false;
+    std::string Kind = runOneAllocator(*F, Target, Name, Reference,
+                                       BudgetStop, TierFailed);
+    ++Stats.Allocations;
+    if (BudgetStop)
+      ++Stats.BudgetStops;
+    if (TierFailed)
+      ++Stats.TierFailures;
+    if (!Kind.empty())
+      Findings.push_back({Kind, Name, "allocator " + Name + " on " +
+                                          Target.name()});
+  }
+
+  // Exercise the fallback chain end to end, optionally killing a tier via
+  // the injection hook: the pipeline must still serve a checker-valid
+  // assignment.
+  DriverOptions ChainOptions;
+  if (!KillTier.empty())
+    ChainOptions.FailTierHook = [&](const std::string &Tier) {
+      return Tier == KillTier;
+    };
+  std::unique_ptr<Function> ChainF = cloneFunction(*F);
+  StatusOr<AllocationOutcome> ChainResult =
+      allocateWithFallback(*ChainF, Target, ChainOptions);
+  if (!ChainResult.ok()) {
+    if (ChainResult.code() == ErrorCode::VerifyError)
+      ++Stats.VerifyRejects; // target-incompatible pins, rejected cleanly
+    else
+      Findings.push_back({"fallback-exhausted", "pipeline",
+                          ChainResult.status().toString()});
+  }
+  else if (ChainResult->Degradation.Degraded && KillTier.empty())
+    ++Stats.Degradations;
+  return true;
+}
+
+/// Greedy line-removal reduction: keeps removing lines while the failure
+/// (same finding kind) reproduces. The predicate re-runs the full case.
+std::string reduceCase(const std::string &Text, const TargetDesc &Target,
+                       const std::vector<std::string> &Allocators,
+                       const std::string &KillTier,
+                       const std::string &Kind) {
+  auto Reproduces = [&](const std::string &Candidate) {
+    FuzzStats ScratchStats;
+    std::vector<Finding> ScratchFindings;
+    runCase(Candidate, Target, Allocators, KillTier, ScratchStats,
+            ScratchFindings);
+    for (const Finding &F : ScratchFindings)
+      if (F.Kind == Kind)
+        return true;
+    return false;
+  };
+
+  std::vector<std::string> Lines;
+  {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line))
+      Lines.push_back(Line);
+  }
+  bool Shrunk = true;
+  while (Shrunk && Lines.size() > 1) {
+    Shrunk = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      std::vector<std::string> Candidate = Lines;
+      Candidate.erase(Candidate.begin() + static_cast<long>(I));
+      std::string Joined;
+      for (const std::string &L : Candidate)
+        Joined += L + "\n";
+      if (Reproduces(Joined)) {
+        Lines = std::move(Candidate);
+        Shrunk = true;
+        break;
+      }
+    }
+  }
+  std::string Out;
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+/// Runs \p Body under a SIGALRM guard; returns false when the alarm fired.
+/// Keeping the sigsetjmp frame out of main() avoids -Wclobbered on loop
+/// state. The longjmp skips destructors of whatever Body had live — fine
+/// for a fuzzer's timeout path, where the case is abandoned anyway.
+template <typename Fn> bool withAlarmGuard(unsigned Secs, Fn &&Body) {
+  if (sigsetjmp(TimeoutJmp, 1) == 0) {
+    alarm(Secs);
+    Body();
+    alarm(0);
+    return true;
+  }
+  alarm(0);
+  return false;
+}
+
+void saveCorpusFile(const std::string &Dir, const std::string &FileName,
+                    const std::string &Header, const std::string &Text) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::ofstream Out(Dir + "/" + FileName);
+  Out << "; " << Header << "\n" << Text;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FuzzConfig Config;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    unsigned long Value = 0;
+    if (Arg.rfind("--runs=", 0) == 0 &&
+        parseNumeric(Arg.substr(7), 100000000, Value)) {
+      Config.Runs = Value;
+    } else if (Arg.rfind("--seed=", 0) == 0 &&
+               parseNumeric(Arg.substr(7), 999999999, Value)) {
+      Config.Seed = Value;
+    } else if (Arg.rfind("--corpus-dir=", 0) == 0) {
+      Config.CorpusDir = Arg.substr(13);
+    } else if (Arg.rfind("--timeout=", 0) == 0 &&
+               parseNumeric(Arg.substr(10), 3600, Value)) {
+      Config.TimeoutSecs = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--mutate-percent=", 0) == 0 &&
+               parseNumeric(Arg.substr(17), 100, Value)) {
+      Config.MutatePercent = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--kill-tier=", 0) == 0) {
+      Config.KillTier = Arg.substr(12);
+    } else if (Arg.rfind("--max-save=", 0) == 0 &&
+               parseNumeric(Arg.substr(11), 10000, Value)) {
+      Config.MaxSave = Value;
+    } else if (Arg == "--quiet") {
+      Config.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: bad argument '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  registerPDGCAllocators();
+  const std::vector<std::string> Allocators = registeredAllocatorNames();
+
+  struct sigaction SA = {};
+  SA.sa_handler = onAlarm;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGALRM, &SA, nullptr);
+
+  const unsigned RegChoices[] = {6, 8, 16, 24, 32};
+  FuzzStats Stats;
+  unsigned long Saved = 0;
+  Rng Root(Config.Seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+
+  for (unsigned long Case = 0; Case != Config.Runs; ++Case) {
+    std::uint64_t CaseSeed = Root.next();
+    Rng R(CaseSeed);
+    TargetDesc Target =
+        makeTarget(RegChoices[R.nextBelow(sizeof(RegChoices) /
+                                          sizeof(RegChoices[0]))],
+                   R.roll(50) ? PairingRule::Adjacent : PairingRule::OddEven);
+
+    std::string Text;
+    {
+      GeneratorParams P = randomParams(R, CaseSeed, Target);
+      std::unique_ptr<Function> F = generateFunction(P, Target);
+      Text = printFunction(*F);
+    }
+    bool Mutated = R.roll(Config.MutatePercent);
+    if (Mutated)
+      Text = mutateText(Text, R);
+
+    // Write-ahead: if this case hangs or crashes the process, the
+    // reproducer is already on disk.
+    std::string CaseHeader =
+        "pdgc-fuzz case seed=" + std::to_string(Config.Seed) + " case=" +
+        std::to_string(Case) + " target=" + Target.name() +
+        (Mutated ? " mutated" : "");
+    saveCorpusFile(Config.CorpusDir, "inflight.ir", CaseHeader, Text);
+
+    std::vector<Finding> Findings;
+    bool Finished = withAlarmGuard(Config.TimeoutSecs, [&] {
+      runCase(Text, Target, Allocators, Config.KillTier, Stats, Findings);
+    });
+    if (!Finished) {
+      ++Stats.Timeouts;
+      Findings.push_back({"timeout", "pipeline",
+                          "case exceeded " +
+                              std::to_string(Config.TimeoutSecs) + "s"});
+    }
+    ++Stats.Cases;
+
+    for (const Finding &F : Findings) {
+      ++Stats.Failures;
+      std::fprintf(stderr, "FAIL case=%lu kind=%s allocator=%s %s\n", Case,
+                   F.Kind.c_str(), F.Allocator.c_str(), F.Detail.c_str());
+      if (Saved < Config.MaxSave && F.Kind != "timeout") {
+        std::string Reduced = reduceCase(Text, Target, Allocators,
+                                         Config.KillTier, F.Kind);
+        saveCorpusFile(Config.CorpusDir,
+                       "fail-" + std::to_string(Config.Seed) + "-" +
+                           std::to_string(Case) + "-" + F.Kind + ".ir",
+                       CaseHeader + " kind=" + F.Kind, Reduced);
+        ++Saved;
+      }
+    }
+
+    if (!Config.Quiet && (Case + 1) % 200 == 0)
+      std::fprintf(stderr,
+                   "pdgc-fuzz: %lu/%lu cases, %lu allocations, "
+                   "%lu parse-rejects, %lu verify-rejects, %lu failures\n",
+                   Case + 1, Config.Runs, Stats.Allocations,
+                   Stats.ParseRejects, Stats.VerifyRejects, Stats.Failures);
+  }
+
+  std::error_code EC;
+  std::filesystem::remove(Config.CorpusDir + "/inflight.ir", EC);
+
+  std::printf("pdgc-fuzz: %lu cases (%lu parse-rejects, %lu verify-rejects), "
+              "%lu allocations, %lu budget-stops, %lu tier-failures, "
+              "%lu degradations, %lu timeouts, %lu failures\n",
+              Stats.Cases, Stats.ParseRejects, Stats.VerifyRejects,
+              Stats.Allocations, Stats.BudgetStops, Stats.TierFailures,
+              Stats.Degradations, Stats.Timeouts, Stats.Failures);
+  return Stats.Failures == 0 ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 #include "regalloc/Driver.h"
 #include "regalloc/OptimisticCoalescingAllocator.h"
 #include "support/Debug.h"
+#include "support/ThreadPool.h"
 
 using namespace pdgc;
 
@@ -46,6 +47,22 @@ pdgc::makeAllocatorByName(const std::string &FullName) {
   return Allocator;
 }
 
+namespace {
+
+void foldOutcome(SuiteResult &R, const AllocationOutcome &Out,
+                 const SimulatedCost &Cost) {
+  ++R.Functions;
+  R.OriginalMoves += Out.OriginalMoves;
+  R.RemainingMoves += Out.remainingMoves();
+  R.EliminatedMoves += Out.eliminatedMoves();
+  R.SpillInstructions += Out.SpillInstructions;
+  R.SpilledRanges += Out.SpilledRanges;
+  R.Rounds += Out.Rounds;
+  R.Cost += Cost;
+}
+
+} // namespace
+
 SuiteResult pdgc::runSuiteAllocation(const WorkloadSuite &Suite,
                                      const TargetDesc &Target,
                                      AllocatorBase &Allocator) {
@@ -53,14 +70,44 @@ SuiteResult pdgc::runSuiteAllocation(const WorkloadSuite &Suite,
   for (unsigned I = 0, E = Suite.Functions.size(); I != E; ++I) {
     std::unique_ptr<Function> F = Suite.generate(I, Target);
     AllocationOutcome Out = allocate(*F, Target, Allocator);
-    ++R.Functions;
-    R.OriginalMoves += Out.OriginalMoves;
-    R.RemainingMoves += Out.remainingMoves();
-    R.EliminatedMoves += Out.eliminatedMoves();
-    R.SpillInstructions += Out.SpillInstructions;
-    R.SpilledRanges += Out.SpilledRanges;
-    R.Rounds += Out.Rounds;
-    R.Cost += simulateCost(*F, Target, Out.Assignment);
+    foldOutcome(R, Out, simulateCost(*F, Target, Out.Assignment));
   }
+  return R;
+}
+
+SuiteResult pdgc::runSuiteAllocation(const WorkloadSuite &Suite,
+                                     const TargetDesc &Target,
+                                     const std::string &AllocatorName,
+                                     unsigned Jobs) {
+  const unsigned N = static_cast<unsigned>(Suite.Functions.size());
+
+  // Everything shared is prepared sequentially up front: the functions
+  // (the generator is not specified to be thread-safe) and one allocator
+  // per item (makeAllocatorByName seeds the registries, which must not
+  // race with worker-side lookups).
+  std::vector<std::unique_ptr<Function>> Fns(N);
+  std::vector<std::unique_ptr<AllocatorBase>> Allocs(N);
+  for (unsigned I = 0; I != N; ++I) {
+    Fns[I] = Suite.generate(I, Target);
+    Allocs[I] = makeAllocatorByName(AllocatorName);
+  }
+
+  struct ItemResult {
+    AllocationOutcome Out;
+    SimulatedCost Cost;
+  };
+  std::vector<ItemResult> Items(N);
+
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(N, [&](unsigned I) {
+    Items[I].Out = allocate(*Fns[I], Target, *Allocs[I]);
+    Items[I].Cost = simulateCost(*Fns[I], Target, Items[I].Out.Assignment);
+  });
+
+  // Folding in index order keeps the aggregate — including the
+  // floating-point cost sum — identical across job counts.
+  SuiteResult R;
+  for (const ItemResult &Item : Items)
+    foldOutcome(R, Item.Out, Item.Cost);
   return R;
 }

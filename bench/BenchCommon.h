@@ -59,6 +59,18 @@ SuiteResult runSuiteAllocation(const WorkloadSuite &Suite,
                                const TargetDesc &Target,
                                AllocatorBase &Allocator);
 
+/// Parallel variant: allocates the suite's functions on \p Jobs worker
+/// threads, each item with its own allocator instance created from
+/// \p AllocatorName (makeAllocatorByName semantics, so "#nvf" suffixes
+/// work). Functions are generated up front and metrics are folded in
+/// suite index order, so the result is identical for every \p Jobs value
+/// (including the floating-point simulated cost, whose summation order is
+/// fixed). \p Jobs of 0 or 1 runs inline on the calling thread.
+SuiteResult runSuiteAllocation(const WorkloadSuite &Suite,
+                               const TargetDesc &Target,
+                               const std::string &AllocatorName,
+                               unsigned Jobs);
+
 } // namespace pdgc
 
 #endif // PDGC_BENCH_BENCHCOMMON_H

@@ -17,6 +17,7 @@
 #include "core/ColoringPrecedenceGraph.h"
 #include "core/RegisterPreferenceGraph.h"
 #include "ir/PhiElimination.h"
+#include "regalloc/BatchDriver.h"
 #include "regalloc/Driver.h"
 #include "regalloc/Simplifier.h"
 
@@ -106,6 +107,54 @@ void BM_BuildInterference(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_BuildInterference);
+
+// The path the driver actually takes on round 2+: rebuild into an already
+// sized graph, reusing the half-matrix and adjacency storage.
+void BM_RebuildInterference(benchmark::State &State) {
+  TargetDesc Target = makeTarget(24);
+  std::unique_ptr<Function> F = generateFunction(mediumFunction(42), Target);
+  eliminatePhis(*F);
+  Liveness LV = Liveness::compute(*F);
+  LoopInfo LI = LoopInfo::compute(*F);
+  InterferenceGraph IG = InterferenceGraph::build(*F, LV, LI);
+  for (auto _ : State) {
+    (void)_;
+    IG.rebuild(*F, LV, LI);
+    benchmark::DoNotOptimize(IG.numNodes());
+  }
+}
+BENCHMARK(BM_RebuildInterference);
+
+// Whole-suite batch allocation through the fallback pipeline at various
+// job counts. Real time, not CPU time: the submitting thread blocks in
+// wait() while the workers run.
+void BM_BatchSuite(benchmark::State &State) {
+  const unsigned Jobs = static_cast<unsigned>(State.range(0));
+  TargetDesc Target = makeTarget(24);
+  // Seed the allocator registries before any worker thread looks them up.
+  makeAllocatorByName("full-preferences");
+  const WorkloadSuite Suite = suiteByName("javac");
+  const DriverOptions Options;
+  BatchDriver Driver(Jobs);
+  unsigned Functions = 0;
+  for (auto _ : State) {
+    (void)_;
+    State.PauseTiming();
+    std::vector<std::unique_ptr<Function>> Owned(Suite.Functions.size());
+    std::vector<Function *> Fns(Suite.Functions.size());
+    for (unsigned I = 0; I != Owned.size(); ++I) {
+      Owned[I] = Suite.generate(I, Target);
+      Fns[I] = Owned[I].get();
+    }
+    State.ResumeTiming();
+    std::vector<BatchItemResult> Results = Driver.run(Fns, Target, Options);
+    benchmark::DoNotOptimize(Results.data());
+    Functions = static_cast<unsigned>(Results.size());
+  }
+  State.counters["functions"] = Functions;
+  State.counters["jobs"] = Jobs;
+}
+BENCHMARK(BM_BatchSuite)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 } // namespace
 

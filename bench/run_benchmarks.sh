@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+#===- bench/run_benchmarks.sh - Reproducible benchmark runner ------------===#
+#
+# Part of the PDGC project.
+#
+# Builds (if needed) and runs the google-benchmark microbenchmarks,
+# writing the JSON report to BENCH_pr3.json at the repository root so
+# performance PRs can commit the numbers they claim.
+#
+# Usage:
+#   bench/run_benchmarks.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR  build tree to use (default: <repo>/build)
+#   REPS       repetitions per benchmark (default: 3)
+#   MIN_TIME   --benchmark_min_time per repetition, seconds as a plain
+#              double (default: 0.2)
+#   FILTER     --benchmark_filter regex (default: all benchmarks)
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${1:-$ROOT/BENCH_pr3.json}"
+
+if [ ! -x "$BUILD/bench/micro_allocators" ]; then
+  echo "run_benchmarks.sh: building micro_allocators in $BUILD" >&2
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+  cmake --build "$BUILD" --target micro_allocators -j"$(nproc)" >/dev/null
+fi
+
+"$BUILD/bench/micro_allocators" \
+  --benchmark_filter="${FILTER:-.}" \
+  --benchmark_repetitions="${REPS:-3}" \
+  --benchmark_min_time="${MIN_TIME:-0.2}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT"
+
+echo "run_benchmarks.sh: wrote $OUT" >&2

@@ -1,0 +1,29 @@
+//===- analysis/AnalysisContext.cpp - Cross-round analysis cache -----------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisContext.h"
+
+#include "ir/PhiElimination.h"
+
+using namespace pdgc;
+
+AnalysisContext::AnalysisContext(const Function &F, const CostParams &Params)
+    : Func(&F), Params(Params), RPO(F.reversePostOrder()),
+      LI(LoopInfo::compute(F, Params.LoopFreqFactor)),
+      LV(Liveness::compute(F, RPO)),
+      Costs(LiveRangeCosts::compute(F, LV, LI, Params)),
+      IG(InterferenceGraph::build(F, LV, LI)) {
+  assert(!hasPhis(F) && "analysis context requires phi-free IR");
+}
+
+void AnalysisContext::refresh() {
+  assert(RPO.size() == Func->numBlocks() &&
+         "CFG changed under an AnalysisContext; only spill-round "
+         "instruction insertion is allowed during its lifetime");
+  LV.recompute(*Func, RPO);
+  Costs.recompute(*Func, LV, LI, Params);
+  IG.rebuild(*Func, LV, LI);
+}

@@ -1,0 +1,73 @@
+//===- analysis/AnalysisContext.h - Cross-round analysis cache --*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-allocation cache of the analyses the spill-round driver consumes.
+///
+/// The reuse contract: spill-code insertion only *adds instructions and
+/// virtual registers inside existing blocks* — it never creates, deletes,
+/// or re-wires basic blocks. Everything derived purely from the CFG shape
+/// is therefore stable across spill rounds and computed exactly once per
+/// allocation:
+///
+///   * the reverse post order (block visitation order of the dataflow
+///     solver), and
+///   * LoopInfo (loop nesting depths and block frequencies).
+///
+/// Everything that reads instructions or the register table is recomputed
+/// each round — Liveness, LiveRangeCosts, and the InterferenceGraph — but
+/// *into the same buffers*, so rounds after the first run against warm
+/// storage instead of reallocating every set and adjacency list.
+///
+/// Anything that changes the CFG (phi elimination splits edges!) must
+/// happen before the context is constructed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_ANALYSIS_ANALYSISCONTEXT_H
+#define PDGC_ANALYSIS_ANALYSISCONTEXT_H
+
+#include "analysis/CostModel.h"
+#include "analysis/InterferenceGraph.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Owns one allocation's analyses; constructed once after phi elimination,
+/// refreshed (cheaply) after every spill round.
+class AnalysisContext {
+  const Function *Func = nullptr;
+  CostParams Params;
+  std::vector<unsigned> RPO; ///< Stable across spill rounds.
+
+public:
+  LoopInfo LI;        ///< Stable across spill rounds.
+  Liveness LV;        ///< Refreshed each round (buffers reused).
+  LiveRangeCosts Costs; ///< Refreshed each round (buffers reused).
+  InterferenceGraph IG; ///< Refreshed each round (buffers reused).
+
+  /// Computes every analysis for \p F, which must be phi-free and keep its
+  /// CFG shape for this context's lifetime.
+  AnalysisContext(const Function &F, const CostParams &Params);
+
+  /// Recomputes the instruction-dependent analyses (LV, Costs, IG) for the
+  /// function after spill-code insertion, reusing their buffers. The
+  /// cached RPO and LoopInfo are *not* recomputed — by the reuse contract
+  /// they cannot have changed.
+  void refresh();
+
+  const Function &function() const { return *Func; }
+  const CostParams &params() const { return Params; }
+  const std::vector<unsigned> &rpo() const { return RPO; }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_ANALYSIS_ANALYSISCONTEXT_H

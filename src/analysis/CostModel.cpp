@@ -28,11 +28,19 @@ double pdgc::instCost(const Instruction &I, const CostParams &P) {
 LiveRangeCosts LiveRangeCosts::compute(const Function &F, const Liveness &LV,
                                        const LoopInfo &LI,
                                        const CostParams &Params) {
+  LiveRangeCosts C;
+  C.recompute(F, LV, LI, Params);
+  return C;
+}
+
+void LiveRangeCosts::recompute(const Function &F, const Liveness &LV,
+                               const LoopInfo &LI, const CostParams &Params) {
   assert(!hasPhis(F) && "cost model requires phi-free IR");
 
   const unsigned N = F.numVRegs();
-  LiveRangeCosts C;
+  LiveRangeCosts &C = *this;
   C.Params = Params;
+  // assign() reuses the vectors' existing heap blocks.
   C.SpillCosts.assign(N, 0.0);
   C.OpCosts.assign(N, 0.0);
   C.CallCross.assign(N, 0.0);
@@ -82,5 +90,4 @@ LiveRangeCosts LiveRangeCosts::compute(const Function &F, const Liveness &LV,
       }
     });
   }
-  return C;
 }

@@ -74,6 +74,12 @@ public:
                                 const LoopInfo &LI,
                                 const CostParams &Params = CostParams());
 
+  /// Recomputes in place for (a possibly mutated) \p F, reusing the
+  /// per-register vectors' capacity. The spill-round driver calls this
+  /// every round after the first instead of building a fresh object.
+  void recompute(const Function &F, const Liveness &LV, const LoopInfo &LI,
+                 const CostParams &Params);
+
   const CostParams &params() const { return Params; }
 
   /// Spill_Cost(V): the weighted cost of the loads/stores spilling V would

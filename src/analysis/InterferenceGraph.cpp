@@ -9,78 +9,134 @@
 #include "ir/PhiElimination.h"
 #include "support/Debug.h"
 
-#include <algorithm>
+#include <limits>
 
 using namespace pdgc;
 
 void InterferenceGraph::addEdgeInternal(unsigned A, unsigned B) {
-  if (A == B || Matrix[A].test(B))
+  if (A == B)
     return;
-  Matrix[A].set(B);
-  Matrix[B].set(A);
+  const unsigned Idx = static_cast<unsigned>(pairIndex(A, B));
+  if (PairBits.test(Idx))
+    return;
+  PairBits.set(Idx);
+  const unsigned PosInA = static_cast<unsigned>(Adj[A].size());
+  const unsigned PosInB = static_cast<unsigned>(Adj[B].size());
   Adj[A].push_back(B);
+  MirrorPos[A].push_back(PosInB);
   Adj[B].push_back(A);
+  MirrorPos[B].push_back(PosInA);
+}
+
+void InterferenceGraph::removeArc(unsigned N, unsigned Pos) {
+  const unsigned Last = static_cast<unsigned>(Adj[N].size()) - 1;
+  if (Pos != Last) {
+    Adj[N][Pos] = Adj[N][Last];
+    MirrorPos[N][Pos] = MirrorPos[N][Last];
+    // The moved entry's counterpart must point back at its new slot.
+    MirrorPos[Adj[N][Pos]][MirrorPos[N][Pos]] = Pos;
+  }
+  Adj[N].pop_back();
+  MirrorPos[N].pop_back();
 }
 
 void InterferenceGraph::addEdge(unsigned A, unsigned B) {
   assert(A < numNodes() && B < numNodes() && "node out of range");
-  if (regClass(A) != regClass(B))
-    return; // Different classes draw from disjoint register files.
+  if (regClass(A) != regClass(B)) {
+    // Different classes draw from disjoint register files.
+    ++WastedEdgeAttempts;
+    return;
+  }
   assert(!(isPrecolored(A) && isPrecolored(B) && precolor(A) == precolor(B)) &&
          "two nodes pinned to one physical register interfere; the IR placed "
          "conflicting calling-convention values");
   addEdgeInternal(A, B);
 }
 
-InterferenceGraph InterferenceGraph::build(const Function &F,
-                                           const Liveness &LV,
-                                           const LoopInfo &LI) {
-  assert(!hasPhis(F) && "interference requires phi-free IR");
+void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
+                                const LoopInfo &LI) {
+  assert(!hasPhis(Fn) && "interference requires phi-free IR");
 
-  InterferenceGraph G;
-  G.F = &F;
-  const unsigned N = F.numVRegs();
-  G.Matrix.assign(N, BitVector(N));
-  G.Adj.assign(N, {});
-  G.Merged.assign(N, 0);
+  F = &Fn;
+  const unsigned N = Fn.numVRegs();
+  const std::size_t Pairs = N < 2 ? 0 : std::size_t(N) * (N - 1) / 2;
+  pdgc_check(Pairs <= std::numeric_limits<unsigned>::max(),
+             "interference half-matrix exceeds 2^32 pairs");
+  PairBits.clearAndResize(static_cast<unsigned>(Pairs));
+  // Clearing the inner vectors one by one (instead of assign(N, {}))
+  // preserves their heap blocks, so round 2+ appends into warm storage.
+  if (Adj.size() > N) {
+    Adj.resize(N);
+    MirrorPos.resize(N);
+  }
+  for (std::size_t I = 0, E = Adj.size(); I != E; ++I) {
+    Adj[I].clear();
+    MirrorPos[I].clear();
+  }
+  Adj.resize(N);
+  MirrorPos.resize(N);
+  Merged.assign(N, 0);
+  Moves.clear();
+  WastedEdgeAttempts = 0;
 
-  for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
-    const BasicBlock *BB = F.block(B);
+  for (unsigned B = 0, E = Fn.numBlocks(); B != E; ++B) {
+    const BasicBlock *BB = Fn.block(B);
     const double Freq = LI.frequency(BB);
 
     LV.forEachInstReverse(BB, [&](unsigned I, const BitVector &LiveAfter) {
       const Instruction &Inst = BB->inst(I);
       if (Inst.isCopy())
-        G.Moves.push_back(MoveRecord{Inst.def().id(), Inst.use(0).id(), Freq,
-                                     BB->id(), I});
+        Moves.push_back(MoveRecord{Inst.def().id(), Inst.use(0).id(), Freq,
+                                   BB->id(), I});
       if (!Inst.hasDef())
         return;
       const unsigned D = Inst.def().id();
+      // Hot loop: the def's register class and copy-source are loop
+      // invariants, so hoist them and go straight to addEdgeInternal
+      // instead of paying addEdge's per-pair def-side lookups.
+      const RegClass DC = Fn.regClass(VReg(D));
+      const unsigned CopySrc =
+          Inst.isCopy() ? Inst.use(0).id() : ~0u;
       for (unsigned L : LiveAfter.setBits()) {
         if (L == D)
           continue;
         // Chaitin's copy exception: `d = move s` does not make d and s
         // interfere; if s is otherwise live past the copy a separate
         // def/liveness pair adds the edge.
-        if (Inst.isCopy() && L == Inst.use(0).id())
+        if (L == CopySrc)
           continue;
-        G.addEdge(D, L);
+        if (Fn.regClass(VReg(L)) != DC) {
+          // Different classes draw from disjoint register files.
+          ++WastedEdgeAttempts;
+          continue;
+        }
+        assert(!(Fn.isPinned(VReg(D)) && Fn.isPinned(VReg(L)) &&
+                 Fn.pinnedReg(VReg(D)) == Fn.pinnedReg(VReg(L))) &&
+               "two nodes pinned to one physical register interfere; the IR "
+               "placed conflicting calling-convention values");
+        addEdgeInternal(D, L);
       }
     });
   }
 
   // Parameters are live-in at the entry: they interfere with each other and
   // with anything live-in (they occupy their registers from function entry).
-  const BitVector &EntryLive = LV.liveIn(F.entry());
-  const std::vector<VReg> &Params = F.params();
+  const BitVector &EntryLive = LV.liveIn(Fn.entry());
+  const std::vector<VReg> &Params = Fn.params();
   for (unsigned I = 0, E = Params.size(); I != E; ++I) {
     for (unsigned J = I + 1; J != E; ++J)
-      G.addEdge(Params[I].id(), Params[J].id());
+      addEdge(Params[I].id(), Params[J].id());
     for (unsigned L : EntryLive.setBits())
       if (L != Params[I].id())
-        G.addEdge(Params[I].id(), L);
+        addEdge(Params[I].id(), L);
   }
+}
 
+InterferenceGraph InterferenceGraph::build(const Function &F,
+                                           const Liveness &LV,
+                                           const LoopInfo &LI) {
+  InterferenceGraph G;
+  G.rebuild(F, LV, LI);
   return G;
 }
 
@@ -92,16 +148,19 @@ void InterferenceGraph::merge(unsigned A, unsigned B) {
   assert(!isPrecolored(B) &&
          "precolored node must be the merge representative");
 
-  // A inherits B's neighbors.
-  for (unsigned N : Adj[B]) {
-    Matrix[N].reset(B);
-    auto It = std::find(Adj[N].begin(), Adj[N].end(), B);
-    assert(It != Adj[N].end() && "asymmetric adjacency");
-    Adj[N].erase(It);
+  // A inherits B's neighbors. Each arc B->N knows where its mirror N->B
+  // sits, so unlinking from N is a constant-time swap-pop.
+  for (unsigned I = 0, E = static_cast<unsigned>(Adj[B].size()); I != E;
+       ++I) {
+    const unsigned N = Adj[B][I];
+    const unsigned Pos = MirrorPos[B][I];
+    assert(Adj[N][Pos] == B && "mirror index out of sync");
+    PairBits.reset(static_cast<unsigned>(pairIndex(B, N)));
+    removeArc(N, Pos);
     addEdge(A, N);
   }
   Adj[B].clear();
-  Matrix[B].reset();
+  MirrorPos[B].clear();
   Merged[B] = 1;
 }
 

@@ -12,6 +12,13 @@
 /// merge operation used by the baseline allocators, and records the list of
 /// copy (move) instructions with their execution weights.
 ///
+/// Representation: membership tests go through a *triangular half-matrix* —
+/// one bit per unordered node pair, half the memory of the former dense
+/// symmetric matrix — while iteration goes through adjacency lists. Each
+/// adjacency entry additionally records the position of its mirror entry in
+/// the neighbor's list, so merge() unlinks an edge in O(1) (swap-pop)
+/// instead of a linear find-erase.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDGC_ANALYSIS_INTERFERENCEGRAPH_H
@@ -22,6 +29,7 @@
 #include "ir/Function.h"
 #include "support/BitVector.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace pdgc {
@@ -40,12 +48,38 @@ struct MoveRecord {
 /// Undirected interference graph with precolored nodes and merge support.
 class InterferenceGraph {
   const Function *F = nullptr;
-  std::vector<BitVector> Matrix;          ///< Symmetric adjacency matrix.
+  /// One bit per unordered pair {A, B}, A != B, at triangular index
+  /// pairIndex(A, B). Half the footprint of a dense symmetric matrix.
+  BitVector PairBits;
   std::vector<std::vector<unsigned>> Adj; ///< Neighbor lists (no duplicates).
+  /// MirrorPos[A][I] is the position of A inside Adj[Adj[A][I]]. Kept in
+  /// lockstep with Adj so an edge can be unlinked from the far side in
+  /// O(1); the invariant is Adj[Adj[A][I]][MirrorPos[A][I]] == A.
+  std::vector<std::vector<unsigned>> MirrorPos;
   std::vector<char> Merged;               ///< Node was coalesced away.
   std::vector<MoveRecord> Moves;
+  /// addEdge calls rejected because the endpoints draw from disjoint
+  /// register files. The builder loop pays this test per (def, live) pair;
+  /// the counter lets benchmarks report how much of the build was wasted.
+  std::uint64_t WastedEdgeAttempts = 0;
+
+  /// Triangular index of the unordered pair {A, B}; requires A != B.
+  static std::size_t pairIndex(unsigned A, unsigned B) {
+    assert(A != B && "no self pairs in the half-matrix");
+    const std::size_t Hi = A > B ? A : B;
+    const std::size_t Lo = A > B ? B : A;
+    return Hi * (Hi - 1) / 2 + Lo;
+  }
+
+  bool testPair(unsigned A, unsigned B) const {
+    return PairBits.test(static_cast<unsigned>(pairIndex(A, B)));
+  }
 
   void addEdgeInternal(unsigned A, unsigned B);
+
+  /// Unlinks the adjacency entry at position \p Pos of node \p N by
+  /// swap-pop, repairing the mirror index of the entry moved into the gap.
+  void removeArc(unsigned N, unsigned Pos);
 
 public:
   InterferenceGraph() = default;
@@ -55,6 +89,13 @@ public:
   /// copy itself (Chaitin's rule), which is what enables coalescing.
   static InterferenceGraph build(const Function &F, const Liveness &LV,
                                  const LoopInfo &LI);
+
+  /// Rebuilds this graph in place for (a possibly mutated) \p F, reusing
+  /// the half-matrix words and per-node adjacency capacity from the
+  /// previous build. The spill-round driver calls this every round; after
+  /// the first round the buffers are warm and construction allocates
+  /// little to nothing.
+  void rebuild(const Function &F, const Liveness &LV, const LoopInfo &LI);
 
   const Function &function() const {
     assert(F && "graph not built");
@@ -68,7 +109,7 @@ public:
 
   bool interferes(unsigned A, unsigned B) const {
     assert(A < numNodes() && B < numNodes() && "node out of range");
-    return Matrix[A].test(B);
+    return A != B && testPair(A, B);
   }
 
   /// Neighbors of \p A. May contain merged-away nodes only if the caller
@@ -101,6 +142,8 @@ public:
   /// Coalesces node \p B into node \p A: A inherits B's edges and B leaves
   /// the graph. \p A and \p B must not interfere and must share a register
   /// class; at most one of them may be precolored (and then it must be A).
+  /// Runs in O(degree(B)) — each of B's edges is unlinked from the far
+  /// side in constant time through the mirror index.
   void merge(unsigned A, unsigned B);
 
   /// Returns true if \p A interferes with any node precolored to \p R.
@@ -110,6 +153,10 @@ public:
   /// All copy instructions found at build time. Records are not updated by
   /// merge(); coalescers resolve endpoints through their own union-find.
   const std::vector<MoveRecord> &moves() const { return Moves; }
+
+  /// Number of addEdge calls rejected because the endpoints were in
+  /// different register classes (wasted work in the builder loop).
+  std::uint64_t wastedEdgeAttempts() const { return WastedEdgeAttempts; }
 };
 
 } // namespace pdgc

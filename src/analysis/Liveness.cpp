@@ -12,71 +12,84 @@
 using namespace pdgc;
 
 Liveness Liveness::compute(const Function &F) {
+  return compute(F, F.reversePostOrder());
+}
+
+Liveness Liveness::compute(const Function &F,
+                           const std::vector<unsigned> &RPO) {
+  Liveness L;
+  L.recompute(F, RPO);
+  return L;
+}
+
+void Liveness::recompute(const Function &F,
+                         const std::vector<unsigned> &RPO) {
   assert(!hasPhis(F) && "liveness requires phi-free IR");
+  assert(RPO.size() == F.numBlocks() && "stale reverse post order");
 
   const unsigned NumBlocks = F.numBlocks();
   const unsigned NumRegs = F.numVRegs();
-  Liveness L;
-  L.LiveInSets.assign(NumBlocks, BitVector(NumRegs));
-  L.LiveOutSets.assign(NumBlocks, BitVector(NumRegs));
+
+  // Reuse the vector-of-sets shells and every set's word storage; spill
+  // rounds only grow the register count, so after the first round these
+  // resizes are cheap no-ops on warm buffers.
+  LiveInSets.resize(NumBlocks);
+  LiveOutSets.resize(NumBlocks);
+  GenScratch.resize(NumBlocks);
+  KillScratch.resize(NumBlocks);
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    LiveInSets[B].clearAndResize(NumRegs);
+    LiveOutSets[B].clearAndResize(NumRegs);
+    GenScratch[B].clearAndResize(NumRegs);
+    KillScratch[B].clearAndResize(NumRegs);
+  }
 
   // Per-block gen (upward-exposed uses) and kill (defs) sets.
-  std::vector<BitVector> Gen(NumBlocks, BitVector(NumRegs));
-  std::vector<BitVector> Kill(NumBlocks, BitVector(NumRegs));
   for (unsigned B = 0; B != NumBlocks; ++B) {
     const BasicBlock *BB = F.block(B);
     for (unsigned I = BB->size(); I-- > 0;) {
       const Instruction &Inst = BB->inst(I);
       if (Inst.hasDef()) {
-        Gen[B].reset(Inst.def().id());
-        Kill[B].set(Inst.def().id());
+        GenScratch[B].reset(Inst.def().id());
+        KillScratch[B].set(Inst.def().id());
       }
       for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
-        Gen[B].set(Inst.use(U).id());
+        GenScratch[B].set(Inst.use(U).id());
     }
   }
 
   // Iterate to a fixed point in post order (reverse RPO) for fast
   // convergence of this backward problem.
-  std::vector<unsigned> RPO = F.reversePostOrder();
+  BitVector Out;
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (unsigned It = RPO.size(); It-- > 0;) {
       unsigned B = RPO[It];
       const BasicBlock *BB = F.block(B);
-      BitVector Out(NumRegs);
+      Out.clearAndResize(NumRegs);
       for (const BasicBlock *S : BB->successors())
-        Out |= L.LiveInSets[S->id()];
+        Out |= LiveInSets[S->id()];
       BitVector In = Out;
-      In.resetAll(Kill[B]);
-      In |= Gen[B];
-      if (Out != L.LiveOutSets[B] || In != L.LiveInSets[B]) {
-        L.LiveOutSets[B] = std::move(Out);
-        L.LiveInSets[B] = std::move(In);
+      In.resetAll(KillScratch[B]);
+      In |= GenScratch[B];
+      if (Out != LiveOutSets[B] || In != LiveInSets[B]) {
+        LiveOutSets[B] = std::move(Out);
+        LiveInSets[B] = std::move(In);
         Changed = true;
       }
     }
   }
-  return L;
 }
 
 BitVector Liveness::liveBefore(const BasicBlock *BB, unsigned Index) const {
   assert(Index < BB->size() && "instruction index out of range");
-  BitVector Live = liveOut(BB);
-  for (unsigned I = BB->size(); I-- > Index;) {
-    const Instruction &Inst = BB->inst(I);
-    if (Inst.hasDef())
-      Live.reset(Inst.def().id());
-    for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
-      Live.set(Inst.use(U).id());
-  }
-  return Live;
+  InstIterator It(*this, BB);
+  return It.liveBefore(Index);
 }
 
 BitVector Liveness::liveAfter(const BasicBlock *BB, unsigned Index) const {
   assert(Index < BB->size() && "instruction index out of range");
-  if (Index + 1 == BB->size())
-    return liveOut(BB);
-  return liveBefore(BB, Index + 1);
+  InstIterator It(*this, BB);
+  return It.liveAfter(Index);
 }

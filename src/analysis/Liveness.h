@@ -9,6 +9,11 @@
 /// registers. Runs on phi-free IR (run eliminatePhis first); the allocators
 /// and the interference builder both consume it.
 ///
+/// For the spill-round driver the analysis supports warm recomputation:
+/// `recompute` reuses the per-block set storage (and an externally cached
+/// reverse post order, which spill insertion cannot invalidate) instead of
+/// reallocating everything per round.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDGC_ANALYSIS_LIVENESS_H
@@ -25,12 +30,26 @@ namespace pdgc {
 class Liveness {
   std::vector<BitVector> LiveInSets;
   std::vector<BitVector> LiveOutSets;
+  /// Gen/kill scratch sets, kept between recomputations so a warm rerun
+  /// performs no per-block allocations.
+  std::vector<BitVector> GenScratch;
+  std::vector<BitVector> KillScratch;
 
   Liveness() = default;
 
 public:
   /// Computes liveness for \p F, which must contain no phis.
   static Liveness compute(const Function &F);
+
+  /// As above, but iterates over a caller-provided reverse post order
+  /// instead of recomputing one (the CFG — and therefore its RPO — is
+  /// stable across spill rounds).
+  static Liveness compute(const Function &F, const std::vector<unsigned> &RPO);
+
+  /// Recomputes liveness for (a possibly mutated) \p F in place, reusing
+  /// the existing set storage. \p RPO must be a reverse post order of
+  /// \p F's CFG.
+  void recompute(const Function &F, const std::vector<unsigned> &RPO);
 
   const BitVector &liveIn(const BasicBlock *BB) const {
     assert(BB->id() < LiveInSets.size() && "unknown block");
@@ -59,11 +78,74 @@ public:
     }
   }
 
+  /// Incremental reverse-walk cursor over one block's instruction-level
+  /// live sets. Where `liveBefore`/`liveAfter` rescan the whole block
+  /// suffix on every call — quadratic when a caller queries each
+  /// instruction — the cursor walks backward once, answering a descending
+  /// (or repeated) sequence of queries in amortized O(1) per instruction.
+  /// Querying a higher index than the cursor has passed transparently
+  /// rewinds to the block end, so any query order is *correct*; only
+  /// descending consecutive queries are fast.
+  class InstIterator {
+    const Liveness *LV;
+    const BasicBlock *BB;
+    BitVector Live; ///< Live before instruction Cursor (== after Cursor-1).
+    unsigned Cursor; ///< In [0, BB->size()]; size() means "at block end".
+
+    /// Steps the cursor down over instruction Cursor-1.
+    void stepDown() {
+      assert(Cursor > 0 && "stepping below the block start");
+      const Instruction &Inst = BB->inst(--Cursor);
+      if (Inst.hasDef())
+        Live.reset(Inst.def().id());
+      for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
+        Live.set(Inst.use(U).id());
+    }
+
+    /// Moves the cursor to \p Target (restarting from the block end when
+    /// the walk already passed it).
+    void rewindTo(unsigned Target) {
+      if (Target > Cursor) {
+        Live = LV->liveOut(BB);
+        Cursor = BB->size();
+      }
+      while (Cursor > Target)
+        stepDown();
+    }
+
+  public:
+    InstIterator(const Liveness &LV, const BasicBlock *BB)
+        : LV(&LV), BB(BB), Live(LV.liveOut(BB)), Cursor(BB->size()) {}
+
+    /// Registers live immediately after instruction \p Index. The returned
+    /// reference is invalidated by the next query.
+    const BitVector &liveAfter(unsigned Index) {
+      assert(Index < BB->size() && "instruction index out of range");
+      rewindTo(Index + 1);
+      return Live;
+    }
+
+    /// Registers live immediately before instruction \p Index. The
+    /// returned reference is invalidated by the next query.
+    const BitVector &liveBefore(unsigned Index) {
+      assert(Index < BB->size() && "instruction index out of range");
+      rewindTo(Index);
+      return Live;
+    }
+  };
+
+  /// Returns a fresh reverse-walk cursor for \p BB.
+  InstIterator instIterator(const BasicBlock *BB) const {
+    return InstIterator(*this, BB);
+  }
+
   /// Returns the registers live immediately before instruction \p Index of
-  /// \p BB (convenience for call-crossing queries; O(block size)).
+  /// \p BB. One-shot convenience — O(block suffix); callers querying many
+  /// indices of one block should use instIterator() instead.
   BitVector liveBefore(const BasicBlock *BB, unsigned Index) const;
 
   /// Returns the registers live immediately after instruction \p Index.
+  /// Same complexity note as liveBefore.
   BitVector liveAfter(const BasicBlock *BB, unsigned Index) const;
 };
 

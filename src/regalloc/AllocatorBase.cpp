@@ -12,10 +12,14 @@ using namespace pdgc;
 
 AllocContext::AllocContext(Function &F, const TargetDesc &Target,
                            const CostParams &Params)
-    : F(F), Target(Target), LV(Liveness::compute(F)),
-      LI(LoopInfo::compute(F, Params.LoopFreqFactor)),
-      Costs(LiveRangeCosts::compute(F, LV, LI, Params)),
-      IG(InterferenceGraph::build(F, LV, LI)) {}
+    : F(F), Target(Target),
+      Owned(std::make_unique<AnalysisContext>(F, Params)), LV(Owned->LV),
+      LI(Owned->LI), Costs(Owned->Costs), IG(Owned->IG) {}
+
+AllocContext::AllocContext(Function &F, const TargetDesc &Target,
+                           AnalysisContext &Analyses)
+    : F(F), Target(Target), LV(Analyses.LV), LI(Analyses.LI),
+      Costs(Analyses.Costs), IG(Analyses.IG) {}
 
 RoundResult RoundResult::make(unsigned NumVRegs) {
   RoundResult R;

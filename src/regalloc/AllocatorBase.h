@@ -19,6 +19,7 @@
 #ifndef PDGC_REGALLOC_ALLOCATORBASE_H
 #define PDGC_REGALLOC_ALLOCATORBASE_H
 
+#include "analysis/AnalysisContext.h"
 #include "analysis/CostModel.h"
 #include "analysis/InterferenceGraph.h"
 #include "analysis/LoopInfo.h"
@@ -26,22 +27,40 @@
 #include "ir/Function.h"
 #include "machine/TargetDesc.h"
 
+#include <memory>
 #include <vector>
 
 namespace pdgc {
 
-/// Everything an allocation round may consult or mutate. Rebuilt by the
-/// driver after each spill round.
+/// Everything an allocation round may consult or mutate. The analyses live
+/// in an AnalysisContext; the driver refreshes that context (reusing its
+/// buffers, and the CFG-derived parts outright) after each spill round and
+/// hands the allocator this view of it. The members are references so the
+/// round code reads exactly as it did when they were values.
 struct AllocContext {
   Function &F;
   const TargetDesc &Target;
-  Liveness LV;
-  LoopInfo LI;
-  LiveRangeCosts Costs;
-  InterferenceGraph IG;
 
+private:
+  /// Owning slot for the standalone constructor; empty when the context
+  /// borrows a driver-managed AnalysisContext.
+  std::unique_ptr<AnalysisContext> Owned;
+
+public:
+  Liveness &LV;
+  LoopInfo &LI;
+  LiveRangeCosts &Costs;
+  InterferenceGraph &IG;
+
+  /// Standalone entry: computes (and owns) every analysis for \p F. Used
+  /// by tests and by allocators that rebuild mid-round (pre-coalescing).
   AllocContext(Function &F, const TargetDesc &Target,
                const CostParams &Params);
+
+  /// Driver entry: borrows the driver's cached \p Analyses, which must
+  /// already be refreshed for \p F's current contents.
+  AllocContext(Function &F, const TargetDesc &Target,
+               AnalysisContext &Analyses);
 };
 
 /// The outcome of one allocation round.

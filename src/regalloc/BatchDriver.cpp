@@ -1,0 +1,31 @@
+//===- regalloc/BatchDriver.cpp - Parallel batch allocation ----------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/BatchDriver.h"
+
+#include "support/ThreadPool.h"
+
+using namespace pdgc;
+
+std::vector<BatchItemResult>
+BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
+                 const DriverOptions &Options) const {
+  std::vector<BatchItemResult> Results(Fns.size());
+  ThreadPool Pool(Jobs);
+  // Per-index slots keep the output deterministic regardless of which
+  // worker finishes first. allocateWithFallback catches everything its
+  // pipeline can throw (fatal checks, allocator exceptions) and reports it
+  // as a Status, so the job itself cannot throw — a ThreadPool requirement.
+  Pool.parallelFor(static_cast<unsigned>(Fns.size()), [&](unsigned I) {
+    StatusOr<AllocationOutcome> R =
+        allocateWithFallback(*Fns[I], Target, Options);
+    if (R.ok())
+      Results[I].Out = std::move(R.value());
+    else
+      Results[I].S = R.status();
+  });
+  return Results;
+}

@@ -1,0 +1,74 @@
+//===- regalloc/BatchDriver.h - Parallel batch allocation -------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocates registers for many functions concurrently. Each function is an
+/// independent job — it owns its IR, its analyses, and a fresh allocator
+/// instance per fallback tier — so the batch layer is a thin, deterministic
+/// fan-out over `allocateWithFallback`:
+///
+///  * results are collected into per-index slots, so the output vector is
+///    in input order no matter how the scheduler interleaved the jobs;
+///  * every job runs the identical sequential pipeline, so `Jobs = 1` and
+///    `Jobs = N` produce byte-identical assignments and metrics (asserted
+///    by tests/test_batch.cpp, under TSAN in CI);
+///  * failures come back as per-item Status values — one bad function never
+///    aborts the batch.
+///
+/// Thread-safety prerequisites (all hold in this repository):
+///  * the allocator registry is read-only once seeded. Callers that want
+///    the PDGC tiers ("full-preferences", ...) must call
+///    `registerPDGCAllocators()` *before* `run` — the core library layers
+///    above regalloc, so the batch driver cannot do it for them. The
+///    regalloc-layer tiers self-seed on first registry access, which is
+///    thread-safe (magic static);
+///  * `ScopedErrorTrap` keeps its depth in a thread_local, so fatal-check
+///    trapping on one worker does not leak into another;
+///  * DriverOptions is shared read-only; each tier copies it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_REGALLOC_BATCHDRIVER_H
+#define PDGC_REGALLOC_BATCHDRIVER_H
+
+#include "regalloc/Driver.h"
+
+#include <vector>
+
+namespace pdgc {
+
+/// Outcome of one batch item. (Not a StatusOr: batch slots need default
+/// construction so workers can fill them in any order.)
+struct BatchItemResult {
+  Status S;              ///< Ok when allocation succeeded.
+  AllocationOutcome Out; ///< Meaningful only when S.ok().
+
+  bool ok() const { return S.ok(); }
+};
+
+/// Runs allocateWithFallback over a batch of functions on a worker pool.
+class BatchDriver {
+public:
+  /// \p Jobs worker threads; 0 or 1 runs everything inline on the calling
+  /// thread (the exact sequential pipeline, not "parallel with one worker").
+  explicit BatchDriver(unsigned Jobs) : Jobs(Jobs) {}
+
+  /// Allocates every function in \p Fns (each modified in place on
+  /// success, exactly as allocateWithFallback would). Returns one result
+  /// per input, in input order.
+  std::vector<BatchItemResult> run(const std::vector<Function *> &Fns,
+                                   const TargetDesc &Target,
+                                   const DriverOptions &Options) const;
+
+  unsigned jobs() const { return Jobs; }
+
+private:
+  unsigned Jobs;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_REGALLOC_BATCHDRIVER_H

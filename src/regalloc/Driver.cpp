@@ -16,6 +16,7 @@
 #include "support/Debug.h"
 
 #include <chrono>
+#include <optional>
 
 using namespace pdgc;
 
@@ -98,6 +99,12 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
       eliminatePhis(F);
     Out.OriginalMoves = countMoves(F);
 
+    // Phi elimination (above) was the last CFG mutation; from here on,
+    // spill rounds only insert instructions, so the CFG-derived analyses
+    // (RPO, LoopInfo) are computed once and the rest is refreshed into
+    // reused buffers each round.
+    std::optional<AnalysisContext> Analyses;
+
     unsigned NextSlot = 0;
     for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
       if (Options.TimeBudgetMs != 0 && Clock::now() > Deadline)
@@ -108,7 +115,11 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
                                  "ms exhausted in round " +
                                  std::to_string(Round + 1));
 
-      AllocContext Ctx(F, Target, Options.Costs);
+      if (!Analyses)
+        Analyses.emplace(F, Options.Costs);
+      else
+        Analyses->refresh();
+      AllocContext Ctx(F, Target, *Analyses);
       RoundResult RR = Allocator.allocateRound(Ctx);
       ++Out.Rounds;
 

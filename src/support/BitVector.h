@@ -167,28 +167,81 @@ public:
 
   /// Iterator over the indices of set bits, enabling range-based for loops:
   /// `for (unsigned Idx : BV.setBits())`.
+  ///
+  /// The iterator caches the remaining bits of the current word, so stepping
+  /// clears one bit and only touches memory again at word boundaries — and
+  /// whole zero words are skipped without per-bit work. On the sparse live
+  /// sets the interference builder walks, this is markedly cheaper than
+  /// re-running findNext (which re-divides and re-masks) per step.
   class SetBitIterator {
-    const BitVector *BV;
-    int Idx;
+    const Word *Words;
+    unsigned NumWords;
+    unsigned WordIdx; ///< Word the cached bits came from; NumWords at end.
+    Word Remaining;   ///< Still-unvisited bits of word WordIdx.
+
+    /// Advances WordIdx past zero words until Remaining is non-zero or the
+    /// vector is exhausted.
+    void skipZeroWords() {
+      while (Remaining == 0) {
+        if (++WordIdx >= NumWords) {
+          WordIdx = NumWords;
+          return;
+        }
+        Remaining = Words[WordIdx];
+      }
+    }
 
   public:
-    SetBitIterator(const BitVector *BV, int Idx) : BV(BV), Idx(Idx) {}
-    unsigned operator*() const { return static_cast<unsigned>(Idx); }
+    /// Begin iterator over \p BV.
+    explicit SetBitIterator(const BitVector &BV)
+        : Words(BV.Words.data()),
+          NumWords(static_cast<unsigned>(BV.Words.size())), WordIdx(0),
+          Remaining(NumWords ? Words[0] : 0) {
+      if (NumWords)
+        skipZeroWords();
+      else
+        WordIdx = NumWords;
+    }
+
+    /// End iterator over \p BV.
+    SetBitIterator(const BitVector &BV, unsigned EndWord)
+        : Words(BV.Words.data()), NumWords(static_cast<unsigned>(EndWord)),
+          WordIdx(static_cast<unsigned>(EndWord)), Remaining(0) {}
+
+    unsigned operator*() const {
+      return WordIdx * WordBits +
+             static_cast<unsigned>(std::countr_zero(Remaining));
+    }
+
     SetBitIterator &operator++() {
-      Idx = BV->findNext(static_cast<unsigned>(Idx) + 1);
+      Remaining &= Remaining - 1; // Clear the lowest set bit.
+      skipZeroWords();
       return *this;
     }
-    bool operator!=(const SetBitIterator &RHS) const { return Idx != RHS.Idx; }
+
+    bool operator!=(const SetBitIterator &RHS) const {
+      return WordIdx != RHS.WordIdx || Remaining != RHS.Remaining;
+    }
   };
 
   struct SetBitRange {
     const BitVector *BV;
-    SetBitIterator begin() const { return {BV, BV->findFirst()}; }
-    SetBitIterator end() const { return {BV, -1}; }
+    SetBitIterator begin() const { return SetBitIterator(*BV); }
+    SetBitIterator end() const {
+      return SetBitIterator(*BV, static_cast<unsigned>(BV->Words.size()));
+    }
   };
 
   /// Returns a range over the indices of set bits, in increasing order.
   SetBitRange setBits() const { return {this}; }
+
+  /// Resets to \p N bits, all zero, reusing the existing word storage
+  /// (capacity is never released). The rebuild-heavy analyses use this to
+  /// recycle their sets across spill rounds instead of reallocating.
+  void clearAndResize(unsigned N) {
+    Words.assign(numWords(N), 0);
+    NumBits = N;
+  }
 };
 
 } // namespace pdgc

@@ -1,0 +1,98 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ---------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace pdgc;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads <= 1)
+    return; // Inline mode: submit() runs jobs on the calling thread.
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping with a drained queue.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (--Pending == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  if (Workers.empty()) {
+    Job();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+    ++Pending;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void ThreadPool::parallelFor(unsigned Count,
+                             const std::function<void(unsigned)> &Fn) {
+  if (Count == 0)
+    return;
+  if (Workers.empty()) {
+    for (unsigned I = 0; I != Count; ++I)
+      Fn(I);
+    return;
+  }
+  // One claiming job per worker (capped by Count); each drains the shared
+  // cursor so a slow item does not leave the other workers idle.
+  auto Next = std::make_shared<std::atomic<unsigned>>(0);
+  const unsigned Claimers =
+      std::min(numThreads(), Count);
+  for (unsigned I = 0; I != Claimers; ++I)
+    submit([Next, Count, &Fn] {
+      for (unsigned Idx = Next->fetch_add(1); Idx < Count;
+           Idx = Next->fetch_add(1))
+        Fn(Idx);
+    });
+  wait();
+}
+
+unsigned ThreadPool::defaultJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}

@@ -1,0 +1,85 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the batch allocation pipeline.
+/// Register allocation is embarrassingly parallel across functions — each
+/// function owns its IR, analyses and allocator instance — so the pool only
+/// needs a work queue, a `wait()` barrier, and an index-partitioned
+/// `parallelFor`.
+///
+/// A pool constructed with zero or one thread spawns no workers at all:
+/// `submit` runs the job inline on the calling thread. That makes
+/// `--jobs 1` byte-for-byte identical to the sequential code path (same
+/// thread, same execution order) rather than "parallel with one worker",
+/// which is what the determinism tests compare against.
+///
+/// Jobs must not throw: an exception escaping a job on a worker thread
+/// would call std::terminate. Callers route failures through Status values
+/// instead (see regalloc/BatchDriver.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_THREADPOOL_H
+#define PDGC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdgc {
+
+class ThreadPool {
+public:
+  /// Creates a pool of \p Threads workers. Values 0 and 1 both mean "no
+  /// worker threads": jobs run inline on the submitting thread.
+  explicit ThreadPool(unsigned Threads);
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues \p Job. Runs it inline when the pool has no workers.
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished.
+  void wait();
+
+  /// Runs \p Fn(0) ... \p Fn(Count - 1), distributing indices over the
+  /// workers via an atomic cursor, and returns when all have finished.
+  /// Index execution order is unspecified with 2+ threads; callers that
+  /// need determinism must write results into per-index slots.
+  void parallelFor(unsigned Count, const std::function<void(unsigned)> &Fn);
+
+  /// Number of worker threads (0 when jobs run inline).
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// A sensible default for --jobs flags: the hardware concurrency, or 1
+  /// when the runtime cannot tell.
+  static unsigned defaultJobs();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  /// Jobs submitted but not yet finished (queued + running).
+  unsigned Pending = 0;
+  bool Stopping = false;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_THREADPOOL_H

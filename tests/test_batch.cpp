@@ -1,0 +1,169 @@
+//===- tests/test_batch.cpp - Batch allocation determinism --------------------===//
+//
+// Part of the PDGC project.
+//
+// The parallel batch pipeline must be a pure fan-out: running the same
+// inputs at any job count yields byte-identical functions, assignments and
+// metrics. CI additionally runs this suite under TSan (PDGC_SANITIZE=thread)
+// to catch data races the equality checks cannot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/PDGCRegistration.h"
+#include "ir/IRPrinter.h"
+#include "regalloc/BatchDriver.h"
+#include "support/ThreadPool.h"
+#include "workloads/Suites.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace pdgc;
+
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Count{0};
+  for (unsigned I = 0; I != 64; ++I)
+    Pool.submit([&] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 64u);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<unsigned>> Hits(100);
+  Pool.parallelFor(100, [&](unsigned I) { Hits[I].fetch_add(1); });
+  for (unsigned I = 0; I != 100; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, SingleJobModeRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 0u);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::thread::id Ran;
+  Pool.submit([&] { Ran = std::this_thread::get_id(); });
+  Pool.wait();
+  EXPECT_EQ(Ran, Caller);
+
+  std::vector<unsigned> Order;
+  Pool.parallelFor(5, [&](unsigned I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<unsigned>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, WaitWithNothingPendingReturns) {
+  ThreadPool Pool(2);
+  Pool.wait();
+  Pool.parallelFor(0, [](unsigned) { FAIL() << "no indices to run"; });
+}
+
+/// Allocates a fresh copy of the suite at the given job count and returns
+/// (printed functions, results).
+std::pair<std::vector<std::string>, std::vector<BatchItemResult>>
+runBatch(const WorkloadSuite &Suite, const TargetDesc &Target,
+         unsigned Jobs) {
+  std::vector<std::unique_ptr<Function>> Owned(Suite.Functions.size());
+  std::vector<Function *> Fns(Suite.Functions.size());
+  for (unsigned I = 0; I != Fns.size(); ++I) {
+    Owned[I] = Suite.generate(I, Target);
+    Fns[I] = Owned[I].get();
+  }
+  BatchDriver Driver(Jobs);
+  std::vector<BatchItemResult> Results =
+      Driver.run(Fns, Target, DriverOptions());
+  std::vector<std::string> Printed;
+  for (Function *F : Fns)
+    Printed.push_back(printFunction(*F));
+  return {std::move(Printed), std::move(Results)};
+}
+
+TEST(BatchDriver, JobCountDoesNotChangeResults) {
+  registerPDGCAllocators();
+  TargetDesc Target = makeTarget(8); // Scarce registers: spill rounds run.
+  WorkloadSuite Suite = suiteByName("compress");
+
+  auto [Seq, SeqResults] = runBatch(Suite, Target, 1);
+  auto [Par, ParResults] = runBatch(Suite, Target, 8);
+
+  ASSERT_EQ(SeqResults.size(), ParResults.size());
+  for (unsigned I = 0; I != SeqResults.size(); ++I) {
+    ASSERT_EQ(SeqResults[I].ok(), ParResults[I].ok()) << "item " << I;
+    ASSERT_TRUE(SeqResults[I].ok()) << SeqResults[I].S.toString();
+    const AllocationOutcome &A = SeqResults[I].Out;
+    const AllocationOutcome &B = ParResults[I].Out;
+    // Byte-identical rewritten functions and assignments.
+    EXPECT_EQ(Seq[I], Par[I]) << "item " << I;
+    EXPECT_EQ(A.Assignment, B.Assignment) << "item " << I;
+    EXPECT_EQ(A.Rounds, B.Rounds) << "item " << I;
+    EXPECT_EQ(A.SpilledRanges, B.SpilledRanges) << "item " << I;
+    EXPECT_EQ(A.SpillInstructions, B.SpillInstructions) << "item " << I;
+    EXPECT_EQ(A.Moves.Total, B.Moves.Total) << "item " << I;
+    EXPECT_EQ(A.Moves.Eliminated, B.Moves.Eliminated) << "item " << I;
+    EXPECT_EQ(A.OriginalMoves, B.OriginalMoves) << "item " << I;
+    EXPECT_EQ(A.StackSlots, B.StackSlots) << "item " << I;
+    EXPECT_EQ(A.Degradation.ServedBy, B.Degradation.ServedBy) << "item " << I;
+  }
+}
+
+TEST(BatchDriver, PerItemFailuresDoNotPoisonTheBatch) {
+  registerPDGCAllocators();
+  TargetDesc Small = makeTarget(8);
+  WorkloadSuite Suite = suiteByName("compress");
+
+  // Functions generated for 24 registers may pin outside an 8-register
+  // target; those items must fail with a structured VerifyError while the
+  // compatible items still allocate.
+  TargetDesc Big = makeTarget(24);
+  std::vector<std::unique_ptr<Function>> Owned;
+  std::vector<Function *> Fns;
+  for (unsigned I = 0; I != 4; ++I) {
+    Owned.push_back(Suite.generate(I, I % 2 ? Big : Small));
+    Fns.push_back(Owned.back().get());
+  }
+  BatchDriver Driver(4);
+  std::vector<BatchItemResult> Results =
+      Driver.run(Fns, Small, DriverOptions());
+  ASSERT_EQ(Results.size(), 4u);
+  unsigned Succeeded = 0;
+  for (const BatchItemResult &R : Results) {
+    if (R.ok())
+      ++Succeeded;
+    else
+      EXPECT_EQ(R.S.code(), ErrorCode::VerifyError) << R.S.toString();
+  }
+  EXPECT_GT(Succeeded, 0u);
+}
+
+TEST(SuiteAllocation, ParallelOverloadMatchesSequential) {
+  registerPDGCAllocators();
+  TargetDesc Target = makeTarget(24);
+  WorkloadSuite Suite = suiteByName("db");
+
+  std::unique_ptr<AllocatorBase> Alloc =
+      makeAllocatorByName("full-preferences");
+  SuiteResult Seq = runSuiteAllocation(Suite, Target, *Alloc);
+  SuiteResult Par1 = runSuiteAllocation(Suite, Target, "full-preferences", 1);
+  SuiteResult Par4 = runSuiteAllocation(Suite, Target, "full-preferences", 4);
+
+  auto ExpectEqual = [](const SuiteResult &A, const SuiteResult &B) {
+    EXPECT_EQ(A.Functions, B.Functions);
+    EXPECT_EQ(A.OriginalMoves, B.OriginalMoves);
+    EXPECT_EQ(A.RemainingMoves, B.RemainingMoves);
+    EXPECT_EQ(A.EliminatedMoves, B.EliminatedMoves);
+    EXPECT_EQ(A.SpillInstructions, B.SpillInstructions);
+    EXPECT_EQ(A.SpilledRanges, B.SpilledRanges);
+    EXPECT_EQ(A.Rounds, B.Rounds);
+    // Bitwise float equality is intentional: the fold order is fixed.
+    EXPECT_EQ(A.Cost.total(), B.Cost.total());
+  };
+  ExpectEqual(Seq, Par1);
+  ExpectEqual(Par1, Par4);
+}
+
+} // namespace

@@ -109,6 +109,76 @@ TEST(Interference, CrossClassValuesNeverInterfere) {
   EXPECT_FALSE(IG.interferes(G.id(), X.id()));
 }
 
+TEST(Interference, WastedEdgeAttemptsAreCounted) {
+  // G and X are simultaneously live but in different classes: the builder
+  // rejects the pair and records the wasted attempt for the stats.
+  Function F("wasted");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg G = B.emitLoadImm(1, RegClass::GPR);
+  VReg X = B.emitLoadImm(2, RegClass::FPR);
+  B.emitStore(G, G, 0);
+  B.emitStore(X, G, 1);
+  B.emitRet();
+
+  InterferenceGraph IG = buildFor(F);
+  EXPECT_GT(IG.wastedEdgeAttempts(), 0u);
+
+  // An all-GPR function wastes nothing.
+  Function F2("nowaste");
+  IRBuilder B2(F2);
+  BasicBlock *BB2 = F2.createBlock();
+  B2.setInsertBlock(BB2);
+  VReg A = B2.emitLoadImm(1);
+  VReg C = B2.emitLoadImm(2);
+  VReg S = B2.emitBinary(Opcode::Add, A, C);
+  B2.emitStore(S, A, 0);
+  B2.emitRet();
+  EXPECT_EQ(buildFor(F2).wastedEdgeAttempts(), 0u);
+
+  // addEdge on a cross-class pair counts too (and adds no edge).
+  InterferenceGraph IG3 = buildFor(F);
+  const std::uint64_t Before = IG3.wastedEdgeAttempts();
+  IG3.addEdge(G.id(), X.id());
+  EXPECT_EQ(IG3.wastedEdgeAttempts(), Before + 1);
+  EXPECT_FALSE(IG3.interferes(G.id(), X.id()));
+}
+
+TEST(Interference, RebuildReusesStorageAndMatchesFreshBuild) {
+  Function F("rebuild");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitLoadImm(2);
+  VReg S = B.emitBinary(Opcode::Add, A, C);
+  B.emitStore(S, A, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  LoopInfo LI = LoopInfo::compute(F);
+  InterferenceGraph IG = InterferenceGraph::build(F, LV, LI);
+
+  // Coalesce, then rebuild: the graph must come back to the pristine
+  // state, not keep merge side effects.
+  ASSERT_FALSE(IG.interferes(S.id(), C.id()));
+  IG.merge(S.id(), C.id());
+  EXPECT_TRUE(IG.isMerged(C.id()));
+
+  IG.rebuild(F, LV, LI);
+  InterferenceGraph Fresh = InterferenceGraph::build(F, LV, LI);
+  ASSERT_EQ(IG.numNodes(), Fresh.numNodes());
+  for (unsigned N = 0; N != IG.numNodes(); ++N) {
+    EXPECT_EQ(IG.isMerged(N), Fresh.isMerged(N)) << "node " << N;
+    EXPECT_EQ(IG.degree(N), Fresh.degree(N)) << "node " << N;
+    for (unsigned M = 0; M != IG.numNodes(); ++M)
+      EXPECT_EQ(IG.interferes(N, M), Fresh.interferes(N, M))
+          << "pair " << N << "," << M;
+  }
+  EXPECT_EQ(IG.moves().size(), Fresh.moves().size());
+}
+
 TEST(Interference, ParametersInterferePairwiseAndWithEntryLive) {
   Function F("params");
   IRBuilder B(F);

@@ -129,9 +129,82 @@ TEST(Liveness, ForEachInstReverseMatchesQueries) {
   B.emitRet();
 
   Liveness LV = Liveness::compute(F);
+  // Consecutive descending queries ride the incremental cursor instead of
+  // rescanning the block suffix per index.
+  Liveness::InstIterator It = LV.instIterator(BB);
   LV.forEachInstReverse(BB, [&](unsigned I, const BitVector &LiveAfter) {
-    EXPECT_EQ(LiveAfter, LV.liveAfter(BB, I)) << "at instruction " << I;
+    EXPECT_EQ(LiveAfter, It.liveAfter(I)) << "at instruction " << I;
   });
+}
+
+TEST(Liveness, InstIteratorMatchesOneShotQueriesInAnyOrder) {
+  Function F("cursor");
+  IRBuilder B(F);
+  BasicBlock *BB = F.createBlock();
+  B.setInsertBlock(BB);
+  VReg A = B.emitLoadImm(1);
+  VReg C = B.emitAddImm(A, 1);
+  VReg D = B.emitBinary(Opcode::Add, A, C);
+  B.emitStore(D, A, 0);
+  B.emitRet();
+
+  Liveness LV = Liveness::compute(F);
+  const unsigned Size = BB->size();
+
+  // Descending (the fast path), with both query flavors interleaved.
+  {
+    Liveness::InstIterator It = LV.instIterator(BB);
+    for (unsigned I = Size; I-- > 0;) {
+      EXPECT_EQ(It.liveAfter(I), LV.liveAfter(BB, I)) << "after " << I;
+      EXPECT_EQ(It.liveBefore(I), LV.liveBefore(BB, I)) << "before " << I;
+    }
+  }
+
+  // Repeated queries at one index are stable.
+  {
+    Liveness::InstIterator It = LV.instIterator(BB);
+    BitVector First = It.liveBefore(2);
+    EXPECT_EQ(First, It.liveBefore(2));
+    EXPECT_EQ(First, It.liveBefore(2));
+  }
+
+  // Ascending queries force the rewind path and must still be correct.
+  {
+    Liveness::InstIterator It = LV.instIterator(BB);
+    for (unsigned I = 0; I != Size; ++I) {
+      EXPECT_EQ(It.liveAfter(I), LV.liveAfter(BB, I)) << "after " << I;
+      EXPECT_EQ(It.liveBefore(I), LV.liveBefore(BB, I)) << "before " << I;
+    }
+  }
+}
+
+TEST(Liveness, RecomputeReusesStorageAndMatchesFreshCompute) {
+  Function F("recompute");
+  IRBuilder B(F);
+  BasicBlock *Entry = F.createBlock();
+  BasicBlock *Exit = F.createBlock();
+  B.setInsertBlock(Entry);
+  VReg X = B.emitLoadImm(3);
+  B.emitBranch(Exit);
+  B.setInsertBlock(Exit);
+  B.emitStore(X, X, 0);
+  B.emitRet();
+
+  std::vector<unsigned> RPO = F.reversePostOrder();
+  Liveness LV = Liveness::compute(F, RPO);
+
+  // Mutate the way a spill round does: new instructions and vregs inside
+  // existing blocks, no CFG change.
+  VReg T = F.createVReg(RegClass::GPR);
+  Exit->insertBefore(0, Instruction(Opcode::LoadImm, T, {}, 7));
+  Exit->insertBefore(1, Instruction(Opcode::Store, VReg(), {T, X}, 0));
+  LV.recompute(F, RPO);
+
+  Liveness Fresh = Liveness::compute(F);
+  for (unsigned I = 0, E = F.numBlocks(); I != E; ++I) {
+    EXPECT_EQ(LV.liveIn(F.block(I)), Fresh.liveIn(F.block(I)));
+    EXPECT_EQ(LV.liveOut(F.block(I)), Fresh.liveOut(F.block(I)));
+  }
 }
 
 TEST(Liveness, DeadDefinitionIsNotLive) {

@@ -14,10 +14,15 @@
 //   --remat            rematerialize spilled constants
 //   --emit-sample=SEED print a generated sample function and exit (useful
 //                      for producing fixtures)
-//   --quiet            print only the summary line
+//   --batch=DIR        allocate every *.ir file in DIR (sorted by name)
+//                      instead of a single input; prints one summary line
+//                      per file plus an aggregate
+//   --jobs=N           worker threads for --batch (default 1; 0 = one per
+//                      hardware thread)
+//   --quiet            print only the summary line(s)
 //
 // Reads from stdin when no input file is given. Exits nonzero on parse or
-// allocation errors.
+// allocation errors (in batch mode: when any file failed).
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,14 +31,18 @@
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "regalloc/BatchDriver.h"
 #include "regalloc/Driver.h"
 #include "sim/CostSimulator.h"
 #include "support/Debug.h"
+#include "support/ThreadPool.h"
 #include "workloads/Generator.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <iostream>
@@ -49,7 +58,8 @@ void usage() {
       "usage: pdgc-alloc [--allocator=NAME] [--regs=N] "
       "[--pairing=adjacent|oddeven]\n"
       "                  [--remat] [--quiet] [--no-fallback] "
-      "[--emit-sample=SEED] [input.ir]\n");
+      "[--emit-sample=SEED]\n"
+      "                  [--batch=DIR] [--jobs=N] [input.ir]\n");
 }
 
 /// Parses a strictly numeric decimal option value into [\p Min, \p Max].
@@ -81,6 +91,8 @@ int main(int argc, char **argv) {
   bool Quiet = false;
   bool NoFallback = false;
   long EmitSample = -1;
+  std::string BatchDir;
+  unsigned Jobs = 1;
   std::string InputPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -108,6 +120,24 @@ int main(int argc, char **argv) {
                      Rule.c_str());
         return 1;
       }
+    } else if (Arg.rfind("--batch=", 0) == 0) {
+      BatchDir = Arg.substr(8);
+      if (BatchDir.empty()) {
+        std::fprintf(stderr, "error: --batch expects a directory\n");
+        usage();
+        return 1;
+      }
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      unsigned long Value = 0;
+      if (!parseNumericOption(Arg.substr(7), 0, 1024, Value)) {
+        std::fprintf(stderr,
+                     "error: --jobs expects a number in [0, 1024], got '%s'\n",
+                     Arg.substr(7).c_str());
+        usage();
+        return 1;
+      }
+      Jobs = Value == 0 ? ThreadPool::defaultJobs()
+                        : static_cast<unsigned>(Value);
     } else if (Arg == "--remat") {
       Remat = true;
     } else if (Arg == "--quiet") {
@@ -142,6 +172,110 @@ int main(int argc, char **argv) {
     return 1;
   }
   TargetDesc Target = makeTarget(Regs, Pairing);
+
+  if (!BatchDir.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code EC;
+    if (!fs::is_directory(BatchDir, EC)) {
+      std::fprintf(stderr, "error: '%s' is not a directory\n",
+                   BatchDir.c_str());
+      return 1;
+    }
+
+    // Validate the allocator name (and seed the registries) on the main
+    // thread before any worker looks them up.
+    try {
+      ScopedErrorTrap Trap;
+      makeAllocatorByName(AllocatorName);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "error: %s\n", E.what());
+      return 1;
+    }
+
+    std::vector<std::string> Paths;
+    for (const fs::directory_entry &Entry : fs::directory_iterator(BatchDir))
+      if (Entry.is_regular_file() && Entry.path().extension() == ".ir")
+        Paths.push_back(Entry.path().string());
+    std::sort(Paths.begin(), Paths.end());
+    if (Paths.empty()) {
+      std::fprintf(stderr, "error: no .ir files in '%s'\n", BatchDir.c_str());
+      return 1;
+    }
+
+    // Parse and verify sequentially; only clean functions enter the batch.
+    bool AnyFailed = false;
+    std::vector<std::unique_ptr<Function>> Owned;
+    std::vector<Function *> Fns;
+    std::vector<unsigned> FnPath; // index into Paths per batch item
+    for (unsigned I = 0; I != Paths.size(); ++I) {
+      std::ifstream In(Paths[I]);
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      std::string ParseError;
+      std::unique_ptr<Function> F = parseFunction(SS.str(), ParseError);
+      if (!F) {
+        std::printf("%s: error: %s\n", Paths[I].c_str(), ParseError.c_str());
+        AnyFailed = true;
+        continue;
+      }
+      std::vector<std::string> VerifyErrors;
+      if (!verifyFunction(*F, VerifyErrors)) {
+        std::printf("%s: error: invalid IR: %s\n", Paths[I].c_str(),
+                    VerifyErrors.front().c_str());
+        AnyFailed = true;
+        continue;
+      }
+      Owned.push_back(std::move(F));
+      Fns.push_back(Owned.back().get());
+      FnPath.push_back(I);
+    }
+
+    DriverOptions Options;
+    Options.Rematerialize = Remat;
+    if (NoFallback)
+      Options.FallbackChain = {
+          {AllocatorName, [&] { return makeAllocatorByName(AllocatorName); }}};
+    else
+      Options.FallbackChain = {
+          {AllocatorName, [&] { return makeAllocatorByName(AllocatorName); }},
+          {"briggs+aggressive", nullptr},
+          {"spill-everything", nullptr}};
+
+    BatchDriver Driver(Jobs);
+    std::vector<BatchItemResult> Results = Driver.run(Fns, Target, Options);
+
+    SimulatedCost TotalCost;
+    unsigned Succeeded = 0, TotalSpills = 0, TotalEliminated = 0;
+    for (unsigned I = 0; I != Results.size(); ++I) {
+      const char *Path = Paths[FnPath[I]].c_str();
+      if (!Results[I].ok()) {
+        std::printf("%s: error: %s\n", Path,
+                    Results[I].S.toString().c_str());
+        AnyFailed = true;
+        continue;
+      }
+      const AllocationOutcome &Out = Results[I].Out;
+      SimulatedCost Cost = simulateCost(*Fns[I], Target, Out.Assignment);
+      ++Succeeded;
+      TotalSpills += Out.SpillInstructions;
+      TotalEliminated += Out.eliminatedMoves();
+      TotalCost += Cost;
+      if (!Quiet)
+        std::printf("%s: served-by=%s rounds=%u spilled=%u spill-insts=%u "
+                    "eliminated=%u cost=%.0f\n",
+                    Path,
+                    Out.Degradation.ServedBy.empty()
+                        ? AllocatorName.c_str()
+                        : Out.Degradation.ServedBy.c_str(),
+                    Out.Rounds, Out.SpilledRanges, Out.SpillInstructions,
+                    Out.eliminatedMoves(), Cost.total());
+    }
+    std::printf("; batch: %u/%zu allocated (jobs=%u) spill-insts=%u "
+                "eliminated=%u cost=%.0f\n",
+                Succeeded, Paths.size(), Jobs, TotalSpills, TotalEliminated,
+                TotalCost.total());
+    return AnyFailed ? 1 : 0;
+  }
 
   if (EmitSample >= 0) {
     GeneratorParams P;

@@ -23,7 +23,15 @@
 //
 //   pdgc-fuzz [--runs=N] [--seed=S] [--corpus-dir=PATH] [--timeout=SECS]
 //             [--mutate-percent=P] [--kill-tier=NAME] [--max-save=N]
-//             [--quiet]
+//             [--jobs=N] [--quiet]
+//
+// --jobs=N (N > 1) runs cases on a worker pool in deterministic chunks:
+// inputs are pre-generated sequentially (same rng stream as --jobs=1, so a
+// seed reproduces the same corpus at any job count), workers run the
+// case pipeline, and findings are reduced and saved in case order. The
+// SIGALRM guard is per-process (siglongjmp is not thread-safe), so
+// parallel mode bounds runaway cases with the driver's wall-clock budget
+// instead of --timeout; write-ahead reproducers are inflight-<case>.ir.
 //
 // Exits 0 when no findings, 1 on findings, 2 on bad usage.
 //
@@ -41,8 +49,10 @@
 #include "sim/CostSimulator.h"
 #include "sim/Interpreter.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 #include "workloads/Generator.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <csetjmp>
@@ -75,6 +85,7 @@ struct FuzzConfig {
   unsigned MutatePercent = 30;
   std::string KillTier;
   unsigned long MaxSave = 16;
+  unsigned Jobs = 1;
   bool Quiet = false;
 };
 
@@ -88,6 +99,19 @@ struct FuzzStats {
   unsigned long TierFailures = 0;
   unsigned long Failures = 0;
   unsigned long Timeouts = 0;
+
+  FuzzStats &operator+=(const FuzzStats &O) {
+    Cases += O.Cases;
+    ParseRejects += O.ParseRejects;
+    VerifyRejects += O.VerifyRejects;
+    Allocations += O.Allocations;
+    Degradations += O.Degradations;
+    BudgetStops += O.BudgetStops;
+    TierFailures += O.TierFailures;
+    Failures += O.Failures;
+    Timeouts += O.Timeouts;
+    return *this;
+  }
 };
 
 /// One detected finding, before reduction.
@@ -118,7 +142,8 @@ void usage() {
                "usage: pdgc-fuzz [--runs=N] [--seed=S] [--corpus-dir=PATH] "
                "[--timeout=SECS]\n"
                "                 [--mutate-percent=P] [--kill-tier=NAME] "
-               "[--max-save=N] [--quiet]\n");
+               "[--max-save=N]\n"
+               "                 [--jobs=N] [--quiet]\n");
 }
 
 /// Random generator parameters: spans tiny straight-line functions up to
@@ -263,11 +288,13 @@ std::string runOneAllocator(const Function &F, const TargetDesc &Target,
 
 /// Runs the full per-case pipeline over IR text. Findings are appended;
 /// returns false when the text was (acceptably) rejected by parser or
-/// verifier.
+/// verifier. \p ChainBudgetMs bounds each fallback-chain tier's wall
+/// clock (0 = unlimited); parallel mode uses it in place of the
+/// process-wide SIGALRM guard.
 bool runCase(const std::string &Text, const TargetDesc &Target,
              const std::vector<std::string> &Allocators,
              const std::string &KillTier, FuzzStats &Stats,
-             std::vector<Finding> &Findings) {
+             std::vector<Finding> &Findings, unsigned ChainBudgetMs = 0) {
   std::string ParseError;
   std::unique_ptr<Function> F = parseFunction(Text, ParseError);
   if (!F) {
@@ -316,6 +343,7 @@ bool runCase(const std::string &Text, const TargetDesc &Target,
   // the injection hook: the pipeline must still serve a checker-valid
   // assignment.
   DriverOptions ChainOptions;
+  ChainOptions.TimeBudgetMs = ChainBudgetMs;
   if (!KillTier.empty())
     ChainOptions.FailTierHook = [&](const std::string &Tier) {
       return Tier == KillTier;
@@ -404,6 +432,41 @@ void saveCorpusFile(const std::string &Dir, const std::string &FileName,
   Out << "; " << Header << "\n" << Text;
 }
 
+/// One fully generated fuzz input, ready to run.
+struct CaseInput {
+  unsigned long Index;
+  TargetDesc Target;
+  std::string Text;
+  std::string Header;
+};
+
+/// Draws the next case from \p Root. Consumes exactly one Root value per
+/// case, so the generated corpus for a seed is identical at every job
+/// count.
+CaseInput makeCase(unsigned long Case, Rng &Root, const FuzzConfig &Config) {
+  static const unsigned RegChoices[] = {6, 8, 16, 24, 32};
+  std::uint64_t CaseSeed = Root.next();
+  Rng R(CaseSeed);
+  CaseInput In{Case,
+               makeTarget(RegChoices[R.nextBelow(sizeof(RegChoices) /
+                                                 sizeof(RegChoices[0]))],
+                          R.roll(50) ? PairingRule::Adjacent
+                                     : PairingRule::OddEven),
+               "", ""};
+  {
+    GeneratorParams P = randomParams(R, CaseSeed, In.Target);
+    std::unique_ptr<Function> F = generateFunction(P, In.Target);
+    In.Text = printFunction(*F);
+  }
+  bool Mutated = R.roll(Config.MutatePercent);
+  if (Mutated)
+    In.Text = mutateText(In.Text, R);
+  In.Header = "pdgc-fuzz case seed=" + std::to_string(Config.Seed) +
+              " case=" + std::to_string(Case) + " target=" +
+              In.Target.name() + (Mutated ? " mutated" : "");
+  return In;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -430,6 +493,10 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--max-save=", 0) == 0 &&
                parseNumeric(Arg.substr(11), 10000, Value)) {
       Config.MaxSave = Value;
+    } else if (Arg.rfind("--jobs=", 0) == 0 &&
+               parseNumeric(Arg.substr(7), 1024, Value)) {
+      Config.Jobs = Value == 0 ? ThreadPool::defaultJobs()
+                               : static_cast<unsigned>(Value);
     } else if (Arg == "--quiet") {
       Config.Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -450,70 +517,101 @@ int main(int argc, char **argv) {
   sigemptyset(&SA.sa_mask);
   sigaction(SIGALRM, &SA, nullptr);
 
-  const unsigned RegChoices[] = {6, 8, 16, 24, 32};
   FuzzStats Stats;
   unsigned long Saved = 0;
   Rng Root(Config.Seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
 
-  for (unsigned long Case = 0; Case != Config.Runs; ++Case) {
-    std::uint64_t CaseSeed = Root.next();
-    Rng R(CaseSeed);
-    TargetDesc Target =
-        makeTarget(RegChoices[R.nextBelow(sizeof(RegChoices) /
-                                          sizeof(RegChoices[0]))],
-                   R.roll(50) ? PairingRule::Adjacent : PairingRule::OddEven);
-
-    std::string Text;
-    {
-      GeneratorParams P = randomParams(R, CaseSeed, Target);
-      std::unique_ptr<Function> F = generateFunction(P, Target);
-      Text = printFunction(*F);
-    }
-    bool Mutated = R.roll(Config.MutatePercent);
-    if (Mutated)
-      Text = mutateText(Text, R);
-
-    // Write-ahead: if this case hangs or crashes the process, the
-    // reproducer is already on disk.
-    std::string CaseHeader =
-        "pdgc-fuzz case seed=" + std::to_string(Config.Seed) + " case=" +
-        std::to_string(Case) + " target=" + Target.name() +
-        (Mutated ? " mutated" : "");
-    saveCorpusFile(Config.CorpusDir, "inflight.ir", CaseHeader, Text);
-
-    std::vector<Finding> Findings;
-    bool Finished = withAlarmGuard(Config.TimeoutSecs, [&] {
-      runCase(Text, Target, Allocators, Config.KillTier, Stats, Findings);
-    });
-    if (!Finished) {
-      ++Stats.Timeouts;
-      Findings.push_back({"timeout", "pipeline",
-                          "case exceeded " +
-                              std::to_string(Config.TimeoutSecs) + "s"});
-    }
-    ++Stats.Cases;
-
+  // Shared by both modes: report findings, reduce, and persist them —
+  // always on the main thread, in case order.
+  auto processFindings = [&](const CaseInput &In,
+                             const std::vector<Finding> &Findings) {
     for (const Finding &F : Findings) {
       ++Stats.Failures;
-      std::fprintf(stderr, "FAIL case=%lu kind=%s allocator=%s %s\n", Case,
-                   F.Kind.c_str(), F.Allocator.c_str(), F.Detail.c_str());
+      std::fprintf(stderr, "FAIL case=%lu kind=%s allocator=%s %s\n",
+                   In.Index, F.Kind.c_str(), F.Allocator.c_str(),
+                   F.Detail.c_str());
       if (Saved < Config.MaxSave && F.Kind != "timeout") {
-        std::string Reduced = reduceCase(Text, Target, Allocators,
+        std::string Reduced = reduceCase(In.Text, In.Target, Allocators,
                                          Config.KillTier, F.Kind);
         saveCorpusFile(Config.CorpusDir,
                        "fail-" + std::to_string(Config.Seed) + "-" +
-                           std::to_string(Case) + "-" + F.Kind + ".ir",
-                       CaseHeader + " kind=" + F.Kind, Reduced);
+                           std::to_string(In.Index) + "-" + F.Kind + ".ir",
+                       In.Header + " kind=" + F.Kind, Reduced);
         ++Saved;
       }
     }
-
-    if (!Config.Quiet && (Case + 1) % 200 == 0)
+  };
+  auto progress = [&](unsigned long Done) {
+    if (!Config.Quiet && Done % 200 == 0)
       std::fprintf(stderr,
                    "pdgc-fuzz: %lu/%lu cases, %lu allocations, "
                    "%lu parse-rejects, %lu verify-rejects, %lu failures\n",
-                   Case + 1, Config.Runs, Stats.Allocations,
-                   Stats.ParseRejects, Stats.VerifyRejects, Stats.Failures);
+                   Done, Config.Runs, Stats.Allocations, Stats.ParseRejects,
+                   Stats.VerifyRejects, Stats.Failures);
+  };
+
+  if (Config.Jobs <= 1) {
+    for (unsigned long Case = 0; Case != Config.Runs; ++Case) {
+      CaseInput In = makeCase(Case, Root, Config);
+
+      // Write-ahead: if this case hangs or crashes the process, the
+      // reproducer is already on disk.
+      saveCorpusFile(Config.CorpusDir, "inflight.ir", In.Header, In.Text);
+
+      std::vector<Finding> Findings;
+      bool Finished = withAlarmGuard(Config.TimeoutSecs, [&] {
+        runCase(In.Text, In.Target, Allocators, Config.KillTier, Stats,
+                Findings);
+      });
+      if (!Finished) {
+        ++Stats.Timeouts;
+        Findings.push_back({"timeout", "pipeline",
+                            "case exceeded " +
+                                std::to_string(Config.TimeoutSecs) + "s"});
+      }
+      ++Stats.Cases;
+      processFindings(In, Findings);
+      progress(Case + 1);
+    }
+  } else {
+    // Parallel mode: deterministic chunks. Each chunk is generated
+    // sequentially (one Root draw per case, same stream as --jobs=1) and
+    // written ahead, then the cases run on the pool; stats are merged and
+    // findings processed in case order, so output and saved corpus files
+    // are reproducible. Runaway cases are bounded by the per-tier
+    // wall-clock budget instead of SIGALRM.
+    ThreadPool Pool(Config.Jobs);
+    const unsigned ChainBudgetMs = Config.TimeoutSecs * 1000;
+    const unsigned long ChunkSize = 256;
+    for (unsigned long Start = 0; Start < Config.Runs; Start += ChunkSize) {
+      const unsigned long N = std::min(ChunkSize, Config.Runs - Start);
+      std::vector<CaseInput> Chunk;
+      Chunk.reserve(N);
+      for (unsigned long I = 0; I != N; ++I) {
+        Chunk.push_back(makeCase(Start + I, Root, Config));
+        saveCorpusFile(Config.CorpusDir,
+                       "inflight-" + std::to_string(Start + I) + ".ir",
+                       Chunk.back().Header, Chunk.back().Text);
+      }
+
+      std::vector<FuzzStats> CaseStats(N);
+      std::vector<std::vector<Finding>> CaseFindings(N);
+      Pool.parallelFor(static_cast<unsigned>(N), [&](unsigned I) {
+        runCase(Chunk[I].Text, Chunk[I].Target, Allocators, Config.KillTier,
+                CaseStats[I], CaseFindings[I], ChainBudgetMs);
+      });
+
+      for (unsigned long I = 0; I != N; ++I) {
+        Stats += CaseStats[I];
+        ++Stats.Cases;
+        processFindings(Chunk[I], CaseFindings[I]);
+        std::error_code EC;
+        std::filesystem::remove(Config.CorpusDir + "/inflight-" +
+                                    std::to_string(Chunk[I].Index) + ".ir",
+                                EC);
+        progress(Start + I + 1);
+      }
+    }
   }
 
   std::error_code EC;

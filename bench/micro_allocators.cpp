@@ -20,8 +20,12 @@
 #include "regalloc/BatchDriver.h"
 #include "regalloc/Driver.h"
 #include "regalloc/Simplifier.h"
+#include "support/Tracing.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 using namespace pdgc;
 
@@ -166,4 +170,24 @@ BENCHMARK_CAPTURE(allocatorBench, optimistic, "optimistic");
 BENCHMARK_CAPTURE(allocatorBench, callcost, "aggressive+volatility");
 BENCHMARK_CAPTURE(allocatorBench, pdgc_full, "full-preferences");
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with an observability sidecar: when
+// PDGC_STATS_OUT names a file, the allocator-wide counter/timer report is
+// written there after the benchmarks finish. An environment variable keeps
+// google-benchmark's flag parser out of the picture.
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  if (std::getenv("PDGC_STATS_OUT") != nullptr)
+    pdgc::setTimersEnabled(true);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char *StatsOut = std::getenv("PDGC_STATS_OUT")) {
+    std::string Error;
+    if (!pdgc::writeObservabilityReport(StatsOut, &Error)) {
+      std::fprintf(stderr, "micro_allocators: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -17,6 +17,9 @@
 #              double (default: 0.2)
 #   FILTER     --benchmark_filter regex (default: all benchmarks)
 #
+# Alongside the benchmark JSON, a counters+timers sidecar is written to
+# <output>.stats.json (see docs/OBSERVABILITY.md).
+#
 #===----------------------------------------------------------------------===#
 set -euo pipefail
 
@@ -30,7 +33,9 @@ if [ ! -x "$BUILD/bench/micro_allocators" ]; then
   cmake --build "$BUILD" --target micro_allocators -j"$(nproc)" >/dev/null
 fi
 
-"$BUILD/bench/micro_allocators" \
+STATS_OUT="${OUT%.json}.stats.json"
+
+PDGC_STATS_OUT="$STATS_OUT" "$BUILD/bench/micro_allocators" \
   --benchmark_filter="${FILTER:-.}" \
   --benchmark_repetitions="${REPS:-3}" \
   --benchmark_min_time="${MIN_TIME:-0.2}" \
@@ -38,4 +43,4 @@ fi
   --benchmark_out_format=json \
   --benchmark_out="$OUT"
 
-echo "run_benchmarks.sh: wrote $OUT" >&2
+echo "run_benchmarks.sh: wrote $OUT and $STATS_OUT" >&2

@@ -7,23 +7,58 @@
 #include "analysis/AnalysisContext.h"
 
 #include "ir/PhiElimination.h"
+#include "support/Stats.h"
+#include "support/Tracing.h"
 
 using namespace pdgc;
 
+namespace {
+
+/// Runs \p Compute under a ScopedTimer — usable from a constructor's
+/// member-init list, where a scope cannot be opened by hand.
+template <typename Fn>
+auto timedCompute(const char *Phase, Fn &&Compute) {
+  ScopedTimer Timer(Phase, "analysis");
+  return Compute();
+}
+
+} // namespace
+
 AnalysisContext::AnalysisContext(const Function &F, const CostParams &Params)
-    : Func(&F), Params(Params), RPO(F.reversePostOrder()),
-      LI(LoopInfo::compute(F, Params.LoopFreqFactor)),
-      LV(Liveness::compute(F, RPO)),
-      Costs(LiveRangeCosts::compute(F, LV, LI, Params)),
-      IG(InterferenceGraph::build(F, LV, LI)) {
+    : Func(&F), Params(Params),
+      RPO(timedCompute("analysis.rpo.cold",
+                       [&] { return F.reversePostOrder(); })),
+      LI(timedCompute("analysis.loopinfo.cold",
+                      [&] {
+                        return LoopInfo::compute(F, Params.LoopFreqFactor);
+                      })),
+      LV(timedCompute("analysis.liveness.cold",
+                      [&] { return Liveness::compute(F, RPO); })),
+      Costs(timedCompute("analysis.costs.cold",
+                         [&] {
+                           return LiveRangeCosts::compute(F, LV, LI, Params);
+                         })),
+      IG(timedCompute("analysis.interference.cold",
+                      [&] { return InterferenceGraph::build(F, LV, LI); })) {
   assert(!hasPhis(F) && "analysis context requires phi-free IR");
+  PDGC_STAT("analysis", "cold_builds").inc();
 }
 
 void AnalysisContext::refresh() {
   assert(RPO.size() == Func->numBlocks() &&
          "CFG changed under an AnalysisContext; only spill-round "
          "instruction insertion is allowed during its lifetime");
-  LV.recompute(*Func, RPO);
-  Costs.recompute(*Func, LV, LI, Params);
-  IG.rebuild(*Func, LV, LI);
+  PDGC_STAT("analysis", "warm_refreshes").inc();
+  {
+    ScopedTimer Timer("analysis.liveness.warm", "analysis");
+    LV.recompute(*Func, RPO);
+  }
+  {
+    ScopedTimer Timer("analysis.costs.warm", "analysis");
+    Costs.recompute(*Func, LV, LI, Params);
+  }
+  {
+    ScopedTimer Timer("analysis.interference.warm", "analysis");
+    IG.rebuild(*Func, LV, LI);
+  }
 }

@@ -8,6 +8,7 @@
 
 #include "ir/PhiElimination.h"
 #include "support/Debug.h"
+#include "support/Stats.h"
 
 #include <limits>
 
@@ -43,8 +44,10 @@ void InterferenceGraph::removeArc(unsigned N, unsigned Pos) {
 void InterferenceGraph::addEdge(unsigned A, unsigned B) {
   assert(A < numNodes() && B < numNodes() && "node out of range");
   if (regClass(A) != regClass(B)) {
-    // Different classes draw from disjoint register files.
-    ++WastedEdgeAttempts;
+    // Different classes draw from disjoint register files. (This entry
+    // point is off the builder's hot loop, so the registry is hit
+    // directly; rebuild() batches its rejections instead.)
+    PDGC_STAT("interference", "wasted_edge_attempts").inc();
     return;
   }
   assert(!(isPrecolored(A) && isPrecolored(B) && precolor(A) == precolor(B)) &&
@@ -77,7 +80,12 @@ void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
   MirrorPos.resize(N);
   Merged.assign(N, 0);
   Moves.clear();
-  WastedEdgeAttempts = 0;
+
+  // Cross-class rejections are counted into a local and flushed to the
+  // statistics registry once per rebuild: one atomic add instead of one
+  // per rejected pair keeps the hot loop free of shared-cache traffic
+  // under the batch pipeline's worker fan-out.
+  std::uint64_t WastedEdgeAttempts = 0;
 
   for (unsigned B = 0, E = Fn.numBlocks(); B != E; ++B) {
     const BasicBlock *BB = Fn.block(B);
@@ -130,6 +138,10 @@ void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
       if (L != Params[I].id())
         addEdge(Params[I].id(), L);
   }
+
+  if (WastedEdgeAttempts != 0)
+    PDGC_STAT("interference", "wasted_edge_attempts")
+        .add(WastedEdgeAttempts);
 }
 
 InterferenceGraph InterferenceGraph::build(const Function &F,

@@ -58,10 +58,6 @@ class InterferenceGraph {
   std::vector<std::vector<unsigned>> MirrorPos;
   std::vector<char> Merged;               ///< Node was coalesced away.
   std::vector<MoveRecord> Moves;
-  /// addEdge calls rejected because the endpoints draw from disjoint
-  /// register files. The builder loop pays this test per (def, live) pair;
-  /// the counter lets benchmarks report how much of the build was wasted.
-  std::uint64_t WastedEdgeAttempts = 0;
 
   /// Triangular index of the unordered pair {A, B}; requires A != B.
   static std::size_t pairIndex(unsigned A, unsigned B) {
@@ -152,11 +148,13 @@ public:
 
   /// All copy instructions found at build time. Records are not updated by
   /// merge(); coalescers resolve endpoints through their own union-find.
+  ///
+  /// Edge attempts rejected because the endpoints draw from disjoint
+  /// register files (wasted work in the builder loop) are reported through
+  /// the statistics registry as `interference.wasted_edge_attempts`
+  /// (support/Stats.h) — diff StatRegistry snapshots around a build to
+  /// attribute them.
   const std::vector<MoveRecord> &moves() const { return Moves; }
-
-  /// Number of addEdge calls rejected because the endpoints were in
-  /// different register classes (wasted work in the builder loop).
-  std::uint64_t wastedEdgeAttempts() const { return WastedEdgeAttempts; }
 };
 
 } // namespace pdgc

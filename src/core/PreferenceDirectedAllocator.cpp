@@ -13,6 +13,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/Tracing.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
@@ -69,11 +70,17 @@ public:
   PDGCSelect(AllocContext &Ctx, const PDGCOptions &Opt,
              const SimplifyResult &SR)
       : Ctx(Ctx), Opt(Opt),
-        RPG(RegisterPreferenceGraph::build(Ctx.F, Ctx.LV, Ctx.LI, Ctx.Costs,
-                                           Ctx.Target)),
-        CPG(Opt.UseCPG
-                ? ColoringPrecedenceGraph::build(Ctx.IG, Ctx.Target, SR)
-                : ColoringPrecedenceGraph::linearFromStack(Ctx.IG, SR)),
+        RPG([&] {
+          ScopedTimer Timer("pdgc.rpg_build", "allocator");
+          return RegisterPreferenceGraph::build(Ctx.F, Ctx.LV, Ctx.LI,
+                                                Ctx.Costs, Ctx.Target);
+        }()),
+        CPG([&] {
+          ScopedTimer Timer("pdgc.cpg_build", "allocator");
+          return Opt.UseCPG
+                     ? ColoringPrecedenceGraph::build(Ctx.IG, Ctx.Target, SR)
+                     : ColoringPrecedenceGraph::linearFromStack(Ctx.IG, SR);
+        }()),
         SS(Ctx.IG, Ctx.Target), Spilled(Ctx.IG.numNodes(), 0),
         Done(Ctx.IG.numNodes(), 0), InDeg(Ctx.IG.numNodes(), 0) {
     for (unsigned N = 0, E = CPG.numNodes(); N != E; ++N)
@@ -443,6 +450,7 @@ RoundResult PreferenceDirectedAllocator::allocateRound(AllocContext &Ctx) {
   // copies.
   AllocContext *Active = &Ctx;
   std::optional<AllocContext> Rebuilt;
+  ScopedTimer CoalesceTimer("pdgc.precoalesce", "allocator");
   if (Options.PreCoalesce) {
     UnionFind UF(N);
     if (conservativeCoalesce(Ctx.IG, UF, Ctx.Target) != 0) {
@@ -456,14 +464,23 @@ RoundResult PreferenceDirectedAllocator::allocateRound(AllocContext &Ctx) {
       Active = &*Rebuilt;
     }
   }
+  CoalesceTimer.finish();
 
+  ScopedTimer SimplifyTimer("pdgc.simplify", "allocator");
   SimplifyResult SR = simplifyGraph(
       Active->IG, Active->Target,
       [&](unsigned Node) { return Active->Costs.spillMetric(VReg(Node)); },
       /*Optimistic=*/true);
+  SimplifyTimer.finish();
 
+  // PDGCSelect's constructor builds the RPG and CPG (timed separately as
+  // pdgc.rpg_build / pdgc.cpg_build); run() is the precedence-ordered
+  // select walk.
   PDGCSelect Select(*Active, Options, SR);
-  Select.run();
+  {
+    ScopedTimer SelectTimer("pdgc.select", "allocator");
+    Select.run();
+  }
 
   if (!Select.Spills.empty()) {
     RR.Spilled = std::move(Select.Spills);

@@ -6,7 +6,9 @@
 
 #include "regalloc/BatchDriver.h"
 
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Tracing.h"
 
 using namespace pdgc;
 
@@ -19,13 +21,17 @@ BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
   // worker finishes first. allocateWithFallback catches everything its
   // pipeline can throw (fatal checks, allocator exceptions) and reports it
   // as a Status, so the job itself cannot throw — a ThreadPool requirement.
+  PDGC_STAT("batch", "items").add(Fns.size());
   Pool.parallelFor(static_cast<unsigned>(Fns.size()), [&](unsigned I) {
+    ScopedTimer ItemTimer("batch.item", "batch");
     StatusOr<AllocationOutcome> R =
         allocateWithFallback(*Fns[I], Target, Options);
     if (R.ok())
       Results[I].Out = std::move(R.value());
-    else
+    else {
+      PDGC_STAT("batch", "item_failures").inc();
       Results[I].S = R.status();
+    }
   });
   return Results;
 }

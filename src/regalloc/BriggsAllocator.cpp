@@ -12,6 +12,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/Tracing.h"
 
 using namespace pdgc;
 
@@ -20,15 +21,21 @@ RoundResult BriggsAllocator::allocateRound(AllocContext &Ctx) {
   RoundResult RR = RoundResult::make(N);
 
   UnionFind UF(N);
-  aggressiveCoalesce(Ctx.IG, UF);
+  {
+    ScopedTimer Timer("briggs.coalesce", "allocator");
+    aggressiveCoalesce(Ctx.IG, UF);
+  }
   CoalescedCosts CC(Ctx.Costs, UF);
 
+  ScopedTimer SimplifyTimer("briggs.simplify", "allocator");
   SimplifyResult SR =
       simplifyGraph(Ctx.IG, Ctx.Target,
                     [&](unsigned Node) { return CC.spillMetric(Node); },
                     /*Optimistic=*/true);
+  SimplifyTimer.finish();
 
   // Select with optimistic retries: uncolorable nodes become real spills.
+  ScopedTimer SelectTimer("briggs.select", "allocator");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> ActualSpills;
   for (unsigned I = SR.Stack.size(); I-- > 0;) {

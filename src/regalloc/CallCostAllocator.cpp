@@ -12,6 +12,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/Tracing.h"
 
 #include <algorithm>
 
@@ -36,12 +37,16 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
   RoundResult RR = RoundResult::make(N);
 
   UnionFind UF(N);
-  aggressiveCoalesce(Ctx.IG, UF);
+  {
+    ScopedTimer Timer("callcost.coalesce", "allocator");
+    aggressiveCoalesce(Ctx.IG, UF);
+  }
   CoalescedCosts CC(Ctx.Costs, UF);
 
   // --- Preference decision (Lueh–Gross). For each call, rank the classes
   // live across it by their non-volatile benefit; only the best R keep a
   // non-volatile preference.
+  ScopedTimer PreferenceTimer("callcost.preference", "allocator");
   std::vector<char> ForcedVolatile(N, 0);
   for (unsigned B = 0, E = Ctx.F.numBlocks(); B != E; ++B) {
     const BasicBlock *BB = Ctx.F.block(B);
@@ -75,8 +80,10 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
       }
     });
   }
+  PreferenceTimer.finish();
 
   // --- Benefit-driven, pessimistic simplification.
+  ScopedTimer SimplifyTimer("callcost.simplify", "allocator");
   auto Benefit = [&](unsigned Node) {
     double BV = CC.registerBenefit(Node, /*VolatileReg=*/true);
     double BN = CC.registerBenefit(Node, /*VolatileReg=*/false);
@@ -86,6 +93,7 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
       simplifyGraph(Ctx.IG, Ctx.Target,
                     [&](unsigned Node) { return CC.spillMetric(Node); },
                     /*Optimistic=*/false, Benefit);
+  SimplifyTimer.finish();
 
   auto SpillOut = [&](std::vector<unsigned> Spills) {
     std::vector<unsigned> RepOf(N);
@@ -100,6 +108,7 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
     return SpillOut(SR.DefiniteSpills);
 
   // --- Volatility-aware select with active spilling.
+  ScopedTimer SelectTimer("callcost.select", "allocator");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> ActiveSpills;
   for (unsigned I = SR.Stack.size(); I-- > 0;) {

@@ -12,6 +12,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/Tracing.h"
 
 using namespace pdgc;
 
@@ -20,13 +21,18 @@ RoundResult ChaitinAllocator::allocateRound(AllocContext &Ctx) {
   RoundResult RR = RoundResult::make(N);
 
   UnionFind UF(N);
-  aggressiveCoalesce(Ctx.IG, UF);
+  {
+    ScopedTimer Timer("chaitin.coalesce", "allocator");
+    aggressiveCoalesce(Ctx.IG, UF);
+  }
   CoalescedCosts CC(Ctx.Costs, UF);
 
+  ScopedTimer SimplifyTimer("chaitin.simplify", "allocator");
   SimplifyResult SR =
       simplifyGraph(Ctx.IG, Ctx.Target,
                     [&](unsigned Node) { return CC.spillMetric(Node); },
                     /*Optimistic=*/false);
+  SimplifyTimer.finish();
 
   if (!SR.DefiniteSpills.empty()) {
     // Reflect the coalescing in the code (Chaitin restarts from `renumber`
@@ -41,6 +47,7 @@ RoundResult ChaitinAllocator::allocateRound(AllocContext &Ctx) {
 
   // Select: pop nodes and give each a color distinct from its neighbors.
   // Every stacked node was low-degree at removal, so a color exists.
+  ScopedTimer SelectTimer("chaitin.select", "allocator");
   SelectState SS(Ctx.IG, Ctx.Target);
   for (unsigned I = SR.Stack.size(); I-- > 0;) {
     unsigned Node = SR.Stack[I];

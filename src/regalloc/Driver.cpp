@@ -14,6 +14,8 @@
 #include "regalloc/Rewriter.h"
 #include "regalloc/SpillCodeInserter.h"
 #include "support/Debug.h"
+#include "support/Stats.h"
+#include "support/Tracing.h"
 
 #include <chrono>
 #include <optional>
@@ -89,14 +91,17 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
   const Clock::time_point Deadline =
       Clock::now() + std::chrono::milliseconds(Options.TimeBudgetMs);
 
+  PDGC_STAT("driver", "allocations").inc();
   AllocationOutcome Out;
   // Everything under the trap converts fatal checks into FatalError, so a
   // buggy allocator (or analysis fed garbage) surfaces as a structured
   // error instead of killing the process.
   try {
     ScopedErrorTrap Trap;
-    if (hasPhis(F))
+    if (hasPhis(F)) {
+      ScopedTimer PhiTimer("driver.phi_elimination", "driver");
       eliminatePhis(F);
+    }
     Out.OriginalMoves = countMoves(F);
 
     // Phi elimination (above) was the last CFG mutation; from here on,
@@ -107,21 +112,30 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
 
     unsigned NextSlot = 0;
     for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
-      if (Options.TimeBudgetMs != 0 && Clock::now() > Deadline)
+      if (Options.TimeBudgetMs != 0 && Clock::now() > Deadline) {
+        PDGC_STAT("driver", "time_budget_exceeded").inc();
         return Status::error(ErrorCode::BudgetExceeded,
                              std::string(Allocator.name()) +
                                  ": wall-clock budget of " +
                                  std::to_string(Options.TimeBudgetMs) +
                                  "ms exhausted in round " +
                                  std::to_string(Round + 1));
+      }
 
+      ScopedTimer RoundTimer("driver.round", "driver");
       if (!Analyses)
         Analyses.emplace(F, Options.Costs);
       else
         Analyses->refresh();
       AllocContext Ctx(F, Target, *Analyses);
-      RoundResult RR = Allocator.allocateRound(Ctx);
+      RoundResult RR;
+      {
+        ScopedTimer AllocTimer(std::string("allocator.") + Allocator.name(),
+                               "allocator");
+        RR = Allocator.allocateRound(Ctx);
+      }
       ++Out.Rounds;
+      PDGC_STAT("driver", "rounds").inc();
 
       std::string Shape = roundResultError(RR, F, Target);
       if (!Shape.empty())
@@ -130,6 +144,12 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
 
       if (RR.anySpill()) {
         Out.SpilledRanges += static_cast<unsigned>(RR.Spilled.size());
+        PDGC_STAT("driver", "spill_rounds").inc();
+        PDGC_STAT("driver", "spilled_ranges").add(RR.Spilled.size());
+        trace::instant("spill-decision", "driver",
+                       "{\"ranges\":" + std::to_string(RR.Spilled.size()) +
+                           ",\"round\":" + std::to_string(Round + 1) + "}");
+        ScopedTimer SpillTimer("driver.spill_insert", "driver");
         insertSpillCode(F, RR.Spilled, NextSlot, Options.Rematerialize,
                         Options.Granularity);
         continue;
@@ -145,6 +165,7 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
       Out.Moves = moveStats(F, Out.Assignment, Ctx.LI);
 
       if (Options.VerifyAssignment) {
+        ScopedTimer CheckTimer("driver.checker", "driver");
         std::vector<std::string> Errors =
             checkAssignment(F, Target, Out.Assignment);
         if (!Errors.empty())
@@ -156,14 +177,24 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
       return Out;
     }
   } catch (const FatalError &E) {
+    // A trapped fatal check is the observability event of record for "an
+    // allocator invariant broke but the process survived".
+    PDGC_STAT("driver", "fatal_checks_trapped").inc();
+    trace::instant("fatal-check-trapped", "driver",
+                   "{\"allocator\":\"" +
+                       trace::jsonEscape(Allocator.name()) +
+                       "\",\"what\":\"" + trace::jsonEscape(E.what()) +
+                       "\"}");
     return Status::error(ErrorCode::AllocatorInternal,
                          std::string(Allocator.name()) +
                              ": fatal check: " + E.what());
   } catch (const std::exception &E) {
+    PDGC_STAT("driver", "exceptions_trapped").inc();
     return Status::error(ErrorCode::AllocatorInternal,
                          std::string(Allocator.name()) +
                              ": uncaught exception: " + E.what());
   }
+  PDGC_STAT("driver", "round_budget_exceeded").inc();
   return Status::error(ErrorCode::BudgetExceeded,
                        std::string(Allocator.name()) +
                            ": register allocation did not converge within " +
@@ -185,6 +216,7 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
   {
     std::vector<std::string> Errors;
     ScopedErrorTrap Trap;
+    ScopedTimer VerifyTimer("driver.verify", "driver");
     try {
       if (!verifyFunction(F, Errors))
         return Status::error(ErrorCode::VerifyError,
@@ -206,9 +238,13 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
   DriverOptions TierOptions = Options;
   TierOptions.VerifyAssignment = true;
 
+  PDGC_STAT("fallback", "allocations").inc();
+  ScopedTimer ChainTimer("fallback.chain", "tier");
+
   DegradationInfo Degradation;
   for (unsigned Tier = 0; Tier != Options.FallbackChain.size(); ++Tier) {
     const FallbackTier &T = Options.FallbackChain[Tier];
+    ScopedTimer TierTimer("tier." + T.Name, "tier");
     std::unique_ptr<AllocatorBase> Allocator =
         T.Factory ? T.Factory() : createRegisteredAllocator(T.Name);
     if (!Allocator) {
@@ -245,13 +281,26 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
       Degradation.Degraded = Tier != 0;
       Degradation.ServedBy = T.Name;
       Degradation.TierIndex = Tier;
+      if (Degradation.Degraded) {
+        PDGC_STAT("fallback", "degraded_allocations").inc();
+        trace::instant("degraded", "tier",
+                       "{\"served_by\":\"" + trace::jsonEscape(T.Name) +
+                           "\",\"tier\":" + std::to_string(Tier) + "}");
+      }
       Out.Degradation = std::move(Degradation);
       return Out;
     }
+    PDGC_STAT("fallback", "tier_failures").inc();
+    trace::instant("tier-failed", "tier",
+                   "{\"tier\":\"" + trace::jsonEscape(T.Name) +
+                       "\",\"error\":\"" +
+                       trace::jsonEscape(Result.status().toString()) +
+                       "\"}");
     Degradation.FailedTiers.push_back(T.Name + ": " +
                                       Result.status().toString());
   }
 
+  PDGC_STAT("fallback", "exhausted_chains").inc();
   std::string Summary = "all fallback tiers failed:";
   for (const std::string &Failure : Degradation.FailedTiers)
     Summary += " [" + Failure + "]";

@@ -10,6 +10,7 @@
 #include "regalloc/Coalescer.h"
 #include "regalloc/SelectState.h"
 #include "support/Debug.h"
+#include "support/Tracing.h"
 
 #include <algorithm>
 
@@ -231,11 +232,16 @@ RoundResult IteratedCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   const unsigned N = Ctx.F.numVRegs();
   RoundResult RR = RoundResult::make(N);
 
+  // The George-Appel worklist interleaves simplify and conservative
+  // coalescing, so both run under one phase span.
+  ScopedTimer SimplifyTimer("iterated.simplify_coalesce", "allocator");
   IteratedState St(Ctx);
   while (St.step())
     ;
+  SimplifyTimer.finish();
 
   // Select, optimistically retrying potential spills.
+  ScopedTimer SelectTimer("iterated.select", "allocator");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> SpilledReps;
   for (unsigned I = St.Stack.size(); I-- > 0;) {

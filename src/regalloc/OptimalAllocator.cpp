@@ -12,6 +12,8 @@
 #include "ir/PhiElimination.h"
 #include "sim/CostSimulator.h"
 #include "support/Debug.h"
+#include "support/Stats.h"
+#include "support/Tracing.h"
 
 #include <algorithm>
 
@@ -109,5 +111,10 @@ OptimalResult pdgc::findOptimalAssignment(const Function &F,
                                           std::uint64_t NodeBudget) {
   pdgc_check(!hasPhis(F),
              "optimal search requires phi-free IR (run eliminatePhis)");
-  return Search(F, Target, NodeBudget).run();
+  ScopedTimer Timer("optimal.search", "allocator");
+  OptimalResult Res = Search(F, Target, NodeBudget).run();
+  PDGC_STAT("optimal", "nodes_visited").add(Res.NodesVisited);
+  if (Res.BudgetExhausted)
+    PDGC_STAT("optimal", "budget_exhausted").inc();
+  return Res;
 }

@@ -11,6 +11,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/Tracing.h"
 
 #include <algorithm>
 #include <deque>
@@ -27,7 +28,10 @@ OptimisticCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   InterferenceGraph Pristine = Ctx.IG;
 
   UnionFind UF(N);
-  aggressiveCoalesce(Ctx.IG, UF);
+  {
+    ScopedTimer Timer("optimistic.coalesce", "allocator");
+    aggressiveCoalesce(Ctx.IG, UF);
+  }
   CoalescedCosts CC(Ctx.Costs, UF);
 
   // Member lists per representative.
@@ -35,13 +39,16 @@ OptimisticCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   for (unsigned V = 0; V != N; ++V)
     Members[UF.find(V)].push_back(V);
 
+  ScopedTimer SimplifyTimer("optimistic.simplify", "allocator");
   SimplifyResult SR =
       simplifyGraph(Ctx.IG, Ctx.Target,
                     [&](unsigned Node) { return CC.spillMetric(Node); },
                     /*Optimistic=*/true);
+  SimplifyTimer.finish();
 
   // Colors are tracked per *primitive* node over the pristine graph, so
   // that split nodes can be colored independently.
+  ScopedTimer SelectTimer("optimistic.select", "allocator");
   SelectState SS(Pristine, Ctx.Target);
 
   // A class merged into a precolored representative occupies that register

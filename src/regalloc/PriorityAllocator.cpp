@@ -10,6 +10,7 @@
 
 #include <limits>
 #include "support/Debug.h"
+#include "support/Tracing.h"
 
 #include <algorithm>
 
@@ -22,6 +23,7 @@ RoundResult PriorityAllocator::allocateRound(AllocContext &Ctx) {
 
   // Partition into unconstrained (always colorable) and constrained
   // ranges; order the constrained ones by priority.
+  ScopedTimer PartitionTimer("priority.partition", "allocator");
   std::vector<unsigned> Constrained;
   std::vector<unsigned> Unconstrained;
   for (unsigned V = 0; V != N; ++V) {
@@ -49,9 +51,11 @@ RoundResult PriorityAllocator::allocateRound(AllocContext &Ctx) {
                        return PA > PB;
                      return A < B;
                    });
+  PartitionTimer.finish();
 
   // Color in priority order; failures spill immediately (no later range
   // can evict an earlier, more important one).
+  ScopedTimer SelectTimer("priority.select", "allocator");
   std::vector<unsigned> Spills;
   for (unsigned V : Constrained) {
     int Color = SS.firstAvailable(V);

@@ -9,6 +9,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/Tracing.h"
 
 using namespace pdgc;
 
@@ -37,11 +38,14 @@ RoundResult SpillEverythingAllocator::allocateRound(AllocContext &Ctx) {
   // unspillable fragment means even spill-everywhere cannot serve this
   // target (e.g. one register per class) — report it as a fatal check so
   // the hardened driver converts it into a structured error.
+  ScopedTimer SimplifyTimer("spillall.simplify", "allocator");
   SimplifyResult SR = simplifyGraph(
       Ctx.IG, Ctx.Target,
       [&](unsigned Node) { return Ctx.Costs.spillMetric(VReg(Node)); },
       /*Optimistic=*/true);
+  SimplifyTimer.finish();
 
+  ScopedTimer SelectTimer("spillall.select", "allocator");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> Spills;
   for (unsigned I = static_cast<unsigned>(SR.Stack.size()); I-- > 0;) {

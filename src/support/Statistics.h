@@ -24,9 +24,9 @@ double mean(const std::vector<double> &Values);
 
 /// Returns the geometric mean of \p Values; 0 for an empty input.
 ///
-/// Non-positive entries are clamped to a tiny positive value so a single
-/// zero ratio (e.g. "all spills eliminated") does not collapse the mean to
-/// exactly zero and hide the other entries.
+/// Entries below 1e-9 (zero and negative values included) are clamped to
+/// 1e-9 so a single zero ratio (e.g. "all spills eliminated") does not
+/// collapse the mean to exactly zero and hide the other entries.
 double geomean(const std::vector<double> &Values);
 
 /// Formats \p Value with \p Decimals fractional digits.

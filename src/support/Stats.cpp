@@ -1,0 +1,125 @@
+//===- support/Stats.cpp - Allocator-wide statistic counters ---------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace pdgc;
+
+StatRegistry &StatRegistry::get() {
+  // Leaked on purpose: counters living in function-local statics may be
+  // touched during static destruction; a destroyed registry would turn
+  // that into use-after-free.
+  static StatRegistry *Registry = new StatRegistry();
+  return *Registry;
+}
+
+std::uint64_t StatsSnapshot::lookup(const std::string &Key) const {
+  auto It = std::lower_bound(
+      Counters.begin(), Counters.end(), Key,
+      [](const auto &Entry, const std::string &K) { return Entry.first < K; });
+  if (It != Counters.end() && It->first == Key)
+    return It->second;
+  return 0;
+}
+
+StatsSnapshot StatsSnapshot::diff(const StatsSnapshot &Baseline) const {
+  StatsSnapshot Out;
+  for (const auto &[Key, Value] : Counters) {
+    const std::uint64_t Delta = Value - Baseline.lookup(Key);
+    if (Delta != 0)
+      Out.Counters.emplace_back(Key, Delta);
+  }
+  return Out;
+}
+
+std::string StatsSnapshot::toText(const std::string &LinePrefix) const {
+  std::string Out;
+  for (const auto &[Key, Value] : Counters)
+    Out += LinePrefix + Key + " = " + std::to_string(Value) + "\n";
+  return Out;
+}
+
+std::string StatsSnapshot::toJson() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Key, Value] : Counters) {
+    if (!First)
+      Out += ",";
+    First = false;
+    // Keys are identifier-style ("group.name"); no escaping needed.
+    Out += "\"" + Key + "\":" + std::to_string(Value);
+  }
+  Out += "}";
+  return Out;
+}
+
+#ifndef PDGC_DISABLE_STATS
+
+StatCounter::StatCounter(const char *Group, const char *Name)
+    : Group(Group), Name(Name) {
+  StatRegistry::get().registerCounter(this);
+}
+
+void StatRegistry::registerCounter(StatCounter *C) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  C->Next = Head;
+  Head = C;
+}
+
+StatCounter &StatRegistry::counter(const std::string &Group,
+                                   const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (StatCounter *C = Head; C; C = C->Next)
+    if (Group == C->Group && Name == C->Name)
+      return *C;
+  // Own the name strings alongside the counter so its const char* members
+  // stay valid; the tag ctor skips self-registration (this thread already
+  // holds Mutex) and the node is chained manually below.
+  DynamicNames.push_back(
+      std::make_unique<std::pair<std::string, std::string>>(Group, Name));
+  const auto &Names = *DynamicNames.back();
+  Dynamic.push_back(std::unique_ptr<StatCounter>(
+      new StatCounter(Names.first.c_str(), Names.second.c_str(),
+                      StatCounter::NoRegisterTag{})));
+  StatCounter &Ref = *Dynamic.back();
+  Ref.Next = Head;
+  Head = &Ref;
+  return Ref;
+}
+
+StatsSnapshot StatRegistry::snapshot() const {
+  std::map<std::string, std::uint64_t> Merged;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const StatCounter *C = Head; C; C = C->Next)
+      Merged[std::string(C->group()) + "." + C->name()] += C->value();
+  }
+  StatsSnapshot Out;
+  Out.Counters.assign(Merged.begin(), Merged.end());
+  return Out;
+}
+
+void StatRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (StatCounter *C = Head; C; C = C->Next)
+    C->Value.store(0, std::memory_order_relaxed);
+}
+
+#else // PDGC_DISABLE_STATS
+
+StatCounter &StatRegistry::counter(const std::string &, const std::string &) {
+  static StatCounter Stub("", "");
+  return Stub;
+}
+
+StatsSnapshot StatRegistry::snapshot() const { return StatsSnapshot(); }
+
+void StatRegistry::reset() {}
+
+#endif // PDGC_DISABLE_STATS

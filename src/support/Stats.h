@@ -1,0 +1,173 @@
+//===- support/Stats.h - Allocator-wide statistic counters -----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide statistics registry in the spirit of LLVM's `STATISTIC`
+/// machinery. Any translation unit can bump a named counter:
+///
+/// \code
+///   PDGC_STAT("interference", "wasted_edge_attempts").add(Rejected);
+///   PDGC_STAT("driver", "rounds").inc();
+/// \endcode
+///
+/// The macro materializes one function-local `StatCounter` per use site
+/// (registered with the global `StatRegistry` on first execution, which is
+/// thread-safe via the magic-static guarantee) and the increment itself is
+/// a single relaxed atomic add — safe under the batch pipeline's worker
+/// fan-out and cheap enough for per-round code. Truly hot loops should
+/// accumulate into a local and flush once (see InterferenceGraph::rebuild).
+///
+/// Counters are *deterministic* observables: for a fixed workload they sum
+/// to the same values at any `--jobs` count, because addition commutes.
+/// That is the property `pdgc-alloc --stats` and the fuzzer's folded
+/// chunk statistics rely on, and it is why wall-clock *timers* live in a
+/// separate registry (support/Tracing.h) that tools report separately.
+///
+/// Reading happens through snapshots: `StatRegistry::get().snapshot()`
+/// returns a sorted, duplicate-merged (group.name -> value) list that can
+/// be diffed against an earlier snapshot, printed, or serialized. Tests
+/// use snapshot/diff instead of reset() so they stay order-independent.
+///
+/// Configuring with `-DPDGC_DISABLE_STATS=ON` compiles every use site down
+/// to nothing: the macro then yields a stub object whose members are empty
+/// inline functions, so no atomic, no registration, and no code remain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_STATS_H
+#define PDGC_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdgc {
+
+#ifndef PDGC_DISABLE_STATS
+
+/// One named counter. Instances self-register with the StatRegistry on
+/// construction and must outlive every increment (the PDGC_STAT macro
+/// guarantees this with a function-local static; dynamically created
+/// counters are owned by the registry itself).
+class StatCounter {
+public:
+  StatCounter(const char *Group, const char *Name);
+
+  void add(std::uint64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+
+  StatCounter(const StatCounter &) = delete;
+  StatCounter &operator=(const StatCounter &) = delete;
+
+private:
+  friend class StatRegistry;
+  /// Tag ctor used by the registry for dynamically created counters: the
+  /// registry chains the node itself (it already holds its lock).
+  struct NoRegisterTag {};
+  StatCounter(const char *Group, const char *Name, NoRegisterTag)
+      : Group(Group), Name(Name) {}
+
+  std::atomic<std::uint64_t> Value{0};
+  const char *Group;
+  const char *Name;
+  StatCounter *Next = nullptr; ///< Intrusive registry chain.
+};
+
+#else // PDGC_DISABLE_STATS
+
+/// Zero-cost stub: every member is an empty inline function, so a
+/// disabled-stats build compiles PDGC_STAT sites down to nothing.
+class StatCounter {
+public:
+  constexpr StatCounter(const char *, const char *) {}
+  void add(std::uint64_t) const {}
+  void inc() const {}
+  std::uint64_t value() const { return 0; }
+};
+
+#endif // PDGC_DISABLE_STATS
+
+/// A point-in-time copy of every counter, merged by "group.name" key and
+/// sorted, so two snapshots of the same state serialize byte-identically.
+struct StatsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> Counters;
+
+  /// Value for \p Key ("group.name"), or 0 when absent.
+  std::uint64_t lookup(const std::string &Key) const;
+
+  /// Per-key difference `this - Baseline`. Keys absent from \p Baseline
+  /// count from zero; keys that did not move are dropped, so a diff shows
+  /// exactly what the measured region touched.
+  StatsSnapshot diff(const StatsSnapshot &Baseline) const;
+
+  /// One "PREFIXgroup.name = value" line per counter, sorted.
+  std::string toText(const std::string &LinePrefix = "") const;
+
+  /// JSON object {"group.name": value, ...}, sorted keys.
+  std::string toJson() const;
+};
+
+/// The process-wide counter registry.
+class StatRegistry {
+public:
+  /// The singleton (leaked, so it survives static destruction of late
+  /// counters at exit).
+  static StatRegistry &get();
+
+  /// Find-or-create a counter by dynamic names (tools folding per-run
+  /// statistics); the registry owns counters created this way. Static use
+  /// sites should prefer the PDGC_STAT macro.
+  StatCounter &counter(const std::string &Group, const std::string &Name);
+
+  /// Sorted, duplicate-merged copy of every counter's current value.
+  StatsSnapshot snapshot() const;
+
+  /// Zeroes every registered counter. Meant for tools that report several
+  /// independent sections; tests should prefer snapshot/diff.
+  void reset();
+
+#ifndef PDGC_DISABLE_STATS
+  /// Called by StatCounter's constructor; not for direct use.
+  void registerCounter(StatCounter *C);
+#endif
+
+private:
+  StatRegistry() = default;
+#ifndef PDGC_DISABLE_STATS
+  mutable std::mutex Mutex;
+  StatCounter *Head = nullptr;
+  /// Owns dynamically created counters (they are also chained via Head)
+  /// and the strings their group/name pointers reference.
+  std::vector<std::unique_ptr<StatCounter>> Dynamic;
+  std::vector<std::unique_ptr<std::pair<std::string, std::string>>>
+      DynamicNames;
+#endif
+};
+
+} // namespace pdgc
+
+#ifndef PDGC_DISABLE_STATS
+/// Yields a reference to the (lazily registered) counter for this use
+/// site. GROUP and NAME must be string literals or otherwise outlive the
+/// program.
+#define PDGC_STAT(GROUP, NAME)                                                 \
+  ([]() -> ::pdgc::StatCounter & {                                             \
+    static ::pdgc::StatCounter PdgcStatCounter_(GROUP, NAME);                  \
+    return PdgcStatCounter_;                                                   \
+  }())
+#else
+#define PDGC_STAT(GROUP, NAME) (::pdgc::StatCounter(GROUP, NAME))
+#endif
+
+#endif // PDGC_SUPPORT_STATS_H

@@ -6,7 +6,11 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Stats.h"
+#include "support/Tracing.h"
+
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 using namespace pdgc;
@@ -16,7 +20,12 @@ ThreadPool::ThreadPool(unsigned Threads) {
     return; // Inline mode: submit() runs jobs on the calling thread.
   Workers.reserve(Threads);
   for (unsigned I = 0; I != Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] {
+      // Lane ids give each worker its own track in exported traces
+      // (lane 0 is the submitting/main thread).
+      trace::setThreadLane(I + 1);
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -54,6 +63,20 @@ void ThreadPool::submit(std::function<void()> Job) {
     Job();
     return;
   }
+  // Queue-wait attribution: how long the job sat behind the scheduler.
+  // Only measured when timers are on — the wrapper costs an extra clock
+  // read and a std::function hop per job.
+  if (timersEnabled()) {
+    Job = [Enqueued = std::chrono::steady_clock::now(),
+           Inner = std::move(Job)] {
+      addTimerSample("threadpool.queue_wait",
+                     static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - Enqueued)
+                             .count()));
+      Inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     Queue.push_back(std::move(Job));
@@ -73,6 +96,9 @@ void ThreadPool::parallelFor(unsigned Count,
                              const std::function<void(unsigned)> &Fn) {
   if (Count == 0)
     return;
+  // Items, not claiming jobs: the claim-job count depends on the worker
+  // count, and the stats report promises jobs-independent counters.
+  PDGC_STAT("threadpool", "parallel_items").add(Count);
   if (Workers.empty()) {
     for (unsigned I = 0; I != Count; ++I)
       Fn(I);

@@ -21,6 +21,11 @@
 /// would call std::terminate. Callers route failures through Status values
 /// instead (see regalloc/BatchDriver.h).
 ///
+/// Observability: each worker claims trace lane `index + 1`
+/// (trace::setThreadLane), so exported Chrome traces show one track per
+/// worker; when phase timers are enabled, per-job queue-wait time is
+/// aggregated under the "threadpool.queue_wait" phase.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDGC_SUPPORT_THREADPOOL_H

@@ -1,0 +1,247 @@
+//===- tests/test_stats.cpp - Observability layer unit tests ----------------===//
+//
+// Part of the PDGC project.
+//
+// Covers the statistics registry (counter atomicity under ThreadPool
+// fan-out, snapshot/diff semantics, jobs-independence of the batch
+// pipeline's counters), the phase-timer registry, and the Chrome
+// trace-event exporter (well-formed, balanced B/E nesting per lane). CI
+// runs this suite under TSan alongside test_batch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/PDGCRegistration.h"
+#include "regalloc/BatchDriver.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "support/Tracing.h"
+#include "workloads/Suites.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace pdgc;
+
+#ifndef PDGC_DISABLE_STATS
+
+namespace {
+
+TEST(StatRegistry, MacroCountersLandInSnapshots) {
+  StatsSnapshot Before = StatRegistry::get().snapshot();
+  PDGC_STAT("test_stats", "macro_hits").inc();
+  PDGC_STAT("test_stats", "macro_hits").add(4);
+  StatsSnapshot After = StatRegistry::get().snapshot();
+  EXPECT_EQ(After.diff(Before).lookup("test_stats.macro_hits"), 5u);
+}
+
+TEST(StatRegistry, DynamicLookupAliasesOneCounter) {
+  StatCounter &A = StatRegistry::get().counter("test_stats", "dynamic");
+  StatCounter &B = StatRegistry::get().counter("test_stats", "dynamic");
+  EXPECT_EQ(&A, &B);
+  StatsSnapshot Before = StatRegistry::get().snapshot();
+  A.add(2);
+  B.inc();
+  EXPECT_EQ(StatRegistry::get().snapshot().diff(Before).lookup(
+                "test_stats.dynamic"),
+            3u);
+}
+
+TEST(StatRegistry, DiffDropsUnmovedCounters) {
+  PDGC_STAT("test_stats", "unmoved").inc(); // Exists in both snapshots.
+  StatsSnapshot Before = StatRegistry::get().snapshot();
+  PDGC_STAT("test_stats", "moved").inc();
+  StatsSnapshot Diff = StatRegistry::get().snapshot().diff(Before);
+  EXPECT_EQ(Diff.lookup("test_stats.moved"), 1u);
+  EXPECT_EQ(Diff.lookup("test_stats.unmoved"), 0u);
+  for (const auto &[Key, Value] : Diff.Counters)
+    EXPECT_NE(Key, "test_stats.unmoved") << "unmoved key survived the diff";
+}
+
+TEST(StatRegistry, CountersAreAtomicUnderThreadPoolFanOut) {
+  const unsigned Jobs = 64, PerJob = 1000;
+  StatsSnapshot Before = StatRegistry::get().snapshot();
+  ThreadPool Pool(8);
+  for (unsigned I = 0; I != Jobs; ++I)
+    Pool.submit([] {
+      for (unsigned J = 0; J != PerJob; ++J)
+        PDGC_STAT("test_stats", "fanout").inc();
+    });
+  Pool.wait();
+  EXPECT_EQ(StatRegistry::get().snapshot().diff(Before).lookup(
+                "test_stats.fanout"),
+            static_cast<std::uint64_t>(Jobs) * PerJob);
+}
+
+/// Allocates a fresh copy of the suite at the given job count and returns
+/// the counter movement as the deterministic "; stat"-style text block.
+std::string batchCounterDiff(const WorkloadSuite &Suite,
+                             const TargetDesc &Target, unsigned Jobs) {
+  std::vector<std::unique_ptr<Function>> Owned(Suite.Functions.size());
+  std::vector<Function *> Fns(Suite.Functions.size());
+  for (unsigned I = 0; I != Fns.size(); ++I) {
+    Owned[I] = Suite.generate(I, Target);
+    Fns[I] = Owned[I].get();
+  }
+  StatsSnapshot Before = StatRegistry::get().snapshot();
+  BatchDriver Driver(Jobs);
+  Driver.run(Fns, Target, DriverOptions());
+  return StatRegistry::get().snapshot().diff(Before).toText("; stat ");
+}
+
+TEST(StatRegistry, BatchCountersAreJobCountIndependent) {
+  registerPDGCAllocators();
+  TargetDesc Target = makeTarget(8); // Scarce registers: spill rounds run.
+  WorkloadSuite Suite = suiteByName("compress");
+  std::string Seq = batchCounterDiff(Suite, Target, 1);
+  std::string Par = batchCounterDiff(Suite, Target, 8);
+  EXPECT_FALSE(Seq.empty());
+  EXPECT_EQ(Seq, Par);
+}
+
+TEST(Timers, ScopedTimerAggregatesWhenEnabled) {
+  setTimersEnabled(true);
+  resetTimers();
+  for (unsigned I = 0; I != 3; ++I) {
+    ScopedTimer Timer("test_stats.scope");
+  }
+  {
+    ScopedTimer Early("test_stats.finish");
+    Early.finish();
+    Early.finish(); // Second finish is a no-op, not a double sample.
+  }
+  setTimersEnabled(false);
+  bool SawScope = false, SawFinish = false;
+  for (const TimerStat &T : timerSnapshot()) {
+    if (T.Phase == "test_stats.scope") {
+      SawScope = true;
+      EXPECT_EQ(T.Count, 3u);
+    }
+    if (T.Phase == "test_stats.finish") {
+      SawFinish = true;
+      EXPECT_EQ(T.Count, 1u);
+    }
+  }
+  EXPECT_TRUE(SawScope);
+  EXPECT_TRUE(SawFinish);
+  resetTimers();
+}
+
+TEST(Timers, DisabledTimersRecordNothing) {
+  setTimersEnabled(false);
+  resetTimers();
+  { ScopedTimer Timer("test_stats.disabled"); }
+  for (const TimerStat &T : timerSnapshot())
+    EXPECT_NE(T.Phase, "test_stats.disabled");
+}
+
+/// Minimal scanner for the exporter's own output: pulls (ph, tid, name)
+/// out of each event object. The exporter emits one event per line-free
+/// "{...}" object, so splitting on "}," is safe for this shape.
+struct ScannedEvent {
+  char Ph;
+  unsigned Tid;
+  std::string Name;
+};
+
+std::vector<ScannedEvent> scanEvents(const std::string &Json) {
+  std::vector<ScannedEvent> Out;
+  size_t At = 0;
+  while ((At = Json.find("\"ph\":\"", At)) != std::string::npos) {
+    ScannedEvent E;
+    E.Ph = Json[At + 6];
+    size_t NameAt = Json.rfind("\"name\":\"", At);
+    size_t NameEnd = Json.find('"', NameAt + 8);
+    E.Name = Json.substr(NameAt + 8, NameEnd - (NameAt + 8));
+    size_t TidAt = Json.find("\"tid\":", At);
+    E.Tid = static_cast<unsigned>(
+        std::stoul(Json.substr(TidAt + 6)));
+    Out.push_back(E);
+    ++At;
+  }
+  return Out;
+}
+
+TEST(Trace, SpansNestAndBalancePerLane) {
+  trace::start();
+  {
+    ScopedTimer Outer("test_stats.outer");
+    { ScopedTimer Inner("test_stats.inner"); }
+    trace::instant("test_stats-point", "test", "{\"k\":1}");
+  }
+  ThreadPool Pool(2);
+  Pool.parallelFor(4, [](unsigned) {
+    ScopedTimer Worker("test_stats.worker");
+  });
+  trace::stop();
+  setTimersEnabled(false);
+  std::string Json = trace::toJson();
+  trace::clear();
+  resetTimers();
+
+  ASSERT_EQ(Json.front(), '{');
+  ASSERT_EQ(Json.back(), '}');
+
+  // Every lane's B/E events must balance like parentheses, and an E must
+  // close the name its lane most recently opened.
+  std::map<unsigned, std::vector<std::string>> Open;
+  bool SawInstant = false, SawInnerInsideOuter = false;
+  for (const ScannedEvent &E : scanEvents(Json)) {
+    switch (E.Ph) {
+    case 'B':
+      if (!Open[E.Tid].empty() && Open[E.Tid].back() == "test_stats.outer" &&
+          E.Name == "test_stats.inner")
+        SawInnerInsideOuter = true;
+      Open[E.Tid].push_back(E.Name);
+      break;
+    case 'E':
+      ASSERT_FALSE(Open[E.Tid].empty()) << "E with no open span on lane";
+      EXPECT_EQ(Open[E.Tid].back(), E.Name) << "mis-nested span";
+      Open[E.Tid].pop_back();
+      break;
+    case 'i':
+      SawInstant = true;
+      break;
+    case 'M':
+      break;
+    default:
+      FAIL() << "unexpected event phase " << E.Ph;
+    }
+  }
+  for (const auto &[Tid, Stack] : Open)
+    EXPECT_TRUE(Stack.empty()) << "unclosed span on lane " << Tid;
+  EXPECT_TRUE(SawInstant);
+  EXPECT_TRUE(SawInnerInsideOuter);
+}
+
+TEST(Trace, StopsCollectingOutsideStartStop) {
+  trace::clear();
+  setTimersEnabled(true);
+  { ScopedTimer Timer("test_stats.untraced"); }
+  setTimersEnabled(false);
+  EXPECT_EQ(trace::toJson().find("test_stats.untraced"), std::string::npos);
+  resetTimers();
+}
+
+TEST(Report, ObservabilityReportIsWellFormed) {
+  PDGC_STAT("test_stats", "report").inc();
+  std::string Path = ::testing::TempDir() + "pdgc_report.json";
+  std::string Error;
+  ASSERT_TRUE(writeObservabilityReport(Path, &Error)) << Error;
+  std::ifstream In(Path);
+  std::string Json((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(Json.find("\"test_stats.report\""), std::string::npos);
+}
+
+} // namespace
+
+#endif // PDGC_DISABLE_STATS

@@ -197,10 +197,32 @@ TEST(Statistics, MeanAndGeomean) {
   EXPECT_GT(geomean({0.0, 100.0}), 0.0);
 }
 
+TEST(Statistics, GeomeanClampsNonPositiveEntries) {
+  // Zero and negative entries clamp to 1e-9 instead of poisoning the log.
+  EXPECT_NEAR(geomean({0.0}), 1e-9, 1e-15);
+  EXPECT_NEAR(geomean({-5.0}), 1e-9, 1e-15);
+  EXPECT_NEAR(geomean({0.0, -1.0}), 1e-9, 1e-15);
+  // A clamped entry still drags the mean down without zeroing it.
+  double Mixed = geomean({0.0, 4.0});
+  EXPECT_GT(Mixed, 0.0);
+  EXPECT_LT(Mixed, 4.0);
+  // Entries exactly at the clamp floor pass through unchanged.
+  EXPECT_NEAR(geomean({1e-9, 1e-9}), 1e-9, 1e-15);
+}
+
 TEST(Statistics, Formatting) {
   EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
   EXPECT_EQ(formatDouble(2.0, 0), "2");
   EXPECT_EQ(formatPercent(0.125, 1), "12.5%");
+}
+
+TEST(Statistics, FormatPercentEdgeCases) {
+  EXPECT_EQ(formatPercent(0.0, 1), "0.0%");
+  EXPECT_EQ(formatPercent(0.0, 0), "0%");
+  EXPECT_EQ(formatPercent(-0.25, 1), "-25.0%");
+  EXPECT_EQ(formatPercent(1.0, 0), "100%");
+  EXPECT_EQ(formatPercent(2.5, 1), "250.0%");
+  EXPECT_EQ(formatPercent(0.12345, 3), "12.345%");
 }
 
 } // namespace

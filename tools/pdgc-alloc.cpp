@@ -20,6 +20,11 @@
 //   --jobs=N           worker threads for --batch (default 1; 0 = one per
 //                      hardware thread)
 //   --quiet            print only the summary line(s)
+//   --stats            print "; stat" counter lines (deterministic across
+//                      --jobs values) and "; timer" phase wall times
+//   --trace-json=FILE  write a Chrome trace-event JSON of the run (open in
+//                      chrome://tracing or https://ui.perfetto.dev)
+//   --report-json=FILE write a machine-readable counters+timers report
 //
 // Reads from stdin when no input file is given. Exits nonzero on parse or
 // allocation errors (in batch mode: when any file failed).
@@ -35,7 +40,9 @@
 #include "regalloc/Driver.h"
 #include "sim/CostSimulator.h"
 #include "support/Debug.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Tracing.h"
 #include "workloads/Generator.h"
 
 #include <algorithm>
@@ -59,7 +66,9 @@ void usage() {
       "[--pairing=adjacent|oddeven]\n"
       "                  [--remat] [--quiet] [--no-fallback] "
       "[--emit-sample=SEED]\n"
-      "                  [--batch=DIR] [--jobs=N] [input.ir]\n");
+      "                  [--batch=DIR] [--jobs=N] [--stats]\n"
+      "                  [--trace-json=FILE] [--report-json=FILE] "
+      "[input.ir]\n");
 }
 
 /// Parses a strictly numeric decimal option value into [\p Min, \p Max].
@@ -81,6 +90,48 @@ bool parseNumericOption(const std::string &Value, unsigned long Min,
   return true;
 }
 
+/// The observability outputs requested on the command line. `finish` runs
+/// on the successful exit paths: it flushes the requested files and prints
+/// the stats block, forwarding (or overriding, on I/O failure) the exit
+/// code.
+struct ObservabilityOptions {
+  bool Stats = false;
+  std::string TraceJsonPath;
+  std::string ReportJsonPath;
+
+  bool any() const {
+    return Stats || !TraceJsonPath.empty() || !ReportJsonPath.empty();
+  }
+
+  int finish(int ExitCode) const {
+    if (!TraceJsonPath.empty()) {
+      trace::stop();
+      std::string Error;
+      if (!trace::writeJson(TraceJsonPath, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        ExitCode = ExitCode ? ExitCode : 1;
+      }
+    }
+    if (!ReportJsonPath.empty()) {
+      std::string Error;
+      if (!writeObservabilityReport(ReportJsonPath, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        ExitCode = ExitCode ? ExitCode : 1;
+      }
+    }
+    if (Stats) {
+      // Counters are sums of relaxed atomic increments, so the "; stat"
+      // block is byte-identical for any --jobs value. Timer lines carry
+      // wall time and are reported separately: comparable in shape, not
+      // in duration.
+      std::fputs(StatRegistry::get().snapshot().toText("; stat ").c_str(),
+                 stdout);
+      std::fputs(timersToText("; timer ").c_str(), stdout);
+    }
+    return ExitCode;
+  }
+};
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -93,6 +144,7 @@ int main(int argc, char **argv) {
   long EmitSample = -1;
   std::string BatchDir;
   unsigned Jobs = 1;
+  ObservabilityOptions Obs;
   std::string InputPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -142,6 +194,22 @@ int main(int argc, char **argv) {
       Remat = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg == "--stats") {
+      Obs.Stats = true;
+    } else if (Arg.rfind("--trace-json=", 0) == 0) {
+      Obs.TraceJsonPath = Arg.substr(13);
+      if (Obs.TraceJsonPath.empty()) {
+        std::fprintf(stderr, "error: --trace-json expects a file path\n");
+        usage();
+        return 1;
+      }
+    } else if (Arg.rfind("--report-json=", 0) == 0) {
+      Obs.ReportJsonPath = Arg.substr(14);
+      if (Obs.ReportJsonPath.empty()) {
+        std::fprintf(stderr, "error: --report-json expects a file path\n");
+        usage();
+        return 1;
+      }
     } else if (Arg == "--no-fallback") {
       NoFallback = true;
     } else if (Arg.rfind("--emit-sample=", 0) == 0) {
@@ -172,6 +240,14 @@ int main(int argc, char **argv) {
     return 1;
   }
   TargetDesc Target = makeTarget(Regs, Pairing);
+
+  // Flip the observability machinery on before any allocation work so the
+  // first phase is already covered. Tracing implies timers (a trace with
+  // no spans would be empty).
+  if (Obs.any())
+    setTimersEnabled(true);
+  if (!Obs.TraceJsonPath.empty())
+    trace::start();
 
   if (!BatchDir.empty()) {
     namespace fs = std::filesystem;
@@ -255,6 +331,16 @@ int main(int argc, char **argv) {
         continue;
       }
       const AllocationOutcome &Out = Results[I].Out;
+      if (!Quiet && Out.Degradation.Degraded) {
+        std::fprintf(stderr,
+                     "warning: %s: '%s' failed; served by fallback tier %u "
+                     "('%s')\n",
+                     Path, AllocatorName.c_str(), Out.Degradation.TierIndex,
+                     Out.Degradation.ServedBy.c_str());
+        for (const std::string &Failure : Out.Degradation.FailedTiers)
+          std::fprintf(stderr, "warning: %s:   failed tier: %s\n", Path,
+                       Failure.c_str());
+      }
       SimulatedCost Cost = simulateCost(*Fns[I], Target, Out.Assignment);
       ++Succeeded;
       TotalSpills += Out.SpillInstructions;
@@ -274,7 +360,7 @@ int main(int argc, char **argv) {
                 "eliminated=%u cost=%.0f\n",
                 Succeeded, Paths.size(), Jobs, TotalSpills, TotalEliminated,
                 TotalCost.total());
-    return AnyFailed ? 1 : 0;
+    return Obs.finish(AnyFailed ? 1 : 0);
   }
 
   if (EmitSample >= 0) {
@@ -392,5 +478,5 @@ int main(int argc, char **argv) {
       Cost.total(), Cost.OpCost, Cost.MoveCost, Cost.SpillCost,
       Cost.CallerSaveCost, Cost.CalleeSaveCost, Cost.NarrowFixupCost,
       Cost.FusedPairs, Cost.FusedPairs + Cost.MissedPairs);
-  return 0;
+  return Obs.finish(0);
 }

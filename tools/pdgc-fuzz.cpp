@@ -23,7 +23,13 @@
 //
 //   pdgc-fuzz [--runs=N] [--seed=S] [--corpus-dir=PATH] [--timeout=SECS]
 //             [--mutate-percent=P] [--kill-tier=NAME] [--max-save=N]
-//             [--jobs=N] [--quiet]
+//             [--jobs=N] [--quiet] [--stats]
+//
+// --stats appends the allocator-wide "; stat" counter block to stdout.
+// Counters are sums of relaxed atomic increments, so for a fixed seed and
+// run count the allocator/driver/analysis counters fold to the same
+// values at every --jobs value; only the "threadpool" group differs, since
+// the sequential mode never touches the pool.
 //
 // --jobs=N (N > 1) runs cases on a worker pool in deterministic chunks:
 // inputs are pre-generated sequentially (same rng stream as --jobs=1, so a
@@ -49,6 +55,7 @@
 #include "sim/CostSimulator.h"
 #include "sim/Interpreter.h"
 #include "support/Rng.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "workloads/Generator.h"
 
@@ -87,6 +94,7 @@ struct FuzzConfig {
   unsigned long MaxSave = 16;
   unsigned Jobs = 1;
   bool Quiet = false;
+  bool PrintStats = false;
 };
 
 struct FuzzStats {
@@ -143,7 +151,7 @@ void usage() {
                "[--timeout=SECS]\n"
                "                 [--mutate-percent=P] [--kill-tier=NAME] "
                "[--max-save=N]\n"
-               "                 [--jobs=N] [--quiet]\n");
+               "                 [--jobs=N] [--quiet] [--stats]\n");
 }
 
 /// Random generator parameters: spans tiny straight-line functions up to
@@ -499,6 +507,8 @@ int main(int argc, char **argv) {
                                : static_cast<unsigned>(Value);
     } else if (Arg == "--quiet") {
       Config.Quiet = true;
+    } else if (Arg == "--stats") {
+      Config.PrintStats = true;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -623,5 +633,8 @@ int main(int argc, char **argv) {
               Stats.Cases, Stats.ParseRejects, Stats.VerifyRejects,
               Stats.Allocations, Stats.BudgetStops, Stats.TierFailures,
               Stats.Degradations, Stats.Timeouts, Stats.Failures);
+  if (Config.PrintStats)
+    std::fputs(StatRegistry::get().snapshot().toText("; stat ").c_str(),
+               stdout);
   return Stats.Failures == 0 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "analysis/AnalysisContext.h"
 
 #include "ir/PhiElimination.h"
+#include "support/FaultInjection.h"
 #include "support/Stats.h"
 #include "support/Tracing.h"
 
@@ -27,7 +28,10 @@ auto timedCompute(const char *Phase, Fn &&Compute) {
 AnalysisContext::AnalysisContext(const Function &F, const CostParams &Params)
     : Func(&F), Params(Params),
       RPO(timedCompute("analysis.rpo.cold",
-                       [&] { return F.reversePostOrder(); })),
+                       [&] {
+                         PDGC_FAULT_POINT("analysis.cold_build");
+                         return F.reversePostOrder();
+                       })),
       LI(timedCompute("analysis.loopinfo.cold",
                       [&] {
                         return LoopInfo::compute(F, Params.LoopFreqFactor);
@@ -49,6 +53,7 @@ void AnalysisContext::refresh() {
          "CFG changed under an AnalysisContext; only spill-round "
          "instruction insertion is allowed during its lifetime");
   PDGC_STAT("analysis", "warm_refreshes").inc();
+  PDGC_FAULT_POINT("analysis.refresh");
   {
     ScopedTimer Timer("analysis.liveness.warm", "analysis");
     LV.recompute(*Func, RPO);

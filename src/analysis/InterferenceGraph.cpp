@@ -7,6 +7,7 @@
 #include "analysis/InterferenceGraph.h"
 
 #include "ir/PhiElimination.h"
+#include "support/Deadline.h"
 #include "support/Debug.h"
 #include "support/Stats.h"
 
@@ -88,6 +89,9 @@ void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
   std::uint64_t WastedEdgeAttempts = 0;
 
   for (unsigned B = 0, E = Fn.numBlocks(); B != E; ++B) {
+    // Cooperative cancellation: one (decimated) deadline poll per block
+    // bounds how far a huge rebuild can overshoot an expired budget.
+    pollDeadline();
     const BasicBlock *BB = Fn.block(B);
     const double Freq = LI.frequency(BB);
 

@@ -7,6 +7,7 @@
 #include "analysis/Liveness.h"
 
 #include "ir/PhiElimination.h"
+#include "support/Deadline.h"
 #include "support/Debug.h"
 
 using namespace pdgc;
@@ -65,6 +66,7 @@ void Liveness::recompute(const Function &F,
   while (Changed) {
     Changed = false;
     for (unsigned It = RPO.size(); It-- > 0;) {
+      pollDeadline();
       unsigned B = RPO[It];
       const BasicBlock *BB = F.block(B);
       Out.clearAndResize(NumRegs);

@@ -12,7 +12,9 @@
 #include "regalloc/Rewriter.h"
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
+#include "support/Deadline.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 #include "support/UnionFind.h"
 
@@ -72,11 +74,13 @@ public:
       : Ctx(Ctx), Opt(Opt),
         RPG([&] {
           ScopedTimer Timer("pdgc.rpg_build", "allocator");
+          PDGC_FAULT_POINT("pdgc.rpg_build");
           return RegisterPreferenceGraph::build(Ctx.F, Ctx.LV, Ctx.LI,
                                                 Ctx.Costs, Ctx.Target);
         }()),
         CPG([&] {
           ScopedTimer Timer("pdgc.cpg_build", "allocator");
+          PDGC_FAULT_POINT("pdgc.cpg_build");
           return Opt.UseCPG
                      ? ColoringPrecedenceGraph::build(Ctx.IG, Ctx.Target, SR)
                      : ColoringPrecedenceGraph::linearFromStack(Ctx.IG, SR);
@@ -401,6 +405,7 @@ public:
     };
 
     while (!Queue.empty()) {
+      pollDeadline();
       // Step 3: choose the queued node with the largest differential.
       unsigned BestIdx = 0;
       double BestDiff = -std::numeric_limits<double>::infinity();
@@ -451,6 +456,7 @@ RoundResult PreferenceDirectedAllocator::allocateRound(AllocContext &Ctx) {
   AllocContext *Active = &Ctx;
   std::optional<AllocContext> Rebuilt;
   ScopedTimer CoalesceTimer("pdgc.precoalesce", "allocator");
+  PDGC_FAULT_POINT("pdgc.precoalesce");
   if (Options.PreCoalesce) {
     UnionFind UF(N);
     if (conservativeCoalesce(Ctx.IG, UF, Ctx.Target) != 0) {
@@ -467,6 +473,7 @@ RoundResult PreferenceDirectedAllocator::allocateRound(AllocContext &Ctx) {
   CoalesceTimer.finish();
 
   ScopedTimer SimplifyTimer("pdgc.simplify", "allocator");
+  PDGC_FAULT_POINT("pdgc.simplify");
   SimplifyResult SR = simplifyGraph(
       Active->IG, Active->Target,
       [&](unsigned Node) { return Active->Costs.spillMetric(VReg(Node)); },
@@ -479,6 +486,7 @@ RoundResult PreferenceDirectedAllocator::allocateRound(AllocContext &Ctx) {
   PDGCSelect Select(*Active, Options, SR);
   {
     ScopedTimer SelectTimer("pdgc.select", "allocator");
+    PDGC_FAULT_POINT("pdgc.select");
     Select.run();
   }
 

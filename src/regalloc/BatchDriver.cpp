@@ -6,31 +6,83 @@
 
 #include "regalloc/BatchDriver.h"
 
+#include "support/FaultInjection.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "support/Tracing.h"
+
+#include <cstdio>
+#include <mutex>
 
 using namespace pdgc;
 
 std::vector<BatchItemResult>
 BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
                  const DriverOptions &Options) const {
+  return run(Fns, Target, Options, BatchLimits());
+}
+
+std::vector<BatchItemResult>
+BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
+                 const DriverOptions &Options,
+                 const BatchLimits &Limits) const {
   std::vector<BatchItemResult> Results(Fns.size());
   ThreadPool Pool(Jobs);
+
+  // The batch deadline starts ticking here and rides into every item as
+  // DriverOptions::CancelAt; allocateWithFallback exempts its final tier,
+  // so expiry degrades items rather than failing them.
+  DriverOptions ItemOptions = Options;
+  if (Limits.ItemBudgetMs != 0)
+    ItemOptions.TimeBudgetMs = Limits.ItemBudgetMs;
+  ItemOptions.CancelAt =
+      Deadline::afterMs(Limits.BatchBudgetMs).sooner(Options.CancelAt);
+
+  std::mutex WarnMutex;
+
   // Per-index slots keep the output deterministic regardless of which
   // worker finishes first. allocateWithFallback catches everything its
-  // pipeline can throw (fatal checks, allocator exceptions) and reports it
-  // as a Status, so the job itself cannot throw — a ThreadPool requirement.
+  // pipeline can throw (fatal checks, allocator exceptions, injected
+  // faults) and reports it as a Status; the per-item catch below is the
+  // batch layer's own backstop — e.g. for the batch.item fault site or an
+  // out-of-memory during result bookkeeping — turning a stray throw into
+  // a failed item instead of a pool-wide abort.
   PDGC_STAT("batch", "items").add(Fns.size());
   Pool.parallelFor(static_cast<unsigned>(Fns.size()), [&](unsigned I) {
     ScopedTimer ItemTimer("batch.item", "batch");
-    StatusOr<AllocationOutcome> R =
-        allocateWithFallback(*Fns[I], Target, Options);
-    if (R.ok())
-      Results[I].Out = std::move(R.value());
-    else {
+    try {
+      PDGC_FAULT_POINT("batch.item");
+      StatusOr<AllocationOutcome> R =
+          allocateWithFallback(*Fns[I], Target, ItemOptions);
+      if (R.ok())
+        Results[I].Out = std::move(R.value());
+      else {
+        PDGC_STAT("batch", "item_failures").inc();
+        Results[I].S = R.status();
+      }
+    } catch (const std::exception &E) {
       PDGC_STAT("batch", "item_failures").inc();
-      Results[I].S = R.status();
+      PDGC_STAT("batch", "item_exceptions").inc();
+      Results[I].S =
+          Status::error(ErrorCode::AllocatorInternal,
+                        std::string("batch item raised: ") + E.what());
+    }
+
+    if (Limits.WarnDegraded && Results[I].ok() &&
+        Results[I].Out.Degradation.Degraded) {
+      const DegradationInfo &D = Results[I].Out.Degradation;
+      std::string Label = I < Limits.Labels.size()
+                              ? Limits.Labels[I]
+                              : "item " + std::to_string(I);
+      // One lock around the whole warning block: workers report as they
+      // finish, and multi-line warnings must not interleave mid-line.
+      std::lock_guard<std::mutex> Lock(WarnMutex);
+      std::fprintf(stderr,
+                   "warning: %s: served by fallback tier %u ('%s')\n",
+                   Label.c_str(), D.TierIndex, D.ServedBy.c_str());
+      for (const std::string &Failure : D.FailedTiers)
+        std::fprintf(stderr, "warning: %s:   failed tier: %s\n",
+                     Label.c_str(), Failure.c_str());
     }
   });
   return Results;

@@ -49,6 +49,26 @@ struct BatchItemResult {
   bool ok() const { return S.ok(); }
 };
 
+/// Wall-clock limits and reporting knobs for one batch run.
+struct BatchLimits {
+  /// Per-item wall-clock budget in ms (overrides DriverOptions::
+  /// TimeBudgetMs when nonzero). Binds every fallback tier individually.
+  unsigned ItemBudgetMs = 0;
+  /// One deadline across the whole batch, in ms from run() entry
+  /// (0 = none). Installed as DriverOptions::CancelAt, so once it passes,
+  /// in-flight and not-yet-started items degrade straight to the final
+  /// guarantee tier (which is exempt) instead of failing — one poison
+  /// item cannot wedge the pool past the batch's latency contract.
+  unsigned BatchBudgetMs = 0;
+  /// Per-item display names for warnings (parallel to the Fns vector);
+  /// items fall back to their index when absent.
+  std::vector<std::string> Labels;
+  /// Emit a degradation warning on stderr as each degraded item
+  /// completes. Lines are serialized behind a mutex, so `--jobs=N` output
+  /// never interleaves mid-line.
+  bool WarnDegraded = false;
+};
+
 /// Runs allocateWithFallback over a batch of functions on a worker pool.
 class BatchDriver {
 public:
@@ -62,6 +82,12 @@ public:
   std::vector<BatchItemResult> run(const std::vector<Function *> &Fns,
                                    const TargetDesc &Target,
                                    const DriverOptions &Options) const;
+
+  /// Same, with wall-clock limits and serialized degradation warnings.
+  std::vector<BatchItemResult> run(const std::vector<Function *> &Fns,
+                                   const TargetDesc &Target,
+                                   const DriverOptions &Options,
+                                   const BatchLimits &Limits) const;
 
   unsigned jobs() const { return Jobs; }
 

@@ -12,6 +12,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 
 using namespace pdgc;
@@ -23,11 +24,13 @@ RoundResult BriggsAllocator::allocateRound(AllocContext &Ctx) {
   UnionFind UF(N);
   {
     ScopedTimer Timer("briggs.coalesce", "allocator");
+    PDGC_FAULT_POINT("briggs.coalesce");
     aggressiveCoalesce(Ctx.IG, UF);
   }
   CoalescedCosts CC(Ctx.Costs, UF);
 
   ScopedTimer SimplifyTimer("briggs.simplify", "allocator");
+  PDGC_FAULT_POINT("briggs.simplify");
   SimplifyResult SR =
       simplifyGraph(Ctx.IG, Ctx.Target,
                     [&](unsigned Node) { return CC.spillMetric(Node); },
@@ -36,6 +39,7 @@ RoundResult BriggsAllocator::allocateRound(AllocContext &Ctx) {
 
   // Select with optimistic retries: uncolorable nodes become real spills.
   ScopedTimer SelectTimer("briggs.select", "allocator");
+  PDGC_FAULT_POINT("briggs.select");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> ActualSpills;
   for (unsigned I = SR.Stack.size(); I-- > 0;) {

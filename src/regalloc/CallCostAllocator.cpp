@@ -12,6 +12,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 
 #include <algorithm>
@@ -39,6 +40,7 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
   UnionFind UF(N);
   {
     ScopedTimer Timer("callcost.coalesce", "allocator");
+    PDGC_FAULT_POINT("callcost.coalesce");
     aggressiveCoalesce(Ctx.IG, UF);
   }
   CoalescedCosts CC(Ctx.Costs, UF);
@@ -47,6 +49,7 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
   // live across it by their non-volatile benefit; only the best R keep a
   // non-volatile preference.
   ScopedTimer PreferenceTimer("callcost.preference", "allocator");
+  PDGC_FAULT_POINT("callcost.preference");
   std::vector<char> ForcedVolatile(N, 0);
   for (unsigned B = 0, E = Ctx.F.numBlocks(); B != E; ++B) {
     const BasicBlock *BB = Ctx.F.block(B);
@@ -84,6 +87,7 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
 
   // --- Benefit-driven, pessimistic simplification.
   ScopedTimer SimplifyTimer("callcost.simplify", "allocator");
+  PDGC_FAULT_POINT("callcost.simplify");
   auto Benefit = [&](unsigned Node) {
     double BV = CC.registerBenefit(Node, /*VolatileReg=*/true);
     double BN = CC.registerBenefit(Node, /*VolatileReg=*/false);
@@ -109,6 +113,7 @@ RoundResult CallCostAllocator::allocateRound(AllocContext &Ctx) {
 
   // --- Volatility-aware select with active spilling.
   ScopedTimer SelectTimer("callcost.select", "allocator");
+  PDGC_FAULT_POINT("callcost.select");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> ActiveSpills;
   for (unsigned I = SR.Stack.size(); I-- > 0;) {

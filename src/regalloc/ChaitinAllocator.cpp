@@ -12,6 +12,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 
 using namespace pdgc;
@@ -23,11 +24,13 @@ RoundResult ChaitinAllocator::allocateRound(AllocContext &Ctx) {
   UnionFind UF(N);
   {
     ScopedTimer Timer("chaitin.coalesce", "allocator");
+    PDGC_FAULT_POINT("chaitin.coalesce");
     aggressiveCoalesce(Ctx.IG, UF);
   }
   CoalescedCosts CC(Ctx.Costs, UF);
 
   ScopedTimer SimplifyTimer("chaitin.simplify", "allocator");
+  PDGC_FAULT_POINT("chaitin.simplify");
   SimplifyResult SR =
       simplifyGraph(Ctx.IG, Ctx.Target,
                     [&](unsigned Node) { return CC.spillMetric(Node); },
@@ -48,6 +51,7 @@ RoundResult ChaitinAllocator::allocateRound(AllocContext &Ctx) {
   // Select: pop nodes and give each a color distinct from its neighbors.
   // Every stacked node was low-degree at removal, so a color exists.
   ScopedTimer SelectTimer("chaitin.select", "allocator");
+  PDGC_FAULT_POINT("chaitin.select");
   SelectState SS(Ctx.IG, Ctx.Target);
   for (unsigned I = SR.Stack.size(); I-- > 0;) {
     unsigned Node = SR.Stack[I];

@@ -13,11 +13,12 @@
 #include "regalloc/AssignmentChecker.h"
 #include "regalloc/Rewriter.h"
 #include "regalloc/SpillCodeInserter.h"
+#include "support/Deadline.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Stats.h"
 #include "support/Tracing.h"
 
-#include <chrono>
 #include <optional>
 
 using namespace pdgc;
@@ -87,19 +88,23 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
   if (std::string PinErr = pinTargetError(F, Target); !PinErr.empty())
     return Status::error(ErrorCode::VerifyError, PinErr);
 
-  using Clock = std::chrono::steady_clock;
-  const Clock::time_point Deadline =
-      Clock::now() + std::chrono::milliseconds(Options.TimeBudgetMs);
+  const Deadline Budget =
+      Deadline::afterMs(Options.TimeBudgetMs).sooner(Options.CancelAt);
 
   PDGC_STAT("driver", "allocations").inc();
   AllocationOutcome Out;
   // Everything under the trap converts fatal checks into FatalError, so a
   // buggy allocator (or analysis fed garbage) surfaces as a structured
-  // error instead of killing the process.
+  // error instead of killing the process. The ScopedDeadline makes Budget
+  // the thread's ambient deadline, which the hot loops downstream
+  // (simplify, select, optimal search, analysis rebuilds) poll — a
+  // DeadlineExceeded lands in the catch below as BUDGET_EXCEEDED.
   try {
     ScopedErrorTrap Trap;
+    ScopedDeadline Guard(Budget);
     if (hasPhis(F)) {
       ScopedTimer PhiTimer("driver.phi_elimination", "driver");
+      PDGC_FAULT_POINT("driver.phi_elim");
       eliminatePhis(F);
     }
     Out.OriginalMoves = countMoves(F);
@@ -112,17 +117,17 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
 
     unsigned NextSlot = 0;
     for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
-      if (Options.TimeBudgetMs != 0 && Clock::now() > Deadline) {
+      if (Budget.expired()) {
         PDGC_STAT("driver", "time_budget_exceeded").inc();
         return Status::error(ErrorCode::BudgetExceeded,
                              std::string(Allocator.name()) +
-                                 ": wall-clock budget of " +
-                                 std::to_string(Options.TimeBudgetMs) +
-                                 "ms exhausted in round " +
+                                 ": wall-clock budget exhausted entering "
+                                 "round " +
                                  std::to_string(Round + 1));
       }
 
       ScopedTimer RoundTimer("driver.round", "driver");
+      PDGC_FAULT_POINT("driver.round");
       if (!Analyses)
         Analyses.emplace(F, Options.Costs);
       else
@@ -150,6 +155,7 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
                        "{\"ranges\":" + std::to_string(RR.Spilled.size()) +
                            ",\"round\":" + std::to_string(Round + 1) + "}");
         ScopedTimer SpillTimer("driver.spill_insert", "driver");
+        PDGC_FAULT_POINT("driver.spill_insert");
         insertSpillCode(F, RR.Spilled, NextSlot, Options.Rematerialize,
                         Options.Granularity);
         continue;
@@ -166,6 +172,7 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
 
       if (Options.VerifyAssignment) {
         ScopedTimer CheckTimer("driver.checker", "driver");
+        PDGC_FAULT_POINT("driver.checker");
         std::vector<std::string> Errors =
             checkAssignment(F, Target, Out.Assignment);
         if (!Errors.empty())
@@ -176,6 +183,22 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
       }
       return Out;
     }
+  } catch (const DeadlineExceeded &) {
+    // A hot loop polled the ambient deadline past its expiry: the round
+    // was cancelled mid-flight rather than allowed to overshoot.
+    PDGC_STAT("driver", "deadline_cancelled").inc();
+    trace::instant("deadline-cancelled", "driver",
+                   "{\"allocator\":\"" + trace::jsonEscape(Allocator.name()) +
+                       "\"}");
+    return Status::error(ErrorCode::BudgetExceeded,
+                         std::string(Allocator.name()) +
+                             ": cancelled mid-round by wall-clock deadline");
+  } catch (const fault::InjectedFault &E) {
+    // Deterministic fault injection asked this stage to fail with a
+    // structured error (as opposed to a fatal invariant).
+    PDGC_STAT("driver", "injected_faults_trapped").inc();
+    return Status::error(ErrorCode::AllocatorInternal,
+                         std::string(Allocator.name()) + ": " + E.what());
   } catch (const FatalError &E) {
     // A trapped fatal check is the observability event of record for "an
     // allocator invariant broke but the process survived".
@@ -218,6 +241,7 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
     ScopedErrorTrap Trap;
     ScopedTimer VerifyTimer("driver.verify", "driver");
     try {
+      PDGC_FAULT_POINT("driver.verify");
       if (!verifyFunction(F, Errors))
         return Status::error(ErrorCode::VerifyError,
                              Errors.empty() ? "function does not verify"
@@ -245,6 +269,27 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
   for (unsigned Tier = 0; Tier != Options.FallbackChain.size(); ++Tier) {
     const FallbackTier &T = Options.FallbackChain[Tier];
     ScopedTimer TierTimer("tier." + T.Name, "tier");
+
+    // The final tier is the guarantee: exempt it from the caller's
+    // absolute cancellation point so an expired batch deadline degrades
+    // the item to spill-everything instead of failing it outright.
+    // TimeBudgetMs still binds every tier (per-tier budget semantics).
+    TierOptions.CancelAt = Tier + 1 == Options.FallbackChain.size()
+                               ? Deadline()
+                               : Options.CancelAt;
+
+    // A site any test can use to fail an arbitrary tier (or all of them)
+    // from the environment, with no code hook. Wrapped so an injected
+    // fatal here behaves like any other tier failure.
+    try {
+      PDGC_FAULT_POINT("fallback.tier");
+    } catch (const std::exception &E) {
+      PDGC_STAT("fallback", "tier_failures").inc();
+      Degradation.FailedTiers.push_back(T.Name + ": ALLOCATOR_INTERNAL: " +
+                                        E.what());
+      continue;
+    }
+
     std::unique_ptr<AllocatorBase> Allocator =
         T.Factory ? T.Factory() : createRegisteredAllocator(T.Name);
     if (!Allocator) {
@@ -265,6 +310,7 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
     {
       ScopedErrorTrap Trap;
       try {
+        PDGC_FAULT_POINT("driver.clone");
         Work = cloneFunction(F);
       } catch (const std::exception &E) {
         return Status::error(ErrorCode::AllocatorInternal,

@@ -31,6 +31,7 @@
 #include "regalloc/AllocatorBase.h"
 #include "regalloc/Metrics.h"
 #include "regalloc/SpillCodeInserter.h"
+#include "support/Deadline.h"
 #include "support/Status.h"
 
 #include <functional>
@@ -101,8 +102,19 @@ struct DriverOptions {
   /// Safety bound on spill rounds; exceeding it is a BudgetExceeded error.
   unsigned MaxRounds = 64;
   /// Wall-clock budget per tier in milliseconds; 0 means unlimited.
-  /// Checked between rounds, so one pathological round can overshoot.
+  /// Enforced cooperatively *inside* rounds: the driver installs the
+  /// budget as the thread's ambient deadline (support/Deadline.h) and the
+  /// hot loops — simplify worklist, select walks, optimal search, the
+  /// analysis rebuilds — poll it, so a pathological round is cancelled
+  /// mid-flight with BUDGET_EXCEEDED instead of overshooting.
   unsigned TimeBudgetMs = 0;
+  /// Absolute cancellation point, combined (sooner wins) with
+  /// TimeBudgetMs. BatchDriver uses it to impose one wall-clock deadline
+  /// across a whole batch. allocateWithFallback exempts the final
+  /// (guarantee) tier so an expired batch degrades to spill-everything
+  /// instead of failing outright; TimeBudgetMs, in contrast, binds every
+  /// tier.
+  Deadline CancelAt;
   /// Rematerialize spilled constants instead of storing/reloading them
   /// (Briggs et al.; off by default to match the paper's framework).
   bool Rematerialize = false;

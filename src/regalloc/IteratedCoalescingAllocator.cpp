@@ -9,7 +9,9 @@
 #include "regalloc/CoalescedCosts.h"
 #include "regalloc/Coalescer.h"
 #include "regalloc/SelectState.h"
+#include "support/Deadline.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 
 #include <algorithm>
@@ -235,13 +237,15 @@ RoundResult IteratedCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   // The George-Appel worklist interleaves simplify and conservative
   // coalescing, so both run under one phase span.
   ScopedTimer SimplifyTimer("iterated.simplify_coalesce", "allocator");
+  PDGC_FAULT_POINT("iterated.simplify_coalesce");
   IteratedState St(Ctx);
   while (St.step())
-    ;
+    pollDeadline();
   SimplifyTimer.finish();
 
   // Select, optimistically retrying potential spills.
   ScopedTimer SelectTimer("iterated.select", "allocator");
+  PDGC_FAULT_POINT("iterated.select");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> SpilledReps;
   for (unsigned I = St.Stack.size(); I-- > 0;) {

@@ -11,6 +11,7 @@
 #include "analysis/Liveness.h"
 #include "ir/PhiElimination.h"
 #include "sim/CostSimulator.h"
+#include "support/Deadline.h"
 #include "support/Debug.h"
 #include "support/Stats.h"
 #include "support/Tracing.h"
@@ -68,6 +69,9 @@ public:
       Best.BudgetExhausted = true;
       return;
     }
+    // The node budget bounds work, not wall time; the ambient deadline
+    // (when the caller set one) bounds both, one poll per visited node.
+    pollDeadline();
     if (Depth == Order.size()) {
       double Cost = simulateCost(F, Target, Assign).total();
       if (!Best.Found || Cost < Best.Cost) {

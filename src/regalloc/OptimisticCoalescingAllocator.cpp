@@ -10,7 +10,9 @@
 #include "regalloc/Coalescer.h"
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
+#include "support/Deadline.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 
 #include <algorithm>
@@ -30,6 +32,7 @@ OptimisticCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   UnionFind UF(N);
   {
     ScopedTimer Timer("optimistic.coalesce", "allocator");
+    PDGC_FAULT_POINT("optimistic.coalesce");
     aggressiveCoalesce(Ctx.IG, UF);
   }
   CoalescedCosts CC(Ctx.Costs, UF);
@@ -40,6 +43,7 @@ OptimisticCoalescingAllocator::allocateRound(AllocContext &Ctx) {
     Members[UF.find(V)].push_back(V);
 
   ScopedTimer SimplifyTimer("optimistic.simplify", "allocator");
+  PDGC_FAULT_POINT("optimistic.simplify");
   SimplifyResult SR =
       simplifyGraph(Ctx.IG, Ctx.Target,
                     [&](unsigned Node) { return CC.spillMetric(Node); },
@@ -49,6 +53,7 @@ OptimisticCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   // Colors are tracked per *primitive* node over the pristine graph, so
   // that split nodes can be colored independently.
   ScopedTimer SelectTimer("optimistic.select", "allocator");
+  PDGC_FAULT_POINT("optimistic.select");
   SelectState SS(Pristine, Ctx.Target);
 
   // A class merged into a precolored representative occupies that register
@@ -77,6 +82,7 @@ OptimisticCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   std::vector<unsigned> Spills;
 
   while (!Work.empty()) {
+    pollDeadline();
     unsigned Node = Work.back();
     Work.pop_back();
 

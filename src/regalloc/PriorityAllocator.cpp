@@ -10,6 +10,7 @@
 
 #include <limits>
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 
 #include <algorithm>
@@ -24,6 +25,7 @@ RoundResult PriorityAllocator::allocateRound(AllocContext &Ctx) {
   // Partition into unconstrained (always colorable) and constrained
   // ranges; order the constrained ones by priority.
   ScopedTimer PartitionTimer("priority.partition", "allocator");
+  PDGC_FAULT_POINT("priority.partition");
   std::vector<unsigned> Constrained;
   std::vector<unsigned> Unconstrained;
   for (unsigned V = 0; V != N; ++V) {
@@ -56,6 +58,7 @@ RoundResult PriorityAllocator::allocateRound(AllocContext &Ctx) {
   // Color in priority order; failures spill immediately (no later range
   // can evict an earlier, more important one).
   ScopedTimer SelectTimer("priority.select", "allocator");
+  PDGC_FAULT_POINT("priority.select");
   std::vector<unsigned> Spills;
   for (unsigned V : Constrained) {
     int Color = SS.firstAvailable(V);

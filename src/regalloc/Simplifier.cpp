@@ -6,6 +6,7 @@
 
 #include "regalloc/Simplifier.h"
 
+#include "support/Deadline.h"
 #include "support/Debug.h"
 
 using namespace pdgc;
@@ -84,6 +85,10 @@ SimplifyResult pdgc::simplifyGraph(
     Enqueue(N);
 
   while (NumActive != 0) {
+    // Cooperative cancellation: the worklist shrinks by one node per
+    // iteration, so on huge graphs this is the loop a wall-clock budget
+    // has to be able to interrupt.
+    pollDeadline();
     int Pick = -1;
     if (!RemovalPriority) {
       while (Head < Worklist.size()) {

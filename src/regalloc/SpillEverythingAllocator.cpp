@@ -9,6 +9,7 @@
 #include "regalloc/SelectState.h"
 #include "regalloc/Simplifier.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Tracing.h"
 
 using namespace pdgc;
@@ -39,6 +40,7 @@ RoundResult SpillEverythingAllocator::allocateRound(AllocContext &Ctx) {
   // target (e.g. one register per class) — report it as a fatal check so
   // the hardened driver converts it into a structured error.
   ScopedTimer SimplifyTimer("spillall.simplify", "allocator");
+  PDGC_FAULT_POINT("spillall.simplify");
   SimplifyResult SR = simplifyGraph(
       Ctx.IG, Ctx.Target,
       [&](unsigned Node) { return Ctx.Costs.spillMetric(VReg(Node)); },
@@ -46,6 +48,7 @@ RoundResult SpillEverythingAllocator::allocateRound(AllocContext &Ctx) {
   SimplifyTimer.finish();
 
   ScopedTimer SelectTimer("spillall.select", "allocator");
+  PDGC_FAULT_POINT("spillall.select");
   SelectState SS(Ctx.IG, Ctx.Target);
   std::vector<unsigned> Spills;
   for (unsigned I = static_cast<unsigned>(SR.Stack.size()); I-- > 0;) {

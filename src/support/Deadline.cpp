@@ -1,0 +1,26 @@
+//===- support/Deadline.cpp - Cooperative deadlines / cancellation --------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+
+#include "support/Stats.h"
+
+namespace pdgc {
+namespace deadline_detail {
+
+thread_local Deadline Ambient;
+thread_local std::uint32_t PollTick = 0;
+
+void pollSlow() {
+  PDGC_STAT("deadline", "polls").inc();
+  if (!Ambient.expired())
+    return;
+  PDGC_STAT("deadline", "expired").inc();
+  throw DeadlineExceeded("deadline exceeded");
+}
+
+} // namespace deadline_detail
+} // namespace pdgc

@@ -1,0 +1,326 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Debug.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace pdgc {
+namespace fault {
+
+// The spec parser is compiled unconditionally: a faults-off build still
+// diagnoses a malformed PDGC_FAULTS value instead of silently accepting
+// it (the resulting plan just installs nowhere).
+
+namespace {
+
+bool parseUInt64(const std::string &Text, std::uint64_t &Out) {
+  if (Text.empty() || Text.size() > 18)
+    return false;
+  std::uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Value = Value * 10 + static_cast<std::uint64_t>(C - '0');
+  }
+  Out = Value;
+  return true;
+}
+
+std::string parseOneRule(const std::string &Text, FaultRule &Rule) {
+  std::size_t Colon = Text.find(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return "rule '" + Text + "' is not site:action";
+  Rule.SitePattern = Text.substr(0, Colon);
+
+  std::string Rest = Text.substr(Colon + 1);
+  std::string ActionText = Rest;
+  std::string TriggerText;
+  std::size_t At = Rest.find('@');
+  if (At != std::string::npos) {
+    ActionText = Rest.substr(0, At);
+    TriggerText = Rest.substr(At + 1);
+  }
+
+  if (ActionText == "fatal") {
+    Rule.Act = Action::Fatal;
+  } else if (ActionText == "status") {
+    Rule.Act = Action::Status;
+  } else if (ActionText.compare(0, 6, "delay=") == 0) {
+    Rule.Act = Action::Delay;
+    std::uint64_t Ms = 0;
+    if (!parseUInt64(ActionText.substr(6), Ms))
+      return "bad delay in '" + Text + "'";
+    // Cap so a typo'd plan cannot wedge a run; delays exist to trip
+    // deadlines, and deadlines under test are tens of milliseconds.
+    Rule.DelayMs = static_cast<unsigned>(std::min<std::uint64_t>(Ms, 1000));
+  } else {
+    return "unknown action '" + ActionText + "' (want fatal|status|delay=MS)";
+  }
+
+  bool SawTrigger = false;
+  std::size_t Pos = 0;
+  while (Pos < TriggerText.size()) {
+    std::size_t Comma = TriggerText.find(',', Pos);
+    std::string Item = TriggerText.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? TriggerText.size() : Comma + 1;
+
+    std::size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      return "bad trigger '" + Item + "' (want key=value)";
+    std::string Key = Item.substr(0, Eq);
+    std::uint64_t Value = 0;
+    if (!parseUInt64(Item.substr(Eq + 1), Value))
+      return "bad number in trigger '" + Item + "'";
+
+    if (Key == "n") {
+      if (Value == 0)
+        return "trigger n= must be >= 1";
+      Rule.OnHit = Value;
+      SawTrigger = true;
+    } else if (Key == "every") {
+      if (Value == 0)
+        return "trigger every= must be >= 1";
+      Rule.EveryHit = Value;
+      SawTrigger = true;
+    } else if (Key == "p") {
+      if (Value == 0 || Value > 100)
+        return "trigger p= must be 1..100";
+      Rule.Percent = static_cast<unsigned>(Value);
+      SawTrigger = true;
+    } else if (Key == "seed") {
+      Rule.Seed = Value;
+    } else {
+      return "unknown trigger '" + Key + "' (want n|every|p|seed)";
+    }
+  }
+
+  if (!SawTrigger)
+    Rule.OnHit = 1;
+  return "";
+}
+
+} // namespace
+
+std::string parseFaultSpec(const std::string &Spec, FaultPlan &Plan) {
+  Plan.Rules.clear();
+  std::size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    std::size_t Semi = Spec.find(';', Pos);
+    std::string RuleText = Spec.substr(
+        Pos, Semi == std::string::npos ? std::string::npos : Semi - Pos);
+    Pos = Semi == std::string::npos ? Spec.size() + 1 : Semi + 1;
+    if (RuleText.empty())
+      continue;
+    FaultRule Rule;
+    std::string Error = parseOneRule(RuleText, Rule);
+    if (!Error.empty())
+      return Error;
+    Plan.Rules.push_back(std::move(Rule));
+  }
+  if (Plan.Rules.empty())
+    return "empty fault spec";
+  return "";
+}
+
+bool installPlanFromEnv(std::string *Error) {
+  const char *Spec = std::getenv("PDGC_FAULTS");
+  if (!Spec || !*Spec)
+    return true;
+  FaultPlan Plan;
+  std::string Diag = parseFaultSpec(Spec, Plan);
+  if (!Diag.empty()) {
+    if (Error)
+      *Error = Diag;
+    return false;
+  }
+  installPlan(std::move(Plan));
+  return true;
+}
+
+#ifndef PDGC_DISABLE_FAULTS
+
+namespace {
+
+/// Registry of every site whose PDGC_FAULT_POINT has executed at least
+/// once, plus the installed plan. Mirrors StatRegistry: a leaked
+/// singleton, an intrusive chain under a mutex for registration, and a
+/// relaxed atomic flag read on the hot path.
+class FaultRegistry {
+public:
+  static FaultRegistry &get() {
+    static FaultRegistry *Instance = new FaultRegistry();
+    return *Instance;
+  }
+
+  void registerSite(FaultSite &Site) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Site.Next = Head;
+    Head = &Site;
+  }
+
+  void install(FaultPlan NewPlan) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Plan = std::move(NewPlan);
+    Armed.store(!Plan.Rules.empty(), std::memory_order_release);
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Armed.store(false, std::memory_order_release);
+    Plan.Rules.clear();
+  }
+
+  bool armed() const { return Armed.load(std::memory_order_acquire); }
+
+  /// The installed plan. Only valid while armed; installPlan documents
+  /// that plans change only at quiescent points, so no lock on read.
+  const FaultPlan &plan() const { return Plan; }
+
+  FaultSite *head() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Head;
+  }
+
+private:
+  FaultRegistry() = default;
+
+  std::mutex Mutex;
+  FaultSite *Head = nullptr;
+  FaultPlan Plan;
+  std::atomic<bool> Armed{false};
+};
+
+bool matchesPattern(const std::string &Pattern, const char *Name) {
+  if (!Pattern.empty() && Pattern.back() == '*')
+    return std::string(Name).compare(0, Pattern.size() - 1, Pattern, 0,
+                                     Pattern.size() - 1) == 0;
+  return Pattern == Name;
+}
+
+/// SplitMix64 finalizer (same constants as support/Rng.h). Hashing
+/// (seed, site name, hit index) instead of drawing from a shared stream
+/// keeps probability triggers deterministic under any thread
+/// interleaving: each (site, hit) pair rolls the same number always.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+std::uint64_t hashName(const char *Name) {
+  std::uint64_t H = 1469598103934665603ULL; // FNV-1a
+  for (const char *P = Name; *P; ++P)
+    H = (H ^ static_cast<unsigned char>(*P)) * 1099511628211ULL;
+  return H;
+}
+
+bool ruleTriggers(const FaultRule &Rule, const char *SiteName,
+                  std::uint64_t HitIndex) {
+  if (Rule.OnHit != 0)
+    return HitIndex == Rule.OnHit;
+  if (Rule.EveryHit != 0)
+    return HitIndex % Rule.EveryHit == 0;
+  if (Rule.Percent != 0) {
+    std::uint64_t Roll =
+        mix64(mix64(Rule.Seed ^ hashName(SiteName)) ^ HitIndex) % 100;
+    return Roll < Rule.Percent;
+  }
+  return false;
+}
+
+} // namespace
+
+FaultSite::FaultSite(const char *Name) : Name(Name) {
+  FaultRegistry::get().registerSite(*this);
+}
+
+bool armed() { return FaultRegistry::get().armed(); }
+
+void hitImpl(FaultSite &Site) {
+  // fetch_add returns the pre-increment value; +1 makes indices 1-based
+  // so `n=1` means "the first time control reaches this site".
+  std::uint64_t HitIndex =
+      Site.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  const FaultPlan &Plan = FaultRegistry::get().plan();
+  for (const FaultRule &Rule : Plan.Rules) {
+    if (!matchesPattern(Rule.SitePattern, Site.Name) ||
+        !ruleTriggers(Rule, Site.Name, HitIndex))
+      continue;
+
+    Site.Fires.fetch_add(1, std::memory_order_relaxed);
+    switch (Rule.Act) {
+    case Action::Fatal:
+      PDGC_STAT("fault", "injected_fatal").inc();
+      throw FatalError(std::string("injected fault: fatal at ") + Site.Name);
+    case Action::Status:
+      PDGC_STAT("fault", "injected_status").inc();
+      throw InjectedFault(std::string("injected fault: status at ") +
+                          Site.Name);
+    case Action::Delay:
+      PDGC_STAT("fault", "injected_delay").inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(Rule.DelayMs));
+      return; // A delay consumed this hit; later rules don't stack on it.
+    }
+  }
+}
+
+void installPlan(FaultPlan Plan) { FaultRegistry::get().install(std::move(Plan)); }
+
+void clearPlan() { FaultRegistry::get().clear(); }
+
+bool compiledIn() { return true; }
+
+std::vector<SiteInfo> siteSnapshot() {
+  std::vector<SiteInfo> Out;
+  for (FaultSite *S = FaultRegistry::get().head(); S; S = S->Next) {
+    SiteInfo Info;
+    Info.Name = S->Name;
+    Info.Hits = S->Hits.load(std::memory_order_relaxed);
+    Info.Fires = S->Fires.load(std::memory_order_relaxed);
+    Out.push_back(std::move(Info));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const SiteInfo &A, const SiteInfo &B) { return A.Name < B.Name; });
+  return Out;
+}
+
+void resetSiteCounters() {
+  for (FaultSite *S = FaultRegistry::get().head(); S; S = S->Next) {
+    S->Hits.store(0, std::memory_order_relaxed);
+    S->Fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+#else // PDGC_DISABLE_FAULTS
+
+// Stubs so tools link unchanged in a faults-off build; a plan parses
+// (and a malformed one is still diagnosed) but installs nowhere, and
+// the site set is empty.
+
+void installPlan(FaultPlan) {}
+void clearPlan() {}
+
+bool compiledIn() { return false; }
+
+std::vector<SiteInfo> siteSnapshot() { return {}; }
+
+void resetSiteCounters() {}
+
+#endif // PDGC_DISABLE_FAULTS
+
+} // namespace fault
+} // namespace pdgc

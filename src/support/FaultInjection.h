@@ -1,0 +1,175 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named fault sites for deterministic failure testing. Code plants a site
+/// at every stage boundary it wants testable:
+///
+/// \code
+///   PDGC_FAULT_POINT("driver.spill_insert");
+/// \endcode
+///
+/// A site is inert until a *fault plan* is installed (via the API or the
+/// `PDGC_FAULTS` environment variable). An armed site consults the plan:
+/// a matching rule can throw a `FatalError` (as if an internal invariant
+/// broke), throw a `fault::InjectedFault` (converted by the hardened
+/// driver into a structured `ALLOCATOR_INTERNAL` Status), or sleep for a
+/// bounded delay (to exercise deadline enforcement). Triggers are
+/// deterministic: fire on exactly the Nth hit of the site, on every Nth
+/// hit, or with a probability hashed from (seed, site, hit index) — the
+/// same plan over the same workload fires the same hits at any thread
+/// count, because hit indices are per-site.
+///
+/// The spec grammar, for `PDGC_FAULTS` and `parseFaultSpec`:
+///
+///   spec    := rule (';' rule)*
+///   rule    := site-pattern ':' action ['@' trigger (',' trigger)*]
+///   action  := 'fatal' | 'status' | 'delay=<ms>'       (delay capped at 1000)
+///   trigger := 'n=<N>' | 'every=<N>' | 'p=<percent>' | 'seed=<S>'
+///
+/// A site pattern is an exact name or a prefix ending in '*' ("driver.*",
+/// "*"). A rule without a trigger means `n=1` (fire on the first hit).
+/// Example: `PDGC_FAULTS='pdgc.select:fatal@n=3;driver.*:delay=20@p=5,seed=7'`.
+///
+/// Sites self-register (like `PDGC_STAT` counters) the first time control
+/// passes over them, so `siteSnapshot()` enumerates every site the
+/// workload can reach — the chaos fuzzer uses a fault-free discovery pass
+/// to build its sweep list. Like the stats layer, the whole machinery
+/// compiles to nothing under `-DPDGC_DISABLE_FAULTS=ON`; a disarmed site
+/// in a default build costs one static-init guard check and one relaxed
+/// atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_FAULTINJECTION_H
+#define PDGC_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdgc {
+namespace fault {
+
+/// Thrown by an armed site whose matching rule has action `status`. The
+/// hardened driver maps it to an ALLOCATOR_INTERNAL Status (message
+/// prefixed "injected fault:"), distinct from a FatalError so tests can
+/// tell "invariant broke" from "dependency returned an error".
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(const std::string &Msg) : std::runtime_error(Msg) {}
+};
+
+/// What a firing rule does to the thread that hit the site.
+enum class Action {
+  Fatal,  ///< Throw FatalError, as if a pdgc_check failed here.
+  Status, ///< Throw InjectedFault (a structured, expected-shape failure).
+  Delay,  ///< Sleep for DelayMs (bounded), then continue normally.
+};
+
+/// One rule of a fault plan.
+struct FaultRule {
+  std::string SitePattern;    ///< Exact site name, or prefix ending in '*'.
+  Action Act = Action::Fatal;
+  unsigned DelayMs = 0;       ///< Action::Delay only; capped at 1000.
+  std::uint64_t OnHit = 0;    ///< Fire on exactly this 1-based hit index.
+  std::uint64_t EveryHit = 0; ///< Fire on every Nth hit.
+  unsigned Percent = 0;       ///< Fire with this probability (0-100).
+  std::uint64_t Seed = 0;     ///< Hash seed for the Percent trigger.
+};
+
+/// An immutable set of rules; the first matching rule that triggers fires.
+struct FaultPlan {
+  std::vector<FaultRule> Rules;
+};
+
+/// Parses the PDGC_FAULTS grammar into \p Plan. Returns an empty string on
+/// success, a diagnostic otherwise (Plan is unspecified on failure).
+std::string parseFaultSpec(const std::string &Spec, FaultPlan &Plan);
+
+/// Installs \p Plan and arms every site. Call from a quiescent point (no
+/// allocation in flight on another thread); the plan is read-only after.
+void installPlan(FaultPlan Plan);
+
+/// Disarms every site (hits are still counted while armed only).
+void clearPlan();
+
+/// Reads PDGC_FAULTS and installs the parsed plan; does nothing when the
+/// variable is unset or empty. Returns false (and fills \p Error) when the
+/// spec does not parse.
+bool installPlanFromEnv(std::string *Error = nullptr);
+
+/// True when this binary compiled the fault layer in (no
+/// -DPDGC_DISABLE_FAULTS); tools use it to refuse chaos mode otherwise.
+bool compiledIn();
+
+/// Per-site observability: how often control passed an armed site and how
+/// often a rule fired there.
+struct SiteInfo {
+  std::string Name;
+  std::uint64_t Hits = 0;
+  std::uint64_t Fires = 0;
+};
+
+/// Sorted copy of every registered site's counters. A site registers the
+/// first time control reaches it, so run a workload first to populate.
+std::vector<SiteInfo> siteSnapshot();
+
+/// Zeroes every site's hit/fire counters (the registration set is kept).
+/// The chaos sweep resets between plans so `n=` triggers count per run.
+void resetSiteCounters();
+
+#ifndef PDGC_DISABLE_FAULTS
+
+/// One planted site. The PDGC_FAULT_POINT macro materializes a
+/// function-local static instance, which self-registers on first
+/// execution (thread-safe via the magic-static guarantee).
+class FaultSite {
+public:
+  explicit FaultSite(const char *Name);
+
+  FaultSite(const FaultSite &) = delete;
+  FaultSite &operator=(const FaultSite &) = delete;
+
+  // Registry internals (public like StatCounter's: the registry lives in
+  // an anonymous namespace the friend system cannot name).
+  const char *Name;
+  std::atomic<std::uint64_t> Hits{0};
+  std::atomic<std::uint64_t> Fires{0};
+  FaultSite *Next = nullptr; ///< Intrusive registry chain.
+};
+
+/// True while a plan is installed (one relaxed load; the macro's guard).
+bool armed();
+
+/// Evaluates the installed plan against \p Site; called by the macro only
+/// when armed. May throw FatalError / InjectedFault or sleep.
+void hitImpl(FaultSite &Site);
+
+#endif // PDGC_DISABLE_FAULTS
+
+} // namespace fault
+} // namespace pdgc
+
+#ifndef PDGC_DISABLE_FAULTS
+/// Plants a named fault site. SITE must be a string literal (or otherwise
+/// outlive the program). Disarmed cost: a static-init guard check plus one
+/// relaxed load and a predictable branch.
+#define PDGC_FAULT_POINT(SITE)                                                 \
+  do {                                                                         \
+    static ::pdgc::fault::FaultSite PdgcFaultSite_(SITE);                      \
+    if (::pdgc::fault::armed())                                                \
+      ::pdgc::fault::hitImpl(PdgcFaultSite_);                                  \
+  } while (0)
+#else
+#define PDGC_FAULT_POINT(SITE)                                                 \
+  do {                                                                         \
+  } while (0)
+#endif
+
+#endif // PDGC_SUPPORT_FAULTINJECTION_H

@@ -49,7 +49,11 @@ void ThreadPool::workerLoop() {
       Job = std::move(Queue.front());
       Queue.pop_front();
     }
-    Job();
+    try {
+      Job();
+    } catch (...) {
+      recordError(std::current_exception());
+    }
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       if (--Pending == 0)
@@ -58,9 +62,33 @@ void ThreadPool::workerLoop() {
   }
 }
 
+void ThreadPool::recordError(std::exception_ptr E) {
+  PDGC_STAT("threadpool", "job_exceptions").inc();
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (!FirstError)
+    FirstError = std::move(E);
+}
+
+void ThreadPool::rethrowPending() {
+  std::exception_ptr E;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    E = FirstError;
+    FirstError = nullptr;
+  }
+  if (E)
+    std::rethrow_exception(E);
+}
+
 void ThreadPool::submit(std::function<void()> Job) {
   if (Workers.empty()) {
-    Job();
+    // Inline mode captures too, so submit() has one contract at every
+    // thread count: job exceptions surface from wait(), not here.
+    try {
+      Job();
+    } catch (...) {
+      recordError(std::current_exception());
+    }
     return;
   }
   // Queue-wait attribution: how long the job sat behind the scheduler.
@@ -86,10 +114,11 @@ void ThreadPool::submit(std::function<void()> Job) {
 }
 
 void ThreadPool::wait() {
-  if (Workers.empty())
-    return;
-  std::unique_lock<std::mutex> Lock(Mutex);
-  AllDone.wait(Lock, [this] { return Pending == 0; });
+  if (!Workers.empty()) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return Pending == 0; });
+  }
+  rethrowPending();
 }
 
 void ThreadPool::parallelFor(unsigned Count,
@@ -100,20 +129,33 @@ void ThreadPool::parallelFor(unsigned Count,
   // count, and the stats report promises jobs-independent counters.
   PDGC_STAT("threadpool", "parallel_items").add(Count);
   if (Workers.empty()) {
-    for (unsigned I = 0; I != Count; ++I)
-      Fn(I);
+    for (unsigned I = 0; I != Count; ++I) {
+      try {
+        Fn(I);
+      } catch (...) {
+        recordError(std::current_exception());
+      }
+    }
+    rethrowPending();
     return;
   }
   // One claiming job per worker (capped by Count); each drains the shared
-  // cursor so a slow item does not leave the other workers idle.
+  // cursor so a slow item does not leave the other workers idle. Items
+  // are guarded individually — a throwing item must not kill its claimer,
+  // or every index the claimer would have drained is silently skipped.
   auto Next = std::make_shared<std::atomic<unsigned>>(0);
   const unsigned Claimers =
       std::min(numThreads(), Count);
   for (unsigned I = 0; I != Claimers; ++I)
-    submit([Next, Count, &Fn] {
+    submit([this, Next, Count, &Fn] {
       for (unsigned Idx = Next->fetch_add(1); Idx < Count;
-           Idx = Next->fetch_add(1))
-        Fn(Idx);
+           Idx = Next->fetch_add(1)) {
+        try {
+          Fn(Idx);
+        } catch (...) {
+          recordError(std::current_exception());
+        }
+      }
     });
   wait();
 }

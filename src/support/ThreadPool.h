@@ -17,9 +17,16 @@
 /// thread, same execution order) rather than "parallel with one worker",
 /// which is what the determinism tests compare against.
 ///
-/// Jobs must not throw: an exception escaping a job on a worker thread
-/// would call std::terminate. Callers route failures through Status values
-/// instead (see regalloc/BatchDriver.h).
+/// Exception safety: an exception escaping a job (or a `parallelFor`
+/// item) is captured instead of reaching the worker loop (where it would
+/// call std::terminate). The pool keeps the *first* captured exception
+/// and rethrows it from the next `wait()` — after every job has
+/// finished, so the barrier still holds; later exceptions are dropped.
+/// A `parallelFor` item that throws is abandoned (its slot keeps
+/// whatever default the caller initialized), but the remaining indices
+/// still run. Callers that want per-item failures should still route
+/// them through Status values (see regalloc/BatchDriver.h); the capture
+/// is the backstop that keeps a stray throw from killing the process.
 ///
 /// Observability: each worker claims trace lane `index + 1`
 /// (trace::setThreadLane), so exported Chrome traces show one track per
@@ -53,10 +60,13 @@ public:
   /// Drains outstanding work, then joins the workers.
   ~ThreadPool();
 
-  /// Enqueues \p Job. Runs it inline when the pool has no workers.
+  /// Enqueues \p Job. Runs it inline when the pool has no workers. An
+  /// exception the job throws (inline or on a worker) is captured and
+  /// surfaces from the next wait().
   void submit(std::function<void()> Job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first exception any of them threw (if any), clearing it.
   void wait();
 
   /// Runs \p Fn(0) ... \p Fn(Count - 1), distributing indices over the
@@ -74,6 +84,8 @@ public:
 
 private:
   void workerLoop();
+  void recordError(std::exception_ptr E);
+  void rethrowPending();
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
@@ -83,6 +95,10 @@ private:
   /// Jobs submitted but not yet finished (queued + running).
   unsigned Pending = 0;
   bool Stopping = false;
+  /// First exception a job threw since the last wait(); later ones are
+  /// dropped (first-wins matches the sequential pipeline, where the first
+  /// throw is the only one that happens).
+  std::exception_ptr FirstError;
 };
 
 } // namespace pdgc

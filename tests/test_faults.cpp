@@ -1,0 +1,434 @@
+//===- tests/test_faults.cpp - Fault injection and deadline tests ---------------===//
+//
+// Part of the PDGC project.
+//
+// Covers the robustness layer end to end: the PDGC_FAULTS spec parser and
+// deterministic triggers, fault delivery through the hardened driver (an
+// injected failure becomes a structured Status, never an abort), the
+// untouched-on-total-failure contract with every tier killed by injection
+// (sequentially and under --jobs=4 batches), cooperative deadlines
+// (TimeBudgetMs, CancelAt, and the guarantee-tier exemption), and
+// ThreadPool job-exception capture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PDGCRegistration.h"
+#include "ir/Clone.h"
+#include "ir/IRPrinter.h"
+#include "regalloc/AllocatorRegistry.h"
+#include "regalloc/AssignmentChecker.h"
+#include "regalloc/BatchDriver.h"
+#include "regalloc/Driver.h"
+#include "support/Deadline.h"
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+using namespace pdgc;
+
+namespace {
+
+[[maybe_unused]] const bool AllocatorsRegistered = [] {
+  registerPDGCAllocators();
+  return true;
+}();
+
+std::unique_ptr<Function> makeWorkload(const TargetDesc &Target,
+                                       std::uint64_t Seed = 42) {
+  GeneratorParams P;
+  P.Seed = Seed;
+  P.Name = "faults";
+  P.CallPercent = 30;
+  P.PressureValues = 8;
+  return generateFunction(P, Target);
+}
+
+/// Clears any installed plan on both ends of a test, so a failing test
+/// cannot leak an armed plan into its neighbors.
+struct PlanGuard {
+  PlanGuard() { fault::clearPlan(); }
+  ~PlanGuard() { fault::clearPlan(); }
+};
+
+/// Installs the plan parsed from \p Spec; fails the test on a bad spec.
+void installSpec(const std::string &Spec) {
+  fault::FaultPlan Plan;
+  std::string Error = fault::parseFaultSpec(Spec, Plan);
+  ASSERT_TRUE(Error.empty()) << Error;
+  fault::resetSiteCounters();
+  fault::installPlan(Plan);
+}
+
+/// A site the tests own outright, hit under controlled counts.
+bool hitTestSite() {
+  PDGC_FAULT_POINT("test.probe");
+  return true;
+}
+
+/// Runs \p Hits hits of the test site and returns which (1-based) hit
+/// indices threw.
+std::vector<unsigned> firingPattern(unsigned Hits) {
+  std::vector<unsigned> Fired;
+  for (unsigned I = 1; I <= Hits; ++I) {
+    try {
+      hitTestSite();
+    } catch (const std::exception &) {
+      Fired.push_back(I);
+    }
+  }
+  return Fired;
+}
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSpec, ParsesActionsAndTriggers) {
+  fault::FaultPlan Plan;
+  EXPECT_EQ(fault::parseFaultSpec(
+                "driver.round:fatal@n=3;pdgc.*:status@every=2;"
+                "*:delay=20@p=5,seed=7",
+                Plan),
+            "");
+  ASSERT_EQ(Plan.Rules.size(), 3u);
+  EXPECT_EQ(Plan.Rules[0].SitePattern, "driver.round");
+  EXPECT_EQ(Plan.Rules[0].Act, fault::Action::Fatal);
+  EXPECT_EQ(Plan.Rules[0].OnHit, 3u);
+  EXPECT_EQ(Plan.Rules[1].SitePattern, "pdgc.*");
+  EXPECT_EQ(Plan.Rules[1].Act, fault::Action::Status);
+  EXPECT_EQ(Plan.Rules[1].EveryHit, 2u);
+  EXPECT_EQ(Plan.Rules[2].Act, fault::Action::Delay);
+  EXPECT_EQ(Plan.Rules[2].DelayMs, 20u);
+  EXPECT_EQ(Plan.Rules[2].Percent, 5u);
+  EXPECT_EQ(Plan.Rules[2].Seed, 7u);
+}
+
+TEST(FaultSpec, DefaultsToFirstHit) {
+  fault::FaultPlan Plan;
+  EXPECT_EQ(fault::parseFaultSpec("driver.verify:status", Plan), "");
+  ASSERT_EQ(Plan.Rules.size(), 1u);
+  EXPECT_EQ(Plan.Rules[0].OnHit, 1u);
+}
+
+TEST(FaultSpec, RejectsGarbage) {
+  fault::FaultPlan Plan;
+  EXPECT_NE(fault::parseFaultSpec("no-colon-here", Plan), "");
+  EXPECT_NE(fault::parseFaultSpec("site:explode", Plan), "");
+  EXPECT_NE(fault::parseFaultSpec("site:fatal@n=", Plan), "");
+  EXPECT_NE(fault::parseFaultSpec("site:fatal@bogus=1", Plan), "");
+  EXPECT_NE(fault::parseFaultSpec("site:fatal@p=101", Plan), "");
+  EXPECT_NE(fault::parseFaultSpec(":fatal", Plan), "");
+}
+
+TEST(FaultSpec, CapsDelay) {
+  fault::FaultPlan Plan;
+  EXPECT_EQ(fault::parseFaultSpec("site:delay=99999", Plan), "");
+  ASSERT_EQ(Plan.Rules.size(), 1u);
+  EXPECT_LE(Plan.Rules[0].DelayMs, 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trigger determinism
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTriggers, FiresOnExactlyTheNthHit) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  installSpec("test.probe:status@n=3");
+  EXPECT_EQ(firingPattern(6), (std::vector<unsigned>{3}));
+}
+
+TEST(FaultTriggers, FiresOnEveryNthHit) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  installSpec("test.probe:status@every=2");
+  EXPECT_EQ(firingPattern(6), (std::vector<unsigned>{2, 4, 6}));
+}
+
+TEST(FaultTriggers, ProbabilityIsDeterministicPerSeed) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  installSpec("test.probe:status@p=40,seed=11");
+  std::vector<unsigned> First = firingPattern(64);
+  installSpec("test.probe:status@p=40,seed=11");
+  std::vector<unsigned> Second = firingPattern(64);
+  EXPECT_EQ(First, Second);
+  EXPECT_FALSE(First.empty());
+  EXPECT_LT(First.size(), 64u);
+
+  installSpec("test.probe:status@p=40,seed=12");
+  EXPECT_NE(firingPattern(64), First) << "seed did not perturb the pattern";
+}
+
+TEST(FaultTriggers, SiteCountersTrackHitsAndFires) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  installSpec("test.probe:status@every=2");
+  firingPattern(10);
+  for (const fault::SiteInfo &S : fault::siteSnapshot())
+    if (S.Name == "test.probe") {
+      EXPECT_EQ(S.Hits, 10u);
+      EXPECT_EQ(S.Fires, 5u);
+      return;
+    }
+  FAIL() << "test.probe never registered";
+}
+
+//===----------------------------------------------------------------------===//
+// Fault delivery through the hardened driver
+//===----------------------------------------------------------------------===//
+
+TEST(FaultDriver, InjectedStatusDegradesToNextTier) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  TargetDesc Target = makeTarget(16);
+  std::unique_ptr<Function> F = makeWorkload(Target);
+  installSpec("pdgc.select:status@n=1");
+  StatusOr<AllocationOutcome> Result =
+      allocateWithFallback(*F, Target, DriverOptions());
+  ASSERT_TRUE(Result.ok()) << Result.status().toString();
+  EXPECT_TRUE(Result->Degradation.Degraded);
+  ASSERT_FALSE(Result->Degradation.FailedTiers.empty());
+  EXPECT_NE(Result->Degradation.FailedTiers[0].find("injected fault"),
+            std::string::npos)
+      << Result->Degradation.FailedTiers[0];
+  std::vector<std::string> Errors =
+      checkAssignment(*F, Target, Result->Assignment);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST(FaultDriver, InjectedFatalIsTrappedLikeARealCheck) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  TargetDesc Target = makeTarget(16);
+  std::unique_ptr<Function> F = makeWorkload(Target);
+  installSpec("driver.round:fatal@n=1");
+  StatusOr<AllocationOutcome> Result =
+      allocateWithFallback(*F, Target, DriverOptions());
+  ASSERT_TRUE(Result.ok()) << Result.status().toString();
+  EXPECT_TRUE(Result->Degradation.Degraded);
+}
+
+TEST(FaultDriver, TotalFailureLeavesInputByteIdentical) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  TargetDesc Target = makeTarget(16);
+  std::unique_ptr<Function> F = makeWorkload(Target);
+  const std::string Pristine = printFunction(*F);
+
+  // Every tier dies at its boundary; the caller's function must come back
+  // byte-identical through the whole failed chain.
+  installSpec("fallback.tier:status@every=1");
+  StatusOr<AllocationOutcome> Result =
+      allocateWithFallback(*F, Target, DriverOptions());
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.code(), ErrorCode::AllocatorInternal);
+  EXPECT_EQ(printFunction(*F), Pristine);
+
+  // Same with fatal faults deeper in the pipeline (spill insertion).
+  installSpec("driver.spill_insert:fatal@every=1;pdgc.select:fatal@every=1;"
+              "briggs.select:fatal@every=1;spillall.select:fatal@every=1");
+  StatusOr<AllocationOutcome> Fatal =
+      allocateWithFallback(*F, Target, DriverOptions());
+  ASSERT_FALSE(Fatal.ok());
+  EXPECT_EQ(printFunction(*F), Pristine);
+}
+
+TEST(FaultDriver, BatchTotalFailureUntouchedUnderJobs4) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+  TargetDesc Target = makeTarget(16);
+
+  std::vector<std::unique_ptr<Function>> Owned;
+  std::vector<Function *> Fns;
+  std::vector<std::string> Pristine;
+  for (std::uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Owned.push_back(makeWorkload(Target, Seed));
+    Fns.push_back(Owned.back().get());
+    Pristine.push_back(printFunction(*Owned.back()));
+  }
+
+  installSpec("fallback.tier:status@every=1");
+  BatchDriver Driver(4);
+  std::vector<BatchItemResult> Results =
+      Driver.run(Fns, Target, DriverOptions());
+  ASSERT_EQ(Results.size(), Fns.size());
+  for (size_t I = 0; I != Results.size(); ++I) {
+    EXPECT_FALSE(Results[I].ok()) << "item " << I;
+    EXPECT_EQ(printFunction(*Fns[I]), Pristine[I]) << "item " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(DeadlineUnit, DefaultIsUnset) {
+  Deadline D;
+  EXPECT_FALSE(D.isSet());
+  EXPECT_FALSE(D.expired());
+  EXPECT_FALSE(Deadline::afterMs(0).isSet());
+}
+
+TEST(DeadlineUnit, SoonerPicksTheTighterOfTwo) {
+  Deadline Long = Deadline::afterMs(60000);
+  Deadline Short = Deadline::afterMs(1);
+  EXPECT_EQ(Long.sooner(Short).time(), Short.time());
+  EXPECT_EQ(Short.sooner(Long).time(), Short.time());
+  EXPECT_EQ(Short.sooner(Deadline()).time(), Short.time());
+  EXPECT_EQ(Deadline().sooner(Short).time(), Short.time());
+}
+
+TEST(DeadlineUnit, PollThrowsOnceExpired) {
+  ScopedDeadline Guard(Deadline::afterMs(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // pollDeadline is decimated 1-in-64; enough ticks must trip it.
+  EXPECT_THROW(
+      {
+        for (int I = 0; I != 256; ++I)
+          pollDeadline();
+      },
+      DeadlineExceeded);
+}
+
+TEST(DeadlineUnit, ScopedDeadlineTightensButNeverLoosens) {
+  ScopedDeadline Outer(Deadline::afterMs(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  {
+    // An enclosing expired deadline survives a looser inner scope.
+    ScopedDeadline Inner(Deadline::afterMs(60000));
+    EXPECT_THROW(checkDeadline(), DeadlineExceeded);
+  }
+  EXPECT_THROW(checkDeadline(), DeadlineExceeded);
+}
+
+TEST(DeadlineDriver, StalledRoundReturnsBudgetExceededInBoundedTime) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out (delay injection drives the stall)";
+  PlanGuard Guard;
+  TargetDesc Target = makeTarget(16);
+  std::unique_ptr<Function> F = makeWorkload(Target);
+
+  // Every round stalls 100ms against a 5ms budget: the tier must come
+  // back BUDGET_EXCEEDED — and quickly, not after MaxRounds * 100ms.
+  installSpec("driver.round:delay=100@every=1");
+  std::unique_ptr<AllocatorBase> Allocator =
+      createRegisteredAllocator("briggs+aggressive");
+  ASSERT_NE(Allocator, nullptr);
+  DriverOptions Options;
+  Options.TimeBudgetMs = 5;
+  const auto Start = std::chrono::steady_clock::now();
+  StatusOr<AllocationOutcome> Result =
+      tryAllocate(*F, Target, *Allocator, Options);
+  const auto Elapsed = std::chrono::steady_clock::now() - Start;
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.code(), ErrorCode::BudgetExceeded);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+                .count(),
+            5000);
+}
+
+TEST(DeadlineDriver, CancelAtExemptsTheGuaranteeTier) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out (delay injection drives the stall)";
+  PlanGuard Guard;
+  TargetDesc Target = makeTarget(16);
+  std::unique_ptr<Function> F = makeWorkload(Target);
+
+  // CancelAt expires almost immediately and every round stalls past it,
+  // so the non-final tiers get cancelled — but the final (guarantee) tier
+  // runs with CancelAt cleared and must still serve the request.
+  installSpec("driver.round:delay=20@every=1");
+  DriverOptions Options;
+  Options.CancelAt = Deadline::afterMs(1);
+  StatusOr<AllocationOutcome> Result =
+      allocateWithFallback(*F, Target, Options);
+  ASSERT_TRUE(Result.ok()) << Result.status().toString();
+  EXPECT_TRUE(Result->Degradation.Degraded);
+  EXPECT_EQ(Result->Degradation.ServedBy, "spill-everything");
+  std::vector<std::string> Errors =
+      checkAssignment(*F, Target, Result->Assignment);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST(DeadlineDriver, BatchBudgetDegradesInsteadOfFailing) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out (delay injection drives the stall)";
+  PlanGuard Guard;
+  TargetDesc Target = makeTarget(16);
+  std::vector<std::unique_ptr<Function>> Owned;
+  std::vector<Function *> Fns;
+  for (std::uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    Owned.push_back(makeWorkload(Target, Seed));
+    Fns.push_back(Owned.back().get());
+  }
+
+  installSpec("driver.round:delay=20@every=1");
+  BatchLimits Limits;
+  Limits.BatchBudgetMs = 1; // Expired before the first item finishes.
+  BatchDriver Driver(2);
+  std::vector<BatchItemResult> Results =
+      Driver.run(Fns, Target, DriverOptions(), Limits);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    ASSERT_TRUE(Results[I].ok())
+        << "item " << I << ": " << Results[I].S.toString();
+    EXPECT_TRUE(Results[I].Out.Degradation.Degraded) << "item " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool exception capture
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolExceptions, WaitRethrowsFirstSubmitException) {
+  for (unsigned Jobs : {1u, 4u}) {
+    ThreadPool Pool(Jobs);
+    std::atomic<unsigned> Ran{0};
+    Pool.submit([] { throw std::runtime_error("job one failed"); });
+    Pool.submit([&] { ++Ran; });
+    EXPECT_THROW(Pool.wait(), std::runtime_error) << "jobs=" << Jobs;
+    // The failure is surfaced once, then the pool is reusable.
+    Pool.submit([&] { ++Ran; });
+    Pool.wait();
+    EXPECT_EQ(Ran.load(), 2u) << "jobs=" << Jobs;
+  }
+}
+
+TEST(ThreadPoolExceptions, ParallelForRunsRemainingIndices) {
+  for (unsigned Jobs : {1u, 4u}) {
+    ThreadPool Pool(Jobs);
+    std::vector<std::atomic<char>> Done(64);
+    for (auto &D : Done)
+      D = 0;
+    EXPECT_THROW(Pool.parallelFor(64,
+                                  [&](unsigned I) {
+                                    if (I == 7)
+                                      throw std::runtime_error("index 7");
+                                    Done[I] = 1;
+                                  }),
+                 std::runtime_error)
+        << "jobs=" << Jobs;
+    unsigned Completed = 0;
+    for (unsigned I = 0; I != 64; ++I)
+      Completed += Done[I] ? 1u : 0u;
+    // One throwing index must not strand the rest of the range.
+    EXPECT_EQ(Completed, 63u) << "jobs=" << Jobs;
+  }
+}
+
+} // namespace

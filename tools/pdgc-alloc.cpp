@@ -19,6 +19,13 @@
 //                      per file plus an aggregate
 //   --jobs=N           worker threads for --batch (default 1; 0 = one per
 //                      hardware thread)
+//   --time-budget-ms=N wall-clock budget per fallback tier (0 = unlimited);
+//                      enforced cooperatively inside rounds, so a stuck
+//                      phase returns BUDGET_EXCEEDED instead of hanging
+//   --max-rounds=N     cap on spill rounds per tier
+//   --batch-budget-ms=N  one deadline across a whole --batch run; once it
+//                      passes, remaining items degrade straight to the
+//                      guarantee tier (ignored outside --batch)
 //   --quiet            print only the summary line(s)
 //   --stats            print "; stat" counter lines (deterministic across
 //                      --jobs values) and "; timer" phase wall times
@@ -26,8 +33,16 @@
 //                      chrome://tracing or https://ui.perfetto.dev)
 //   --report-json=FILE write a machine-readable counters+timers report
 //
-// Reads from stdin when no input file is given. Exits nonzero on parse or
-// allocation errors (in batch mode: when any file failed).
+// Reads from stdin when no input file is given.
+//
+// The PDGC_FAULTS environment variable installs a deterministic fault plan
+// (see support/FaultInjection.h for the grammar); a malformed spec is a
+// usage error.
+//
+// Exit codes (docs/ROBUSTNESS.md):
+//   0  every input allocated by the requested allocator
+//   2  allocated, but at least one input was served by a fallback tier
+//   1  total failure: parse/verify error, or some input got no allocation
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +55,7 @@
 #include "regalloc/Driver.h"
 #include "sim/CostSimulator.h"
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "support/Tracing.h"
@@ -67,6 +83,8 @@ void usage() {
       "                  [--remat] [--quiet] [--no-fallback] "
       "[--emit-sample=SEED]\n"
       "                  [--batch=DIR] [--jobs=N] [--stats]\n"
+      "                  [--time-budget-ms=N] [--max-rounds=N] "
+      "[--batch-budget-ms=N]\n"
       "                  [--trace-json=FILE] [--report-json=FILE] "
       "[input.ir]\n");
 }
@@ -144,8 +162,20 @@ int main(int argc, char **argv) {
   long EmitSample = -1;
   std::string BatchDir;
   unsigned Jobs = 1;
+  unsigned TimeBudgetMs = 0;
+  unsigned MaxRounds = 0; // 0 = keep the DriverOptions default
+  unsigned BatchBudgetMs = 0;
   ObservabilityOptions Obs;
   std::string InputPath;
+
+  // A malformed fault plan is a usage error, caught before any work runs.
+  {
+    std::string FaultError;
+    if (!fault::installPlanFromEnv(&FaultError)) {
+      std::fprintf(stderr, "error: PDGC_FAULTS: %s\n", FaultError.c_str());
+      return 1;
+    }
+  }
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -190,6 +220,39 @@ int main(int argc, char **argv) {
       }
       Jobs = Value == 0 ? ThreadPool::defaultJobs()
                         : static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--time-budget-ms=", 0) == 0) {
+      unsigned long Value = 0;
+      if (!parseNumericOption(Arg.substr(17), 0, 3600000, Value)) {
+        std::fprintf(stderr,
+                     "error: --time-budget-ms expects a number in "
+                     "[0, 3600000], got '%s'\n",
+                     Arg.substr(17).c_str());
+        usage();
+        return 1;
+      }
+      TimeBudgetMs = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--max-rounds=", 0) == 0) {
+      unsigned long Value = 0;
+      if (!parseNumericOption(Arg.substr(13), 1, 100000, Value)) {
+        std::fprintf(stderr,
+                     "error: --max-rounds expects a number in [1, 100000], "
+                     "got '%s'\n",
+                     Arg.substr(13).c_str());
+        usage();
+        return 1;
+      }
+      MaxRounds = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--batch-budget-ms=", 0) == 0) {
+      unsigned long Value = 0;
+      if (!parseNumericOption(Arg.substr(18), 0, 3600000, Value)) {
+        std::fprintf(stderr,
+                     "error: --batch-budget-ms expects a number in "
+                     "[0, 3600000], got '%s'\n",
+                     Arg.substr(18).c_str());
+        usage();
+        return 1;
+      }
+      BatchBudgetMs = static_cast<unsigned>(Value);
     } else if (Arg == "--remat") {
       Remat = true;
     } else if (Arg == "--quiet") {
@@ -308,6 +371,9 @@ int main(int argc, char **argv) {
 
     DriverOptions Options;
     Options.Rematerialize = Remat;
+    Options.TimeBudgetMs = TimeBudgetMs;
+    if (MaxRounds != 0)
+      Options.MaxRounds = MaxRounds;
     if (NoFallback)
       Options.FallbackChain = {
           {AllocatorName, [&] { return makeAllocatorByName(AllocatorName); }}};
@@ -317,10 +383,20 @@ int main(int argc, char **argv) {
           {"briggs+aggressive", nullptr},
           {"spill-everything", nullptr}};
 
+    // Degradation warnings come from the batch layer as each item
+    // completes (serialized behind its mutex), labelled with the file.
+    BatchLimits Limits;
+    Limits.BatchBudgetMs = BatchBudgetMs;
+    Limits.WarnDegraded = !Quiet;
+    for (unsigned I = 0; I != Fns.size(); ++I)
+      Limits.Labels.push_back(Paths[FnPath[I]]);
+
     BatchDriver Driver(Jobs);
-    std::vector<BatchItemResult> Results = Driver.run(Fns, Target, Options);
+    std::vector<BatchItemResult> Results =
+        Driver.run(Fns, Target, Options, Limits);
 
     SimulatedCost TotalCost;
+    bool AnyDegraded = false;
     unsigned Succeeded = 0, TotalSpills = 0, TotalEliminated = 0;
     for (unsigned I = 0; I != Results.size(); ++I) {
       const char *Path = Paths[FnPath[I]].c_str();
@@ -331,16 +407,7 @@ int main(int argc, char **argv) {
         continue;
       }
       const AllocationOutcome &Out = Results[I].Out;
-      if (!Quiet && Out.Degradation.Degraded) {
-        std::fprintf(stderr,
-                     "warning: %s: '%s' failed; served by fallback tier %u "
-                     "('%s')\n",
-                     Path, AllocatorName.c_str(), Out.Degradation.TierIndex,
-                     Out.Degradation.ServedBy.c_str());
-        for (const std::string &Failure : Out.Degradation.FailedTiers)
-          std::fprintf(stderr, "warning: %s:   failed tier: %s\n", Path,
-                       Failure.c_str());
-      }
+      AnyDegraded |= Out.Degradation.Degraded;
       SimulatedCost Cost = simulateCost(*Fns[I], Target, Out.Assignment);
       ++Succeeded;
       TotalSpills += Out.SpillInstructions;
@@ -360,7 +427,7 @@ int main(int argc, char **argv) {
                 "eliminated=%u cost=%.0f\n",
                 Succeeded, Paths.size(), Jobs, TotalSpills, TotalEliminated,
                 TotalCost.total());
-    return Obs.finish(AnyFailed ? 1 : 0);
+    return Obs.finish(AnyFailed ? 1 : (AnyDegraded ? 2 : 0));
   }
 
   if (EmitSample >= 0) {
@@ -416,6 +483,9 @@ int main(int argc, char **argv) {
 
   DriverOptions Options;
   Options.Rematerialize = Remat;
+  Options.TimeBudgetMs = TimeBudgetMs;
+  if (MaxRounds != 0)
+    Options.MaxRounds = MaxRounds;
   AllocationOutcome Out;
   if (NoFallback) {
     StatusOr<AllocationOutcome> Result =
@@ -478,5 +548,5 @@ int main(int argc, char **argv) {
       Cost.total(), Cost.OpCost, Cost.MoveCost, Cost.SpillCost,
       Cost.CallerSaveCost, Cost.CalleeSaveCost, Cost.NarrowFixupCost,
       Cost.FusedPairs, Cost.FusedPairs + Cost.MissedPairs);
-  return Obs.finish(0);
+  return Obs.finish(Out.Degradation.Degraded ? 2 : 0);
 }

@@ -23,7 +23,18 @@
 //
 //   pdgc-fuzz [--runs=N] [--seed=S] [--corpus-dir=PATH] [--timeout=SECS]
 //             [--mutate-percent=P] [--kill-tier=NAME] [--max-save=N]
-//             [--jobs=N] [--quiet] [--stats]
+//             [--jobs=N] [--quiet] [--stats] [--chaos]
+//
+// --chaos switches to fault-injection sweeping instead of random-input
+// fuzzing: the corpus (plus a seeded generated supplement) is replayed
+// through the batch pipeline while every registered fault site
+// (support/FaultInjection.h) is triggered in turn — fatal, status, and
+// delay actions, then whole-pipeline probability plans — asserting the
+// three hard invariants on every item: the process never aborts, a total
+// failure leaves the input byte-identical, and any success passes the
+// independent AssignmentChecker. Each sweep's fault plan is printed in
+// PDGC_FAULTS syntax, so any finding reproduces outside the fuzzer (see
+// docs/ROBUSTNESS.md).
 //
 // --stats appends the allocator-wide "; stat" counter block to stdout.
 // Counters are sums of relaxed atomic increments, so for a fixed seed and
@@ -51,9 +62,12 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "regalloc/AllocatorRegistry.h"
+#include "regalloc/AssignmentChecker.h"
+#include "regalloc/BatchDriver.h"
 #include "regalloc/Driver.h"
 #include "sim/CostSimulator.h"
 #include "sim/Interpreter.h"
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -67,6 +81,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <unistd.h>
@@ -95,6 +110,7 @@ struct FuzzConfig {
   unsigned Jobs = 1;
   bool Quiet = false;
   bool PrintStats = false;
+  bool Chaos = false;
 };
 
 struct FuzzStats {
@@ -151,7 +167,7 @@ void usage() {
                "[--timeout=SECS]\n"
                "                 [--mutate-percent=P] [--kill-tier=NAME] "
                "[--max-save=N]\n"
-               "                 [--jobs=N] [--quiet] [--stats]\n");
+               "                 [--jobs=N] [--quiet] [--stats] [--chaos]\n");
 }
 
 /// Random generator parameters: spans tiny straight-line functions up to
@@ -475,6 +491,248 @@ CaseInput makeCase(unsigned long Case, Rng &Root, const FuzzConfig &Config) {
   return In;
 }
 
+//===----------------------------------------------------------------------===//
+// Chaos mode: fault-plan sweeping over a fixed probe set
+//===----------------------------------------------------------------------===//
+
+/// One chaos probe: a parsed master function and its pristine printed form
+/// (the byte-identity baseline for the untouched-on-total-failure check).
+struct ChaosProbe {
+  std::string Name;
+  std::unique_ptr<Function> Master;
+  std::string Pristine;
+};
+
+/// One broken chaos invariant. Plan is the PDGC_FAULTS spec that was
+/// installed, so the finding reproduces outside the fuzzer.
+struct ChaosViolation {
+  std::string Plan;
+  std::string Input;
+  std::string Detail;
+};
+
+/// Runs the chaos sweeps; returns the process exit code. The sweep space
+/// is deterministic for a seed: the probe set, the site list (discovered
+/// by a fault-free pass), the per-site plans, and the probability plans
+/// are all derived from --seed and the corpus directory contents.
+int runChaos(const FuzzConfig &Config) {
+  if (!fault::compiledIn()) {
+    std::fprintf(stderr,
+                 "error: --chaos requires fault injection, but this binary "
+                 "was built with -DPDGC_DISABLE_FAULTS=ON\n");
+    return 2;
+  }
+  registerPDGCAllocators();
+
+  // A scarce register file pushes probes through the spill rounds and
+  // fallback tiers that most fault sites guard.
+  const TargetDesc Target = makeTarget(8, PairingRule::Adjacent);
+
+  // Probe set: parseable corpus files (reproducers and write-ahead
+  // leftovers excluded) plus a seeded generated supplement. Unverifiable
+  // corpus files stay in — their clean rejection under faults is a path
+  // worth sweeping. Mutants are not generated: they rarely get past the
+  // verifier, and chaos wants deep pipelines, not parser probes.
+  std::vector<ChaosProbe> Probes;
+  {
+    std::vector<std::string> Paths;
+    std::error_code EC;
+    if (std::filesystem::is_directory(Config.CorpusDir, EC))
+      for (const auto &Entry :
+           std::filesystem::directory_iterator(Config.CorpusDir, EC)) {
+        const std::string Base = Entry.path().filename().string();
+        if (Entry.is_regular_file() && Entry.path().extension() == ".ir" &&
+            Base.rfind("fail-", 0) != 0 && Base.rfind("chaos-", 0) != 0 &&
+            Base.rfind("inflight", 0) != 0)
+          Paths.push_back(Entry.path().string());
+      }
+    std::sort(Paths.begin(), Paths.end());
+    for (const std::string &P : Paths) {
+      std::ifstream In(P);
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      std::string ParseError;
+      std::unique_ptr<Function> F = parseFunction(SS.str(), ParseError);
+      if (!F)
+        continue; // Parse rejects happen below the pipeline under test.
+      std::string Pristine = printFunction(*F);
+      Probes.push_back({std::filesystem::path(P).filename().string(),
+                        std::move(F), std::move(Pristine)});
+    }
+  }
+  Rng Root(Config.Seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  const unsigned long Gen = std::min<unsigned long>(Config.Runs, 12);
+  for (unsigned long I = 0; I != Gen; ++I) {
+    std::uint64_t CaseSeed = Root.next();
+    Rng R(CaseSeed);
+    GeneratorParams P = randomParams(R, CaseSeed, Target);
+    std::unique_ptr<Function> F = generateFunction(P, Target);
+    std::string Pristine = printFunction(*F);
+    Probes.push_back(
+        {"gen-" + std::to_string(I), std::move(F), std::move(Pristine)});
+  }
+  if (Probes.empty()) {
+    std::fprintf(stderr, "error: --chaos found no probe inputs\n");
+    return 2;
+  }
+
+  std::vector<ChaosViolation> Violations;
+  std::map<std::string, std::uint64_t> TotalFires;
+  unsigned long Saved = 0;
+  unsigned long Sweeps = 0;
+
+  auto recordViolation = [&](const std::string &Spec, long ProbeIdx,
+                             const std::string &Detail) {
+    const std::string Input =
+        ProbeIdx < 0 ? "-" : Probes[static_cast<size_t>(ProbeIdx)].Name;
+    Violations.push_back({Spec, Input, Detail});
+    if (ProbeIdx >= 0 && Saved < Config.MaxSave) {
+      saveCorpusFile(Config.CorpusDir,
+                     "chaos-fail-" + std::to_string(Config.Seed) + "-" +
+                         std::to_string(Violations.size()) + ".ir",
+                     "pdgc-fuzz chaos seed=" + std::to_string(Config.Seed) +
+                         " plan=" + Spec + " input=" + Input,
+                     Probes[static_cast<size_t>(ProbeIdx)].Pristine);
+      ++Saved;
+    }
+  };
+
+  // One sweep: install the plan, run every probe through the batch
+  // pipeline, and assert the three chaos invariants — no exception escapes
+  // the pipeline, a served assignment passes the independent checker, and
+  // a failed item is byte-identical to its pristine text. \p Lead names
+  // the allocator heading the fallback chain ("" = the default chain);
+  // sweeping different leads is what reaches the per-allocator sites.
+  auto sweep = [&](const std::string &Spec, unsigned ItemBudgetMs,
+                   const std::string &Lead) {
+    ++Sweeps;
+    fault::FaultPlan Plan;
+    const std::string SpecError = fault::parseFaultSpec(Spec, Plan);
+    if (!SpecError.empty()) {
+      recordViolation(Spec, -1,
+                      "internal: sweep spec did not parse: " + SpecError);
+      return;
+    }
+    std::vector<std::unique_ptr<Function>> Clones;
+    std::vector<Function *> Ptrs;
+    BatchLimits Limits;
+    for (const ChaosProbe &P : Probes) {
+      Clones.push_back(cloneFunction(*P.Master));
+      Ptrs.push_back(Clones.back().get());
+      Limits.Labels.push_back(P.Name);
+    }
+    DriverOptions Options;
+    Options.MaxRounds = 64;
+    if (!Lead.empty() && Lead != "spill-everything")
+      Options.FallbackChain = {
+          {Lead, nullptr}, {"spill-everything", nullptr}};
+    else if (Lead == "spill-everything")
+      Options.FallbackChain = {{Lead, nullptr}};
+    Limits.ItemBudgetMs = ItemBudgetMs != 0 ? ItemBudgetMs : 10000;
+
+    fault::resetSiteCounters();
+    fault::installPlan(Plan);
+    std::vector<BatchItemResult> Results;
+    bool Escaped = false;
+    try {
+      BatchDriver Driver(Config.Jobs);
+      Results = Driver.run(Ptrs, Target, Options, Limits);
+    } catch (const std::exception &E) {
+      Escaped = true;
+      recordViolation(Spec, -1,
+                      std::string("exception escaped the batch pipeline: ") +
+                          E.what());
+    }
+    fault::clearPlan();
+    for (const fault::SiteInfo &S : fault::siteSnapshot())
+      TotalFires[S.Name] += S.Fires;
+    if (Escaped)
+      return;
+
+    for (size_t I = 0; I != Probes.size(); ++I) {
+      if (Results[I].ok()) {
+        std::vector<std::string> Errors =
+            checkAssignment(*Ptrs[I], Target, Results[I].Out.Assignment);
+        if (!Errors.empty())
+          recordViolation(Spec, static_cast<long>(I),
+                          "checker rejected a served assignment: " +
+                              Errors.front());
+      } else if (printFunction(*Ptrs[I]) != Probes[I].Pristine) {
+        recordViolation(Spec, static_cast<long>(I),
+                        "failed item was modified (" +
+                            Results[I].S.toString() + ")");
+      }
+    }
+  };
+
+  // Discovery passes: the plan arms every site (hits are only counted
+  // while armed) but its pattern matches no site, so nothing fires and
+  // every reachable site self-registers with an honest hit count. One
+  // pass per registered allocator as chain lead, because the default
+  // chain alone never executes the other allocators' phase sites; each
+  // site is mapped to the first lead whose pipeline reaches it.
+  std::vector<std::string> Sites;
+  std::map<std::string, std::string> SiteLead;
+  for (const std::string &Lead : registeredAllocatorNames()) {
+    sweep("__chaos-discovery__:status@n=1", 0, Lead);
+    for (const fault::SiteInfo &S : fault::siteSnapshot())
+      if (S.Hits != 0 && SiteLead.find(S.Name) == SiteLead.end()) {
+        SiteLead[S.Name] = Lead;
+        Sites.push_back(S.Name);
+      }
+  }
+  std::sort(Sites.begin(), Sites.end());
+  if (!Config.Quiet)
+    std::fprintf(stderr,
+                 "pdgc-fuzz --chaos: %zu probes, %zu sites discovered\n",
+                 Probes.size(), Sites.size());
+
+  // Targeted sweeps: each site takes a fatal and a structured failure on
+  // its first hit, then a bounded stall under a tight per-item deadline
+  // (the delay outlives the budget, so the stalled tier must degrade).
+  for (const std::string &S : Sites) {
+    sweep(S + ":fatal@n=1", 0, SiteLead[S]);
+    sweep(S + ":status@n=1", 0, SiteLead[S]);
+    sweep(S + ":delay=50@n=1", 20, SiteLead[S]);
+  }
+
+  // Total-failure sweeps: every fallback tier dies, so every item must
+  // come back failed AND byte-identical (the untouched-on-total-failure
+  // contract).
+  sweep("fallback.tier:fatal@every=1", 0, "");
+  sweep("fallback.tier:status@every=1", 0, "");
+
+  // Probability chaos: plan-wide random faulting, deterministic per seed,
+  // over the default chain.
+  sweep("*:status@p=3,seed=" + std::to_string(Config.Seed), 0, "");
+  sweep("*:fatal@p=2,seed=" + std::to_string(Config.Seed + 1), 0, "");
+  sweep("*:delay=5@p=10,seed=" + std::to_string(Config.Seed + 2), 25, "");
+
+  // Coverage gate: every discovered site fired at least once across the
+  // sweeps (its own n=1 sweeps reach it on an unperturbed path, so a zero
+  // here means the injection machinery itself regressed).
+  unsigned long Unfired = 0;
+  for (const std::string &S : Sites)
+    if (TotalFires[S] == 0) {
+      ++Unfired;
+      recordViolation("(coverage)", -1,
+                      "site " + S + " never fired in any sweep");
+    }
+
+  for (const ChaosViolation &V : Violations)
+    std::fprintf(stderr, "FAIL chaos plan='%s' input=%s %s\n", V.Plan.c_str(),
+                 V.Input.c_str(), V.Detail.c_str());
+
+  std::printf("pdgc-fuzz --chaos: %zu probes, %zu sites, %lu sweeps, "
+              "%lu unfired-sites, %zu violations\n",
+              Probes.size(), Sites.size(), Sweeps, Unfired,
+              Violations.size());
+  if (Config.PrintStats)
+    std::fputs(StatRegistry::get().snapshot().toText("; stat ").c_str(),
+               stdout);
+  return Violations.empty() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -509,6 +767,8 @@ int main(int argc, char **argv) {
       Config.Quiet = true;
     } else if (Arg == "--stats") {
       Config.PrintStats = true;
+    } else if (Arg == "--chaos") {
+      Config.Chaos = true;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -518,6 +778,9 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+
+  if (Config.Chaos)
+    return runChaos(Config);
 
   registerPDGCAllocators();
   const std::vector<std::string> Allocators = registeredAllocatorNames();

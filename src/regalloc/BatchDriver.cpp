@@ -11,7 +11,9 @@
 #include "support/ThreadPool.h"
 #include "support/Tracing.h"
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 
 using namespace pdgc;
@@ -50,6 +52,7 @@ BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
   PDGC_STAT("batch", "items").add(Fns.size());
   Pool.parallelFor(static_cast<unsigned>(Fns.size()), [&](unsigned I) {
     ScopedTimer ItemTimer("batch.item", "batch");
+    auto ItemStart = std::chrono::steady_clock::now();
     try {
       PDGC_FAULT_POINT("batch.item");
       StatusOr<AllocationOutcome> R =
@@ -67,6 +70,10 @@ BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
           Status::error(ErrorCode::AllocatorInternal,
                         std::string("batch item raised: ") + E.what());
     }
+    Results[I].WallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - ItemStart)
+            .count();
 
     if (Limits.WarnDegraded && Results[I].ok() &&
         Results[I].Out.Degradation.Degraded) {
@@ -86,4 +93,74 @@ BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
     }
   });
   return Results;
+}
+
+BatchManifestEntry
+BatchManifestEntry::fromResult(const std::string &Label,
+                               const BatchItemResult &R,
+                               const std::string &LeadTier) {
+  BatchManifestEntry E;
+  E.Label = Label;
+  E.WallMs = R.WallMs;
+  if (!R.ok()) {
+    E.StatusId = "failed";
+    E.Error = R.S.toString();
+    return E;
+  }
+  E.StatusId = R.Out.Degradation.Degraded ? "degraded" : "ok";
+  E.ServedBy = R.Out.Degradation.ServedBy.empty()
+                   ? LeadTier
+                   : R.Out.Degradation.ServedBy;
+  return E;
+}
+
+BatchManifestEntry BatchManifestEntry::failed(const std::string &Label,
+                                              const std::string &Error) {
+  BatchManifestEntry E;
+  E.Label = Label;
+  E.StatusId = "failed";
+  E.Error = Error;
+  return E;
+}
+
+bool pdgc::writeBatchManifest(const std::string &Path,
+                              const std::vector<BatchManifestEntry> &Entries,
+                              std::string *Error) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << "[\n";
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const BatchManifestEntry &E = Entries[I];
+    char Wall[32];
+    std::snprintf(Wall, sizeof Wall, "%.3f", E.WallMs);
+    Out << "  {\"label\": \"" << trace::jsonEscape(E.Label)
+        << "\", \"status\": \"" << trace::jsonEscape(E.StatusId)
+        << "\", \"served-by\": \"" << trace::jsonEscape(E.ServedBy)
+        << "\", \"error\": \"" << trace::jsonEscape(E.Error)
+        << "\", \"wall-ms\": " << Wall << "}"
+        << (I + 1 == Entries.size() ? "\n" : ",\n");
+  }
+  Out << "]\n";
+  Out.flush();
+  if (!Out) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+int pdgc::batchExitCode(const std::vector<BatchManifestEntry> &Entries) {
+  int Code = 0;
+  for (const BatchManifestEntry &E : Entries) {
+    if (E.StatusId == "failed")
+      return 1;
+    if (E.StatusId == "degraded")
+      Code = 2;
+  }
+  return Code;
 }

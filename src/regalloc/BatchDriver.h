@@ -45,6 +45,7 @@ namespace pdgc {
 struct BatchItemResult {
   Status S;              ///< Ok when allocation succeeded.
   AllocationOutcome Out; ///< Meaningful only when S.ok().
+  double WallMs = 0.0;   ///< Wall-clock time spent on this item.
 
   bool ok() const { return S.ok(); }
 };
@@ -94,6 +95,36 @@ public:
 private:
   unsigned Jobs;
 };
+
+/// One row of a batch manifest: either a batch item, or a file that
+/// failed before allocation (parse/verify error) and never entered the
+/// batch. Callers build the failed rows themselves with `failed()`.
+struct BatchManifestEntry {
+  std::string Label;    ///< Display name (usually the input path).
+  std::string StatusId; ///< "ok" | "degraded" | "failed".
+  std::string ServedBy; ///< Serving tier; empty for failed entries.
+  std::string Error;    ///< Failure detail; empty unless failed.
+  double WallMs = 0.0;  ///< Wall-clock time; 0 for pre-batch failures.
+
+  /// Builds a row from a batch item result.
+  static BatchManifestEntry fromResult(const std::string &Label,
+                                       const BatchItemResult &R,
+                                       const std::string &LeadTier);
+  /// Builds a "failed" row for an input that never entered the batch.
+  static BatchManifestEntry failed(const std::string &Label,
+                                   const std::string &Error);
+};
+
+/// Writes \p Entries as a JSON array of objects (keys: label, status,
+/// served-by, error, wall-ms) to \p Path. Returns false and fills
+/// \p Error on I/O failure.
+bool writeBatchManifest(const std::string &Path,
+                        const std::vector<BatchManifestEntry> &Entries,
+                        std::string *Error);
+
+/// Exit code reflecting the worst entry, matching docs/ROBUSTNESS.md:
+/// 1 when any entry failed, else 2 when any was degraded, else 0.
+int batchExitCode(const std::vector<BatchManifestEntry> &Entries);
 
 } // namespace pdgc
 

@@ -1,0 +1,125 @@
+//===- server/AdmissionQueue.h - Bounded queue with load shedding -*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission-control heart of pdgc-serve: a bounded MPMC queue whose
+/// producers never block. `tryPush` either admits the item or answers
+/// *now* with `Shed` (the caller turns that into REJECTED plus a
+/// retry-after hint) — queuing unboundedly is exactly the failure mode a
+/// loaded service must not have, because memory, latency, and deadline
+/// debt all grow with the backlog.
+///
+/// Shedding uses high/low watermark hysteresis rather than a single
+/// threshold: once depth reaches the high watermark the queue sheds
+/// *until depth falls back to the low watermark*, not until one slot
+/// frees up. A single threshold flaps — admit one, shed one, admit one —
+/// which keeps the queue pinned at its worst-case latency; hysteresis
+/// converts an overload episode into one burst of fast rejections
+/// followed by recovery headroom.
+///
+/// `close()` flips the queue into drain mode: producers get `Closed`
+/// (REJECTED, "draining"), consumers keep popping until the backlog is
+/// empty and then `pop` returns false. That is precisely the SIGTERM
+/// contract — stop admitting, finish what was promised.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SERVER_ADMISSIONQUEUE_H
+#define PDGC_SERVER_ADMISSIONQUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace pdgc {
+namespace server {
+
+/// tryPush verdicts.
+enum class Admission {
+  Admitted, ///< Item enqueued.
+  Shed,     ///< Over the high watermark (or still above low): rejected.
+  Closed,   ///< Queue is draining/closed: rejected.
+};
+
+template <typename T> class AdmissionQueue {
+public:
+  /// \p Capacity is the high watermark (and the hard bound); \p Low is
+  /// the depth shedding stops at. Low >= Capacity degenerates to a
+  /// single-threshold bound.
+  AdmissionQueue(std::size_t Capacity, std::size_t Low)
+      : Capacity(Capacity ? Capacity : 1),
+        Low(Low < this->Capacity ? Low : this->Capacity - 1) {}
+
+  Admission tryPush(T Item) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (IsClosed)
+      return Admission::Closed;
+    if (Shedding) {
+      if (Items.size() > Low)
+        return Admission::Shed;
+      Shedding = false; // Recovered to the low watermark; admit again.
+    } else if (Items.size() >= Capacity) {
+      Shedding = true;
+      return Admission::Shed;
+    }
+    Items.push_back(std::move(Item));
+    Available.notify_one();
+    return Admission::Admitted;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// empty (false).
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Available.wait(Lock, [this] { return IsClosed || !Items.empty(); });
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Stops admitting; wakes every blocked consumer so they can drain the
+  /// backlog and exit.
+  void close() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    IsClosed = true;
+    Available.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return IsClosed;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+  /// True while the hysteresis has the queue in shed mode.
+  bool shedding() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Shedding;
+  }
+
+  std::size_t capacity() const { return Capacity; }
+  std::size_t lowWatermark() const { return Low; }
+
+private:
+  const std::size_t Capacity;
+  const std::size_t Low;
+  mutable std::mutex Mutex;
+  std::condition_variable Available;
+  std::deque<T> Items;
+  bool IsClosed = false;
+  bool Shedding = false;
+};
+
+} // namespace server
+} // namespace pdgc
+
+#endif // PDGC_SERVER_ADMISSIONQUEUE_H

@@ -1,0 +1,128 @@
+//===- server/Client.cpp - pdgc-serve client connection --------------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include "server/FrameCodec.h"
+
+#include <chrono>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pdgc;
+using namespace pdgc::server;
+
+const char *server::transportErrorName(TransportError E) {
+  switch (E) {
+  case TransportError::None:
+    return "none";
+  case TransportError::ConnectFailed:
+    return "connect-failed";
+  case TransportError::SendFailed:
+    return "send-failed";
+  case TransportError::RecvFailed:
+    return "recv-failed";
+  case TransportError::BadResponse:
+    return "bad-response";
+  }
+  return "none";
+}
+
+ClientConnection::~ClientConnection() { close(); }
+
+void ClientConnection::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool ClientConnection::connect(std::uint16_t Port) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) != 0) {
+    close();
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+  return true;
+}
+
+TransportError ClientConnection::call(const Request &Req, Response &Out) {
+  if (Fd < 0)
+    return TransportError::ConnectFailed;
+  if (!writeFrame(Fd, serializeRequest(Req))) {
+    close();
+    return TransportError::SendFailed;
+  }
+  std::string Payload;
+  if (readFrame(Fd, Payload) != FrameResult::Ok) {
+    close();
+    return TransportError::RecvFailed;
+  }
+  Response R;
+  std::string Error;
+  if (!parseResponse(Payload, R, Error)) {
+    close();
+    return TransportError::BadResponse;
+  }
+  Out = std::move(R);
+  return TransportError::None;
+}
+
+TransportError ClientConnection::callWithRetry(
+    const Request &Req, Response &Out, std::uint16_t Port,
+    unsigned MaxAttempts, bool RetryTransport, std::uint64_t Seed,
+    unsigned *Retries) {
+  TransportError Last = TransportError::ConnectFailed;
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    if (Attempt != 0 && Retries)
+      ++*Retries;
+    if (!connected() && !connect(Port)) {
+      Last = TransportError::ConnectFailed;
+      if (!RetryTransport)
+        return Last;
+      // The server may be mid-overload or mid-accept-fault; back off
+      // like a shed request would.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          5u << std::min(Attempt, 6u)));
+      continue;
+    }
+    Last = call(Req, Out);
+    if (Last == TransportError::None) {
+      if (Out.Status != ResponseStatus::Rejected)
+        return TransportError::None;
+      // Shed: honor the server's hint, doubled per attempt, with a
+      // deterministic jitter so a fleet of clients does not stampede
+      // back in lockstep.
+      unsigned Base = Out.RetryAfterMs ? Out.RetryAfterMs : 10;
+      std::uint64_t H = Seed * 0x9E3779B97F4A7C15ull + Attempt + 1;
+      H ^= H >> 33;
+      unsigned Jitter = static_cast<unsigned>(H % (Base + 1));
+      unsigned SleepMs = std::min(
+          Base * (1u << std::min(Attempt, 6u)) + Jitter, 2000u);
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+      continue;
+    }
+    if (!RetryTransport)
+      return Last;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(5u << std::min(Attempt, 6u)));
+  }
+  return Last == TransportError::None ? TransportError::None : Last;
+}

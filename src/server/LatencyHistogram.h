@@ -1,0 +1,77 @@
+//===- server/LatencyHistogram.h - Lock-free latency percentiles -*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-footprint latency histogram for the serving path: `record` is
+/// one relaxed atomic increment (safe from every worker and connection
+/// thread, never a lock), and `percentile` walks the buckets at report
+/// time. Buckets are geometric — powers of two of microseconds, each
+/// split into four linear sub-buckets — so the relative quantile error is
+/// bounded at ~12.5% across the whole 1µs..~1hour range while the entire
+/// histogram stays 512 counters, cheap enough to keep always-on.
+///
+/// This is the same design trade HdrHistogram-style recorders make: the
+/// service cares that p99 moved from 2ms to 40ms, not whether it is
+/// 40.0ms or 41.3ms. Exact order statistics would need per-request
+/// samples, which is an unbounded allocation on the request path — the
+/// thing pdgc-serve categorically refuses to do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SERVER_LATENCYHISTOGRAM_H
+#define PDGC_SERVER_LATENCYHISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pdgc {
+namespace server {
+
+class LatencyHistogram {
+public:
+  /// 32 power-of-two decades x 4 linear sub-buckets.
+  static constexpr unsigned NumBuckets = 128;
+
+  /// Records one sample (relaxed; callable from any thread).
+  void record(std::uint64_t Micros) {
+    Buckets[bucketFor(Micros)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    SumMicros.fetch_add(Micros, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return Count.load(std::memory_order_relaxed);
+  }
+
+  /// Mean in microseconds (0 with no samples).
+  std::uint64_t meanMicros() const {
+    std::uint64_t N = count();
+    return N ? SumMicros.load(std::memory_order_relaxed) / N : 0;
+  }
+
+  /// Upper bound of the bucket holding the \p P-th percentile sample
+  /// (P in [0, 100]), in microseconds; 0 with no samples. The answer is
+  /// exact to within the bucket's ~12.5% width.
+  std::uint64_t percentileMicros(double P) const;
+
+  /// {"count":N,"mean-us":M,"p50-us":...,"p90-us":...,"p99-us":...}
+  std::string toJson() const;
+
+private:
+  static unsigned bucketFor(std::uint64_t Micros);
+  static std::uint64_t bucketUpperBound(unsigned Bucket);
+
+  std::array<std::atomic<std::uint64_t>, NumBuckets> Buckets{};
+  std::atomic<std::uint64_t> Count{0};
+  std::atomic<std::uint64_t> SumMicros{0};
+};
+
+} // namespace server
+} // namespace pdgc
+
+#endif // PDGC_SERVER_LATENCYHISTOGRAM_H

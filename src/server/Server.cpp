@@ -1,0 +1,670 @@
+//===- server/Server.cpp - Allocation-as-a-service daemon core -------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "core/PDGCRegistration.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "regalloc/AllocatorRegistry.h"
+#include "regalloc/BatchDriver.h"
+#include "server/AdmissionQueue.h"
+#include "server/FrameCodec.h"
+#include "server/LatencyHistogram.h"
+#include "support/Debug.h"
+#include "support/FaultInjection.h"
+#include "support/Stats.h"
+#include "support/Tracing.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pdgc;
+using namespace pdgc::server;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t microsSince(SteadyClock::time_point Start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - Start)
+          .count());
+}
+
+/// One admitted ALLOC request on its way to a worker. The connection
+/// thread waits on the future; the worker must fulfill the promise on
+/// every path (a lost promise would wedge the connection forever).
+struct AllocJob {
+  Request Req;
+  SteadyClock::time_point Arrived;
+  /// Absolute wall deadline: admission time + the request's budget.
+  SteadyClock::time_point DeadlineAt;
+  std::promise<Response> Done;
+};
+
+} // namespace
+
+struct Server::Impl {
+  ServerOptions Opts;
+
+  int ListenFd = -1;
+  std::uint16_t BoundPort = 0;
+  /// Self-pipe: requestStop() writes one byte (async-signal-safe); the
+  /// acceptor's poll() watches the read end.
+  int StopPipe[2] = {-1, -1};
+
+  std::thread Acceptor;
+  std::vector<std::thread> WorkerThreads;
+  std::mutex ConnMutex;
+  std::vector<std::thread> ConnThreads;
+  std::unordered_set<int> OpenFds;
+
+  AdmissionQueue<std::unique_ptr<AllocJob>> Queue;
+  LatencyHistogram Latency;
+
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> Draining{false};
+  /// Armed (before the Draining release-store) when drain begins; read
+  /// by workers under a Draining acquire-load. Queued jobs finish under
+  /// min(their own budget, this).
+  Deadline DrainDeadline;
+  std::atomic<unsigned> Connections{0};
+  std::atomic<unsigned> InFlight{0};
+  SteadyClock::time_point StartedAt{};
+
+  // Lifetime totals for the exit summary (the Stats registry carries the
+  // same counters process-wide; these stay per-server so tests can run
+  // several servers in one process).
+  std::atomic<std::uint64_t> NAccepted{0}, NRequests{0}, NOk{0},
+      NDegraded{0}, NRejected{0}, NTimeout{0}, NMalformed{0}, NInternal{0},
+      NTransportErrors{0};
+
+  bool Started = false;
+  bool RunDone = false;
+  ServerSummary Summary;
+
+  explicit Impl(const ServerOptions &O)
+      : Opts(O), Queue(O.QueueCapacity, O.QueueLowWatermark) {}
+
+  void acceptLoop();
+  void workerLoop();
+  void connectionLoop(int Fd);
+  Response executeAlloc(AllocJob &Job);
+  Response statusResponse() const;
+  Response statsResponse() const;
+  bool respond(int Fd, Response R, SteadyClock::time_point Arrived,
+               bool IsAlloc);
+  void finishRun();
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(const ServerOptions &Options)
+    : I(std::make_unique<Impl>(Options)) {}
+
+Server::~Server() {
+  if (I->Started && !I->RunDone) {
+    requestStop();
+    run();
+  }
+}
+
+bool Server::start(std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg + ": " + std::strerror(errno);
+    if (I->ListenFd >= 0)
+      ::close(I->ListenFd);
+    for (int Fd : I->StopPipe)
+      if (Fd >= 0)
+        ::close(Fd);
+    I->ListenFd = I->StopPipe[0] = I->StopPipe[1] = -1;
+    return false;
+  };
+
+  // A peer that hangs up mid-response must surface as a write error on
+  // this thread, not a process-wide SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Workers resolve allocator tiers through the registry; seed it before
+  // any of them runs.
+  registerPDGCAllocators();
+
+  if (::pipe(I->StopPipe) != 0)
+    return Fail("pipe");
+
+  I->ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (I->ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(I->ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(I->Opts.Port);
+  if (::bind(I->ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof Addr) != 0)
+    return Fail("bind");
+  if (::listen(I->ListenFd, 64) != 0)
+    return Fail("listen");
+
+  socklen_t Len = sizeof Addr;
+  if (::getsockname(I->ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                    &Len) != 0)
+    return Fail("getsockname");
+  I->BoundPort = ntohs(Addr.sin_port);
+
+  I->StartedAt = SteadyClock::now();
+  for (unsigned W = 0; W != std::max(1u, I->Opts.Workers); ++W)
+    I->WorkerThreads.emplace_back([this] { I->workerLoop(); });
+  I->Acceptor = std::thread([this] { I->acceptLoop(); });
+  I->Started = true;
+  return true;
+}
+
+std::uint16_t Server::port() const { return I->BoundPort; }
+
+void Server::requestStop() {
+  // Only async-signal-safe calls here: this runs inside SIGTERM/SIGINT
+  // handlers. The acceptor does the actual teardown.
+  I->StopRequested.store(true, std::memory_order_relaxed);
+  char Byte = 's';
+  [[maybe_unused]] ssize_t N = ::write(I->StopPipe[1], &Byte, 1);
+}
+
+bool Server::draining() const {
+  return I->Draining.load(std::memory_order_relaxed);
+}
+
+ServerSummary Server::run() {
+  if (!I->Started || I->RunDone)
+    return I->Summary;
+  I->finishRun();
+  return I->Summary;
+}
+
+void Server::Impl::finishRun() {
+  Acceptor.join();
+
+  // Drain: no new admissions; workers serve out the backlog. Queued jobs
+  // run under min(their own budget, the drain deadline); jobs already
+  // executing are bounded by their per-request budgets.
+  SteadyClock::time_point DrainStart = SteadyClock::now();
+  DrainDeadline = Deadline::afterMs(Opts.DrainBudgetMs);
+  Draining.store(true, std::memory_order_release);
+  Queue.close();
+  for (std::thread &W : WorkerThreads)
+    W.join();
+
+  // The backlog is answered; connection threads are now blocked reading
+  // their next frame. Shut the sockets down to wake them with EOF.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (int Fd : OpenFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  for (std::thread &T : ConnThreads)
+    T.join();
+
+  Summary.DrainedInBudget =
+      SteadyClock::now() - DrainStart <=
+      std::chrono::milliseconds(Opts.DrainBudgetMs);
+  Summary.Accepted = NAccepted.load();
+  Summary.Requests = NRequests.load();
+  Summary.Ok = NOk.load();
+  Summary.Degraded = NDegraded.load();
+  Summary.Rejected = NRejected.load();
+  Summary.Timeout = NTimeout.load();
+  Summary.Malformed = NMalformed.load();
+  Summary.Internal = NInternal.load();
+  Summary.TransportErrors = NTransportErrors.load();
+  Summary.P50Micros = Latency.percentileMicros(50);
+  Summary.P99Micros = Latency.percentileMicros(99);
+
+  for (int Fd : StopPipe)
+    if (Fd >= 0)
+      ::close(Fd);
+  StopPipe[0] = StopPipe[1] = -1;
+  RunDone = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptor
+//===----------------------------------------------------------------------===//
+
+void Server::Impl::acceptLoop() {
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
+    int N = ::poll(Fds, 2, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // poll() itself broke; treat as a stop.
+    }
+    if (Fds[1].revents != 0 || StopRequested.load(std::memory_order_relaxed))
+      break;
+    if ((Fds[0].revents & POLLIN) == 0)
+      continue;
+
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0) {
+      // Frames are small request/response pairs; latency beats batching.
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+    }
+    if (Fd < 0) {
+      // EMFILE/ENFILE and friends: shed at the OS edge and keep serving
+      // the connections we already hold.
+      PDGC_STAT("server", "accept_errors").inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+
+    try {
+      PDGC_FAULT_POINT("server.accept");
+    } catch (const std::exception &) {
+      // Injected accept failure: this connection dies, the server does
+      // not. The client sees a drop and retries.
+      PDGC_STAT("server", "accept_faults").inc();
+      ::close(Fd);
+      continue;
+    }
+
+    if (Connections.load(std::memory_order_relaxed) >=
+        Opts.MaxConnections) {
+      // Connection-level shedding mirrors queue-level shedding: answer
+      // typed and fast instead of letting the backlog grow.
+      Response R;
+      R.Status = ResponseStatus::Rejected;
+      R.RetryAfterMs = Opts.RetryAfterMs;
+      R.Error = "connection limit reached";
+      writeFrame(Fd, serializeResponse(R));
+      NRejected.fetch_add(1);
+      PDGC_STAT("server", "conn_shed").inc();
+      ::close(Fd);
+      continue;
+    }
+
+    NAccepted.fetch_add(1);
+    PDGC_STAT("server", "accepted").inc();
+    Connections.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    OpenFds.insert(Fd);
+    ConnThreads.emplace_back([this, Fd] { connectionLoop(Fd); });
+  }
+  ::close(ListenFd);
+  ListenFd = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Connections
+//===----------------------------------------------------------------------===//
+
+bool Server::Impl::respond(int Fd, Response R,
+                           SteadyClock::time_point Arrived, bool IsAlloc) {
+  R.WallMs = static_cast<unsigned>(microsSince(Arrived) / 1000);
+  switch (R.Status) {
+  case ResponseStatus::Ok:
+    NOk.fetch_add(1);
+    PDGC_STAT("server", "resp_ok").inc();
+    break;
+  case ResponseStatus::Degraded:
+    NDegraded.fetch_add(1);
+    PDGC_STAT("server", "resp_degraded").inc();
+    break;
+  case ResponseStatus::Rejected:
+    NRejected.fetch_add(1);
+    PDGC_STAT("server", "resp_rejected").inc();
+    break;
+  case ResponseStatus::Timeout:
+    NTimeout.fetch_add(1);
+    PDGC_STAT("server", "resp_timeout").inc();
+    break;
+  case ResponseStatus::Malformed:
+    NMalformed.fetch_add(1);
+    PDGC_STAT("server", "resp_malformed").inc();
+    break;
+  case ResponseStatus::Internal:
+    NInternal.fetch_add(1);
+    PDGC_STAT("server", "resp_internal").inc();
+    break;
+  }
+  if (IsAlloc)
+    Latency.record(microsSince(Arrived));
+  try {
+    PDGC_FAULT_POINT("server.respond");
+  } catch (const std::exception &) {
+    // Injected send failure: drop the connection; the response counters
+    // above already recorded the request's true outcome.
+    PDGC_STAT("server", "respond_faults").inc();
+    return false;
+  }
+  if (!writeFrame(Fd, serializeResponse(R))) {
+    NTransportErrors.fetch_add(1);
+    PDGC_STAT("server", "transport_errors").inc();
+    return false;
+  }
+  return true;
+}
+
+void Server::Impl::connectionLoop(int Fd) {
+  for (;;) {
+    std::string Payload;
+    FrameResult FR = readFrame(Fd, Payload, Opts.MaxFrameBytes);
+    SteadyClock::time_point Arrived = SteadyClock::now();
+    if (FR == FrameResult::ClosedClean)
+      break;
+    if (FR == FrameResult::Truncated || FR == FrameResult::IoError) {
+      // During drain the server itself shuts sockets down mid-read;
+      // that is teardown, not a peer misbehaving.
+      if (!Draining.load(std::memory_order_relaxed)) {
+        NTransportErrors.fetch_add(1);
+        PDGC_STAT("server", "transport_errors").inc();
+      }
+      break;
+    }
+    if (FR == FrameResult::Oversized) {
+      // The length header is untrustworthy, so the stream cannot be
+      // resynced: answer typed, then hang up.
+      Response R;
+      R.Status = ResponseStatus::Malformed;
+      R.Error = "frame exceeds max-frame-bytes (" +
+                std::to_string(Opts.MaxFrameBytes) + ")";
+      respond(Fd, std::move(R), Arrived, false);
+      break;
+    }
+
+    bool FrameFault = false;
+    try {
+      PDGC_FAULT_POINT("server.frame");
+    } catch (const std::exception &) {
+      PDGC_STAT("server", "frame_faults").inc();
+      FrameFault = true;
+    }
+    if (FrameFault)
+      break; // Injected transport failure: abort this connection only.
+
+    Request Req;
+    {
+      Response Early;
+      bool Parsed = false;
+      std::string ParseError;
+      try {
+        PDGC_FAULT_POINT("server.parse");
+        Parsed = parseRequest(Payload, Req, ParseError);
+      } catch (const std::exception &E) {
+        // Injected parser failure: the request dies typed, the
+        // connection survives.
+        PDGC_STAT("server", "parse_faults").inc();
+        Early.Status = ResponseStatus::Internal;
+        Early.Error = std::string("request parsing failed: ") + E.what();
+        if (!respond(Fd, std::move(Early), Arrived, false))
+          break;
+        continue;
+      }
+      if (!Parsed) {
+        Early.Status = ResponseStatus::Malformed;
+        Early.Error = ParseError;
+        if (!respond(Fd, std::move(Early), Arrived, false))
+          break;
+        continue;
+      }
+    }
+    NRequests.fetch_add(1);
+    PDGC_STAT("server", "requests").inc();
+
+    // Introspection verbs answer inline — they must work *especially*
+    // when the allocation queue is saturated.
+    if (Req.Type == RequestType::Ping) {
+      if (!respond(Fd, Response(), Arrived, false))
+        break;
+      continue;
+    }
+    if (Req.Type == RequestType::Status) {
+      if (!respond(Fd, statusResponse(), Arrived, false))
+        break;
+      continue;
+    }
+    if (Req.Type == RequestType::Stats) {
+      if (!respond(Fd, statsResponse(), Arrived, false))
+        break;
+      continue;
+    }
+
+    // ALLOC: admission control, then hand off to a worker.
+    unsigned BudgetMs = Req.BudgetMs == 0 ? Opts.DefaultBudgetMs
+                                          : Req.BudgetMs;
+    BudgetMs = std::min(BudgetMs, Opts.MaxBudgetMs);
+    auto Job = std::make_unique<AllocJob>();
+    Job->Req = std::move(Req);
+    Job->Arrived = Arrived;
+    Job->DeadlineAt = Arrived + std::chrono::milliseconds(BudgetMs);
+    Job->Req.BudgetMs = BudgetMs;
+    std::future<Response> Done = Job->Done.get_future();
+
+    Admission A = Admission::Closed;
+    bool EnqueueFault = false;
+    try {
+      PDGC_FAULT_POINT("server.enqueue");
+      A = Draining.load(std::memory_order_relaxed)
+              ? Admission::Closed
+              : Queue.tryPush(std::move(Job));
+    } catch (const std::exception &E) {
+      PDGC_STAT("server", "enqueue_faults").inc();
+      EnqueueFault = true;
+      Response R;
+      R.Status = ResponseStatus::Internal;
+      R.Error = std::string("admission failed: ") + E.what();
+      if (!respond(Fd, std::move(R), Arrived, true))
+        break;
+    }
+    if (EnqueueFault)
+      continue;
+
+    if (A == Admission::Shed) {
+      PDGC_STAT("server", "shed").inc();
+      Response R;
+      R.Status = ResponseStatus::Rejected;
+      R.RetryAfterMs = Opts.RetryAfterMs;
+      R.Error = "queue full (depth " + std::to_string(Queue.depth()) +
+                "/" + std::to_string(Queue.capacity()) + ")";
+      if (!respond(Fd, std::move(R), Arrived, true))
+        break;
+      continue;
+    }
+    if (A == Admission::Closed) {
+      PDGC_STAT("server", "drain_rejects").inc();
+      Response R;
+      R.Status = ResponseStatus::Rejected;
+      R.RetryAfterMs = Opts.RetryAfterMs;
+      R.Error = "draining";
+      if (!respond(Fd, std::move(R), Arrived, true))
+        break;
+      continue;
+    }
+
+    // Admitted: the worker fulfills the promise on every path, so this
+    // wait is bounded by the request deadline plus the guarantee tier.
+    Response R = Done.get();
+    if (!respond(Fd, std::move(R), Arrived, true))
+      break;
+  }
+
+  ::close(Fd);
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    OpenFds.erase(Fd);
+  }
+  Connections.fetch_sub(1, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void Server::Impl::workerLoop() {
+  std::unique_ptr<AllocJob> Job;
+  while (Queue.pop(Job)) {
+    InFlight.fetch_add(1, std::memory_order_relaxed);
+    if (timersEnabled())
+      addTimerSample("server.queue_wait", microsSince(Job->Arrived) * 1000);
+    Response R;
+    try {
+      R = executeAlloc(*Job);
+    } catch (const std::exception &E) {
+      // Absolute backstop: no request may take a worker down, and no
+      // promise may be abandoned (the connection thread is waiting).
+      PDGC_STAT("server", "worker_backstop").inc();
+      R.Status = ResponseStatus::Internal;
+      R.Error = std::string("worker failed: ") + E.what();
+    }
+    Job->Done.set_value(std::move(R));
+    Job.reset();
+    InFlight.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Response Server::Impl::executeAlloc(AllocJob &Job) {
+  ScopedTimer Timer("server.alloc", "server");
+  Response R;
+
+  // Parse and verify inside the worker: input cost is request cost, and
+  // a hostile function text must burn worker time, not connection time.
+  std::string ParseError;
+  std::unique_ptr<Function> F;
+  {
+    ScopedErrorTrap Trap;
+    F = parseFunction(Job.Req.Body, ParseError);
+  }
+  if (!F) {
+    R.Status = ResponseStatus::Malformed;
+    R.Error = "parse: " + ParseError;
+    return R;
+  }
+  std::vector<std::string> VerifyErrors;
+  if (!verifyFunction(*F, VerifyErrors)) {
+    R.Status = ResponseStatus::Malformed;
+    R.Error = "verify: " + VerifyErrors.front();
+    return R;
+  }
+
+  TargetDesc Target = makeTarget(Opts.Regs, PairingRule::Adjacent);
+  DriverOptions Options;
+  // The request deadline started at admission, so queue wait already
+  // counts against it. CancelAt degrades to the guarantee tier on
+  // expiry; TimeBudgetMs additionally bounds each tier. During drain the
+  // drain deadline tightens whatever remains.
+  Deadline Cancel{Job.DeadlineAt};
+  if (Draining.load(std::memory_order_acquire))
+    Cancel = Cancel.sooner(DrainDeadline);
+  Options.CancelAt = Cancel;
+  Options.TimeBudgetMs = Job.Req.BudgetMs;
+  if (Job.Req.MaxRounds != 0)
+    Options.MaxRounds = Job.Req.MaxRounds;
+  std::string Leading = Job.Req.Allocator.empty() ? Opts.DefaultAllocator
+                                                  : Job.Req.Allocator;
+  Options.FallbackChain = {{Leading, nullptr},
+                           {"briggs+aggressive", nullptr},
+                           {"spill-everything", nullptr}};
+
+  // One request is a one-item batch: same hardened path, same fault
+  // sites, same per-item exception backstop as `pdgc-alloc --batch`.
+  std::vector<Function *> Fns{F.get()};
+  std::vector<BatchItemResult> Results =
+      BatchDriver(1).run(Fns, Target, Options);
+  const BatchItemResult &Item = Results.front();
+
+  if (!Item.ok()) {
+    switch (Item.S.code()) {
+    case ErrorCode::BudgetExceeded:
+      R.Status = ResponseStatus::Timeout;
+      break;
+    case ErrorCode::ParseError:
+    case ErrorCode::VerifyError:
+      R.Status = ResponseStatus::Malformed;
+      break;
+    default:
+      // An exhausted fallback chain reports ALLOCATOR_INTERNAL even when
+      // every tier died of budget expiry; past the request deadline, the
+      // deadline is the diagnosis the client can act on.
+      R.Status = SteadyClock::now() >= Job.DeadlineAt
+                     ? ResponseStatus::Timeout
+                     : ResponseStatus::Internal;
+      break;
+    }
+    R.Error = Item.S.toString();
+    return R;
+  }
+
+  const AllocationOutcome &Out = Item.Out;
+  R.Status = Out.Degradation.Degraded ? ResponseStatus::Degraded
+                                      : ResponseStatus::Ok;
+  R.ServedBy = Out.Degradation.ServedBy.empty()
+                   ? Leading
+                   : Out.Degradation.ServedBy;
+  R.Rounds = Out.Rounds;
+  for (const std::string &Failure : Out.Degradation.FailedTiers)
+    R.Body += "; failed-tier: " + Failure + "\n";
+  for (unsigned V = 0; V != Out.Assignment.size(); ++V)
+    if (Out.Assignment[V] >= 0)
+      R.Body += "v" + std::to_string(V) + " -> " +
+                Target.regName(static_cast<PhysReg>(Out.Assignment[V])) +
+                "\n";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+Response Server::Impl::statusResponse() const {
+  Response R;
+  R.Body = "{";
+  R.Body += "\"draining\": ";
+  R.Body += Draining.load(std::memory_order_relaxed) ? "true" : "false";
+  R.Body += ", \"queue-depth\": " + std::to_string(Queue.depth());
+  R.Body += ", \"queue-capacity\": " + std::to_string(Queue.capacity());
+  R.Body += ", \"low-watermark\": " + std::to_string(Queue.lowWatermark());
+  R.Body += ", \"shedding\": ";
+  R.Body += Queue.shedding() ? "true" : "false";
+  R.Body += ", \"connections\": " +
+            std::to_string(Connections.load(std::memory_order_relaxed));
+  R.Body += ", \"inflight\": " +
+            std::to_string(InFlight.load(std::memory_order_relaxed));
+  R.Body += ", \"uptime-ms\": " +
+            std::to_string(microsSince(StartedAt) / 1000);
+  R.Body += "}\n";
+  return R;
+}
+
+Response Server::Impl::statsResponse() const {
+  Response R;
+  R.Body = "{\"latency\": " + Latency.toJson() +
+           ", \"counters\": " + StatRegistry::get().snapshot().toJson() +
+           "}\n";
+  return R;
+}

@@ -1,0 +1,155 @@
+//===- server/Server.h - Allocation-as-a-service daemon core ----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running allocation service behind `pdgc-serve`. One `Server`
+/// owns a listening TCP socket, a thread per live connection, and a
+/// fixed pool of allocation workers fed through an `AdmissionQueue`. The
+/// design goal is the ROADMAP's serving story: the process must stay up
+/// — and answer with a *typed* status — under overload, chaos injection,
+/// malformed input, and shutdown, never trading robustness for a crash.
+///
+/// Request life cycle:
+///
+///   accept -> read frame -> parse message ----------------+
+///     |            |             |                        |
+///     |        MALFORMED     MALFORMED            STATUS/STATS/PING
+///     |        (+close on    (answer, keep        answered inline
+///     |         framing)      connection)                 |
+///     v                                                   v
+///   tryPush -> Shed: REJECTED + retry-after    Closed: REJECTED draining
+///     |
+///   worker: parse IR -> verify -> allocateWithFallback under the
+///   request deadline -> OK | DEGRADED | TIMEOUT | MALFORMED | INTERNAL
+///
+/// Robustness mechanics, each mapped to an existing primitive:
+///
+///  * **admission control / shedding** — AdmissionQueue watermarks; a
+///    full queue answers REJECTED *now* instead of growing latency debt;
+///  * **per-request deadline** — the budget starts at admission, so
+///    queue wait counts against it; workers install it as
+///    DriverOptions::CancelAt (+ per-tier TimeBudgetMs), and the
+///    guarantee-tier exemption means an expired request usually still
+///    gets a DEGRADED spill-everything answer — a bounded-cost result,
+///    not a dropped one;
+///  * **request isolation** — every per-request stage runs under
+///    ScopedErrorTrap with a catch-all: parser/verifier rejects become
+///    MALFORMED, injected faults and fatal checks become INTERNAL, and
+///    only the one request dies;
+///  * **graceful drain** — requestStop() (async-signal-safe: one write
+///    to a self-pipe) stops the acceptor, closes the queue, arms a drain
+///    deadline that tightens every in-flight request, and run() returns
+///    once the backlog is served;
+///  * **introspection** — STATUS/STATS answer from the Stats registry,
+///    the queue gauges, and a lock-free latency histogram (p50/p99).
+///
+/// Chaos surface: PDGC_FAULT_POINT sites `server.accept`,
+/// `server.frame`, `server.parse`, `server.enqueue`, `server.respond`
+/// cover the connection path the way the `driver.*`/allocator sites
+/// already cover the compute path; tests/test_server.cpp sweeps them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SERVER_SERVER_H
+#define PDGC_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+#include <memory>
+
+namespace pdgc {
+namespace server {
+
+/// Tuning knobs; the defaults serve a loopback smoke test out of the box.
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with Server::port()).
+  std::uint16_t Port = 0;
+  /// Allocation worker threads.
+  unsigned Workers = 2;
+  /// Admission queue high watermark (hard depth bound).
+  unsigned QueueCapacity = 64;
+  /// Depth shedding stops at (watermark hysteresis); must be < capacity.
+  unsigned QueueLowWatermark = 48;
+  /// Concurrent connections; one past the cap is answered REJECTED and
+  /// closed.
+  unsigned MaxConnections = 64;
+  /// Per-request wall budget when the request does not carry budget-ms.
+  unsigned DefaultBudgetMs = 2000;
+  /// Hard ceiling a request's budget-ms may ask for.
+  unsigned MaxBudgetMs = 60000;
+  /// Backoff hint attached to REJECTED responses.
+  unsigned RetryAfterMs = 50;
+  /// Wall budget for finishing in-flight work after requestStop().
+  unsigned DrainBudgetMs = 5000;
+  /// Frame payload cap (see server/FrameCodec.h).
+  std::uint32_t MaxFrameBytes = 4u << 20;
+  /// Registers per class of the service's target machine.
+  unsigned Regs = 24;
+  /// Leading allocator tier when a request does not name one.
+  std::string DefaultAllocator = "full-preferences";
+  /// Log one line per connection/drain event to stderr.
+  bool Verbose = false;
+};
+
+/// Counters the daemon prints at exit (live values are also served by
+/// STATUS/STATS; these are the lifetime totals).
+struct ServerSummary {
+  std::uint64_t Accepted = 0;       ///< Connections accepted.
+  std::uint64_t Requests = 0;       ///< Frames that parsed into requests.
+  std::uint64_t Ok = 0;             ///< ALLOC answered OK.
+  std::uint64_t Degraded = 0;       ///< ALLOC answered DEGRADED.
+  std::uint64_t Rejected = 0;       ///< Shed + refused-while-draining.
+  std::uint64_t Timeout = 0;        ///< ALLOC answered TIMEOUT.
+  std::uint64_t Malformed = 0;      ///< Bad frames/messages/IR.
+  std::uint64_t Internal = 0;       ///< Faults + trapped fatal checks.
+  std::uint64_t TransportErrors = 0; ///< Truncated/failed reads & writes.
+  std::uint64_t P50Micros = 0;      ///< ALLOC latency percentiles.
+  std::uint64_t P99Micros = 0;
+  bool DrainedInBudget = true;      ///< Drain met DrainBudgetMs.
+};
+
+class Server {
+public:
+  explicit Server(const ServerOptions &Options);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on 127.0.0.1, spawns the workers and the
+  /// acceptor. Returns false (and fills \p Error) when the socket layer
+  /// refuses — the only failure this class cannot degrade around.
+  bool start(std::string *Error = nullptr);
+
+  /// The bound port (valid after start(); the way ephemeral-port tests
+  /// and scripts find the server).
+  std::uint16_t port() const;
+
+  /// Begins graceful drain: stop accepting, refuse new work, finish the
+  /// backlog within DrainBudgetMs. Async-signal-safe (one write() on a
+  /// pre-opened pipe) — call it straight from a SIGTERM/SIGINT handler.
+  void requestStop();
+
+  /// Blocks until drain completes and every thread is joined. Returns
+  /// the lifetime summary. Safe to call once after start().
+  ServerSummary run();
+
+  /// True once requestStop() was observed.
+  bool draining() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace server
+} // namespace pdgc
+
+#endif // PDGC_SERVER_SERVER_H

@@ -51,6 +51,10 @@ public:
 class Deadline {
 public:
   using Clock = std::chrono::steady_clock;
+  // A wall clock here would let an NTP step or DST jump expire (or
+  // un-expire) every in-flight budget at once.
+  static_assert(Clock::is_steady,
+                "deadlines must be measured on a monotonic clock");
 
   /// No deadline: expired() is always false, sooner() yields the other.
   Deadline() = default;
@@ -107,6 +111,12 @@ class ScopedDeadline {
 public:
   explicit ScopedDeadline(Deadline D) : Saved(deadline_detail::Ambient) {
     deadline_detail::Ambient = D.sooner(Saved);
+    // An already-expired deadline must surface on the *first* poll, not
+    // up to 63 calls into the decimation window — align the tick so the
+    // next pollDeadline() takes the slow path. (Queued server requests
+    // whose budget lapsed while waiting hit exactly this case.)
+    if (deadline_detail::Ambient.expired())
+      deadline_detail::PollTick = 63;
   }
   ~ScopedDeadline() { deadline_detail::Ambient = Saved; }
 

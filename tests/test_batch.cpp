@@ -20,6 +20,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 using namespace pdgc;
@@ -138,6 +141,97 @@ TEST(BatchDriver, PerItemFailuresDoNotPoisonTheBatch) {
       EXPECT_EQ(R.S.code(), ErrorCode::VerifyError) << R.S.toString();
   }
   EXPECT_GT(Succeeded, 0u);
+}
+
+TEST(BatchManifest, WallMsIsPopulatedPerItem) {
+  registerPDGCAllocators();
+  TargetDesc Target = makeTarget(24);
+  WorkloadSuite Suite = suiteByName("compress");
+  std::vector<std::unique_ptr<Function>> Owned;
+  std::vector<Function *> Fns;
+  for (unsigned I = 0; I != 3; ++I) {
+    Owned.push_back(Suite.generate(I, Target));
+    Fns.push_back(Owned.back().get());
+  }
+  BatchDriver Driver(2);
+  std::vector<BatchItemResult> Results =
+      Driver.run(Fns, Target, DriverOptions());
+  for (unsigned I = 0; I != Results.size(); ++I) {
+    ASSERT_TRUE(Results[I].ok()) << Results[I].S.toString();
+    EXPECT_GT(Results[I].WallMs, 0.0) << "item " << I;
+  }
+}
+
+TEST(BatchManifest, ExitCodeReflectsWorstEntry) {
+  BatchManifestEntry Ok;
+  Ok.StatusId = "ok";
+  BatchManifestEntry Degraded;
+  Degraded.StatusId = "degraded";
+  BatchManifestEntry Failed = BatchManifestEntry::failed("x.ir", "boom");
+
+  EXPECT_EQ(batchExitCode({}), 0);
+  EXPECT_EQ(batchExitCode({Ok, Ok}), 0);
+  EXPECT_EQ(batchExitCode({Ok, Degraded, Ok}), 2);
+  EXPECT_EQ(batchExitCode({Degraded, Failed}), 1);
+  EXPECT_EQ(batchExitCode({Failed, Ok}), 1);
+}
+
+TEST(BatchManifest, FromResultMapsStatusAndTier) {
+  BatchItemResult Ok;
+  Ok.WallMs = 1.5;
+  BatchManifestEntry E =
+      BatchManifestEntry::fromResult("a.ir", Ok, "full-preferences");
+  EXPECT_EQ(E.StatusId, "ok");
+  EXPECT_EQ(E.ServedBy, "full-preferences"); // lead tier when not degraded
+  EXPECT_EQ(E.WallMs, 1.5);
+
+  BatchItemResult Degraded;
+  Degraded.Out.Degradation.Degraded = true;
+  Degraded.Out.Degradation.ServedBy = "spill-everything";
+  E = BatchManifestEntry::fromResult("b.ir", Degraded, "full-preferences");
+  EXPECT_EQ(E.StatusId, "degraded");
+  EXPECT_EQ(E.ServedBy, "spill-everything");
+
+  BatchItemResult Failed;
+  Failed.S = Status::error(ErrorCode::AllocatorInternal, "kaboom");
+  E = BatchManifestEntry::fromResult("c.ir", Failed, "full-preferences");
+  EXPECT_EQ(E.StatusId, "failed");
+  EXPECT_TRUE(E.ServedBy.empty());
+  EXPECT_NE(E.Error.find("kaboom"), std::string::npos);
+}
+
+TEST(BatchManifest, WritesEscapedJson) {
+  std::vector<BatchManifestEntry> Entries;
+  BatchManifestEntry Ok;
+  Ok.Label = "dir/a.ir";
+  Ok.StatusId = "ok";
+  Ok.ServedBy = "full-preferences";
+  Ok.WallMs = 2.25;
+  Entries.push_back(Ok);
+  Entries.push_back(
+      BatchManifestEntry::failed("weird \"name\".ir", "line1\nline2"));
+
+  std::string Path = ::testing::TempDir() + "pdgc_manifest_test.json";
+  std::string Error;
+  ASSERT_TRUE(writeBatchManifest(Path, Entries, &Error)) << Error;
+
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Json = SS.str();
+  EXPECT_NE(Json.find("\"label\": \"dir/a.ir\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(Json.find("\"served-by\": \"full-preferences\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"wall-ms\": 2.250"), std::string::npos);
+  // The hostile label and multi-line error must come out escaped, never
+  // as raw quote or newline bytes inside a JSON string.
+  EXPECT_NE(Json.find("weird \\\"name\\\".ir"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("line1\\nline2"), std::string::npos) << Json;
+
+  // A manifest of {ok, failed} is a total-failure exit.
+  EXPECT_EQ(batchExitCode(Entries), 1);
+  std::remove(Path.c_str());
 }
 
 TEST(SuiteAllocation, ParallelOverloadMatchesSequential) {

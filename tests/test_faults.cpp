@@ -306,6 +306,22 @@ TEST(DeadlineUnit, PollThrowsOnceExpired) {
       DeadlineExceeded);
 }
 
+TEST(DeadlineUnit, ClockIsMonotonic) {
+  // Compile-time guaranteed by the static_assert in Deadline.h; asserted
+  // here too so a clock swap shows up as a test name, not a build log.
+  EXPECT_TRUE(Deadline::Clock::is_steady);
+}
+
+TEST(DeadlineUnit, ExpiredAtInstallFiresOnFirstPoll) {
+  // A request whose budget lapsed while it sat in a queue installs an
+  // already-expired deadline; the 1-in-64 poll decimation must not grant
+  // it up to 63 free iterations.
+  Deadline Past(Deadline::Clock::now() - std::chrono::milliseconds(1));
+  ASSERT_TRUE(Past.expired());
+  ScopedDeadline Guard(Past);
+  EXPECT_THROW(pollDeadline(), DeadlineExceeded);
+}
+
 TEST(DeadlineUnit, ScopedDeadlineTightensButNeverLoosens) {
   ScopedDeadline Outer(Deadline::afterMs(1));
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -428,6 +444,30 @@ TEST(ThreadPoolExceptions, ParallelForRunsRemainingIndices) {
       Completed += Done[I] ? 1u : 0u;
     // One throwing index must not strand the rest of the range.
     EXPECT_EQ(Completed, 63u) << "jobs=" << Jobs;
+  }
+}
+
+TEST(ThreadPoolExceptions, PoolIsReusableAfterParallelForRethrow) {
+  // wait() clears the captured exception when it rethrows; a server
+  // worker pool that survives one poisoned batch must run the next one
+  // at full strength, not with a sticky error.
+  for (unsigned Jobs : {1u, 4u}) {
+    ThreadPool Pool(Jobs);
+    EXPECT_THROW(Pool.parallelFor(16,
+                                  [&](unsigned I) {
+                                    if (I == 3)
+                                      throw std::runtime_error("index 3");
+                                  }),
+                 std::runtime_error)
+        << "jobs=" << Jobs;
+    std::vector<std::atomic<char>> Done(32);
+    for (auto &D : Done)
+      D = 0;
+    Pool.parallelFor(32, [&](unsigned I) { Done[I] = 1; });
+    unsigned Completed = 0;
+    for (unsigned I = 0; I != 32; ++I)
+      Completed += Done[I] ? 1u : 0u;
+    EXPECT_EQ(Completed, 32u) << "jobs=" << Jobs;
   }
 }
 

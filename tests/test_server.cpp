@@ -1,0 +1,420 @@
+//===- tests/test_server.cpp - Allocation service end-to-end tests ------------===//
+//
+// Part of the PDGC project.
+//
+// In-process end-to-end coverage of pdgc-serve's core: real loopback
+// sockets, real worker threads. Covers the request life cycle (PING /
+// STATUS / STATS / ALLOC), request isolation (malformed input answers
+// typed and leaves the connection usable), admission-control hysteresis
+// and deterministic shedding under a stalled worker, graceful drain, and
+// — the acceptance criterion — a chaos sweep over every server.* fault
+// site crossed with every fault action, asserting the server never
+// crashes and every answered request carries a correct typed status.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "machine/TargetDesc.h"
+#include "server/AdmissionQueue.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "support/FaultInjection.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pdgc;
+using namespace pdgc::server;
+
+namespace {
+
+/// Clears any installed plan on both ends of a test, so a failing test
+/// cannot leak an armed plan into its neighbors.
+struct PlanGuard {
+  PlanGuard() { fault::clearPlan(); }
+  ~PlanGuard() { fault::clearPlan(); }
+};
+
+void installSpec(const std::string &Spec) {
+  fault::FaultPlan Plan;
+  std::string Error = fault::parseFaultSpec(Spec, Plan);
+  ASSERT_TRUE(Error.empty()) << Error;
+  fault::resetSiteCounters();
+  fault::installPlan(Plan);
+}
+
+std::string sampleBody(std::uint64_t Seed = 7) {
+  TargetDesc Target = makeTarget(24, PairingRule::Adjacent);
+  GeneratorParams P;
+  P.Seed = Seed;
+  P.Name = "serve" + std::to_string(Seed);
+  P.CallPercent = 30;
+  return printFunction(*generateFunction(P, Target));
+}
+
+Request allocRequest(const std::string &Body, unsigned BudgetMs = 0) {
+  Request R;
+  R.Type = RequestType::Alloc;
+  R.BudgetMs = BudgetMs;
+  R.Body = Body;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Admission queue (watermark hysteresis)
+//===----------------------------------------------------------------------===//
+
+TEST(AdmissionQueue, ShedsAtCapacityUntilLowWatermark) {
+  AdmissionQueue<int> Q(/*Capacity=*/4, /*Low=*/2);
+  EXPECT_EQ(Q.tryPush(1), Admission::Admitted);
+  EXPECT_EQ(Q.tryPush(2), Admission::Admitted);
+  EXPECT_EQ(Q.tryPush(3), Admission::Admitted);
+  EXPECT_EQ(Q.tryPush(4), Admission::Admitted);
+  // Depth hit the high watermark: shed, and stay shedding.
+  EXPECT_EQ(Q.tryPush(5), Admission::Shed);
+  EXPECT_TRUE(Q.shedding());
+
+  // One free slot is NOT recovery — a single threshold would flap here.
+  int V = 0;
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(Q.tryPush(6), Admission::Shed);
+
+  // Down to the low watermark: admissions resume.
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(Q.depth(), 2u);
+  EXPECT_EQ(Q.tryPush(7), Admission::Admitted);
+  EXPECT_FALSE(Q.shedding());
+}
+
+TEST(AdmissionQueue, CloseDrainsBacklogThenStopsConsumers) {
+  AdmissionQueue<int> Q(8, 4);
+  EXPECT_EQ(Q.tryPush(1), Admission::Admitted);
+  EXPECT_EQ(Q.tryPush(2), Admission::Admitted);
+  Q.close();
+  // Producers are refused immediately...
+  EXPECT_EQ(Q.tryPush(3), Admission::Closed);
+  // ...but the promised backlog still drains, in order.
+  int V = 0;
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1);
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_FALSE(Q.pop(V));
+}
+
+TEST(AdmissionQueue, CloseWakesABlockedConsumer) {
+  AdmissionQueue<int> Q(4, 2);
+  std::thread Consumer([&] {
+    int V = 0;
+    EXPECT_FALSE(Q.pop(V)); // Blocks until close(), then exits false.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Q.close();
+  Consumer.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Request life cycle
+//===----------------------------------------------------------------------===//
+
+TEST(ServerEndToEnd, PingStatusStatsAnswerInline) {
+  ServerOptions Opts;
+  Server S(Opts);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  ClientConnection Conn;
+  ASSERT_TRUE(Conn.connect(S.port()));
+
+  Request Req;
+  Response Resp;
+  Req.Type = RequestType::Ping;
+  ASSERT_EQ(Conn.call(Req, Resp), TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Ok);
+
+  Req.Type = RequestType::Status;
+  ASSERT_EQ(Conn.call(Req, Resp), TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Ok);
+  EXPECT_NE(Resp.Body.find("\"queue-depth\""), std::string::npos)
+      << Resp.Body;
+  EXPECT_NE(Resp.Body.find("\"draining\": false"), std::string::npos);
+
+  Req.Type = RequestType::Stats;
+  ASSERT_EQ(Conn.call(Req, Resp), TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Ok);
+  EXPECT_NE(Resp.Body.find("\"latency\""), std::string::npos) << Resp.Body;
+  EXPECT_NE(Resp.Body.find("\"counters\""), std::string::npos);
+
+  Conn.close();
+  S.requestStop();
+  ServerSummary Sum = S.run();
+  EXPECT_EQ(Sum.Accepted, 1u);
+  EXPECT_EQ(Sum.Requests, 3u);
+  EXPECT_TRUE(Sum.DrainedInBudget);
+}
+
+TEST(ServerEndToEnd, AllocAnswersOkWithAssignmentBody) {
+  Server S((ServerOptions()));
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  ClientConnection Conn;
+  ASSERT_TRUE(Conn.connect(S.port()));
+  Response Resp;
+  ASSERT_EQ(Conn.call(allocRequest(sampleBody()), Resp),
+            TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Ok) << Resp.Error;
+  EXPECT_EQ(Resp.ServedBy, "full-preferences");
+  EXPECT_NE(Resp.Body.find(" -> "), std::string::npos) << Resp.Body;
+
+  Conn.close();
+  S.requestStop();
+  ServerSummary Sum = S.run();
+  EXPECT_EQ(Sum.Ok, 1u);
+  EXPECT_TRUE(Sum.DrainedInBudget);
+}
+
+TEST(ServerEndToEnd, MalformedIrAnswersTypedAndConnectionSurvives) {
+  Server S((ServerOptions()));
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  ClientConnection Conn;
+  ASSERT_TRUE(Conn.connect(S.port()));
+
+  // Hostile body: the request dies typed...
+  Response Resp;
+  ASSERT_EQ(Conn.call(allocRequest("this is not IR {{{"), Resp),
+            TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Malformed);
+  EXPECT_FALSE(Resp.Error.empty());
+
+  // ...while the connection keeps serving the next request.
+  ASSERT_EQ(Conn.call(allocRequest(sampleBody()), Resp),
+            TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Ok) << Resp.Error;
+
+  Conn.close();
+  S.requestStop();
+  ServerSummary Sum = S.run();
+  EXPECT_EQ(Sum.Malformed, 1u);
+  EXPECT_EQ(Sum.Ok, 1u);
+}
+
+TEST(ServerEndToEnd, RequestBudgetExpiryAnswersTimeout) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out (delay injection drives the stall)";
+  PlanGuard Guard;
+  Server S((ServerOptions()));
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // Every spill round stalls 100ms against a 5ms budget: every tier —
+  // including the guarantee tier, which TimeBudgetMs binds — comes back
+  // BUDGET_EXCEEDED, and the request answers TIMEOUT, not a hang.
+  installSpec("driver.round:delay=100@every=1");
+  ClientConnection Conn;
+  ASSERT_TRUE(Conn.connect(S.port()));
+  Response Resp;
+  ASSERT_EQ(Conn.call(allocRequest(sampleBody(), /*BudgetMs=*/5), Resp),
+            TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Timeout) << Resp.Error;
+  EXPECT_FALSE(Resp.Error.empty());
+  fault::clearPlan();
+
+  Conn.close();
+  S.requestStop();
+  ServerSummary Sum = S.run();
+  EXPECT_EQ(Sum.Timeout, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control under a stalled worker
+//===----------------------------------------------------------------------===//
+
+TEST(ServerEndToEnd, OverloadShedsWithRetryAfterHint) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out (delay injection drives the stall)";
+  PlanGuard Guard;
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 1;
+  Opts.QueueLowWatermark = 0;
+  Opts.DefaultBudgetMs = 200;
+  Opts.RetryAfterMs = 35;
+  Server S(Opts);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // The lone worker stalls ~200ms/tier on the first request; the second
+  // fills the only queue slot; the third must shed deterministically.
+  installSpec("driver.round:delay=200@every=1");
+  const std::string Body = sampleBody();
+
+  Response RespA, RespB, RespC;
+  ClientConnection A, B, C;
+  ASSERT_TRUE(A.connect(S.port()));
+  ASSERT_TRUE(B.connect(S.port()));
+  ASSERT_TRUE(C.connect(S.port()));
+
+  std::thread TA([&] { A.call(allocRequest(Body), RespA); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // The worker is now stalled inside request A; the queue is empty.
+  std::thread TB([&] { B.call(allocRequest(Body), RespB); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Request B holds the only queue slot; C must be rejected *now*.
+  auto Start = std::chrono::steady_clock::now();
+  ASSERT_EQ(C.call(allocRequest(Body), RespC), TransportError::None);
+  auto ShedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  EXPECT_EQ(RespC.Status, ResponseStatus::Rejected) << RespC.Error;
+  EXPECT_EQ(RespC.RetryAfterMs, 35u);
+  EXPECT_NE(RespC.Error.find("queue full"), std::string::npos)
+      << RespC.Error;
+  // Shedding answers fast — that is its whole point. Generous bound for
+  // a loaded 1-CPU CI box; the stalled path above takes 600ms+.
+  EXPECT_LT(ShedMs, 150);
+
+  TA.join();
+  TB.join();
+  fault::clearPlan();
+  // A and B ran out of budget against the injected stall: typed TIMEOUT.
+  EXPECT_EQ(RespA.Status, ResponseStatus::Timeout) << RespA.Error;
+  EXPECT_EQ(RespB.Status, ResponseStatus::Timeout) << RespB.Error;
+
+  A.close();
+  B.close();
+  C.close();
+  S.requestStop();
+  ServerSummary Sum = S.run();
+  EXPECT_EQ(Sum.Rejected, 1u);
+  EXPECT_EQ(Sum.Timeout, 2u);
+  EXPECT_TRUE(Sum.DrainedInBudget);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(ServerEndToEnd, DrainFinishesBacklogAndReportsSummary) {
+  ServerOptions Opts;
+  Opts.DrainBudgetMs = 5000;
+  Server S(Opts);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  ClientConnection Conn;
+  ASSERT_TRUE(Conn.connect(S.port()));
+  Response Resp;
+  ASSERT_EQ(Conn.call(allocRequest(sampleBody(1)), Resp),
+            TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Ok) << Resp.Error;
+  ASSERT_EQ(Conn.call(allocRequest(sampleBody(2)), Resp),
+            TransportError::None);
+  EXPECT_EQ(Resp.Status, ResponseStatus::Ok) << Resp.Error;
+
+  S.requestStop();
+  ServerSummary Sum = S.run();
+  EXPECT_TRUE(S.draining());
+  EXPECT_TRUE(Sum.DrainedInBudget);
+  EXPECT_EQ(Sum.Ok, 2u);
+  EXPECT_EQ(Sum.Accepted, 1u);
+  EXPECT_EQ(Sum.TransportErrors, 0u);
+
+  // The listener is gone: new connections are refused.
+  ClientConnection After;
+  EXPECT_FALSE(After.connect(S.port()));
+}
+
+TEST(ServerEndToEnd, DoubleStopAndRunAreIdempotent) {
+  Server S((ServerOptions()));
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+  S.requestStop();
+  S.requestStop();
+  ServerSummary First = S.run();
+  ServerSummary Second = S.run();
+  EXPECT_EQ(First.Accepted, Second.Accepted);
+  EXPECT_TRUE(First.DrainedInBudget);
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos sweep: every server.* fault site x every action
+//===----------------------------------------------------------------------===//
+
+TEST(ServerChaos, EveryServerFaultSiteStaysUpAndAnswersTyped) {
+  if (!fault::compiledIn())
+    GTEST_SKIP() << "faults compiled out";
+  PlanGuard Guard;
+
+  const char *Sites[] = {"server.accept", "server.frame", "server.parse",
+                         "server.enqueue", "server.respond"};
+  const char *Actions[] = {"status", "fatal", "delay=10"};
+  const std::string Body = sampleBody();
+  const unsigned RequestsPerCombo = 6;
+
+  for (const char *Site : Sites) {
+    for (const char *Action : Actions) {
+      const std::string Spec =
+          std::string(Site) + ":" + Action + "@every=2,seed=42";
+      SCOPED_TRACE(Spec);
+
+      ServerOptions Opts;
+      Opts.Workers = 2;
+      Server S(Opts);
+      std::string Error;
+      ASSERT_TRUE(S.start(&Error)) << Error;
+      installSpec(Spec);
+
+      unsigned Answered = 0, Dropped = 0;
+      ClientConnection Conn;
+      for (unsigned I = 0; I != RequestsPerCombo; ++I) {
+        Response Resp;
+        // Chaos mode: reconnect-and-retry through injected connection
+        // drops, exactly like pdgc-loadgen --chaos.
+        TransportError E = Conn.callWithRetry(
+            allocRequest(Body), Resp, S.port(), /*MaxAttempts=*/8,
+            /*RetryTransport=*/true, /*Seed=*/I, nullptr);
+        if (E != TransportError::None) {
+          ++Dropped;
+          continue;
+        }
+        ++Answered;
+        // Status correctness: success carries a tier, failure carries a
+        // diagnostic — under every fault plan.
+        if (Resp.Status == ResponseStatus::Ok ||
+            Resp.Status == ResponseStatus::Degraded)
+          EXPECT_FALSE(Resp.ServedBy.empty()) << "request " << I;
+        else
+          EXPECT_FALSE(Resp.Error.empty())
+              << "request " << I << ": "
+              << responseStatusName(Resp.Status);
+      }
+      // The server may drop injected-fault connections, but with 8
+      // retry attempts against an every=2 trigger the vast majority of
+      // requests must come back answered.
+      EXPECT_GE(Answered, RequestsPerCombo - 1) << "dropped=" << Dropped;
+
+      fault::clearPlan();
+      Conn.close();
+      S.requestStop();
+      ServerSummary Sum = S.run();
+      // The process survived (we are still here) and drained cleanly.
+      EXPECT_TRUE(Sum.DrainedInBudget);
+      // Every answered request was counted under a typed status.
+      EXPECT_GE(Sum.Ok + Sum.Degraded + Sum.Rejected + Sum.Timeout +
+                    Sum.Malformed + Sum.Internal,
+                static_cast<std::uint64_t>(Answered));
+    }
+  }
+}
+
+} // namespace

@@ -26,6 +26,10 @@
 //   --batch-budget-ms=N  one deadline across a whole --batch run; once it
 //                      passes, remaining items degrade straight to the
 //                      guarantee tier (ignored outside --batch)
+//   --manifest=FILE    with --batch, write a JSON manifest with one entry
+//                      per input file: label, status (ok | degraded |
+//                      failed), served-by tier, error detail, wall-ms.
+//                      Files that fail parse/verify appear as "failed"
 //   --quiet            print only the summary line(s)
 //   --stats            print "; stat" counter lines (deterministic across
 //                      --jobs values) and "; timer" phase wall times
@@ -82,7 +86,8 @@ void usage() {
       "[--pairing=adjacent|oddeven]\n"
       "                  [--remat] [--quiet] [--no-fallback] "
       "[--emit-sample=SEED]\n"
-      "                  [--batch=DIR] [--jobs=N] [--stats]\n"
+      "                  [--batch=DIR] [--jobs=N] [--manifest=FILE] "
+      "[--stats]\n"
       "                  [--time-budget-ms=N] [--max-rounds=N] "
       "[--batch-budget-ms=N]\n"
       "                  [--trace-json=FILE] [--report-json=FILE] "
@@ -165,6 +170,7 @@ int main(int argc, char **argv) {
   unsigned TimeBudgetMs = 0;
   unsigned MaxRounds = 0; // 0 = keep the DriverOptions default
   unsigned BatchBudgetMs = 0;
+  std::string ManifestPath;
   ObservabilityOptions Obs;
   std::string InputPath;
 
@@ -253,6 +259,13 @@ int main(int argc, char **argv) {
         return 1;
       }
       BatchBudgetMs = static_cast<unsigned>(Value);
+    } else if (Arg.rfind("--manifest=", 0) == 0) {
+      ManifestPath = Arg.substr(11);
+      if (ManifestPath.empty()) {
+        std::fprintf(stderr, "error: --manifest expects a file path\n");
+        usage();
+        return 1;
+      }
     } else if (Arg == "--remat") {
       Remat = true;
     } else if (Arg == "--quiet") {
@@ -302,6 +315,11 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: at least two registers per class\n");
     return 1;
   }
+  if (!ManifestPath.empty() && BatchDir.empty()) {
+    std::fprintf(stderr, "error: --manifest requires --batch\n");
+    usage();
+    return 1;
+  }
   TargetDesc Target = makeTarget(Regs, Pairing);
 
   // Flip the observability machinery on before any allocation work so the
@@ -342,7 +360,10 @@ int main(int argc, char **argv) {
     }
 
     // Parse and verify sequentially; only clean functions enter the batch.
+    // The manifest keeps one slot per input path, in path order, so
+    // pre-batch failures and batch results land in their own rows.
     bool AnyFailed = false;
+    std::vector<BatchManifestEntry> Manifest(Paths.size());
     std::vector<std::unique_ptr<Function>> Owned;
     std::vector<Function *> Fns;
     std::vector<unsigned> FnPath; // index into Paths per batch item
@@ -354,6 +375,7 @@ int main(int argc, char **argv) {
       std::unique_ptr<Function> F = parseFunction(SS.str(), ParseError);
       if (!F) {
         std::printf("%s: error: %s\n", Paths[I].c_str(), ParseError.c_str());
+        Manifest[I] = BatchManifestEntry::failed(Paths[I], ParseError);
         AnyFailed = true;
         continue;
       }
@@ -361,6 +383,8 @@ int main(int argc, char **argv) {
       if (!verifyFunction(*F, VerifyErrors)) {
         std::printf("%s: error: invalid IR: %s\n", Paths[I].c_str(),
                     VerifyErrors.front().c_str());
+        Manifest[I] = BatchManifestEntry::failed(
+            Paths[I], "invalid IR: " + VerifyErrors.front());
         AnyFailed = true;
         continue;
       }
@@ -400,6 +424,8 @@ int main(int argc, char **argv) {
     unsigned Succeeded = 0, TotalSpills = 0, TotalEliminated = 0;
     for (unsigned I = 0; I != Results.size(); ++I) {
       const char *Path = Paths[FnPath[I]].c_str();
+      Manifest[FnPath[I]] = BatchManifestEntry::fromResult(
+          Paths[FnPath[I]], Results[I], AllocatorName);
       if (!Results[I].ok()) {
         std::printf("%s: error: %s\n", Path,
                     Results[I].S.toString().c_str());
@@ -427,7 +453,16 @@ int main(int argc, char **argv) {
                 "eliminated=%u cost=%.0f\n",
                 Succeeded, Paths.size(), Jobs, TotalSpills, TotalEliminated,
                 TotalCost.total());
-    return Obs.finish(AnyFailed ? 1 : (AnyDegraded ? 2 : 0));
+    if (!ManifestPath.empty()) {
+      std::string ManifestError;
+      if (!writeBatchManifest(ManifestPath, Manifest, &ManifestError)) {
+        std::fprintf(stderr, "error: %s\n", ManifestError.c_str());
+        return Obs.finish(1);
+      }
+    }
+    (void)AnyFailed;
+    (void)AnyDegraded;
+    return Obs.finish(batchExitCode(Manifest));
   }
 
   if (EmitSample >= 0) {

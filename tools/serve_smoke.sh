@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving story (docs/SERVING.md): boot pdgc-serve
+# on an ephemeral port, hammer it with pdgc-loadgen, then SIGTERM and hold
+# the drain contract — summary line printed, exit 0, within budget.
+#
+# Knobs (environment):
+#   BUILD_DIR      cmake build tree holding the tools        (default: build)
+#   CORPUS         .ir directory the loadgen replays         (default: tests/corpus)
+#   CONCURRENCY    concurrent loadgen clients                (default: 8)
+#   REQUESTS       total requests                            (default: 200)
+#   WORKERS        server worker threads                     (default: 4)
+#   SERVE_FAULTS   PDGC_FAULTS spec armed in the server only (default: none)
+#   LOADGEN_FLAGS  extra loadgen flags, e.g. --chaos         (default: none)
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+CORPUS=${CORPUS:-tests/corpus}
+CONCURRENCY=${CONCURRENCY:-8}
+REQUESTS=${REQUESTS:-200}
+WORKERS=${WORKERS:-4}
+SERVE_FAULTS=${SERVE_FAULTS:-}
+LOADGEN_FLAGS=${LOADGEN_FLAGS:-}
+
+LOG=$(mktemp)
+cleanup() {
+  status=$?
+  if [ $status -ne 0 ]; then
+    echo "--- pdgc-serve log ---"
+    cat "$LOG"
+  fi
+  kill "${SERVE_PID:-0}" 2>/dev/null || true
+  rm -f "$LOG"
+  exit $status
+}
+trap cleanup EXIT
+
+env ${SERVE_FAULTS:+PDGC_FAULTS="$SERVE_FAULTS"} \
+  "$BUILD_DIR/tools/pdgc-serve" --port=0 --workers="$WORKERS" \
+  >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 100); do
+  PORT=$(sed -n 's/.*listening on port \([0-9][0-9]*\).*/\1/p' "$LOG")
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "FAIL: pdgc-serve died before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: pdgc-serve never reported its port" >&2
+  exit 1
+fi
+echo "serve_smoke: server pid=$SERVE_PID port=$PORT faults='${SERVE_FAULTS}'"
+
+# shellcheck disable=SC2086  # LOADGEN_FLAGS is intentionally word-split
+SUMMARY=$("$BUILD_DIR/tools/pdgc-loadgen" --port="$PORT" \
+  --concurrency="$CONCURRENCY" --requests="$REQUESTS" \
+  --corpus-dir="$CORPUS" --seed=42 --quiet $LOADGEN_FLAGS)
+echo "$SUMMARY"
+
+echo "$SUMMARY" | grep -q 'p99-us=[0-9]' || {
+  echo "FAIL: loadgen summary has no p99" >&2
+  exit 1
+}
+case " $LOADGEN_FLAGS " in
+*" --chaos "*) ;; # dropped connections are the point; skip the zero check
+*)
+  echo "$SUMMARY" | grep -q 'transport-errors=0 ' || {
+    echo "FAIL: transport errors on a fault-free server" >&2
+    exit 1
+  }
+  ;;
+esac
+
+if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "FAIL: server died under load" >&2
+  exit 1
+fi
+
+kill -TERM "$SERVE_PID"
+DRAIN_RC=0
+wait "$SERVE_PID" || DRAIN_RC=$?
+if [ "$DRAIN_RC" -ne 0 ]; then
+  echo "FAIL: drain exited $DRAIN_RC (3 = drain budget overrun)" >&2
+  exit 1
+fi
+grep -q 'drained within budget' "$LOG" || {
+  echo "FAIL: no drain summary in server log" >&2
+  exit 1
+}
+grep 'drained within budget' "$LOG"
+echo "serve_smoke: OK"

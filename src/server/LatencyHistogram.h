@@ -11,7 +11,7 @@
 /// time. Buckets are geometric — powers of two of microseconds, each
 /// split into four linear sub-buckets — so the relative quantile error is
 /// bounded at ~12.5% across the whole 1µs..~1hour range while the entire
-/// histogram stays 512 counters, cheap enough to keep always-on.
+/// histogram stays 128 counters, cheap enough to keep always-on.
 ///
 /// This is the same design trade HdrHistogram-style recorders make: the
 /// service cares that p99 moved from 2ms to 40ms, not whether it is

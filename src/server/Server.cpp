@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 using namespace pdgc;
@@ -76,8 +78,14 @@ struct Server::Impl {
 
   std::thread Acceptor;
   std::vector<std::thread> WorkerThreads;
-  std::mutex ConnMutex;
-  std::vector<std::thread> ConnThreads;
+  mutable std::mutex ConnMutex;
+  /// Live connection threads, keyed by connection id. A thread that
+  /// finishes moves its own handle into FinishedConns (it cannot join
+  /// itself); the acceptor reaps that list on every wakeup so a
+  /// long-running daemon never accumulates joinable-but-dead threads.
+  std::unordered_map<std::uint64_t, std::thread> ConnThreads;
+  std::vector<std::thread> FinishedConns;
+  std::uint64_t NextConnId = 0;
   std::unordered_set<int> OpenFds;
 
   AdmissionQueue<std::unique_ptr<AllocJob>> Queue;
@@ -108,13 +116,14 @@ struct Server::Impl {
       : Opts(O), Queue(O.QueueCapacity, O.QueueLowWatermark) {}
 
   void acceptLoop();
+  void reapFinishedConns();
   void workerLoop();
-  void connectionLoop(int Fd);
+  void connectionLoop(int Fd, std::uint64_t ConnId);
   Response executeAlloc(AllocJob &Job);
   Response statusResponse() const;
   Response statsResponse() const;
   bool respond(int Fd, Response R, SteadyClock::time_point Arrived,
-               bool IsAlloc);
+               bool RecordLatency);
   void finishRun();
 };
 
@@ -220,14 +229,33 @@ void Server::Impl::finishRun() {
   for (std::thread &W : WorkerThreads)
     W.join();
 
-  // The backlog is answered; connection threads are now blocked reading
-  // their next frame. Shut the sockets down to wake them with EOF.
+  // The backlog is answered, but a connection thread may still be
+  // between Done.get() and writeFrame for the last admitted request.
+  // SHUT_RD wakes readers blocked on their next frame with EOF while
+  // leaving the write side open, so every executed request still gets
+  // its response on the wire — the drain contract — instead of a
+  // spurious transport error from a torn-down socket.
   {
     std::lock_guard<std::mutex> Lock(ConnMutex);
     for (int Fd : OpenFds)
-      ::shutdown(Fd, SHUT_RDWR);
+      ::shutdown(Fd, SHUT_RD);
   }
-  for (std::thread &T : ConnThreads)
+  // Join every connection thread: live ones still in the map plus any
+  // already self-retired into FinishedConns. Joining a live thread's
+  // handle is fine — it finds its map entry gone at retirement and
+  // simply returns. Don't hold ConnMutex across the joins: retiring
+  // threads need it.
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (auto &Entry : ConnThreads)
+      ToJoin.push_back(std::move(Entry.second));
+    ConnThreads.clear();
+    for (std::thread &T : FinishedConns)
+      ToJoin.push_back(std::move(T));
+    FinishedConns.clear();
+  }
+  for (std::thread &T : ToJoin)
     T.join();
 
   Summary.DrainedInBudget =
@@ -256,8 +284,21 @@ void Server::Impl::finishRun() {
 // Acceptor
 //===----------------------------------------------------------------------===//
 
+void Server::Impl::reapFinishedConns() {
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    ToJoin.swap(FinishedConns);
+  }
+  // Each handle here was retired by its own thread moments before that
+  // thread returned, so these joins complete immediately.
+  for (std::thread &T : ToJoin)
+    T.join();
+}
+
 void Server::Impl::acceptLoop() {
   for (;;) {
+    reapFinishedConns();
     pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
     int N = ::poll(Fds, 2, -1);
     if (N < 0) {
@@ -275,6 +316,18 @@ void Server::Impl::acceptLoop() {
       // Frames are small request/response pairs; latency beats batching.
       int One = 1;
       ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+      // Bound every response write: a peer that stops reading must not
+      // park a connection thread forever — and, because drain shuts
+      // sockets down read-side only (writes are allowed to finish), it
+      // must not be able to hold the final join hostage either. The
+      // timed-out write fails like any transport error and the
+      // connection dies.
+      unsigned TimeoutMs = std::max(1u, Opts.DrainBudgetMs);
+      timeval SendTimeout{};
+      SendTimeout.tv_sec = TimeoutMs / 1000;
+      SendTimeout.tv_usec = static_cast<suseconds_t>(TimeoutMs % 1000) * 1000;
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+                   sizeof SendTimeout);
     }
     if (Fd < 0) {
       // EMFILE/ENFILE and friends: shed at the OS edge and keep serving
@@ -312,9 +365,14 @@ void Server::Impl::acceptLoop() {
     NAccepted.fetch_add(1);
     PDGC_STAT("server", "accepted").inc();
     Connections.fetch_add(1, std::memory_order_relaxed);
+    // Hold ConnMutex across thread creation AND map insertion: the new
+    // thread's self-retirement also takes ConnMutex, so it cannot look
+    // up its own entry before the entry exists.
     std::lock_guard<std::mutex> Lock(ConnMutex);
     OpenFds.insert(Fd);
-    ConnThreads.emplace_back([this, Fd] { connectionLoop(Fd); });
+    std::uint64_t ConnId = NextConnId++;
+    ConnThreads.emplace(
+        ConnId, std::thread([this, Fd, ConnId] { connectionLoop(Fd, ConnId); }));
   }
   ::close(ListenFd);
   ListenFd = -1;
@@ -325,7 +383,8 @@ void Server::Impl::acceptLoop() {
 //===----------------------------------------------------------------------===//
 
 bool Server::Impl::respond(int Fd, Response R,
-                           SteadyClock::time_point Arrived, bool IsAlloc) {
+                           SteadyClock::time_point Arrived,
+                           bool RecordLatency) {
   R.WallMs = static_cast<unsigned>(microsSince(Arrived) / 1000);
   switch (R.Status) {
   case ResponseStatus::Ok:
@@ -353,7 +412,11 @@ bool Server::Impl::respond(int Fd, Response R,
     PDGC_STAT("server", "resp_internal").inc();
     break;
   }
-  if (IsAlloc)
+  // Only executed allocations belong in the histogram: counting
+  // microsecond-fast shed/drain rejections would drag the reported
+  // p50/p99 down exactly when the service is overloaded and the latency
+  // numbers matter most.
+  if (RecordLatency)
     Latency.record(microsSince(Arrived));
   try {
     PDGC_FAULT_POINT("server.respond");
@@ -371,7 +434,7 @@ bool Server::Impl::respond(int Fd, Response R,
   return true;
 }
 
-void Server::Impl::connectionLoop(int Fd) {
+void Server::Impl::connectionLoop(int Fd, std::uint64_t ConnId) {
   for (;;) {
     std::string Payload;
     FrameResult FR = readFrame(Fd, Payload, Opts.MaxFrameBytes);
@@ -479,7 +542,7 @@ void Server::Impl::connectionLoop(int Fd) {
       Response R;
       R.Status = ResponseStatus::Internal;
       R.Error = std::string("admission failed: ") + E.what();
-      if (!respond(Fd, std::move(R), Arrived, true))
+      if (!respond(Fd, std::move(R), Arrived, false))
         break;
     }
     if (EnqueueFault)
@@ -492,7 +555,7 @@ void Server::Impl::connectionLoop(int Fd) {
       R.RetryAfterMs = Opts.RetryAfterMs;
       R.Error = "queue full (depth " + std::to_string(Queue.depth()) +
                 "/" + std::to_string(Queue.capacity()) + ")";
-      if (!respond(Fd, std::move(R), Arrived, true))
+      if (!respond(Fd, std::move(R), Arrived, false))
         break;
       continue;
     }
@@ -502,7 +565,7 @@ void Server::Impl::connectionLoop(int Fd) {
       R.Status = ResponseStatus::Rejected;
       R.RetryAfterMs = Opts.RetryAfterMs;
       R.Error = "draining";
-      if (!respond(Fd, std::move(R), Arrived, true))
+      if (!respond(Fd, std::move(R), Arrived, false))
         break;
       continue;
     }
@@ -514,12 +577,29 @@ void Server::Impl::connectionLoop(int Fd) {
       break;
   }
 
-  ::close(Fd);
+  // Deregister BEFORE close: the kernel may hand the closed fd number to
+  // a concurrent accept() immediately, and erasing after close would
+  // knock the new connection's entry out of OpenFds — finishRun's
+  // shutdown sweep would then miss a live socket and the drain join
+  // could hang on its blocked reader.
   {
     std::lock_guard<std::mutex> Lock(ConnMutex);
     OpenFds.erase(Fd);
   }
+  ::close(Fd);
   Connections.fetch_sub(1, std::memory_order_relaxed);
+
+  // Self-retire: move our own handle out of the live map so the acceptor
+  // (or finishRun) can join it. A thread cannot join itself, but it can
+  // hand its handle to someone who will.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    auto It = ConnThreads.find(ConnId);
+    if (It != ConnThreads.end()) {
+      FinishedConns.push_back(std::move(It->second));
+      ConnThreads.erase(It);
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -642,6 +722,14 @@ Response Server::Impl::executeAlloc(AllocJob &Job) {
 //===----------------------------------------------------------------------===//
 
 Response Server::Impl::statusResponse() const {
+  // Registry size = live connection threads + finished-but-unreaped
+  // handles; a leak here (threads joined only at shutdown) is exactly
+  // what the reaper exists to prevent, so expose it to monitoring.
+  std::size_t ConnThreadCount = 0;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    ConnThreadCount = ConnThreads.size() + FinishedConns.size();
+  }
   Response R;
   R.Body = "{";
   R.Body += "\"draining\": ";
@@ -653,6 +741,7 @@ Response Server::Impl::statusResponse() const {
   R.Body += Queue.shedding() ? "true" : "false";
   R.Body += ", \"connections\": " +
             std::to_string(Connections.load(std::memory_order_relaxed));
+  R.Body += ", \"conn-threads\": " + std::to_string(ConnThreadCount);
   R.Body += ", \"inflight\": " +
             std::to_string(InFlight.load(std::memory_order_relaxed));
   R.Body += ", \"uptime-ms\": " +

@@ -110,7 +110,7 @@ struct ServerSummary {
   std::uint64_t Malformed = 0;      ///< Bad frames/messages/IR.
   std::uint64_t Internal = 0;       ///< Faults + trapped fatal checks.
   std::uint64_t TransportErrors = 0; ///< Truncated/failed reads & writes.
-  std::uint64_t P50Micros = 0;      ///< ALLOC latency percentiles.
+  std::uint64_t P50Micros = 0;      ///< Executed-ALLOC latency percentiles.
   std::uint64_t P99Micros = 0;
   bool DrainedInBudget = true;      ///< Drain met DrainBudgetMs.
 };

@@ -24,6 +24,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -156,6 +158,56 @@ TEST(ServerEndToEnd, PingStatusStatsAnswerInline) {
   ServerSummary Sum = S.run();
   EXPECT_EQ(Sum.Accepted, 1u);
   EXPECT_EQ(Sum.Requests, 3u);
+  EXPECT_TRUE(Sum.DrainedInBudget);
+}
+
+TEST(ServerEndToEnd, FinishedConnectionThreadsAreReaped) {
+  ServerOptions Opts;
+  Server S(Opts);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // Churn many short-lived connections; each gets its own server thread.
+  // The acceptor must reap finished threads as it goes — a daemon that
+  // only joins at shutdown retains a zombie thread (stack + pthread
+  // bookkeeping) per connection ever served.
+  for (int N = 0; N != 100; ++N) {
+    ClientConnection Churn;
+    ASSERT_TRUE(Churn.connect(S.port()));
+    Request Req;
+    Req.Type = RequestType::Ping;
+    Response Resp;
+    ASSERT_EQ(Churn.call(Req, Resp), TransportError::None);
+    Churn.close();
+  }
+
+  // Every accept reaps; by the time STATUS answers, the churned threads
+  // must be gone from the registry (modulo a few still mid-retirement
+  // under slow scheduling — hence the poll loop, and a bound far below
+  // the 100 a leak would show).
+  const char *Key = "\"conn-threads\": ";
+  long Registered = -1;
+  for (int Attempt = 0; Attempt != 50; ++Attempt) {
+    ClientConnection Conn;
+    ASSERT_TRUE(Conn.connect(S.port()));
+    Request Req;
+    Req.Type = RequestType::Status;
+    Response Resp;
+    ASSERT_EQ(Conn.call(Req, Resp), TransportError::None);
+    std::size_t Pos = Resp.Body.find(Key);
+    ASSERT_NE(Pos, std::string::npos) << Resp.Body;
+    Registered = std::strtol(
+        Resp.Body.c_str() + Pos + std::strlen(Key), nullptr, 10);
+    Conn.close();
+    if (Registered <= 8)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(Registered, 8) << "connection threads are not being reaped";
+
+  S.requestStop();
+  ServerSummary Sum = S.run();
+  EXPECT_GE(Sum.Accepted, 101u);
   EXPECT_TRUE(Sum.DrainedInBudget);
 }
 

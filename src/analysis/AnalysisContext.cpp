@@ -25,8 +25,9 @@ auto timedCompute(const char *Phase, Fn &&Compute) {
 
 } // namespace
 
-AnalysisContext::AnalysisContext(const Function &F, const CostParams &Params)
-    : Func(&F), Params(Params),
+AnalysisContext::AnalysisContext(const Function &F,
+                                 const CostParams &ParamsIn)
+    : Func(&F), Params(ParamsIn),
       RPO(timedCompute("analysis.rpo.cold",
                        [&] {
                          PDGC_FAULT_POINT("analysis.cold_build");

@@ -34,12 +34,13 @@ LiveRangeCosts LiveRangeCosts::compute(const Function &F, const Liveness &LV,
 }
 
 void LiveRangeCosts::recompute(const Function &F, const Liveness &LV,
-                               const LoopInfo &LI, const CostParams &Params) {
+                               const LoopInfo &LI,
+                               const CostParams &ParamsIn) {
   assert(!hasPhis(F) && "cost model requires phi-free IR");
 
   const unsigned N = F.numVRegs();
   LiveRangeCosts &C = *this;
-  C.Params = Params;
+  C.Params = ParamsIn;
   // assign() reuses the vectors' existing heap blocks.
   C.SpillCosts.assign(N, 0.0);
   C.OpCosts.assign(N, 0.0);

@@ -114,8 +114,9 @@ public:
     }
 
   public:
-    InstIterator(const Liveness &LV, const BasicBlock *BB)
-        : LV(&LV), BB(BB), Live(LV.liveOut(BB)), Cursor(BB->size()) {}
+    InstIterator(const Liveness &LVIn, const BasicBlock *BBIn)
+        : LV(&LVIn), BB(BBIn), Live(LVIn.liveOut(BBIn)),
+          Cursor(BBIn->size()) {}
 
     /// Registers live immediately after instruction \p Index. The returned
     /// reference is invalidated by the next query.

@@ -69,24 +69,25 @@ class PDGCSelect {
 public:
   std::vector<unsigned> Spills;
 
-  PDGCSelect(AllocContext &Ctx, const PDGCOptions &Opt,
+  PDGCSelect(AllocContext &CtxIn, const PDGCOptions &OptIn,
              const SimplifyResult &SR)
-      : Ctx(Ctx), Opt(Opt),
+      : Ctx(CtxIn), Opt(OptIn),
         RPG([&] {
           ScopedTimer Timer("pdgc.rpg_build", "allocator");
           PDGC_FAULT_POINT("pdgc.rpg_build");
-          return RegisterPreferenceGraph::build(Ctx.F, Ctx.LV, Ctx.LI,
-                                                Ctx.Costs, Ctx.Target);
+          return RegisterPreferenceGraph::build(CtxIn.F, CtxIn.LV, CtxIn.LI,
+                                                CtxIn.Costs, CtxIn.Target);
         }()),
         CPG([&] {
           ScopedTimer Timer("pdgc.cpg_build", "allocator");
           PDGC_FAULT_POINT("pdgc.cpg_build");
-          return Opt.UseCPG
-                     ? ColoringPrecedenceGraph::build(Ctx.IG, Ctx.Target, SR)
-                     : ColoringPrecedenceGraph::linearFromStack(Ctx.IG, SR);
+          return OptIn.UseCPG ? ColoringPrecedenceGraph::build(CtxIn.IG,
+                                                               CtxIn.Target, SR)
+                              : ColoringPrecedenceGraph::linearFromStack(
+                                    CtxIn.IG, SR);
         }()),
-        SS(Ctx.IG, Ctx.Target), Spilled(Ctx.IG.numNodes(), 0),
-        Done(Ctx.IG.numNodes(), 0), InDeg(Ctx.IG.numNodes(), 0) {
+        SS(CtxIn.IG, CtxIn.Target), Spilled(CtxIn.IG.numNodes(), 0),
+        Done(CtxIn.IG.numNodes(), 0), InDeg(CtxIn.IG.numNodes(), 0) {
     for (unsigned N = 0, E = CPG.numNodes(); N != E; ++N)
       if (CPG.contains(N))
         InDeg[N] =

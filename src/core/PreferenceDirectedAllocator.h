@@ -81,8 +81,8 @@ class PreferenceDirectedAllocator : public AllocatorBase {
   PDGCOptions Options;
 
 public:
-  explicit PreferenceDirectedAllocator(PDGCOptions Options = PDGCOptions())
-      : Options(Options) {}
+  explicit PreferenceDirectedAllocator(PDGCOptions OptionsIn = PDGCOptions())
+      : Options(OptionsIn) {}
 
   const char *name() const override { return Options.Name; }
   const PDGCOptions &options() const { return Options; }

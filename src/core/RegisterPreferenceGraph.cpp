@@ -152,7 +152,7 @@ double RegisterPreferenceGraph::strength(const Preference &P,
 double RegisterPreferenceGraph::bestStrength(const Preference &P) const {
   VReg V(P.Source);
   double IdealOp = Costs->opCost(V) - P.Savings;
-  double Best;
+  double Best = 0;
   switch (P.Target.Kind) {
   case PrefTarget::Register:
     return strength(P, static_cast<PhysReg>(P.Target.Value));

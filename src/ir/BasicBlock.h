@@ -33,7 +33,8 @@ class BasicBlock {
   std::vector<BasicBlock *> Succs;
   std::vector<BasicBlock *> Preds;
 
-  BasicBlock(unsigned Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+  BasicBlock(unsigned IdIn, std::string NameIn)
+      : Id(IdIn), Name(std::move(NameIn)) {}
 
 public:
   unsigned id() const { return Id; }

@@ -56,7 +56,7 @@ class Function {
   unsigned NextBlockId = 0;
 
 public:
-  explicit Function(std::string Name) : Name(std::move(Name)) {}
+  explicit Function(std::string NameIn) : Name(std::move(NameIn)) {}
 
   Function(const Function &) = delete;
   Function &operator=(const Function &) = delete;

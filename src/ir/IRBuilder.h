@@ -24,7 +24,7 @@ class IRBuilder {
   BasicBlock *BB = nullptr;
 
 public:
-  explicit IRBuilder(Function &F) : F(F) {}
+  explicit IRBuilder(Function &Fn) : F(Fn) {}
 
   Function &function() { return F; }
 

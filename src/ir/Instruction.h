@@ -45,9 +45,9 @@ class Instruction {
                              ///< quarter-word loads.
 
 public:
-  Instruction(Opcode Op, VReg Def, std::vector<VReg> Uses,
-              std::int64_t Imm = 0)
-      : Op(Op), DefReg(Def), Uses(std::move(Uses)), Imm(Imm) {
+  Instruction(Opcode OpIn, VReg Def, std::vector<VReg> UsesIn,
+              std::int64_t ImmIn = 0)
+      : Op(OpIn), DefReg(Def), Uses(std::move(UsesIn)), Imm(ImmIn) {
     assert((Def.isValid() ? opcodeMayDefine(Op) : true) &&
            "opcode cannot define a register");
     assert((opcodeNumUses(Op) < 0 ||

@@ -37,7 +37,7 @@ class VReg {
 public:
   /// Constructs the invalid sentinel handle.
   VReg() : Id(~0u) {}
-  explicit VReg(unsigned Id) : Id(Id) {}
+  explicit VReg(unsigned IdIn) : Id(IdIn) {}
 
   bool isValid() const { return Id != ~0u; }
   unsigned id() const { return Id; }

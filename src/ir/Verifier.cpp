@@ -21,8 +21,8 @@ class VerifierImpl {
   std::vector<std::string> &Errors;
 
 public:
-  VerifierImpl(const Function &F, std::vector<std::string> &Errors)
-      : F(F), Errors(Errors) {}
+  VerifierImpl(const Function &Fn, std::vector<std::string> &ErrorsIn)
+      : F(Fn), Errors(ErrorsIn) {}
 
   void error(const BasicBlock *BB, const std::string &Msg) {
     Errors.push_back(F.name() + "/" + (BB ? BB->name() : "<func>") + ": " +

@@ -47,12 +47,12 @@ class TargetDesc {
   PairingRule Pairing;
 
 public:
-  TargetDesc(std::string Name, unsigned GPRs, unsigned FPRs,
-             unsigned VolatilePerClass, unsigned MaxParamRegs,
-             PairingRule Pairing)
-      : Name(std::move(Name)), GPRs(GPRs), FPRs(FPRs),
-        VolatilePerClass(VolatilePerClass), MaxParamRegs(MaxParamRegs),
-        Pairing(Pairing) {
+  TargetDesc(std::string NameIn, unsigned GPRsIn, unsigned FPRsIn,
+             unsigned VolatilePerClassIn, unsigned MaxParamRegsIn,
+             PairingRule PairingIn)
+      : Name(std::move(NameIn)), GPRs(GPRsIn), FPRs(FPRsIn),
+        VolatilePerClass(VolatilePerClassIn), MaxParamRegs(MaxParamRegsIn),
+        Pairing(PairingIn) {
     assert(VolatilePerClass <= GPRs && VolatilePerClass <= FPRs &&
            "volatile partition exceeds class size");
     assert(MaxParamRegs <= VolatilePerClass &&

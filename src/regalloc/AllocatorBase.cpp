@@ -10,15 +10,15 @@
 
 using namespace pdgc;
 
-AllocContext::AllocContext(Function &F, const TargetDesc &Target,
+AllocContext::AllocContext(Function &Fn, const TargetDesc &TargetIn,
                            const CostParams &Params)
-    : F(F), Target(Target),
-      Owned(std::make_unique<AnalysisContext>(F, Params)), LV(Owned->LV),
+    : F(Fn), Target(TargetIn),
+      Owned(std::make_unique<AnalysisContext>(Fn, Params)), LV(Owned->LV),
       LI(Owned->LI), Costs(Owned->Costs), IG(Owned->IG) {}
 
-AllocContext::AllocContext(Function &F, const TargetDesc &Target,
+AllocContext::AllocContext(Function &Fn, const TargetDesc &TargetIn,
                            AnalysisContext &Analyses)
-    : F(F), Target(Target), LV(Analyses.LV), LI(Analyses.LI),
+    : F(Fn), Target(TargetIn), LV(Analyses.LV), LI(Analyses.LI),
       Costs(Analyses.Costs), IG(Analyses.IG) {}
 
 RoundResult RoundResult::make(unsigned NumVRegs) {

@@ -8,13 +8,13 @@
 
 #include "support/FaultInjection.h"
 #include "support/Stats.h"
+#include "support/ThreadAnnotations.h"
 #include "support/ThreadPool.h"
 #include "support/Tracing.h"
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 
 using namespace pdgc;
 
@@ -40,7 +40,7 @@ BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
   ItemOptions.CancelAt =
       Deadline::afterMs(Limits.BatchBudgetMs).sooner(Options.CancelAt);
 
-  std::mutex WarnMutex;
+  Mutex WarnMutex;
 
   // Per-index slots keep the output deterministic regardless of which
   // worker finishes first. allocateWithFallback catches everything its
@@ -83,7 +83,7 @@ BatchDriver::run(const std::vector<Function *> &Fns, const TargetDesc &Target,
                               : "item " + std::to_string(I);
       // One lock around the whole warning block: workers report as they
       // finish, and multi-line warnings must not interleave mid-line.
-      std::lock_guard<std::mutex> Lock(WarnMutex);
+      MutexLock Lock(WarnMutex);
       std::fprintf(stderr,
                    "warning: %s: served by fallback tier %u ('%s')\n",
                    Label.c_str(), D.TierIndex, D.ServedBy.c_str());

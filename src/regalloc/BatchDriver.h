@@ -75,7 +75,7 @@ class BatchDriver {
 public:
   /// \p Jobs worker threads; 0 or 1 runs everything inline on the calling
   /// thread (the exact sequential pipeline, not "parallel with one worker").
-  explicit BatchDriver(unsigned Jobs) : Jobs(Jobs) {}
+  explicit BatchDriver(unsigned JobsIn) : Jobs(JobsIn) {}
 
   /// Allocates every function in \p Fns (each modified in place on
   /// success, exactly as allocateWithFallback would). Returns one result

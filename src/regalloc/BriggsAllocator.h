@@ -31,8 +31,8 @@ class BriggsAllocator : public AllocatorBase {
 
 public:
   explicit BriggsAllocator(bool BiasedColoring = false,
-                           bool NonVolatileFirst = false)
-      : Biased(BiasedColoring), NonVolatileFirst(NonVolatileFirst) {}
+                           bool NonVolatileFirstIn = false)
+      : Biased(BiasedColoring), NonVolatileFirst(NonVolatileFirstIn) {}
 
   const char *name() const override {
     return Biased ? "briggs+biased" : "briggs+aggressive";

@@ -44,8 +44,8 @@ public:
   /// so move-relatedness checks touch only a node's own moves.
   std::vector<std::vector<unsigned>> NodeMoves;
 
-  explicit IteratedState(AllocContext &Ctx)
-      : Ctx(Ctx), IG(Ctx.IG), UF(IG.numNodes()),
+  explicit IteratedState(AllocContext &CtxIn)
+      : Ctx(CtxIn), IG(CtxIn.IG), UF(IG.numNodes()),
         Removed(IG.numNodes(), 0), Optimistic(IG.numNodes(), 0),
         FrozenNode(IG.numNodes(), 0), NodeMoves(IG.numNodes()) {
     for (const MoveRecord &MR : IG.moves()) {

@@ -32,14 +32,15 @@ class Search {
   std::uint64_t Budget;
 
 public:
-  Search(const Function &F, const TargetDesc &Target, std::uint64_t Budget)
-      : F(F), Target(Target),
+  Search(const Function &Fn, const TargetDesc &TargetIn,
+         std::uint64_t BudgetIn)
+      : F(Fn), Target(TargetIn),
         IG([&] {
-          Liveness LV = Liveness::compute(F);
-          LoopInfo LI = LoopInfo::compute(F);
-          return InterferenceGraph::build(F, LV, LI);
+          Liveness LV = Liveness::compute(Fn);
+          LoopInfo LI = LoopInfo::compute(Fn);
+          return InterferenceGraph::build(Fn, LV, LI);
         }()),
-        Assign(F.numVRegs(), -1), Budget(Budget) {
+        Assign(F.numVRegs(), -1), Budget(BudgetIn) {
     // Fixed colors for pinned registers; everything else that appears in
     // the code is a search variable.
     std::vector<char> Appears(F.numVRegs(), 0);

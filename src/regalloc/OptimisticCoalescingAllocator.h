@@ -28,8 +28,8 @@ class OptimisticCoalescingAllocator : public AllocatorBase {
   bool NonVolatileFirst;
 
 public:
-  explicit OptimisticCoalescingAllocator(bool NonVolatileFirst = false)
-      : NonVolatileFirst(NonVolatileFirst) {}
+  explicit OptimisticCoalescingAllocator(bool NonVolatileFirstIn = false)
+      : NonVolatileFirst(NonVolatileFirstIn) {}
 
   const char *name() const override { return "optimistic"; }
   RoundResult allocateRound(AllocContext &Ctx) override;

@@ -30,8 +30,8 @@ class SelectState {
 
 public:
   /// Initializes with every precolored node already holding its color.
-  SelectState(const InterferenceGraph &IG, const TargetDesc &Target)
-      : IG(IG), Target(Target), Colors(IG.numNodes(), -1) {
+  SelectState(const InterferenceGraph &IGIn, const TargetDesc &TargetIn)
+      : IG(IGIn), Target(TargetIn), Colors(IGIn.numNodes(), -1) {
     for (unsigned N = 0, E = IG.numNodes(); N != E; ++N)
       if (IG.isPrecolored(N))
         Colors[N] = IG.precolor(N);

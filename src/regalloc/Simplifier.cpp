@@ -22,9 +22,9 @@ public:
   std::vector<char> Removed;
   std::vector<unsigned> Degree;
 
-  SimplifyState(const InterferenceGraph &IG, const TargetDesc &Target)
-      : IG(IG), Target(Target), Removed(IG.numNodes(), 0),
-        Degree(IG.numNodes(), 0) {
+  SimplifyState(const InterferenceGraph &IGIn, const TargetDesc &TargetIn)
+      : IG(IGIn), Target(TargetIn), Removed(IGIn.numNodes(), 0),
+        Degree(IGIn.numNodes(), 0) {
     for (unsigned N = 0, E = IG.numNodes(); N != E; ++N) {
       if (IG.isMerged(N)) {
         Removed[N] = 1;

@@ -156,11 +156,11 @@ SpillInsertStats pdgc::insertSpillCode(Function &F,
 
     // Spill code inserted between a paired-load head and its mate breaks
     // the adjacency the fusion needs; drop the candidate flag there.
-    for (unsigned I = 0, E = BB->size(); I != E; ++I) {
-      Instruction &Head = BB->inst(I);
+    for (unsigned Idx = 0, End = BB->size(); Idx != End; ++Idx) {
+      Instruction &Head = BB->inst(Idx);
       if (!Head.isPairHead())
         continue;
-      if (I + 1 == E || BB->inst(I + 1).opcode() != Opcode::Load)
+      if (Idx + 1 == End || BB->inst(Idx + 1).opcode() != Opcode::Load)
         Head.setPairHead(false);
     }
   }

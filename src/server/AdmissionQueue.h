@@ -30,9 +30,9 @@
 #ifndef PDGC_SERVER_ADMISSIONQUEUE_H
 #define PDGC_SERVER_ADMISSIONQUEUE_H
 
-#include <condition_variable>
+#include "support/ThreadAnnotations.h"
+
 #include <deque>
-#include <mutex>
 
 namespace pdgc {
 namespace server {
@@ -46,15 +46,15 @@ enum class Admission {
 
 template <typename T> class AdmissionQueue {
 public:
-  /// \p Capacity is the high watermark (and the hard bound); \p Low is
-  /// the depth shedding stops at. Low >= Capacity degenerates to a
+  /// \p CapacityIn is the high watermark (and the hard bound); \p LowIn
+  /// is the depth shedding stops at. Low >= Capacity degenerates to a
   /// single-threshold bound.
-  AdmissionQueue(std::size_t Capacity, std::size_t Low)
-      : Capacity(Capacity ? Capacity : 1),
-        Low(Low < this->Capacity ? Low : this->Capacity - 1) {}
+  AdmissionQueue(std::size_t CapacityIn, std::size_t LowIn)
+      : Capacity(CapacityIn ? CapacityIn : 1),
+        Low(LowIn < this->Capacity ? LowIn : this->Capacity - 1) {}
 
   Admission tryPush(T Item) {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     if (IsClosed)
       return Admission::Closed;
     if (Shedding) {
@@ -73,8 +73,9 @@ public:
   /// Blocks until an item is available (true) or the queue is closed and
   /// empty (false).
   bool pop(T &Out) {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    Available.wait(Lock, [this] { return IsClosed || !Items.empty(); });
+    MutexLock Lock(Mu);
+    while (!IsClosed && Items.empty())
+      Available.wait(Lock);
     if (Items.empty())
       return false;
     Out = std::move(Items.front());
@@ -85,24 +86,24 @@ public:
   /// Stops admitting; wakes every blocked consumer so they can drain the
   /// backlog and exit.
   void close() {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     IsClosed = true;
     Available.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     return IsClosed;
   }
 
   std::size_t depth() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     return Items.size();
   }
 
   /// True while the hysteresis has the queue in shed mode.
   bool shedding() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     return Shedding;
   }
 
@@ -112,11 +113,11 @@ public:
 private:
   const std::size_t Capacity;
   const std::size_t Low;
-  mutable std::mutex Mutex;
-  std::condition_variable Available;
-  std::deque<T> Items;
-  bool IsClosed = false;
-  bool Shedding = false;
+  mutable Mutex Mu;
+  CondVar Available;
+  std::deque<T> Items PDGC_GUARDED_BY(Mu);
+  bool IsClosed PDGC_GUARDED_BY(Mu) = false;
+  bool Shedding PDGC_GUARDED_BY(Mu) = false;
 };
 
 } // namespace server

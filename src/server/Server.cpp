@@ -17,6 +17,7 @@
 #include "support/Debug.h"
 #include "support/FaultInjection.h"
 #include "support/Stats.h"
+#include "support/ThreadAnnotations.h"
 #include "support/Tracing.h"
 
 #include <atomic>
@@ -26,7 +27,6 @@
 #include <cstring>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -78,15 +78,16 @@ struct Server::Impl {
 
   std::thread Acceptor;
   std::vector<std::thread> WorkerThreads;
-  mutable std::mutex ConnMutex;
+  mutable Mutex ConnMutex;
   /// Live connection threads, keyed by connection id. A thread that
   /// finishes moves its own handle into FinishedConns (it cannot join
   /// itself); the acceptor reaps that list on every wakeup so a
   /// long-running daemon never accumulates joinable-but-dead threads.
-  std::unordered_map<std::uint64_t, std::thread> ConnThreads;
-  std::vector<std::thread> FinishedConns;
-  std::uint64_t NextConnId = 0;
-  std::unordered_set<int> OpenFds;
+  std::unordered_map<std::uint64_t, std::thread> ConnThreads
+      PDGC_GUARDED_BY(ConnMutex);
+  std::vector<std::thread> FinishedConns PDGC_GUARDED_BY(ConnMutex);
+  std::uint64_t NextConnId PDGC_GUARDED_BY(ConnMutex) = 0;
+  std::unordered_set<int> OpenFds PDGC_GUARDED_BY(ConnMutex);
 
   AdmissionQueue<std::unique_ptr<AllocJob>> Queue;
   LatencyHistogram Latency;
@@ -236,7 +237,7 @@ void Server::Impl::finishRun() {
   // its response on the wire — the drain contract — instead of a
   // spurious transport error from a torn-down socket.
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    MutexLock Lock(ConnMutex);
     for (int Fd : OpenFds)
       ::shutdown(Fd, SHUT_RD);
   }
@@ -247,7 +248,7 @@ void Server::Impl::finishRun() {
   // threads need it.
   std::vector<std::thread> ToJoin;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    MutexLock Lock(ConnMutex);
     for (auto &Entry : ConnThreads)
       ToJoin.push_back(std::move(Entry.second));
     ConnThreads.clear();
@@ -287,7 +288,7 @@ void Server::Impl::finishRun() {
 void Server::Impl::reapFinishedConns() {
   std::vector<std::thread> ToJoin;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    MutexLock Lock(ConnMutex);
     ToJoin.swap(FinishedConns);
   }
   // Each handle here was retired by its own thread moments before that
@@ -368,7 +369,7 @@ void Server::Impl::acceptLoop() {
     // Hold ConnMutex across thread creation AND map insertion: the new
     // thread's self-retirement also takes ConnMutex, so it cannot look
     // up its own entry before the entry exists.
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    MutexLock Lock(ConnMutex);
     OpenFds.insert(Fd);
     std::uint64_t ConnId = NextConnId++;
     ConnThreads.emplace(
@@ -583,7 +584,7 @@ void Server::Impl::connectionLoop(int Fd, std::uint64_t ConnId) {
   // shutdown sweep would then miss a live socket and the drain join
   // could hang on its blocked reader.
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    MutexLock Lock(ConnMutex);
     OpenFds.erase(Fd);
   }
   ::close(Fd);
@@ -593,7 +594,7 @@ void Server::Impl::connectionLoop(int Fd, std::uint64_t ConnId) {
   // (or finishRun) can join it. A thread cannot join itself, but it can
   // hand its handle to someone who will.
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    MutexLock Lock(ConnMutex);
     auto It = ConnThreads.find(ConnId);
     if (It != ConnThreads.end()) {
       FinishedConns.push_back(std::move(It->second));
@@ -727,7 +728,7 @@ Response Server::Impl::statusResponse() const {
   // what the reaper exists to prevent, so expose it to monitoring.
   std::size_t ConnThreadCount = 0;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
+    MutexLock Lock(ConnMutex);
     ConnThreadCount = ConnThreads.size() + FinishedConns.size();
   }
   Response R;

@@ -43,10 +43,10 @@ class MachineState {
   }
 
 public:
-  MachineState(const Function &F, const TargetDesc *Target,
-               const std::vector<int> *Assignment, unsigned MaxSlots)
-      : F(F), Target(Target), Assignment(Assignment) {
-    unsigned NumRegs = Target ? Target->numRegs() : F.numVRegs();
+  MachineState(const Function &Fn, const TargetDesc *TargetIn,
+               const std::vector<int> *AssignmentIn, unsigned MaxSlots)
+      : F(Fn), Target(TargetIn), Assignment(AssignmentIn) {
+    unsigned NumRegs = TargetIn ? TargetIn->numRegs() : Fn.numVRegs();
     IntRegs.assign(NumRegs, 0);
     FpRegs.assign(NumRegs, 0.0);
     IntSlots.assign(MaxSlots, 0);
@@ -106,11 +106,11 @@ class Interpreter {
   }
 
 public:
-  Interpreter(const Function &F, const TargetDesc *Target,
+  Interpreter(const Function &Fn, const TargetDesc *Target,
               const std::vector<int> *Assignment,
-              const InterpreterOptions &Options)
-      : F(F), Options(Options),
-        State(F, Target, Assignment, Options.MaxSpillSlots) {
+              const InterpreterOptions &OptionsIn)
+      : F(Fn), Options(OptionsIn),
+        State(Fn, Target, Assignment, OptionsIn.MaxSpillSlots) {
     IntHeap.resize(Options.HeapWords);
     FpHeap.resize(Options.HeapWords);
     for (unsigned I = 0; I != Options.HeapWords; ++I) {

@@ -59,7 +59,7 @@ public:
   /// No deadline: expired() is always false, sooner() yields the other.
   Deadline() = default;
 
-  explicit Deadline(Clock::time_point At) : At(At), Set(true) {}
+  explicit Deadline(Clock::time_point AtIn) : At(AtIn), Set(true) {}
 
   /// A deadline \p Ms milliseconds from now; Ms == 0 means none (the
   /// TimeBudgetMs convention: zero disables the budget).

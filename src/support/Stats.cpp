@@ -61,20 +61,20 @@ std::string StatsSnapshot::toJson() const {
 
 #ifndef PDGC_DISABLE_STATS
 
-StatCounter::StatCounter(const char *Group, const char *Name)
-    : Group(Group), Name(Name) {
+StatCounter::StatCounter(const char *GroupIn, const char *NameIn)
+    : Group(GroupIn), Name(NameIn) {
   StatRegistry::get().registerCounter(this);
 }
 
 void StatRegistry::registerCounter(StatCounter *C) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mu);
   C->Next = Head;
   Head = C;
 }
 
 StatCounter &StatRegistry::counter(const std::string &Group,
                                    const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mu);
   for (StatCounter *C = Head; C; C = C->Next)
     if (Group == C->Group && Name == C->Name)
       return *C;
@@ -96,7 +96,7 @@ StatCounter &StatRegistry::counter(const std::string &Group,
 StatsSnapshot StatRegistry::snapshot() const {
   std::map<std::string, std::uint64_t> Merged;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     for (const StatCounter *C = Head; C; C = C->Next)
       Merged[std::string(C->group()) + "." + C->name()] += C->value();
   }
@@ -106,7 +106,7 @@ StatsSnapshot StatRegistry::snapshot() const {
 }
 
 void StatRegistry::reset() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mu);
   for (StatCounter *C = Head; C; C = C->Next)
     C->Value.store(0, std::memory_order_relaxed);
 }

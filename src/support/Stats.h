@@ -40,10 +40,11 @@
 #ifndef PDGC_SUPPORT_STATS_H
 #define PDGC_SUPPORT_STATS_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -75,8 +76,8 @@ private:
   /// Tag ctor used by the registry for dynamically created counters: the
   /// registry chains the node itself (it already holds its lock).
   struct NoRegisterTag {};
-  StatCounter(const char *Group, const char *Name, NoRegisterTag)
-      : Group(Group), Name(Name) {}
+  StatCounter(const char *GroupIn, const char *NameIn, NoRegisterTag)
+      : Group(GroupIn), Name(NameIn) {}
 
   std::atomic<std::uint64_t> Value{0};
   const char *Group;
@@ -145,13 +146,16 @@ public:
 private:
   StatRegistry() = default;
 #ifndef PDGC_DISABLE_STATS
-  mutable std::mutex Mutex;
-  StatCounter *Head = nullptr;
+  mutable Mutex Mu;
+  /// Head of the intrusive counter chain. The chain links themselves
+  /// (StatCounter::Next) are written only under Mu; readers that iterate
+  /// do so holding Mu too (snapshot, reset, counter).
+  StatCounter *Head PDGC_GUARDED_BY(Mu) = nullptr;
   /// Owns dynamically created counters (they are also chained via Head)
   /// and the strings their group/name pointers reference.
-  std::vector<std::unique_ptr<StatCounter>> Dynamic;
+  std::vector<std::unique_ptr<StatCounter>> Dynamic PDGC_GUARDED_BY(Mu);
   std::vector<std::unique_ptr<std::pair<std::string, std::string>>>
-      DynamicNames;
+      DynamicNames PDGC_GUARDED_BY(Mu);
 #endif
 };
 

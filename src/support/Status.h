@@ -67,8 +67,8 @@ class Status {
 
 public:
   Status() = default;
-  Status(ErrorCode Code, std::string Message)
-      : Code(Code), Message(std::move(Message)) {
+  Status(ErrorCode CodeIn, std::string MessageIn)
+      : Code(CodeIn), Message(std::move(MessageIn)) {
     assert(Code != ErrorCode::Ok && "error status requires a non-Ok code");
   }
 

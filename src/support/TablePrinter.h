@@ -26,7 +26,7 @@ class TablePrinter {
   std::vector<std::vector<std::string>> Rows;
 
 public:
-  explicit TablePrinter(std::string Title) : Title(std::move(Title)) {}
+  explicit TablePrinter(std::string TitleIn) : Title(std::move(TitleIn)) {}
 
   /// Sets the column headers; must be called before addRow.
   void setHeader(std::vector<std::string> Columns);

@@ -1,0 +1,188 @@
+//===- support/ThreadAnnotations.h - Static lock-discipline proofs -*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clang thread-safety annotations plus the annotated synchronization
+/// wrappers the rest of the tree is required to use (`pdgc::Mutex`,
+/// `pdgc::MutexLock`, `pdgc::CondVar`). Under
+/// `clang++ -Wthread-safety -Werror=thread-safety-analysis` every
+/// lock-discipline violation — touching a `PDGC_GUARDED_BY` member
+/// without its mutex, calling a `PDGC_REQUIRES` function unlocked,
+/// leaking a lock out of a scope — is a *compile error*; under GCC (and
+/// any other compiler) every macro expands to nothing and the wrappers
+/// compile down to plain `std::mutex` / `std::condition_variable`, so
+/// there is zero runtime or codegen difference.
+///
+/// Usage pattern:
+///
+/// \code
+///   class Registry {
+///     void add(Entry E) {
+///       MutexLock Lock(Mu);
+///       Entries.push_back(std::move(E)); // OK: Mu held.
+///     }
+///   private:
+///     mutable Mutex Mu;
+///     std::vector<Entry> Entries PDGC_GUARDED_BY(Mu);
+///   };
+/// \endcode
+///
+/// Condition variables: `CondVar::wait(MutexLock&)` releases and
+/// reacquires the lock internally, which the analysis cannot see; from
+/// its point of view the `MutexLock` scope simply holds the capability
+/// throughout. Predicate waits are therefore written as explicit loops
+/// in the locked scope (`while (!pred) CV.wait(Lock);`) — a lambda
+/// predicate would be analyzed as a separate unannotated function and
+/// flag every guarded access it makes.
+///
+/// Escape hatches, in order of preference: restructure so the analysis
+/// can see the discipline; `PDGC_REQUIRES(Mu)` on a helper that inherits
+/// its caller's lock; `PDGC_NO_THREAD_SAFETY_ANALYSIS` on a function
+/// whose safety argument lives outside the type system (document why at
+/// the definition — see FaultRegistry::plan() for the canonical
+/// example). `tools/pdgc-lint.py` bans raw `std::mutex` and friends
+/// outside this header so the annotated wrappers stay load-bearing; see
+/// docs/STATIC_ANALYSIS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_THREADANNOTATIONS_H
+#define PDGC_SUPPORT_THREADANNOTATIONS_H
+
+#include <condition_variable>
+#include <mutex>
+
+// The attribute spellings below are understood by clang only; GCC defines
+// __GNUC__ but not __clang__ and gets empty expansions.
+#if defined(__clang__) && !defined(SWIG)
+#define PDGC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PDGC_THREAD_ANNOTATION(x) // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define PDGC_CAPABILITY(x) PDGC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define PDGC_SCOPED_CAPABILITY PDGC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define PDGC_GUARDED_BY(x) PDGC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define PDGC_PT_GUARDED_BY(x) PDGC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while already holding the listed mutexes.
+#define PDGC_REQUIRES(...)                                                     \
+  PDGC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed mutexes (held on return).
+#define PDGC_ACQUIRE(...)                                                      \
+  PDGC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed mutexes (held on entry).
+#define PDGC_RELEASE(...)                                                      \
+  PDGC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex when it returns the given value.
+#define PDGC_TRY_ACQUIRE(...)                                                  \
+  PDGC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed mutexes
+/// (deadlock prevention: e.g. a callback-invoking function excluding the
+/// registry lock the callback re-takes).
+#define PDGC_EXCLUDES(...) PDGC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define PDGC_ASSERT_CAPABILITY(x) PDGC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define PDGC_RETURN_CAPABILITY(x) PDGC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Lock-ordering declarations.
+#define PDGC_ACQUIRED_BEFORE(...)                                              \
+  PDGC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PDGC_ACQUIRED_AFTER(...)                                               \
+  PDGC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Last resort: turns the analysis off for one function. Every use must
+/// carry a comment explaining the out-of-band safety argument.
+#define PDGC_NO_THREAD_SAFETY_ANALYSIS                                         \
+  PDGC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pdgc {
+
+/// A `std::mutex` the analysis can track. Same size, same codegen; the
+/// capability attribute exists only in clang's AST.
+class PDGC_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() PDGC_ACQUIRE() { M.lock(); }
+  void unlock() PDGC_RELEASE() { M.unlock(); }
+  bool try_lock() PDGC_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+  /// The wrapped mutex, for CondVar only. Going through native() anywhere
+  /// else bypasses the analysis — pdgc-lint's raw-mutex ban exists so the
+  /// temptation stays visible in review.
+  std::mutex &native() { return M; }
+
+private:
+  std::mutex M;
+};
+
+/// RAII lock; the only way the tree takes a Mutex. Scoped-capability
+/// semantics: the analysis treats the capability as held from
+/// construction to destruction.
+class PDGC_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) PDGC_ACQUIRE(M) : Lock(M.native()) {}
+  ~MutexLock() PDGC_RELEASE() {}
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+  /// The wrapped lock, for CondVar::wait only (it must be able to
+  /// release and reacquire around the blocking wait).
+  std::unique_lock<std::mutex> &native() { return Lock; }
+
+private:
+  std::unique_lock<std::mutex> Lock;
+};
+
+/// Condition variable paired with MutexLock. No predicate overload on
+/// purpose: a lambda predicate is analyzed as a separate unannotated
+/// function, so guarded accesses inside it would be flagged — write the
+/// loop in the locked scope instead, where the analysis can check it:
+///
+/// \code
+///   MutexLock Lock(Mu);
+///   while (!Ready)          // Ready is PDGC_GUARDED_BY(Mu): checked.
+///     CV.wait(Lock);
+/// \endcode
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  /// Atomically releases \p Lock, blocks, reacquires before returning.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void wait(MutexLock &Lock) { CV.wait(Lock.native()); }
+
+  void notify_one() { CV.notify_one(); }
+  void notify_all() { CV.notify_all(); }
+
+private:
+  std::condition_variable CV;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_THREADANNOTATIONS_H

@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(unsigned Threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     Stopping = true;
   }
   WorkAvailable.notify_all();
@@ -42,8 +42,9 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Job;
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      MutexLock Lock(Mu);
+      while (!Stopping && Queue.empty())
+        WorkAvailable.wait(Lock);
       if (Queue.empty())
         return; // Stopping with a drained queue.
       Job = std::move(Queue.front());
@@ -55,7 +56,7 @@ void ThreadPool::workerLoop() {
       recordError(std::current_exception());
     }
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
+      MutexLock Lock(Mu);
       if (--Pending == 0)
         AllDone.notify_all();
     }
@@ -64,7 +65,7 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::recordError(std::exception_ptr E) {
   PDGC_STAT("threadpool", "job_exceptions").inc();
-  std::unique_lock<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mu);
   if (!FirstError)
     FirstError = std::move(E);
 }
@@ -72,7 +73,7 @@ void ThreadPool::recordError(std::exception_ptr E) {
 void ThreadPool::rethrowPending() {
   std::exception_ptr E;
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     E = FirstError;
     FirstError = nullptr;
   }
@@ -106,7 +107,7 @@ void ThreadPool::submit(std::function<void()> Job) {
     };
   }
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     Queue.push_back(std::move(Job));
     ++Pending;
   }
@@ -115,8 +116,9 @@ void ThreadPool::submit(std::function<void()> Job) {
 
 void ThreadPool::wait() {
   if (!Workers.empty()) {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    AllDone.wait(Lock, [this] { return Pending == 0; });
+    MutexLock Lock(Mu);
+    while (Pending != 0)
+      AllDone.wait(Lock);
   }
   rethrowPending();
 }

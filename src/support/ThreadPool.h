@@ -38,11 +38,11 @@
 #ifndef PDGC_SUPPORT_THREADPOOL_H
 #define PDGC_SUPPORT_THREADPOOL_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -88,17 +88,17 @@ private:
   void rethrowPending();
 
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Queue;
-  std::mutex Mutex;
-  std::condition_variable WorkAvailable;
-  std::condition_variable AllDone;
+  Mutex Mu;
+  std::deque<std::function<void()>> Queue PDGC_GUARDED_BY(Mu);
+  CondVar WorkAvailable;
+  CondVar AllDone;
   /// Jobs submitted but not yet finished (queued + running).
-  unsigned Pending = 0;
-  bool Stopping = false;
+  unsigned Pending PDGC_GUARDED_BY(Mu) = 0;
+  bool Stopping PDGC_GUARDED_BY(Mu) = false;
   /// First exception a job threw since the last wait(); later ones are
   /// dropped (first-wins matches the sequential pipeline, where the first
   /// throw is the only one that happens).
-  std::exception_ptr FirstError;
+  std::exception_ptr FirstError PDGC_GUARDED_BY(Mu);
 };
 
 } // namespace pdgc

@@ -7,11 +7,11 @@
 #include "support/Tracing.h"
 
 #include "support/Stats.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <cstdio>
 #include <map>
-#include <mutex>
 
 using namespace pdgc;
 
@@ -29,8 +29,8 @@ struct TimerAgg {
 };
 
 struct TimerRegistry {
-  std::mutex Mutex;
-  std::map<std::string, TimerAgg> Phases;
+  Mutex Mu;
+  std::map<std::string, TimerAgg> Phases PDGC_GUARDED_BY(Mu);
 };
 
 TimerRegistry &timers() {
@@ -49,9 +49,9 @@ struct TraceEvent {
 };
 
 struct TraceBuffer {
-  std::mutex Mutex;
-  std::vector<TraceEvent> Events;
-  Clock::time_point Epoch;
+  Mutex Mu;
+  std::vector<TraceEvent> Events PDGC_GUARDED_BY(Mu);
+  Clock::time_point Epoch PDGC_GUARDED_BY(Mu);
 };
 
 TraceBuffer &buffer() {
@@ -70,7 +70,7 @@ void record(std::string Name, const char *Category, char Phase,
   // Epoch is read under the lock: start() writes it under the same lock,
   // so TSan sees a clean happens-before even if a trace is (ab)used
   // concurrently with start().
-  std::lock_guard<std::mutex> Lock(B.Mutex);
+  MutexLock Lock(B.Mu);
   const std::uint64_t Ts = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Now - B.Epoch)
           .count());
@@ -114,7 +114,7 @@ void pdgc::setTimersEnabled(bool On) {
 
 void pdgc::addTimerSample(const std::string &Phase, std::uint64_t Nanos) {
   TimerRegistry &R = timers();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mu);
   TimerAgg &A = R.Phases[Phase];
   ++A.Count;
   A.TotalNs += Nanos;
@@ -123,7 +123,7 @@ void pdgc::addTimerSample(const std::string &Phase, std::uint64_t Nanos) {
 std::vector<TimerStat> pdgc::timerSnapshot() {
   TimerRegistry &R = timers();
   std::vector<TimerStat> Out;
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mu);
   Out.reserve(R.Phases.size());
   for (const auto &[Phase, Agg] : R.Phases)
     Out.push_back(TimerStat{Phase, Agg.Count, Agg.TotalNs});
@@ -132,7 +132,7 @@ std::vector<TimerStat> pdgc::timerSnapshot() {
 
 void pdgc::resetTimers() {
   TimerRegistry &R = timers();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
+  MutexLock Lock(R.Mu);
   R.Phases.clear();
 }
 
@@ -176,7 +176,7 @@ bool pdgc::trace::collecting() {
 void pdgc::trace::start() {
   TraceBuffer &B = buffer();
   {
-    std::lock_guard<std::mutex> Lock(B.Mutex);
+    MutexLock Lock(B.Mu);
     B.Events.clear();
     B.Epoch = Clock::now();
   }
@@ -190,7 +190,7 @@ void pdgc::trace::stop() {
 
 void pdgc::trace::clear() {
   TraceBuffer &B = buffer();
-  std::lock_guard<std::mutex> Lock(B.Mutex);
+  MutexLock Lock(B.Mu);
   B.Events.clear();
 }
 
@@ -221,7 +221,7 @@ std::string pdgc::trace::toJson() {
   TraceBuffer &B = buffer();
   std::vector<TraceEvent> Events;
   {
-    std::lock_guard<std::mutex> Lock(B.Mutex);
+    MutexLock Lock(B.Mu);
     Events = B.Events;
   }
   // Chrome wants per-tid monotone B/E streams; events from one thread are

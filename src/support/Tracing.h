@@ -134,21 +134,21 @@ bool writeObservabilityReport(const std::string &Path,
 /// while a trace is being collected, emits a matching B/E span.
 class ScopedTimer {
 public:
-  explicit ScopedTimer(const char *Phase, const char *Category = "phase")
-      : Category(Category) {
+  explicit ScopedTimer(const char *PhaseIn, const char *CategoryIn = "phase")
+      : Category(CategoryIn) {
     if (!timersEnabled())
       return;
     Active = true;
-    this->Phase = Phase;
+    Phase = PhaseIn;
     startTimer();
   }
 
-  ScopedTimer(std::string Phase, const char *Category = "phase")
-      : Category(Category) {
+  ScopedTimer(std::string PhaseIn, const char *CategoryIn = "phase")
+      : Category(CategoryIn) {
     if (!timersEnabled())
       return;
     Active = true;
-    this->Phase = std::move(Phase);
+    Phase = std::move(PhaseIn);
     startTimer();
   }
 

@@ -32,8 +32,8 @@ class Generator {
   static constexpr unsigned ScopeCap = 24;
 
 public:
-  Generator(const GeneratorParams &P, const TargetDesc &T, Function &F)
-      : P(P), T(T), F(F), B(F), R(P.Seed) {}
+  Generator(const GeneratorParams &PIn, const TargetDesc &TIn, Function &Fn)
+      : P(PIn), T(TIn), F(Fn), B(Fn), R(PIn.Seed) {}
 
   RegClass rollClass() {
     return R.roll(P.FpPercent) ? RegClass::FPR : RegClass::GPR;

@@ -1,0 +1,44 @@
+// Compiled by tools/check-thread-safety.sh with
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety-analysis
+// and must FAIL: every function below violates the lock discipline the
+// annotations declare. If this file ever compiles, the analysis is not
+// actually guarding the tree (wrong flags, wrong compiler, or a macro
+// regression in support/ThreadAnnotations.h).
+
+#include "support/ThreadAnnotations.h"
+
+using namespace pdgc;
+
+namespace {
+
+class Counter {
+public:
+  // VIOLATION: writes a guarded member without holding Mu.
+  void incUnlocked() { ++Value; }
+
+  // VIOLATION: calls a PDGC_REQUIRES function without the lock.
+  void callRequiresUnlocked() { bumpLocked(); }
+
+  // VIOLATION: double-acquires the same mutex.
+  void doubleLock() PDGC_EXCLUDES(Mu) {
+    MutexLock First(Mu);
+    MutexLock Second(Mu);
+    ++Value;
+  }
+
+private:
+  void bumpLocked() PDGC_REQUIRES(Mu) { ++Value; }
+
+  Mutex Mu;
+  int Value PDGC_GUARDED_BY(Mu) = 0;
+};
+
+} // namespace
+
+int main() {
+  Counter C;
+  C.incUnlocked();
+  C.callRequiresUnlocked();
+  C.doubleLock();
+  return 0;
+}

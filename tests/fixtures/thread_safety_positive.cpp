@@ -1,0 +1,57 @@
+// Compiled by tools/check-thread-safety.sh with
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety-analysis
+// and must be CLEAN: this is the lock discipline the tree follows.
+// The negative twin (thread_safety_negative.cpp) must NOT compile.
+
+#include "support/ThreadAnnotations.h"
+
+#include <deque>
+
+using namespace pdgc;
+
+namespace {
+
+class Queue {
+public:
+  void push(int V) PDGC_EXCLUDES(Mu) {
+    MutexLock Lock(Mu);
+    Items.push_back(V);
+    Ready.notify_one();
+  }
+
+  int blockingPop() PDGC_EXCLUDES(Mu) {
+    MutexLock Lock(Mu);
+    while (Items.empty()) // Guarded read, checked: the wait loop lives in
+      Ready.wait(Lock);   // the locked scope, not in a lambda predicate.
+    int V = Items.front();
+    Items.pop_front();
+    return V;
+  }
+
+  // A helper that inherits its caller's lock instead of re-taking it.
+  bool emptyLocked() const PDGC_REQUIRES(Mu) { return Items.empty(); }
+
+  bool tryDrain() PDGC_EXCLUDES(Mu) {
+    if (!Mu.try_lock())
+      return false;
+    bool WasEmpty = emptyLocked();
+    Items.clear();
+    Mu.unlock();
+    return !WasEmpty;
+  }
+
+private:
+  mutable Mutex Mu;
+  CondVar Ready;
+  std::deque<int> Items PDGC_GUARDED_BY(Mu);
+};
+
+} // namespace
+
+int main() {
+  Queue Q;
+  Q.push(1);
+  (void)Q.blockingPop();
+  (void)Q.tryDrain();
+  return 0;
+}

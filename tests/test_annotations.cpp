@@ -1,0 +1,149 @@
+//===- tests/test_annotations.cpp - Annotated mutex wrappers ---------------===//
+//
+// Part of the PDGC project.
+//
+// Runtime behavior of the pdgc::Mutex / MutexLock / CondVar wrappers from
+// support/ThreadAnnotations.h, and — under GCC, where every annotation
+// macro must expand to nothing — proof that annotated declarations
+// compile as plain C++. The clang-only half of the contract (violations
+// are compile errors) is exercised by tools/check-thread-safety.sh via
+// the thread_safety_fixtures ctest entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadAnnotations.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace pdgc;
+
+namespace {
+
+// A guarded structure using every macro the tree relies on. Compiling
+// this file under GCC proves the no-op expansions are syntactically
+// clean in class scope, function scope, and trailing positions.
+class Box {
+public:
+  void put(int V) PDGC_EXCLUDES(Mu) {
+    MutexLock Lock(Mu);
+    while (HasValue) // One-slot handoff: wait until the consumer took it.
+      Space.wait(Lock);
+    Value = V;
+    HasValue = true;
+    Ready.notify_one();
+  }
+
+  int take() PDGC_EXCLUDES(Mu) {
+    MutexLock Lock(Mu);
+    while (!HasValue)
+      Ready.wait(Lock);
+    HasValue = false;
+    Space.notify_one();
+    return Value;
+  }
+
+  bool peek(int &Out) PDGC_EXCLUDES(Mu) {
+    if (!Mu.try_lock())
+      return false;
+    bool Has = HasValue;
+    if (Has)
+      Out = Value;
+    Mu.unlock();
+    return Has;
+  }
+
+private:
+  mutable Mutex Mu;
+  CondVar Ready;
+  CondVar Space;
+  int Value PDGC_GUARDED_BY(Mu) = 0;
+  bool HasValue PDGC_GUARDED_BY(Mu) = false;
+};
+
+// Probe helper: both branches leave the mutex released, so the clang
+// analysis (which checks this file too) sees balanced try_lock paths.
+bool probeLock(Mutex &Mu) {
+  bool Acquired = Mu.try_lock();
+  if (Acquired)
+    Mu.unlock();
+  return Acquired;
+}
+
+TEST(ThreadAnnotations, MutexIsPlainlyLockable) {
+  Mutex Mu;
+  Mu.lock();
+  // try_lock by the owner is UB for std::mutex; probe from another thread.
+  std::thread Prober([&] { EXPECT_FALSE(probeLock(Mu)); });
+  Prober.join();
+  Mu.unlock();
+  EXPECT_TRUE(probeLock(Mu));
+}
+
+TEST(ThreadAnnotations, MutexLockExcludesOtherThreads) {
+  Mutex Mu;
+  int Shared = 0;
+  {
+    MutexLock Lock(Mu);
+    Shared = 1;
+    std::thread Prober([&] {
+      // The holder has it; try_lock from another thread must fail.
+      EXPECT_FALSE(probeLock(Mu));
+    });
+    Prober.join();
+  }
+  MutexLock Lock(Mu);
+  EXPECT_EQ(Shared, 1);
+}
+
+TEST(ThreadAnnotations, CondVarHandsValuesAcrossThreads) {
+  Box B;
+  std::vector<int> Got;
+  std::thread Consumer([&] {
+    for (int I = 0; I != 100; ++I)
+      Got.push_back(B.take());
+  });
+  for (int I = 0; I != 100; ++I)
+    B.put(I);
+  Consumer.join();
+  ASSERT_EQ(Got.size(), 100u);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Got[static_cast<std::size_t>(I)], I);
+}
+
+TEST(ThreadAnnotations, TryLockPath) {
+  Box B;
+  int Out = 0;
+  EXPECT_FALSE(B.peek(Out)); // Empty box, lock uncontended: Has == false.
+  B.put(42);
+  EXPECT_TRUE(B.peek(Out));
+  EXPECT_EQ(Out, 42);
+}
+
+// Every remaining macro in one declaration set: if an expansion were
+// anything but a clean attribute (clang) or nothing (GCC), this would
+// not parse. Instantiated below so GCC compiles the bodies too.
+class MacroSurface {
+public:
+  Mutex &mu() PDGC_RETURN_CAPABILITY(Mu) { return Mu; }
+  void locked(int V) PDGC_REQUIRES(Mu) { *Boxed = V; }
+  void assertHeld() PDGC_ASSERT_CAPABILITY(Mu) {}
+  void unchecked() PDGC_NO_THREAD_SAFETY_ANALYSIS { Plain = 1; }
+
+private:
+  Mutex Mu PDGC_ACQUIRED_BEFORE(Mu2);
+  Mutex Mu2;
+  int Plain PDGC_GUARDED_BY(Mu) = 0;
+  int *Boxed PDGC_PT_GUARDED_BY(Mu) = &Plain;
+};
+
+TEST(ThreadAnnotations, MacroSurfaceCompilesAndRuns) {
+  MacroSurface S;
+  MutexLock Lock(S.mu());
+  S.assertHeld();
+  S.locked(7);
+}
+
+} // namespace

@@ -58,7 +58,7 @@ public:
     FatalCheck,       ///< Trips a pdgc_check like a real internal bug.
   };
 
-  explicit BrokenAllocator(Mode M) : M(M) {}
+  explicit BrokenAllocator(Mode MIn) : M(MIn) {}
   const char *name() const override { return "broken"; }
 
   RoundResult allocateRound(AllocContext &Ctx) override {

@@ -115,8 +115,9 @@ TEST(Quality, MorePressureNeverBreaksSemantics) {
     ExecutionResult After = runAllocated(*F, Target, Out.Assignment, {7, 8});
     EXPECT_EQ(Reference.ReturnValue, After.ReturnValue) << Regs;
     EXPECT_EQ(Reference.StoreDigest, After.StoreDigest) << Regs;
-    if (Regs <= 4)
+    if (Regs <= 4) {
       EXPECT_GT(Out.SpilledRanges, 0u) << "expected spills at " << Regs;
+    }
   }
 }
 

@@ -43,8 +43,9 @@ TEST(Remat, ConstantUsesAreRecomputedNotReloaded) {
   // The defining loadimm of K is gone and the uses recompute 99.
   unsigned LoadImm99 = 0;
   for (const Instruction &I : BB->instructions()) {
-    if (I.hasDef())
+    if (I.hasDef()) {
       EXPECT_NE(I.def(), K);
+    }
     if (I.opcode() == Opcode::LoadImm && I.imm() == 99) {
       ++LoadImm99;
       EXPECT_TRUE(I.isSpillCode());

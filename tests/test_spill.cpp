@@ -33,8 +33,9 @@ TEST(SpillInserter, SplitsDefsAndUses) {
 
   // A itself no longer appears.
   for (const Instruction &I : BB->instructions()) {
-    if (I.hasDef())
+    if (I.hasDef()) {
       EXPECT_NE(I.def(), A);
+    }
     for (unsigned U = 0; U != I.numUses(); ++U)
       EXPECT_NE(I.use(U), A);
   }

@@ -1,0 +1,51 @@
+#!/bin/sh
+# check-thread-safety.sh [clang++] [repo-root]
+#
+# Proves the clang thread-safety gate is live, in both directions:
+#   1. the positive fixture (correct lock discipline) compiles clean, and
+#   2. the negative fixture (three discipline violations) FAILS with
+#      thread-safety diagnostics.
+# A gate that cannot fail is no gate — (2) is what catches a macro
+# regression that silently turns the annotations into no-ops.
+#
+# Exit: 0 ok, 1 gate broken, 77 skipped (no clang here; ctest marks the
+# test SKIPPED via SKIP_RETURN_CODE, and CI's static-analysis job always
+# has clang).
+
+set -u
+
+CXX="${1:-clang++}"
+REPO="${2:-$(dirname "$0")/..}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+    echo "check-thread-safety: '$CXX' not found; skipping (GCC cannot run" \
+         "the analysis — CI's static-analysis job covers it)"
+    exit 77
+fi
+
+FLAGS="-std=c++20 -fsyntax-only -I$REPO/src \
+       -Wthread-safety -Werror=thread-safety-analysis"
+
+if ! "$CXX" $FLAGS "$REPO/tests/fixtures/thread_safety_positive.cpp"; then
+    echo "check-thread-safety: FAIL: the positive fixture (correct lock" \
+         "discipline) did not compile — see diagnostics above"
+    exit 1
+fi
+
+ERRLOG="$(mktemp)"
+trap 'rm -f "$ERRLOG"' EXIT
+if "$CXX" $FLAGS "$REPO/tests/fixtures/thread_safety_negative.cpp" \
+        2>"$ERRLOG"; then
+    echo "check-thread-safety: FAIL: the negative fixture compiled — the" \
+         "thread-safety gate is not rejecting violations"
+    exit 1
+fi
+if ! grep -q "thread-safety" "$ERRLOG"; then
+    echo "check-thread-safety: FAIL: the negative fixture failed for a" \
+         "reason other than thread-safety analysis:"
+    cat "$ERRLOG"
+    exit 1
+fi
+
+echo "check-thread-safety: OK (positive clean, negative rejected)"
+exit 0

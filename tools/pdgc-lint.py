@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""pdgc-lint: repository-convention linter for the PDGC tree.
+
+Checks that the conventions the docs promise actually hold in the code:
+
+  fault-sites   Every PDGC_FAULT_POINT name matches the `group.name`
+                grammar, and every production site (src/, tools/) is
+                listed in docs/ROBUSTNESS.md's fault-site catalog.
+  stats         Every PDGC_STAT group/name matches the grammar, and every
+                production counter is documented in docs/OBSERVABILITY.md.
+  raw-mutex     No raw std::mutex / std::condition_variable / lock
+                wrappers outside src/support/ThreadAnnotations.h — all
+                locking goes through the annotated pdgc::Mutex wrappers
+                so clang -Wthread-safety sees every acquisition.
+  includes      Header guards match the file's path
+                (src/server/Server.h -> PDGC_SERVER_SERVER_H), project
+                includes use quotes and resolve to real files, system
+                includes use angle brackets.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+Run from anywhere: paths are resolved relative to --repo (default: the
+repository containing this script). `--self-test` exercises the checks
+against known-bad fixtures in a temp directory and is wired into ctest.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+NAME_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+FAULT_POINT = re.compile(r'PDGC_FAULT_POINT\(\s*"([^"]*)"\s*\)')
+STAT = re.compile(r'PDGC_STAT\(\s*"([^"]*)"\s*,\s*"([^"]*)"\s*\)')
+# Single-line tokens only, so ``` code fences cannot desynchronize the
+# backtick pairing and swallow half the document.
+BACKTICKED = re.compile(r"`([^`\n]+)`")
+
+# Directories scanned for C++ sources, and the subset whose PDGC_STAT /
+# PDGC_FAULT_POINT names must be documented (tests and benches may plant
+# fixture sites like `test.probe`; they still must obey the grammar).
+SOURCE_DIRS = ("src", "tools", "tests", "bench", "examples")
+PRODUCTION_DIRS = ("src", "tools")
+
+# The one file allowed to name raw standard-library locking primitives:
+# it wraps them in the clang-annotated pdgc::Mutex family.
+MUTEX_WRAPPER = "src/support/ThreadAnnotations.h"
+RAW_MUTEX = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b|#\s*include\s*<(mutex|condition_variable|shared_mutex)>"
+)
+
+
+def cxx_files(repo):
+    for top in SOURCE_DIRS:
+        root = os.path.join(repo, top)
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".h", ".cpp")):
+                    yield os.path.relpath(os.path.join(dirpath, name), repo)
+
+
+def read(repo, rel):
+    with open(os.path.join(repo, rel), encoding="utf-8") as f:
+        return f.read()
+
+
+def strip_comments(text):
+    """Drop // and /* */ comments so commented-out code cannot trip or
+    satisfy a check. Keeps line structure so line numbers stay right."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            out.append("\n" * text.count("\n", i, n if j < 0 else j))
+            i = n if j < 0 else j + 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def documented_names(repo, doc_rel):
+    try:
+        doc = read(repo, doc_rel)
+    except OSError:
+        return None
+    return {m for m in BACKTICKED.findall(doc) if NAME_GRAMMAR.match(m)}
+
+
+def is_production(rel):
+    return rel.split(os.sep, 1)[0] in PRODUCTION_DIRS
+
+
+def check_registry_macro(repo, findings, macro_re, names_of, doc_rel, kind):
+    """Shared engine for the fault-site and stat checks."""
+    documented = documented_names(repo, doc_rel)
+    if documented is None:
+        findings.append(f"{doc_rel}: missing — the {kind} catalog lives here")
+        return
+    for rel in cxx_files(repo):
+        text = strip_comments(read(repo, rel))
+        for m in macro_re.finditer(text):
+            where = f"{rel}:{line_of(text, m.start())}"
+            for name in names_of(m):
+                if not NAME_GRAMMAR.match(name):
+                    findings.append(
+                        f"{where}: {kind} '{name}' does not match the "
+                        f"group.name grammar [a-z][a-z0-9_]*.[a-z][a-z0-9_]* "
+                        f"— rename it (lower_snake group and name, one dot)"
+                    )
+                elif is_production(rel) and name not in documented:
+                    findings.append(
+                        f"{where}: {kind} '{name}' is not documented in "
+                        f"{doc_rel} — add a `{name}` table row describing it"
+                    )
+
+
+def check_fault_sites(repo, findings):
+    check_registry_macro(
+        repo, findings, FAULT_POINT, lambda m: [m.group(1)],
+        "docs/ROBUSTNESS.md", "fault site")
+
+
+def check_stats(repo, findings):
+    check_registry_macro(
+        repo, findings, STAT, lambda m: [f"{m.group(1)}.{m.group(2)}"],
+        "docs/OBSERVABILITY.md", "stat counter")
+
+
+def check_raw_mutex(repo, findings):
+    for rel in cxx_files(repo):
+        if rel.replace(os.sep, "/") == MUTEX_WRAPPER:
+            continue
+        text = strip_comments(read(repo, rel))
+        for m in RAW_MUTEX.finditer(text):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: raw '{m.group(0)}' "
+                f"outside {MUTEX_WRAPPER} — use pdgc::Mutex / MutexLock / "
+                f"CondVar so clang -Wthread-safety sees the acquisition"
+            )
+
+
+GUARD_DIRECTIVE = re.compile(
+    r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", re.MULTILINE)
+INCLUDE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")', re.MULTILINE)
+
+
+def expected_guard(rel):
+    parts = rel.replace(os.sep, "/").split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)[: -len(".h")]
+    return "PDGC_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H"
+
+
+def check_includes(repo, findings):
+    src_root = os.path.join(repo, "src")
+    for rel in cxx_files(repo):
+        text = read(repo, rel)
+        if rel.endswith(".h") and rel.replace(os.sep, "/").startswith("src/"):
+            want = expected_guard(rel)
+            m = GUARD_DIRECTIVE.search(strip_comments(text))
+            if not m:
+                findings.append(
+                    f"{rel}: no #ifndef/#define header guard — "
+                    f"guard it with {want}")
+            elif m.group(1) != m.group(2):
+                findings.append(
+                    f"{rel}: header-guard mismatch: #ifndef {m.group(1)} "
+                    f"but #define {m.group(2)}")
+            elif m.group(1) != want:
+                findings.append(
+                    f"{rel}: header guard {m.group(1)} does not match the "
+                    f"file path — expected {want}")
+        for m in INCLUDE.finditer(strip_comments(text)):
+            inc = m.group(1)
+            if inc.startswith('"'):
+                target = inc.strip('"')
+                if not (os.path.exists(os.path.join(src_root, target))
+                        or os.path.exists(os.path.join(repo, target))):
+                    findings.append(
+                        f"{rel}:{line_of(text, m.start())}: quoted include "
+                        f'"{target}" resolves under neither src/ nor the '
+                        f"repo root — project includes are rooted there "
+                        f"(system headers use <...>)")
+
+
+CHECKS = {
+    "fault-sites": check_fault_sites,
+    "stats": check_stats,
+    "raw-mutex": check_raw_mutex,
+    "includes": check_includes,
+}
+
+
+def run_checks(repo, names):
+    findings = []
+    for name in names:
+        CHECKS[name](repo, findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: plant known-bad fixtures and assert each check both fires with
+# an actionable message and stays quiet on a matching clean fixture.
+
+def write(root, rel, text):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def expect(errors, label, findings, *needles):
+    hits = [f for f in findings if all(n in f for n in needles)]
+    if not hits:
+        errors.append(
+            f"{label}: expected a finding containing {needles!r}, got:\n  "
+            + ("\n  ".join(findings) if findings else "(no findings)"))
+
+
+def expect_clean(errors, label, findings):
+    if findings:
+        errors.append(f"{label}: expected no findings, got:\n  "
+                      + "\n  ".join(findings))
+
+
+def self_test():
+    errors = []
+    with tempfile.TemporaryDirectory(prefix="pdgc-lint-") as root:
+        write(root, "docs/ROBUSTNESS.md",
+              "Catalog: `driver.round` is the only documented site.\n")
+        write(root, "docs/OBSERVABILITY.md",
+              "| `driver.rounds` | documented |\n")
+
+        # Undocumented production fault site -> finding names the doc.
+        write(root, "src/a.cpp", 'PDGC_FAULT_POINT("driver.mystery");\n')
+        f = run_checks(root, ["fault-sites"])
+        expect(errors, "undocumented fault site", f,
+               "src/a.cpp:1", "driver.mystery", "ROBUSTNESS.md")
+
+        # Documented site + fixture site in tests/ -> clean.
+        write(root, "src/a.cpp", 'PDGC_FAULT_POINT("driver.round");\n')
+        write(root, "tests/t.cpp", 'PDGC_FAULT_POINT("test.probe");\n')
+        expect_clean(errors, "documented fault site",
+                     run_checks(root, ["fault-sites"]))
+
+        # Malformed stat name -> grammar finding even in tests/.
+        write(root, "tests/t.cpp", 'PDGC_STAT("Driver", "Rounds!").inc();\n')
+        f = run_checks(root, ["stats"])
+        expect(errors, "malformed stat name", f,
+               "tests/t.cpp:1", "Driver.Rounds!", "grammar")
+
+        # Undocumented production stat -> finding; documented -> clean.
+        write(root, "tests/t.cpp", "")
+        write(root, "src/a.cpp", 'PDGC_STAT("driver", "widgets").inc();\n')
+        expect(errors, "undocumented stat", run_checks(root, ["stats"]),
+               "src/a.cpp:1", "driver.widgets", "OBSERVABILITY.md")
+        write(root, "src/a.cpp", 'PDGC_STAT("driver", "rounds").inc();\n')
+        expect_clean(errors, "documented stat", run_checks(root, ["stats"]))
+
+        # Raw mutex use -> finding pointing at the wrapper; commented-out
+        # use and the wrapper itself -> clean.
+        write(root, "src/b.cpp", "#include <mutex>\nstd::mutex M;\n")
+        f = run_checks(root, ["raw-mutex"])
+        expect(errors, "raw include", f, "src/b.cpp:1", "ThreadAnnotations.h")
+        expect(errors, "raw mutex", f, "src/b.cpp:2", "std::mutex")
+        write(root, "src/b.cpp", "// std::mutex M; (historical)\n")
+        write(root, "src/support/ThreadAnnotations.h",
+              "#ifndef PDGC_SUPPORT_THREADANNOTATIONS_H\n"
+              "#define PDGC_SUPPORT_THREADANNOTATIONS_H\n"
+              "#include <mutex>\nstd::mutex M;\n#endif\n")
+        expect_clean(errors, "wrapper exemption",
+                     run_checks(root, ["raw-mutex"]))
+
+        # Header-guard and include hygiene.
+        write(root, "src/server/Thing.h",
+              "#ifndef WRONG_H\n#define WRONG_H\n#endif\n")
+        write(root, "src/c.cpp", '#include "server/Missing.h"\n')
+        f = run_checks(root, ["includes"])
+        expect(errors, "wrong guard", f,
+               "Thing.h", "WRONG_H", "PDGC_SERVER_THING_H")
+        expect(errors, "dangling include", f,
+               "src/c.cpp:1", "server/Missing.h")
+        write(root, "src/server/Thing.h",
+              "#ifndef PDGC_SERVER_THING_H\n#define PDGC_SERVER_THING_H\n"
+              "#endif\n")
+        write(root, "src/c.cpp", '#include "server/Thing.h"\n#include <map>\n')
+        expect_clean(errors, "clean includes", run_checks(root, ["includes"]))
+
+    if errors:
+        print("pdgc-lint self-test FAILED:", file=sys.stderr)
+        for e in errors:
+            print("  " + e.replace("\n", "\n  "), file=sys.stderr)
+        return 1
+    print("pdgc-lint self-test OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="pdgc-lint", description=__doc__)
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--check", action="append", choices=sorted(CHECKS),
+                        help="run only this check (repeatable; default all)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own fixture tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(repo, "src")):
+        print(f"pdgc-lint: '{repo}' has no src/ — pass --repo",
+              file=sys.stderr)
+        return 2
+
+    findings = run_checks(repo, args.check or sorted(CHECKS))
+    for f in findings:
+        print(f, file=sys.stderr)
+    if findings:
+        print(f"pdgc-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -40,6 +40,7 @@
 #include "machine/TargetDesc.h"
 #include "server/Client.h"
 #include "server/LatencyHistogram.h"
+#include "support/ThreadAnnotations.h"
 #include "workloads/Generator.h"
 
 #include <algorithm>
@@ -50,7 +51,6 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -196,7 +196,7 @@ int main(int argc, char **argv) {
   Totals T;
   LatencyHistogram Latency;
   std::atomic<unsigned> NextRequest{0};
-  std::mutex LogMutex;
+  pdgc::Mutex LogMutex;
 
   auto ClientMain = [&](unsigned ClientId) {
     ClientConnection Conn;
@@ -232,7 +232,7 @@ int main(int argc, char **argv) {
         else {
           T.TransportErrors.fetch_add(1);
           if (!Quiet) {
-            std::lock_guard<std::mutex> Lock(LogMutex);
+            pdgc::MutexLock Lock(LogMutex);
             std::fprintf(stderr, "client %u: request %u: transport: %s\n",
                          ClientId, Idx, transportErrorName(E));
           }
@@ -269,7 +269,7 @@ int main(int argc, char **argv) {
           Resp.Status == ResponseStatus::Degraded) {
         if (Resp.ServedBy.empty()) {
           T.Invalid.fetch_add(1);
-          std::lock_guard<std::mutex> Lock(LogMutex);
+          pdgc::MutexLock Lock(LogMutex);
           std::fprintf(stderr,
                        "client %u: request %u: %s response without "
                        "served-by\n",
@@ -277,7 +277,7 @@ int main(int argc, char **argv) {
         }
       } else if (Resp.Error.empty()) {
         T.Invalid.fetch_add(1);
-        std::lock_guard<std::mutex> Lock(LogMutex);
+        pdgc::MutexLock Lock(LogMutex);
         std::fprintf(stderr,
                      "client %u: request %u: %s response without error "
                      "detail\n",

@@ -20,6 +20,7 @@
 #include "regalloc/BatchDriver.h"
 #include "regalloc/Driver.h"
 #include "regalloc/Simplifier.h"
+#include "support/Arena.h"
 #include "support/Tracing.h"
 
 #include <benchmark/benchmark.h>
@@ -62,6 +63,9 @@ void allocatorBench(benchmark::State &State, const char *Name) {
   State.counters["vregs"] = VRegs;
 }
 
+// The build benchmarks time the production shape: graphs carve from an
+// arena held across rounds and reset between builds (AnalysisContext does
+// exactly this each refresh), so iteration 2+ runs against warm chunks.
 void BM_BuildRpg(benchmark::State &State) {
   TargetDesc Target = makeTarget(24);
   std::unique_ptr<Function> F = generateFunction(mediumFunction(42), Target);
@@ -69,18 +73,20 @@ void BM_BuildRpg(benchmark::State &State) {
   Liveness LV = Liveness::compute(*F);
   LoopInfo LI = LoopInfo::compute(*F);
   LiveRangeCosts Costs = LiveRangeCosts::compute(*F, LV, LI);
+  Arena Mem;
   for (auto _ : State) {
     (void)_;
+    Mem.reset();
     RegisterPreferenceGraph RPG =
-        RegisterPreferenceGraph::build(*F, LV, LI, Costs, Target);
+        RegisterPreferenceGraph::build(*F, LV, LI, Costs, Target, Mem);
     benchmark::DoNotOptimize(RPG.numPreferences());
   }
 }
 BENCHMARK(BM_BuildRpg);
 
-void BM_BuildCpg(benchmark::State &State) {
+void cpgBench(benchmark::State &State, const GeneratorParams &P) {
   TargetDesc Target = makeTarget(24);
-  std::unique_ptr<Function> F = generateFunction(mediumFunction(42), Target);
+  std::unique_ptr<Function> F = generateFunction(P, Target);
   eliminatePhis(*F);
   Liveness LV = Liveness::compute(*F);
   LoopInfo LI = LoopInfo::compute(*F);
@@ -89,14 +95,30 @@ void BM_BuildCpg(benchmark::State &State) {
   SimplifyResult SR = simplifyGraph(
       IG, Target, [&](unsigned N) { return Costs.spillMetric(VReg(N)); },
       /*Optimistic=*/true);
+  Arena Mem;
   for (auto _ : State) {
     (void)_;
+    Mem.reset();
     ColoringPrecedenceGraph CPG =
-        ColoringPrecedenceGraph::build(IG, Target, SR);
+        ColoringPrecedenceGraph::build(IG, Target, SR, Mem);
     benchmark::DoNotOptimize(CPG.numEdges());
   }
+  State.counters["vregs"] = F->numVRegs();
+}
+
+void BM_BuildCpg(benchmark::State &State) {
+  cpgBench(State, mediumFunction(42));
 }
 BENCHMARK(BM_BuildCpg);
+
+// The CSR/arena layout matters most where node counts are large; this is
+// the ~10^4-vreg outlier profile from src/workloads.
+void BM_BuildCpgMega(benchmark::State &State) {
+  cpgBench(State, megaFunctionProfile());
+}
+BENCHMARK(BM_BuildCpgMega)
+    ->Name("BM_BuildCpg/mega")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BuildInterference(benchmark::State &State) {
   TargetDesc Target = makeTarget(24);

@@ -4,14 +4,25 @@
 # Part of the PDGC project.
 #
 # Builds (if needed) and runs the google-benchmark microbenchmarks,
-# writing the JSON report to BENCH_pr3.json at the repository root so
+# writing the JSON report to BENCH_pr8.json at the repository root so
 # performance PRs can commit the numbers they claim.
 #
+# The script refuses to record numbers from anything but a Release build:
+# the BENCH_pr3 baseline was accidentally recorded from a tree configured
+# with an *empty* CMAKE_BUILD_TYPE (no optimization at all), which made
+# every later comparison meaningless. The build type is read from the
+# build tree's CMakeCache.txt — not from google-benchmark's
+# `library_build_type` field, which describes how the *benchmark library*
+# was compiled (the distro package always says "debug") — and stamped
+# into the output JSON as `pdgc_build_type` so a committed report carries
+# its own provenance.
+#
 # Usage:
-#   bench/run_benchmarks.sh [output.json]
+#   bench/run_benchmarks.sh [output.json] [--allow-debug]
 #
 # Environment:
-#   BUILD_DIR  build tree to use (default: <repo>/build)
+#   BUILD_DIR  build tree to use (default: <repo>/build-rel, configured
+#              Release automatically if missing)
 #   REPS       repetitions per benchmark (default: 3)
 #   MIN_TIME   --benchmark_min_time per repetition, seconds as a plain
 #              double (default: 0.2)
@@ -24,12 +35,44 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${BUILD_DIR:-$ROOT/build}"
-OUT="${1:-$ROOT/BENCH_pr3.json}"
+BUILD="${BUILD_DIR:-$ROOT/build-rel}"
+
+OUT="$ROOT/BENCH_pr8.json"
+ALLOW_DEBUG=0
+for Arg in "$@"; do
+  case "$Arg" in
+  --allow-debug) ALLOW_DEBUG=1 ;;
+  *) OUT="$Arg" ;;
+  esac
+done
+
+# Configure a Release tree if the build directory does not exist yet.
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  echo "run_benchmarks.sh: configuring Release build in $BUILD" >&2
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+# Read CMAKE_BUILD_TYPE out of the cache. An absent or empty value means
+# no optimization flags at all — worse than Debug for benchmarking.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+BUILD_TYPE="${BUILD_TYPE:-<empty>}"
+case "$BUILD_TYPE" in
+Release | RelWithDebInfo) ;;
+*)
+  if [ "$ALLOW_DEBUG" -ne 1 ]; then
+    echo "run_benchmarks.sh: refusing to benchmark a '$BUILD_TYPE' build" >&2
+    echo "  build tree:   $BUILD" >&2
+    echo "  numbers from unoptimized builds are not comparable; pass" >&2
+    echo "  --allow-debug to override, or point BUILD_DIR at a tree" >&2
+    echo "  configured with -DCMAKE_BUILD_TYPE=Release." >&2
+    exit 2
+  fi
+  echo "run_benchmarks.sh: WARNING benchmarking a '$BUILD_TYPE' build" >&2
+  ;;
+esac
 
 if [ ! -x "$BUILD/bench/micro_allocators" ]; then
   echo "run_benchmarks.sh: building micro_allocators in $BUILD" >&2
-  cmake -B "$BUILD" -S "$ROOT" >/dev/null
   cmake --build "$BUILD" --target micro_allocators -j"$(nproc)" >/dev/null
 fi
 
@@ -43,4 +86,19 @@ PDGC_STATS_OUT="$STATS_OUT" "$BUILD/bench/micro_allocators" \
   --benchmark_out_format=json \
   --benchmark_out="$OUT"
 
-echo "run_benchmarks.sh: wrote $OUT and $STATS_OUT" >&2
+# Stamp our build type into the report's context block, next to
+# google-benchmark's own (library-describing) `library_build_type`.
+python3 - "$OUT" "$BUILD_TYPE" <<'EOF'
+import json
+import sys
+
+Path, BuildType = sys.argv[1], sys.argv[2]
+with open(Path) as F:
+    Report = json.load(F)
+Report.setdefault("context", {})["pdgc_build_type"] = BuildType
+with open(Path, "w") as F:
+    json.dump(Report, F, indent=1)
+    F.write("\n")
+EOF
+
+echo "run_benchmarks.sh: wrote $OUT and $STATS_OUT ($BUILD_TYPE)" >&2

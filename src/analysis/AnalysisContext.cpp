@@ -25,9 +25,21 @@ auto timedCompute(const char *Phase, Fn &&Compute) {
 
 } // namespace
 
+Arena *AnalysisContext::initArena(std::unique_ptr<Arena> &Owned,
+                                  Arena *Reuse) {
+  if (Reuse) {
+    // A reused arena still holds the previous tier's graphs; rewind it so
+    // this context starts carving from the front of the warm chunks.
+    Reuse->reset();
+    return Reuse;
+  }
+  Owned = std::make_unique<Arena>();
+  return Owned.get();
+}
+
 AnalysisContext::AnalysisContext(const Function &F,
-                                 const CostParams &ParamsIn)
-    : Func(&F), Params(ParamsIn),
+                                 const CostParams &ParamsIn, Arena *ReuseMem)
+    : Func(&F), Params(ParamsIn), Mem(initArena(OwnedMem, ReuseMem)),
       RPO(timedCompute("analysis.rpo.cold",
                        [&] {
                          PDGC_FAULT_POINT("analysis.cold_build");
@@ -44,7 +56,9 @@ AnalysisContext::AnalysisContext(const Function &F,
                            return LiveRangeCosts::compute(F, LV, LI, Params);
                          })),
       IG(timedCompute("analysis.interference.cold",
-                      [&] { return InterferenceGraph::build(F, LV, LI); })) {
+                      [&] {
+                        return InterferenceGraph::build(F, LV, LI, *Mem);
+                      })) {
   assert(!hasPhis(F) && "analysis context requires phi-free IR");
   PDGC_STAT("analysis", "cold_builds").inc();
 }
@@ -55,6 +69,9 @@ void AnalysisContext::refresh() {
          "instruction insertion is allowed during its lifetime");
   PDGC_STAT("analysis", "warm_refreshes").inc();
   PDGC_FAULT_POINT("analysis.refresh");
+  // Every graph row carved last round (IG adjacency, RPG/CPG edges) dies
+  // here; the rebuild below re-carves from the front of the warm chunks.
+  Mem->reset();
   {
     ScopedTimer Timer("analysis.liveness.warm", "analysis");
     LV.recompute(*Func, RPO);
@@ -65,6 +82,6 @@ void AnalysisContext::refresh() {
   }
   {
     ScopedTimer Timer("analysis.interference.warm", "analysis");
-    IG.rebuild(*Func, LV, LI);
+    IG.rebuild(*Func, LV, LI, *Mem);
   }
 }

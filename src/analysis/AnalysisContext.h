@@ -22,6 +22,13 @@
 /// *into the same buffers*, so rounds after the first run against warm
 /// storage instead of reallocating every set and adjacency list.
 ///
+/// The context also owns (or borrows) the graph Arena: the flat storage
+/// the interference adjacency, the RPG and the CPG carve their rows from.
+/// refresh() resets it once per spill round before the rebuild, so warm
+/// rounds reuse the same chunks; the fallback driver passes one arena down
+/// the whole tier chain for the same reason. Allocators must not hold
+/// graph row views across refresh().
+///
 /// Anything that changes the CFG (phi elimination splits edges!) must
 /// happen before the context is constructed.
 ///
@@ -35,7 +42,9 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/Liveness.h"
 #include "ir/Function.h"
+#include "support/Arena.h"
 
+#include <memory>
 #include <vector>
 
 namespace pdgc {
@@ -45,7 +54,14 @@ namespace pdgc {
 class AnalysisContext {
   const Function *Func = nullptr;
   CostParams Params;
+  /// Graph storage: self-owned unless the constructor was handed an arena
+  /// to reuse (the fallback driver shares one across tiers). Declared
+  /// before the analyses so it exists when IG is built.
+  std::unique_ptr<Arena> OwnedMem;
+  Arena *Mem = nullptr;
   std::vector<unsigned> RPO; ///< Stable across spill rounds.
+
+  static Arena *initArena(std::unique_ptr<Arena> &Owned, Arena *Reuse);
 
 public:
   LoopInfo LI;        ///< Stable across spill rounds.
@@ -54,18 +70,27 @@ public:
   InterferenceGraph IG; ///< Refreshed each round (buffers reused).
 
   /// Computes every analysis for \p F, which must be phi-free and keep its
-  /// CFG shape for this context's lifetime.
-  AnalysisContext(const Function &F, const CostParams &Params);
+  /// CFG shape for this context's lifetime. When \p ReuseMem is non-null
+  /// the context carves graph storage from it (resetting it first) instead
+  /// of allocating its own arena — the fallback chain threads one arena
+  /// through every tier this way.
+  AnalysisContext(const Function &F, const CostParams &Params,
+                  Arena *ReuseMem = nullptr);
 
   /// Recomputes the instruction-dependent analyses (LV, Costs, IG) for the
   /// function after spill-code insertion, reusing their buffers. The
   /// cached RPO and LoopInfo are *not* recomputed — by the reuse contract
-  /// they cannot have changed.
+  /// they cannot have changed. The graph arena is reset first: every graph
+  /// row from the previous round is dead after this call.
   void refresh();
 
   const Function &function() const { return *Func; }
   const CostParams &params() const { return Params; }
   const std::vector<unsigned> &rpo() const { return RPO; }
+
+  /// The arena graph rows live in; RPG/CPG builds carve from it too, so
+  /// their lifetime matches the round's interference graph.
+  Arena &arena() { return *Mem; }
 };
 
 } // namespace pdgc

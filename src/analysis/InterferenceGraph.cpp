@@ -12,34 +12,22 @@
 #include "support/Stats.h"
 
 #include <limits>
+#include <utility>
 
 using namespace pdgc;
 
-void InterferenceGraph::addEdgeInternal(unsigned A, unsigned B) {
-  if (A == B)
-    return;
-  const unsigned Idx = static_cast<unsigned>(pairIndex(A, B));
-  if (PairBits.test(Idx))
-    return;
-  PairBits.set(Idx);
-  const unsigned PosInA = static_cast<unsigned>(Adj[A].size());
-  const unsigned PosInB = static_cast<unsigned>(Adj[B].size());
-  Adj[A].push_back(B);
-  MirrorPos[A].push_back(PosInB);
-  Adj[B].push_back(A);
-  MirrorPos[B].push_back(PosInA);
-}
-
 void InterferenceGraph::removeArc(unsigned N, unsigned Pos) {
-  const unsigned Last = static_cast<unsigned>(Adj[N].size()) - 1;
+  const unsigned Last = Adj.size(N) - 1;
   if (Pos != Last) {
-    Adj[N][Pos] = Adj[N][Last];
-    MirrorPos[N][Pos] = MirrorPos[N][Last];
+    Span<unsigned> AdjN = Adj.mutableRow(N);
+    Span<unsigned> MirN = Mir.mutableRow(N);
+    AdjN[Pos] = AdjN[Last];
+    MirN[Pos] = MirN[Last];
     // The moved entry's counterpart must point back at its new slot.
-    MirrorPos[Adj[N][Pos]][MirrorPos[N][Pos]] = Pos;
+    Mir.mutableRow(AdjN[Pos])[MirN[Pos]] = Pos;
   }
-  Adj[N].pop_back();
-  MirrorPos[N].pop_back();
+  Adj.swapPop(N, Last);
+  Mir.swapPop(N, Last);
 }
 
 void InterferenceGraph::addEdge(unsigned A, unsigned B) {
@@ -57,37 +45,21 @@ void InterferenceGraph::addEdge(unsigned A, unsigned B) {
   addEdgeInternal(A, B);
 }
 
-void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
-                                const LoopInfo &LI) {
-  assert(!hasPhis(Fn) && "interference requires phi-free IR");
+namespace {
 
-  F = &Fn;
-  const unsigned N = Fn.numVRegs();
-  const std::size_t Pairs = N < 2 ? 0 : std::size_t(N) * (N - 1) / 2;
-  pdgc_check(Pairs <= std::numeric_limits<unsigned>::max(),
-             "interference half-matrix exceeds 2^32 pairs");
-  PairBits.clearAndResize(static_cast<unsigned>(Pairs));
-  // Clearing the inner vectors one by one (instead of assign(N, {}))
-  // preserves their heap blocks, so round 2+ appends into warm storage.
-  if (Adj.size() > N) {
-    Adj.resize(N);
-    MirrorPos.resize(N);
-  }
-  for (std::size_t I = 0, E = Adj.size(); I != E; ++I) {
-    Adj[I].clear();
-    MirrorPos[I].clear();
-  }
-  Adj.resize(N);
-  MirrorPos.resize(N);
-  Merged.assign(N, 0);
-  Moves.clear();
-
-  // Cross-class rejections are counted into a local and flushed to the
-  // statistics registry once per rebuild: one atomic add instead of one
-  // per rejected pair keeps the hot loop free of shared-cache traffic
-  // under the batch pipeline's worker fan-out.
-  std::uint64_t WastedEdgeAttempts = 0;
-
+/// The canonical backward scan: one callback per (unfiltered) candidate
+/// pair, in discovery order, plus the entry-block parameter edges. Both
+/// rebuild paths (cold two-pass and warm in-place) walk this exact
+/// sequence, which is what keeps their row contents identical entry for
+/// entry.
+template <typename PairFn>
+void forEachCandidatePair(const Function &Fn, const Liveness &LV,
+                          const LoopInfo &LI,
+                          std::vector<MoveRecord> *Moves,
+                          std::uint64_t &WastedEdgeAttempts, PairFn Pair) {
+  // One live-set scratch for the whole sweep: the per-block walks assign
+  // into it instead of heap-copying each block's live-out vector.
+  BitVector LiveScratch;
   for (unsigned B = 0, E = Fn.numBlocks(); B != E; ++B) {
     // Cooperative cancellation: one (decimated) deadline poll per block
     // bounds how far a huge rebuild can overshoot an expired budget.
@@ -95,17 +67,18 @@ void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
     const BasicBlock *BB = Fn.block(B);
     const double Freq = LI.frequency(BB);
 
-    LV.forEachInstReverse(BB, [&](unsigned I, const BitVector &LiveAfter) {
+    LV.forEachInstReverse(BB, LiveScratch, [&](unsigned I,
+                                               const BitVector &LiveAfter) {
       const Instruction &Inst = BB->inst(I);
-      if (Inst.isCopy())
-        Moves.push_back(MoveRecord{Inst.def().id(), Inst.use(0).id(), Freq,
-                                   BB->id(), I});
+      if (Moves && Inst.isCopy())
+        Moves->push_back(MoveRecord{Inst.def().id(), Inst.use(0).id(), Freq,
+                                    BB->id(), I});
       if (!Inst.hasDef())
         return;
       const unsigned D = Inst.def().id();
       // Hot loop: the def's register class and copy-source are loop
-      // invariants, so hoist them and go straight to addEdgeInternal
-      // instead of paying addEdge's per-pair def-side lookups.
+      // invariants, so hoist them and go straight to Pair instead of
+      // paying addEdge's per-pair def-side lookups.
       const RegClass DC = Fn.regClass(VReg(D));
       const unsigned CopySrc =
           Inst.isCopy() ? Inst.use(0).id() : ~0u;
@@ -126,7 +99,7 @@ void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
                  Fn.pinnedReg(VReg(D)) == Fn.pinnedReg(VReg(L))) &&
                "two nodes pinned to one physical register interfere; the IR "
                "placed conflicting calling-convention values");
-        addEdgeInternal(D, L);
+        Pair(D, L);
       }
     });
   }
@@ -135,12 +108,153 @@ void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
   // with anything live-in (they occupy their registers from function entry).
   const BitVector &EntryLive = LV.liveIn(Fn.entry());
   const std::vector<VReg> &Params = Fn.params();
+  const auto ParamPair = [&](unsigned A, unsigned B) {
+    if (Fn.regClass(VReg(A)) != Fn.regClass(VReg(B))) {
+      ++WastedEdgeAttempts;
+      return;
+    }
+    assert(!(Fn.isPinned(VReg(A)) && Fn.isPinned(VReg(B)) &&
+             Fn.pinnedReg(VReg(A)) == Fn.pinnedReg(VReg(B))) &&
+           "two nodes pinned to one physical register interfere; the IR "
+           "placed conflicting calling-convention values");
+    Pair(A, B);
+  };
   for (unsigned I = 0, E = Params.size(); I != E; ++I) {
     for (unsigned J = I + 1; J != E; ++J)
-      addEdge(Params[I].id(), Params[J].id());
+      ParamPair(Params[I].id(), Params[J].id());
     for (unsigned L : EntryLive.setBits())
       if (L != Params[I].id())
-        addEdge(Params[I].id(), L);
+        ParamPair(Params[I].id(), L);
+  }
+}
+
+} // namespace
+
+void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
+                                const LoopInfo &LI, Arena &Scratch) {
+  assert(!hasPhis(Fn) && "interference requires phi-free IR");
+
+  F = &Fn;
+  const unsigned N = Fn.numVRegs();
+  const std::size_t Pairs = N < 2 ? 0 : std::size_t(N) * (N - 1) / 2;
+  pdgc_check(Pairs <= std::numeric_limits<unsigned>::max(),
+             "interference half-matrix exceeds 2^32 pairs");
+
+  // The adjacency rows always live in the graph-owned arena, so a warm
+  // rebuild can push into capacities retained from the previous round.
+  // \p Scratch only ever holds the cold path's transient count/replay
+  // buffers (dead the moment rebuild returns).
+  const bool Warm =
+      NumNodes == N && N != 0 && OwnedMem != nullptr && Adj.numNodes() == N;
+  if (!OwnedMem)
+    OwnedMem = std::make_unique<Arena>();
+  Mem = OwnedMem.get();
+
+  PairBits.clearAndResize(static_cast<unsigned>(Pairs));
+  Merged.assign(N, 0);
+  Moves.clear();
+
+  // Cross-class rejections are counted into a local and flushed to the
+  // statistics registry once per rebuild: one atomic add instead of one
+  // per rejected pair keeps the hot loop free of shared-cache traffic
+  // under the batch pipeline's worker fan-out.
+  std::uint64_t WastedEdgeAttempts = 0;
+
+  if (Warm) {
+    // Warm path (same node count, e.g. re-analysis of an unchanged
+    // function): empty the rows, keep their regions, and push pairs
+    // directly — every push lands in retained capacity, so the rebuild
+    // allocates nothing at all. The row arrays are hoisted into locals
+    // (registers): going through the members instead, the loop's
+    // unsigned-typed element stores would force a metadata reload on
+    // every push (see CsrRows::rawRows).
+    Adj.resetCounts();
+    Mir.resetCounts();
+    Arena &RowMem = *OwnedMem;
+    unsigned *const *AdjRows = Adj.rawRows();
+    unsigned *const *MirRows = Mir.rawRows();
+    unsigned *AdjCnt = Adj.rawCounts();
+    unsigned *MirCnt = Mir.rawCounts();
+    const unsigned *AdjCap = Adj.rawCaps();
+    unsigned Edges = 0;
+    forEachCandidatePair(
+        Fn, LV, LI, &Moves, WastedEdgeAttempts,
+        [&](unsigned A, unsigned B) {
+          const unsigned Idx = static_cast<unsigned>(pairIndex(A, B));
+          if (PairBits.test(Idx))
+            return;
+          PairBits.set(Idx);
+          const unsigned CA = AdjCnt[A], CB = AdjCnt[B];
+          if (__builtin_expect(CA == AdjCap[A] || CB == AdjCap[B], 0)) {
+            // A row outgrew its retained capacity (the function changed
+            // shape under the same node count): take the growing path.
+            Adj.push(RowMem, A, B);
+            Mir.push(RowMem, A, CB);
+            Adj.push(RowMem, B, A);
+            Mir.push(RowMem, B, CA);
+          } else {
+            AdjRows[A][CA] = B;
+            MirRows[A][CA] = CB;
+            AdjRows[B][CB] = A;
+            MirRows[B][CB] = CA;
+            AdjCnt[A] = CA + 1;
+            MirCnt[A] = CA + 1;
+            AdjCnt[B] = CB + 1;
+            MirCnt[B] = CB + 1;
+          }
+          ++Edges;
+        });
+    NumEdges = Edges;
+  } else {
+    // Cold path, pass 1 (count): dedup pairs through the half-matrix and
+    // record each unique edge in discovery order while tallying per-node
+    // degrees. The replay list lives in the scratch arena; reserving from
+    // the previous round's edge count makes spill-round rebuilds
+    // growth-free.
+    using PairVec =
+        std::vector<std::pair<unsigned, unsigned>,
+                    ArenaAllocator<std::pair<unsigned, unsigned>>>;
+    PairVec EdgePairs{ArenaAllocator<std::pair<unsigned, unsigned>>(Scratch)};
+    EdgePairs.reserve(NumEdges + 32);
+    unsigned *Deg = Scratch.allocateZeroed<unsigned>(N);
+
+    forEachCandidatePair(Fn, LV, LI, &Moves, WastedEdgeAttempts,
+                         [&](unsigned A, unsigned B) {
+                           const unsigned Idx =
+                               static_cast<unsigned>(pairIndex(A, B));
+                           if (PairBits.test(Idx))
+                             return;
+                           PairBits.set(Idx);
+                           EdgePairs.emplace_back(A, B);
+                           ++Deg[A];
+                           ++Deg[B];
+                         });
+
+    // Pass 2 (fill): size each row exactly (plus overflow slack for
+    // coalescing-time inserts) and replay the pairs in discovery order,
+    // so row contents match the former push_back construction entry for
+    // entry.
+    constexpr unsigned RowSlack = 4;
+    Arena &RowMem = *OwnedMem;
+    // The self-owned-arena overload passes OwnedMem as the scratch arena;
+    // resetting it would clobber the live EdgePairs/Deg buffers. Distinct
+    // scratch (the AnalysisContext round arena) means the old rows can be
+    // recycled before the fill pass carves the new ones.
+    if (&RowMem != &Scratch)
+      RowMem.reset();
+    NumNodes = N;
+    NumEdges = 0;
+    Adj.init(RowMem, N, Deg, RowSlack);
+    Mir.init(RowMem, N, Deg, RowSlack);
+    for (const std::pair<unsigned, unsigned> &P : EdgePairs) {
+      const unsigned PosInA = Adj.size(P.first);
+      const unsigned PosInB = Adj.size(P.second);
+      Adj.push(RowMem, P.first, P.second);
+      Mir.push(RowMem, P.first, PosInB);
+      Adj.push(RowMem, P.second, P.first);
+      Mir.push(RowMem, P.second, PosInA);
+    }
+    NumEdges = static_cast<unsigned>(EdgePairs.size());
   }
 
   if (WastedEdgeAttempts != 0)
@@ -148,11 +262,49 @@ void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
         .add(WastedEdgeAttempts);
 }
 
+void InterferenceGraph::rebuild(const Function &Fn, const Liveness &LV,
+                                const LoopInfo &LI) {
+  if (!OwnedMem)
+    OwnedMem = std::make_unique<Arena>();
+  rebuild(Fn, LV, LI, *OwnedMem);
+}
+
+InterferenceGraph InterferenceGraph::build(const Function &F,
+                                           const Liveness &LV,
+                                           const LoopInfo &LI, Arena &Mem) {
+  InterferenceGraph G;
+  G.rebuild(F, LV, LI, Mem);
+  return G;
+}
+
 InterferenceGraph InterferenceGraph::build(const Function &F,
                                            const Liveness &LV,
                                            const LoopInfo &LI) {
   InterferenceGraph G;
   G.rebuild(F, LV, LI);
+  return G;
+}
+
+InterferenceGraph InterferenceGraph::snapshot(Arena &MemIn) const {
+  InterferenceGraph G;
+  G.F = F;
+  G.PairBits = PairBits;
+  G.NumNodes = NumNodes;
+  G.NumEdges = NumEdges;
+  G.Merged = Merged;
+  G.Moves = Moves;
+  G.Mem = &MemIn;
+  unsigned *Deg = MemIn.allocateArray<unsigned>(NumNodes);
+  for (unsigned N = 0; N != NumNodes; ++N)
+    Deg[N] = Adj.size(N);
+  G.Adj.init(MemIn, NumNodes, Deg, /*Slack=*/0);
+  G.Mir.init(MemIn, NumNodes, Deg, /*Slack=*/0);
+  for (unsigned N = 0; N != NumNodes; ++N) {
+    for (unsigned V : Adj.row(N))
+      G.Adj.push(MemIn, N, V);
+    for (unsigned P : Mir.row(N))
+      G.Mir.push(MemIn, N, P);
+  }
   return G;
 }
 
@@ -165,23 +317,24 @@ void InterferenceGraph::merge(unsigned A, unsigned B) {
          "precolored node must be the merge representative");
 
   // A inherits B's neighbors. Each arc B->N knows where its mirror N->B
-  // sits, so unlinking from N is a constant-time swap-pop.
-  for (unsigned I = 0, E = static_cast<unsigned>(Adj[B].size()); I != E;
-       ++I) {
-    const unsigned N = Adj[B][I];
-    const unsigned Pos = MirrorPos[B][I];
-    assert(Adj[N][Pos] == B && "mirror index out of sync");
+  // sits, so unlinking from N is a constant-time swap-pop. Row B is only
+  // read (addEdge pushes into rows A and N), so the row view stays valid
+  // across the loop's arena pushes.
+  for (unsigned I = 0, E = Adj.size(B); I != E; ++I) {
+    const unsigned N = Adj.row(B)[I];
+    const unsigned Pos = Mir.row(B)[I];
+    assert(Adj.row(N)[Pos] == B && "mirror index out of sync");
     PairBits.reset(static_cast<unsigned>(pairIndex(B, N)));
     removeArc(N, Pos);
     addEdge(A, N);
   }
-  Adj[B].clear();
-  MirrorPos[B].clear();
+  Adj.clearRow(B);
+  Mir.clearRow(B);
   Merged[B] = 1;
 }
 
 bool InterferenceGraph::conflictsWithColor(unsigned A, int R) const {
-  for (unsigned N : Adj[A])
+  for (unsigned N : Adj.row(A))
     if (isPrecolored(N) && precolor(N) == R)
       return true;
   return false;

@@ -14,10 +14,14 @@
 ///
 /// Representation: membership tests go through a *triangular half-matrix* —
 /// one bit per unordered node pair, half the memory of the former dense
-/// symmetric matrix — while iteration goes through adjacency lists. Each
-/// adjacency entry additionally records the position of its mirror entry in
-/// the neighbor's list, so merge() unlinks an edge in O(1) (swap-pop)
-/// instead of a linear find-erase.
+/// symmetric matrix — while iteration goes through CSR adjacency rows
+/// packed into an Arena (support/CsrGraph.h). The rows are sized by a
+/// count pass and filled by a replay pass, with a small per-row overflow
+/// slack so coalescing-time edge inserts stay in place; a row that
+/// outgrows its slack relocates to the arena tail. Each adjacency entry
+/// additionally records the position of its mirror entry in the neighbor's
+/// row, so merge() unlinks an edge in O(1) (swap-pop) instead of a linear
+/// find-erase.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,9 +31,13 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/Liveness.h"
 #include "ir/Function.h"
+#include "support/Arena.h"
 #include "support/BitVector.h"
+#include "support/CsrGraph.h"
+#include "support/Span.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pdgc {
@@ -51,13 +59,24 @@ class InterferenceGraph {
   /// One bit per unordered pair {A, B}, A != B, at triangular index
   /// pairIndex(A, B). Half the footprint of a dense symmetric matrix.
   BitVector PairBits;
-  std::vector<std::vector<unsigned>> Adj; ///< Neighbor lists (no duplicates).
-  /// MirrorPos[A][I] is the position of A inside Adj[Adj[A][I]]. Kept in
-  /// lockstep with Adj so an edge can be unlinked from the far side in
-  /// O(1); the invariant is Adj[Adj[A][I]][MirrorPos[A][I]] == A.
-  std::vector<std::vector<unsigned>> MirrorPos;
-  std::vector<char> Merged;               ///< Node was coalesced away.
+  CsrRows<unsigned> Adj; ///< Neighbor rows (no duplicates), arena-backed.
+  /// Mir row I entry J is the position of I inside Adj row Adj[I][J]. Kept
+  /// in lockstep with Adj (paired pushes, identical capacities) so an edge
+  /// can be unlinked from the far side in O(1); the invariant is
+  /// Adj[Adj[A][I]][Mir[A][I]] == A.
+  CsrRows<unsigned> Mir;
+  unsigned NumNodes = 0;
+  unsigned NumEdges = 0; ///< Sizes the next rebuild's pair-replay scratch.
+  std::vector<char> Merged; ///< Node was coalesced away.
   std::vector<MoveRecord> Moves;
+
+  /// Storage for the adjacency rows: always a graph-owned arena, so row
+  /// regions survive across rebuilds and a same-size rebuild can push into
+  /// retained capacities (the warm path). The arena a caller passes to
+  /// build()/rebuild() is scratch for the cold path's transient buffers
+  /// only. Mem caches OwnedMem.get() for the mutators' push calls.
+  std::unique_ptr<Arena> OwnedMem;
+  Arena *Mem = nullptr;
 
   /// Triangular index of the unordered pair {A, B}; requires A != B.
   static std::size_t pairIndex(unsigned A, unsigned B) {
@@ -71,7 +90,25 @@ class InterferenceGraph {
     return PairBits.test(static_cast<unsigned>(pairIndex(A, B)));
   }
 
-  void addEdgeInternal(unsigned A, unsigned B);
+  /// Adds the edge unchecked (class/pin screening is the caller's job).
+  /// Defined here so the rebuild hot loop inlines it — together with the
+  /// CsrRows::push fast path this is the difference between five calls
+  /// per edge and none.
+  void addEdgeInternal(unsigned A, unsigned B) {
+    if (A == B)
+      return;
+    const unsigned Idx = static_cast<unsigned>(pairIndex(A, B));
+    if (PairBits.test(Idx))
+      return;
+    PairBits.set(Idx);
+    const unsigned PosInA = Adj.size(A);
+    const unsigned PosInB = Adj.size(B);
+    Adj.push(*Mem, A, B);
+    Mir.push(*Mem, A, PosInB);
+    Adj.push(*Mem, B, A);
+    Mir.push(*Mem, B, PosInA);
+    ++NumEdges;
+  }
 
   /// Unlinks the adjacency entry at position \p Pos of node \p N by
   /// swap-pop, repairing the mirror index of the entry moved into the gap.
@@ -82,15 +119,30 @@ public:
 
   /// Builds the graph for phi-free \p F using the classic backward scan.
   /// The source of a copy does not interfere with its destination at the
-  /// copy itself (Chaitin's rule), which is what enables coalescing.
+  /// copy itself (Chaitin's rule), which is what enables coalescing. The
+  /// adjacency rows live in a graph-owned arena; \p Mem only holds the
+  /// build's transient count/replay buffers and may be reset the moment
+  /// this returns (AnalysisContext resets it once per spill round).
+  static InterferenceGraph build(const Function &F, const Liveness &LV,
+                                 const LoopInfo &LI, Arena &Mem);
+
+  /// Convenience overload for standalone uses (tests, one-shot builds):
+  /// the graph owns a private arena.
   static InterferenceGraph build(const Function &F, const Liveness &LV,
                                  const LoopInfo &LI);
 
-  /// Rebuilds this graph in place for (a possibly mutated) \p F, reusing
-  /// the half-matrix words and per-node adjacency capacity from the
-  /// previous build. The spill-round driver calls this every round; after
-  /// the first round the buffers are warm and construction allocates
-  /// little to nothing.
+  /// Rebuilds this graph in place for (a possibly mutated) \p F, using
+  /// \p Mem for the cold path's transient count/replay buffers. When the
+  /// node count is unchanged the rebuild goes warm: rows are emptied but
+  /// keep their regions and capacities, pairs are pushed directly in the
+  /// same discovery order the cold replay would produce, and nothing is
+  /// allocated at all. Spill rounds grow the node count and take the cold
+  /// two-pass path into the (reset, chunk-warm) row arena.
+  void rebuild(const Function &F, const Liveness &LV, const LoopInfo &LI,
+               Arena &Mem);
+
+  /// Scratch-free overload: the private row arena doubles as cold-path
+  /// scratch.
   void rebuild(const Function &F, const Liveness &LV, const LoopInfo &LI);
 
   const Function &function() const {
@@ -98,7 +150,7 @@ public:
     return *F;
   }
 
-  unsigned numNodes() const { return static_cast<unsigned>(Adj.size()); }
+  unsigned numNodes() const { return NumNodes; }
 
   /// Adds an interference edge (same-class nodes only).
   void addEdge(unsigned A, unsigned B);
@@ -108,16 +160,18 @@ public:
     return A != B && testPair(A, B);
   }
 
-  /// Neighbors of \p A. May contain merged-away nodes only if the caller
-  /// merged through a stale handle — merge() keeps lists clean.
-  const std::vector<unsigned> &neighbors(unsigned A) const {
+  /// Neighbors of \p A, as a view over the arena-backed row. Invalidated
+  /// by merge()/addEdge() on any node (row relocation) and by the next
+  /// rebuild or arena reset. May contain merged-away nodes only if the
+  /// caller merged through a stale handle — merge() keeps rows clean.
+  Span<const unsigned> neighbors(unsigned A) const {
     assert(A < numNodes() && "node out of range");
-    return Adj[A];
+    return Adj.row(A);
   }
 
   unsigned degree(unsigned A) const {
     assert(A < numNodes() && "node out of range");
-    return static_cast<unsigned>(Adj[A].size());
+    return Adj.size(A);
   }
 
   /// True when the node is pinned to a physical register.
@@ -134,6 +188,13 @@ public:
 
   /// True when \p A has been coalesced into another node.
   bool isMerged(unsigned A) const { return Merged[A] != 0; }
+
+  /// Deep copy into \p Mem: rows are packed exactly (no overflow slack),
+  /// so the snapshot is meant to be read, not merged into. The optimistic
+  /// allocator snapshots the pre-coalesce graph this way; carving from the
+  /// round arena keeps the copy's lifetime tied to the round. (The copy
+  /// constructor is deleted — a default copy would alias the arena rows.)
+  InterferenceGraph snapshot(Arena &Mem) const;
 
   /// Coalesces node \p B into node \p A: A inherits B's edges and B leaves
   /// the graph. \p A and \p B must not interfere and must share a register

@@ -67,14 +67,25 @@ public:
   /// before the instruction's own kill/gen are applied.
   template <typename CallbackT>
   void forEachInstReverse(const BasicBlock *BB, CallbackT Visit) const {
-    BitVector Live = liveOut(BB);
+    BitVector Scratch;
+    forEachInstReverse(BB, Scratch, Visit);
+  }
+
+  /// As above, but the working live set is built in \p Scratch, whose
+  /// storage is reused across calls. Callers sweeping many blocks (the
+  /// interference builder visits every block every spill round) hoist one
+  /// scratch vector outside their loop and walk heap-free.
+  template <typename CallbackT>
+  void forEachInstReverse(const BasicBlock *BB, BitVector &Scratch,
+                          CallbackT Visit) const {
+    Scratch = liveOut(BB);
     for (unsigned I = BB->size(); I-- > 0;) {
       const Instruction &Inst = BB->inst(I);
-      Visit(I, Live);
+      Visit(I, Scratch);
       if (Inst.hasDef())
-        Live.reset(Inst.def().id());
+        Scratch.reset(Inst.def().id());
       for (unsigned U = 0, E = Inst.numUses(); U != E; ++U)
-        Live.set(Inst.use(U).id());
+        Scratch.set(Inst.use(U).id());
     }
   }
 

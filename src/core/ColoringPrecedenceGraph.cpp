@@ -8,48 +8,37 @@
 
 #include "support/Debug.h"
 
-#include <algorithm>
-
 using namespace pdgc;
 
-bool ColoringPrecedenceGraph::reachable(unsigned From, unsigned To) const {
-  if (From == To)
-    return true;
-  std::vector<char> Seen(numNodes(), 0);
-  std::vector<unsigned> Work{From};
-  Seen[From] = 1;
-  while (!Work.empty()) {
-    unsigned N = Work.back();
-    Work.pop_back();
-    for (unsigned S : Succs[N]) {
-      if (S == To)
-        return true;
-      if (!Seen[S]) {
-        Seen[S] = 1;
-        Work.push_back(S);
-      }
-    }
-  }
-  return false;
+void ColoringPrecedenceGraph::initScratch(Arena &Mem, unsigned N,
+                                          const SimplifyResult &SR) {
+  NumNodes = N;
+  char *Flags = Mem.allocateZeroed<char>(N);
+  for (unsigned Node : SR.Stack)
+    Flags[Node] = 1;
+  InGraph = Flags;
+  VisitEpoch = Mem.allocateZeroed<unsigned>(N);
+  DfsStack = Mem.allocateArray<unsigned>(N);
+  Epoch = 0;
 }
 
 ColoringPrecedenceGraph
 ColoringPrecedenceGraph::build(const InterferenceGraph &IG,
                                const TargetDesc &Target,
-                               const SimplifyResult &SR) {
+                               const SimplifyResult &SR, Arena &Mem) {
   const unsigned N = IG.numNodes();
   ColoringPrecedenceGraph G;
-  G.Succs.assign(N, {});
-  G.Preds.assign(N, {});
-  G.InGraph.assign(N, 0);
-  for (unsigned Node : SR.Stack)
-    G.InGraph[Node] = 1;
+  G.initScratch(Mem, N, SR);
+
+  CsrRows<unsigned> SuccR, PredR;
+  SuccR.initEmpty(Mem, N);
+  PredR.initEmpty(Mem, N);
 
   // Working interference graph. Precolored nodes are permanent: they keep
   // contributing to degrees (and thus to readiness) until the end, exactly
   // as they did during simplification.
-  std::vector<char> Removed(N, 0);
-  std::vector<unsigned> Deg(N, 0);
+  char *Removed = Mem.allocateZeroed<char>(N);
+  unsigned *Deg = Mem.allocateZeroed<unsigned>(N);
   for (unsigned Node = 0; Node != N; ++Node) {
     if (IG.isMerged(Node)) {
       Removed[Node] = 1;
@@ -61,68 +50,89 @@ ColoringPrecedenceGraph::build(const InterferenceGraph &IG,
   // A node is ready once it is of low degree in the working graph; the
   // simplifier's optimistic potential spills were removed while still of
   // significant degree, so they start non-ready by construction.
-  std::vector<char> Ready(N, 0);
+  char *Ready = Mem.allocateZeroed<char>(N);
   auto K = [&](unsigned Node) { return Target.numRegs(IG.regClass(Node)); };
   for (unsigned Node : SR.Stack)
     if (Deg[Node] < K(Node))
       Ready[Node] = 1;
 
-  // Reachability with an epoch-marked scratch buffer: AddEdge runs once
-  // per (neighbor, pop) pair, so the per-query O(N) allocation of a fresh
-  // visited set would dominate construction time on larger functions.
-  std::vector<unsigned> VisitEpoch(N, 0);
-  std::vector<unsigned> DfsStack;
-  unsigned Epoch = 0;
-  auto Reachable = [&](unsigned From, unsigned To) {
-    if (From == To)
-      return true;
-    ++Epoch;
-    DfsStack.clear();
-    DfsStack.push_back(From);
-    VisitEpoch[From] = Epoch;
-    while (!DfsStack.empty()) {
-      unsigned Cur = DfsStack.back();
-      DfsStack.pop_back();
-      for (unsigned S : G.Succs[Cur]) {
-        if (S == To)
-          return true;
-        if (VisitEpoch[S] != Epoch) {
-          VisitEpoch[S] = Epoch;
-          DfsStack.push_back(S);
-        }
-      }
-    }
-    return false;
-  };
-
-  auto AddEdge = [&](unsigned A, unsigned B) {
-    // A must be colored before B. Skip edges that are already implied.
-    if (Reachable(A, B))
-      return;
-    G.Succs[A].push_back(B);
-    G.Preds[B].push_back(A);
-    // Drop edges of A that the new path just made transitive.
-    for (unsigned I = 0; I < G.Succs[A].size();) {
-      unsigned X = G.Succs[A][I];
-      if (X != B && Reachable(B, X)) {
-        G.Succs[A].erase(G.Succs[A].begin() + I);
-        auto It = std::find(G.Preds[X].begin(), G.Preds[X].end(), A);
-        assert(It != G.Preds[X].end() && "asymmetric CPG edge");
-        G.Preds[X].erase(It);
-        continue;
-      }
-      ++I;
-    }
-  };
+  // Every edge added while popping a node points *at* that node, and the
+  // transitive-reduction erasures below never change the reachability
+  // relation (an erased A -> X is always re-routed A -> Node -> ... -> X).
+  // Two facts follow, and they turn the former per-candidate DFS into two
+  // amortized traversals per pop:
+  //
+  //  * the set of nodes the popped node reaches is invariant for the
+  //    whole pop (its out-edges never change mid-pop), so one forward DFS
+  //    up front answers every "did the new path make this edge
+  //    transitive?" erasure test in O(1);
+  //  * the set of nodes *reaching* the popped node only grows by the
+  //    ancestors of each newly linked source, so marking those by reverse
+  //    DFS — skipping already-marked nodes — answers every "is this edge
+  //    already implied?" test in O(1) at O(V+E) total per pop.
+  //
+  // Both sets are epoch-stamped per pop; the arrays are never cleared.
+  unsigned *ReachesNode = Mem.allocateZeroed<unsigned>(N);
+  unsigned *NodeReaches = Mem.allocateZeroed<unsigned>(N);
+  unsigned *Stack = G.DfsStack; // Build-time use only; queries come later.
+  unsigned PopEpoch = 0;
 
   // Examine nodes in removal order (the reverse of the coloring stack).
   for (unsigned Node : SR.Stack) {
+    ++PopEpoch;
+    ReachesNode[Node] = PopEpoch;
+
+    // Forward sweep: everything Node currently reaches.
+    unsigned Top = 0;
+    NodeReaches[Node] = PopEpoch;
+    Stack[Top++] = Node;
+    while (Top != 0) {
+      const unsigned Cur = Stack[--Top];
+      for (unsigned S : SuccR.row(Cur))
+        if (NodeReaches[S] != PopEpoch) {
+          NodeReaches[S] = PopEpoch;
+          Stack[Top++] = S;
+        }
+    }
+
     // Remaining non-ready neighbors must be colored before this node.
     for (unsigned M : IG.neighbors(Node)) {
-      if (Removed[M] || !G.InGraph[M])
+      if (Removed[M] || !G.InGraph[M] || Ready[M])
         continue;
-      if (!Ready[M])
-        AddEdge(M, Node);
+      // Skip edges that are already implied.
+      if (ReachesNode[M] == PopEpoch)
+        continue;
+      SuccR.push(Mem, M, Node);
+      PredR.push(Mem, Node, M);
+      // Drop edges of M that the new path just made transitive. Both
+      // erases preserve row order (the select queue's tie-breaking
+      // depends on it).
+      for (unsigned I = 0; I < SuccR.size(M);) {
+        unsigned X = SuccR.row(M)[I];
+        if (X != Node && NodeReaches[X] == PopEpoch) {
+          SuccR.eraseAt(M, I);
+          Span<const unsigned> PX = PredR.row(X);
+          unsigned J = 0;
+          while (J != PX.size() && PX[J] != M)
+            ++J;
+          assert(J != PX.size() && "asymmetric CPG edge");
+          PredR.eraseAt(X, J);
+          continue;
+        }
+        ++I;
+      }
+      // Reverse sweep from M: its ancestors now reach Node too.
+      Top = 0;
+      ReachesNode[M] = PopEpoch;
+      Stack[Top++] = M;
+      while (Top != 0) {
+        const unsigned Cur = Stack[--Top];
+        for (unsigned P : PredR.row(Cur))
+          if (ReachesNode[P] != PopEpoch) {
+            ReachesNode[P] = PopEpoch;
+            Stack[Top++] = P;
+          }
+      }
     }
     // Remove from the working graph and update readiness.
     Removed[Node] = 1;
@@ -135,44 +145,73 @@ ColoringPrecedenceGraph::build(const InterferenceGraph &IG,
         Ready[M] = 1;
     }
   }
+
+  // The edge set is settled: pack it for the select phase's iteration.
+  G.Succs = CsrArray<unsigned>::compact(Mem, SuccR);
+  G.Preds = CsrArray<unsigned>::compact(Mem, PredR);
+  return G;
+}
+
+ColoringPrecedenceGraph
+ColoringPrecedenceGraph::build(const InterferenceGraph &IG,
+                               const TargetDesc &Target,
+                               const SimplifyResult &SR) {
+  auto Mem = std::make_unique<Arena>();
+  ColoringPrecedenceGraph G = build(IG, Target, SR, *Mem);
+  G.OwnedMem = std::move(Mem);
+  return G;
+}
+
+ColoringPrecedenceGraph
+ColoringPrecedenceGraph::linearFromStack(const InterferenceGraph &IG,
+                                         const SimplifyResult &SR,
+                                         Arena &Mem) {
+  const unsigned N = IG.numNodes();
+  ColoringPrecedenceGraph G;
+  G.initScratch(Mem, N, SR);
+
+  // Pop order colors Stack.back() first: chain Stack[i+1] -> Stack[i].
+  // Counts are exact (one successor/predecessor per chain link).
+  unsigned *SuccCount = Mem.allocateZeroed<unsigned>(N);
+  unsigned *PredCount = Mem.allocateZeroed<unsigned>(N);
+  for (unsigned I = 0; I + 1 < SR.Stack.size(); ++I) {
+    ++SuccCount[SR.Stack[I + 1]];
+    ++PredCount[SR.Stack[I]];
+  }
+  CsrRows<unsigned> SuccR, PredR;
+  SuccR.init(Mem, N, SuccCount, /*Slack=*/0);
+  PredR.init(Mem, N, PredCount, /*Slack=*/0);
+  for (unsigned I = 0; I + 1 < SR.Stack.size(); ++I) {
+    SuccR.push(Mem, SR.Stack[I + 1], SR.Stack[I]);
+    PredR.push(Mem, SR.Stack[I], SR.Stack[I + 1]);
+  }
+  G.Succs = CsrArray<unsigned>::compact(Mem, SuccR);
+  G.Preds = CsrArray<unsigned>::compact(Mem, PredR);
   return G;
 }
 
 ColoringPrecedenceGraph
 ColoringPrecedenceGraph::linearFromStack(const InterferenceGraph &IG,
                                          const SimplifyResult &SR) {
-  const unsigned N = IG.numNodes();
-  ColoringPrecedenceGraph G;
-  G.Succs.assign(N, {});
-  G.Preds.assign(N, {});
-  G.InGraph.assign(N, 0);
-  for (unsigned Node : SR.Stack)
-    G.InGraph[Node] = 1;
-  // Pop order colors Stack.back() first: chain Stack[i+1] -> Stack[i].
-  for (unsigned I = 0; I + 1 < SR.Stack.size(); ++I) {
-    G.Succs[SR.Stack[I + 1]].push_back(SR.Stack[I]);
-    G.Preds[SR.Stack[I]].push_back(SR.Stack[I + 1]);
-  }
+  auto Mem = std::make_unique<Arena>();
+  ColoringPrecedenceGraph G = linearFromStack(IG, SR, *Mem);
+  G.OwnedMem = std::move(Mem);
   return G;
 }
 
 std::vector<unsigned> ColoringPrecedenceGraph::roots() const {
   std::vector<unsigned> R;
   for (unsigned N = 0, E = numNodes(); N != E; ++N)
-    if (InGraph[N] && Preds[N].empty())
+    if (InGraph[N] && Preds.row(N).empty())
       R.push_back(N);
   return R;
 }
 
 bool ColoringPrecedenceGraph::hasEdge(unsigned A, unsigned B) const {
-  return std::find(Succs[A].begin(), Succs[A].end(), B) != Succs[A].end();
-}
-
-unsigned ColoringPrecedenceGraph::numEdges() const {
-  unsigned E = 0;
-  for (const auto &S : Succs)
-    E += static_cast<unsigned>(S.size());
-  return E;
+  for (unsigned S : Succs.row(A))
+    if (S == B)
+      return true;
+  return false;
 }
 
 bool ColoringPrecedenceGraph::preservesColorability(

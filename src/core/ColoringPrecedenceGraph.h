@@ -24,6 +24,13 @@
 /// conventional top/bottom nodes of the paper are kept implicit: the
 /// successors of `top` are exactly the nodes with no incoming edge.
 ///
+/// Storage: the builder works on mutable arena rows (support/CsrGraph.h)
+/// — its scratch (Removed/Deg/Ready/VisitEpoch/DfsStack) is carved from
+/// the same arena instead of fresh heap vectors — and the settled graph is
+/// compacted into immutable packed CSR arrays that the select phase
+/// iterates. Reachability queries, during construction and afterwards,
+/// share one epoch-marked DFS over whichever row form is current.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDGC_CORE_COLORINGPRECEDENCEGRAPH_H
@@ -32,21 +39,78 @@
 #include "analysis/InterferenceGraph.h"
 #include "machine/TargetDesc.h"
 #include "regalloc/Simplifier.h"
+#include "support/Arena.h"
+#include "support/CsrGraph.h"
+#include "support/Span.h"
 
+#include <memory>
 #include <vector>
 
 namespace pdgc {
 
 /// The Coloring Precedence Graph over stacked (non-precolored) nodes.
 class ColoringPrecedenceGraph {
-  std::vector<std::vector<unsigned>> Succs; ///< A -> B: color A before B.
-  std::vector<std::vector<unsigned>> Preds;
-  std::vector<char> InGraph; ///< Node participates (was on the stack).
+  CsrArray<unsigned> Succs; ///< A -> B: color A before B.
+  CsrArray<unsigned> Preds;
+  const char *InGraph = nullptr; ///< Node participates (was on the stack).
+  unsigned NumNodes = 0;
 
-  bool reachable(unsigned From, unsigned To) const;
+  /// Epoch-marked DFS scratch, carved once at build time and shared by
+  /// every subsequent reachability query (the former per-query Seen/Work
+  /// heap allocations dominated query cost).
+  unsigned *VisitEpoch = nullptr;
+  unsigned *DfsStack = nullptr;
+  mutable unsigned Epoch = 0;
+
+  /// Private storage for the compat overloads without an arena.
+  std::unique_ptr<Arena> OwnedMem;
+
+  /// One DFS for build-time and post-build reachability: \p SuccOf maps a
+  /// node to its current successor row (mutable rows while building, the
+  /// compacted arrays afterwards).
+  template <typename SuccOfFn>
+  bool reachableImpl(unsigned From, unsigned To, SuccOfFn SuccOf) const {
+    if (From == To)
+      return true;
+    ++Epoch;
+    unsigned Top = 0;
+    DfsStack[Top++] = From;
+    VisitEpoch[From] = Epoch;
+    while (Top != 0) {
+      const unsigned Cur = DfsStack[--Top];
+      for (unsigned S : SuccOf(Cur)) {
+        if (S == To)
+          return true;
+        if (VisitEpoch[S] != Epoch) {
+          VisitEpoch[S] = Epoch;
+          DfsStack[Top++] = S;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Carves the InGraph flags and the DFS scratch, shared by both
+  /// construction paths.
+  void initScratch(Arena &Mem, unsigned N, const SimplifyResult &SR);
 
 public:
-  /// Builds the CPG from \p IG and the stack produced by \p SR.
+  /// True when a directed path \p From -> ... -> \p To exists (reflexive:
+  /// a node reaches itself). Queries share the epoch-marked DFS scratch
+  /// carved at build time, so repeated calls allocate nothing.
+  bool reachable(unsigned From, unsigned To) const {
+    return reachableImpl(From, To,
+                         [this](unsigned N) { return Succs.row(N); });
+  }
+
+  /// Builds the CPG from \p IG and the stack produced by \p SR, carving
+  /// edges and builder scratch from \p Mem (which must outlive the graph).
+  static ColoringPrecedenceGraph build(const InterferenceGraph &IG,
+                                       const TargetDesc &Target,
+                                       const SimplifyResult &SR, Arena &Mem);
+
+  /// Convenience overload for standalone uses: the graph owns a private
+  /// arena.
   static ColoringPrecedenceGraph build(const InterferenceGraph &IG,
                                        const TargetDesc &Target,
                                        const SimplifyResult &SR);
@@ -55,18 +119,19 @@ public:
   /// stack-driven select: each node must be colored exactly in pop order.
   /// Used by the ablation benchmark to isolate the CPG's contribution.
   static ColoringPrecedenceGraph linearFromStack(const InterferenceGraph &IG,
+                                                 const SimplifyResult &SR,
+                                                 Arena &Mem);
+
+  /// Self-owned-arena overload of linearFromStack.
+  static ColoringPrecedenceGraph linearFromStack(const InterferenceGraph &IG,
                                                  const SimplifyResult &SR);
 
-  unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
+  unsigned numNodes() const { return NumNodes; }
 
   bool contains(unsigned N) const { return InGraph[N] != 0; }
 
-  const std::vector<unsigned> &successors(unsigned N) const {
-    return Succs[N];
-  }
-  const std::vector<unsigned> &predecessors(unsigned N) const {
-    return Preds[N];
-  }
+  Span<const unsigned> successors(unsigned N) const { return Succs.row(N); }
+  Span<const unsigned> predecessors(unsigned N) const { return Preds.row(N); }
 
   /// Nodes with no predecessors: the successors of the implicit top node,
   /// i.e. the initially ready-to-color set.
@@ -75,7 +140,7 @@ public:
   /// True if an edge \p A -> \p B exists (for tests).
   bool hasEdge(unsigned A, unsigned B) const;
 
-  unsigned numEdges() const;
+  unsigned numEdges() const { return Succs.numEdges(); }
 
   /// Verifies the defining property on \p IG: every topological
   /// linearization respecting this partial order keeps each node's

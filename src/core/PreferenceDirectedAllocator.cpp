@@ -76,15 +76,17 @@ public:
           ScopedTimer Timer("pdgc.rpg_build", "allocator");
           PDGC_FAULT_POINT("pdgc.rpg_build");
           return RegisterPreferenceGraph::build(CtxIn.F, CtxIn.LV, CtxIn.LI,
-                                                CtxIn.Costs, CtxIn.Target);
+                                                CtxIn.Costs, CtxIn.Target,
+                                                CtxIn.Mem);
         }()),
         CPG([&] {
           ScopedTimer Timer("pdgc.cpg_build", "allocator");
           PDGC_FAULT_POINT("pdgc.cpg_build");
-          return OptIn.UseCPG ? ColoringPrecedenceGraph::build(CtxIn.IG,
-                                                               CtxIn.Target, SR)
-                              : ColoringPrecedenceGraph::linearFromStack(
-                                    CtxIn.IG, SR);
+          return OptIn.UseCPG
+                     ? ColoringPrecedenceGraph::build(CtxIn.IG, CtxIn.Target,
+                                                      SR, CtxIn.Mem)
+                     : ColoringPrecedenceGraph::linearFromStack(CtxIn.IG, SR,
+                                                                CtxIn.Mem);
         }()),
         SS(CtxIn.IG, CtxIn.Target), Spilled(CtxIn.IG.numNodes(), 0),
         Done(CtxIn.IG.numNodes(), 0), InDeg(CtxIn.IG.numNodes(), 0) {

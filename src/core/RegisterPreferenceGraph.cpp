@@ -27,39 +27,16 @@ const char *pdgc::prefKindName(PrefKind K) {
   pdgc_unreachable("unknown preference kind");
 }
 
-void RegisterPreferenceGraph::addPreference(Preference P) {
-  // Merge with an existing edge of the same kind and target: several copies
-  // between the same two ranges accumulate their savings.
-  for (Preference &Existing : Out[P.Source]) {
-    if (Existing.Kind == P.Kind && Existing.Target == P.Target) {
-      Existing.Savings += P.Savings;
-      if (P.Target.Kind == PrefTarget::LiveRange)
-        for (Preference &R : In[P.Target.Value])
-          if (R.Source == P.Source && R.Kind == P.Kind)
-            R.Savings += P.Savings;
-      return;
-    }
-  }
-  Out[P.Source].push_back(P);
-  if (P.Target.Kind == PrefTarget::LiveRange)
-    In[P.Target.Value].push_back(P);
-}
+namespace {
 
-RegisterPreferenceGraph
-RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
-                               const LoopInfo &LI,
-                               const LiveRangeCosts &Costs,
-                               const TargetDesc &Target) {
-  (void)LV;
-  assert(!hasPhis(F) && "RPG requires phi-free IR");
-
-  RegisterPreferenceGraph G;
-  G.F = &F;
-  G.Target = &Target;
-  G.Costs = &Costs;
-  G.Out.assign(F.numVRegs(), {});
-  G.In.assign(F.numVRegs(), {});
-
+/// Replays the paper's preference-emission sequence — copies, limited
+/// register usage, paired loads, then the volatility edges — invoking
+/// \p Emit for every raw (pre-merge) preference in emission order. Both
+/// build passes run through this one function so the count pass and the
+/// fill pass cannot drift apart.
+template <typename EmitFn>
+void forEachEmittedPreference(const Function &F, const LoopInfo &LI,
+                              const LiveRangeCosts &Costs, EmitFn Emit) {
   const CostParams &CP = Costs.params();
 
   for (unsigned B = 0, E = F.numBlocks(); B != E; ++B) {
@@ -81,11 +58,11 @@ RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
                      : PrefTarget::liveRange(R.id());
         };
         if (!F.isPinned(Dst) && Dst != Src)
-          G.addPreference({Dst.id(), PrefKind::Coalesce, TargetOf(Src),
-                           Savings});
+          Emit(Preference{Dst.id(), PrefKind::Coalesce, TargetOf(Src),
+                          Savings});
         if (!F.isPinned(Src) && Dst != Src)
-          G.addPreference({Src.id(), PrefKind::Coalesce, TargetOf(Dst),
-                           Savings});
+          Emit(Preference{Src.id(), PrefKind::Coalesce, TargetOf(Dst),
+                          Savings});
         continue;
       }
 
@@ -93,9 +70,9 @@ RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
           !F.isPinned(Inst.def())) {
         // Limited register usage: a narrow-capable destination avoids the
         // fixup instruction this operation otherwise needs.
-        G.addPreference({Inst.def().id(), PrefKind::Restricted,
-                         PrefTarget::narrowRegisters(),
-                         CP.DefaultInstCost * Freq});
+        Emit(Preference{Inst.def().id(), PrefKind::Restricted,
+                        PrefTarget::narrowRegisters(),
+                        CP.DefaultInstCost * Freq});
       }
 
       if (Inst.isPairHead()) {
@@ -109,11 +86,11 @@ RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
         VReg First = Inst.def(), Second = Mate.def();
         double Savings = CP.LoadInstCost * Freq;
         if (!F.isPinned(First))
-          G.addPreference({First.id(), PrefKind::SequentialMinus,
-                           PrefTarget::liveRange(Second.id()), Savings});
+          Emit(Preference{First.id(), PrefKind::SequentialMinus,
+                          PrefTarget::liveRange(Second.id()), Savings});
         if (!F.isPinned(Second))
-          G.addPreference({Second.id(), PrefKind::SequentialPlus,
-                           PrefTarget::liveRange(First.id()), Savings});
+          Emit(Preference{Second.id(), PrefKind::SequentialPlus,
+                          PrefTarget::liveRange(First.id()), Savings});
       }
     }
   }
@@ -132,12 +109,76 @@ RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
       continue;
     if (Costs.numDefs(R) == 0 && Costs.numUses(R) == 0)
       continue; // Dead register: no preferences.
-    G.addPreference(
-        {V, PrefKind::Prefers, PrefTarget::volatileClass(), 0.0});
-    G.addPreference(
-        {V, PrefKind::Prefers, PrefTarget::nonVolatileClass(), 0.0});
+    Emit(Preference{V, PrefKind::Prefers, PrefTarget::volatileClass(), 0.0});
+    Emit(Preference{V, PrefKind::Prefers, PrefTarget::nonVolatileClass(),
+                    0.0});
   }
+}
 
+} // namespace
+
+void RegisterPreferenceGraph::addPreference(Arena &Mem, Preference P) {
+  // Merge with an existing edge of the same kind and target: several copies
+  // between the same two ranges accumulate their savings.
+  for (Preference &Existing : Out.mutableRow(P.Source)) {
+    if (Existing.Kind == P.Kind && Existing.Target == P.Target) {
+      Existing.Savings += P.Savings;
+      if (P.Target.Kind == PrefTarget::LiveRange)
+        for (Preference &R : In.mutableRow(P.Target.Value))
+          if (R.Source == P.Source && R.Kind == P.Kind)
+            R.Savings += P.Savings;
+      return;
+    }
+  }
+  Out.push(Mem, P.Source, P);
+  if (P.Target.Kind == PrefTarget::LiveRange)
+    In.push(Mem, P.Target.Value, P);
+}
+
+RegisterPreferenceGraph
+RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
+                               const LoopInfo &LI,
+                               const LiveRangeCosts &Costs,
+                               const TargetDesc &Target, Arena &Mem) {
+  (void)LV;
+  assert(!hasPhis(F) && "RPG requires phi-free IR");
+
+  RegisterPreferenceGraph G;
+  G.F = &F;
+  G.Target = &Target;
+  G.Costs = &Costs;
+
+  const unsigned N = F.numVRegs();
+
+  // Pass 1 (count): tally raw emissions per row. Merging can only shrink a
+  // row below its emission count, so these are exact capacities — the fill
+  // pass never relocates.
+  unsigned *OutCount = Mem.allocateZeroed<unsigned>(N);
+  unsigned *InCount = Mem.allocateZeroed<unsigned>(N);
+  forEachEmittedPreference(F, LI, Costs, [&](const Preference &P) {
+    ++OutCount[P.Source];
+    if (P.Target.Kind == PrefTarget::LiveRange)
+      ++InCount[P.Target.Value];
+  });
+
+  // Pass 2 (fill): replay the same emission sequence through the merging
+  // insert, into rows packed back to back in the arena.
+  G.Out.init(Mem, N, OutCount, /*Slack=*/0);
+  G.In.init(Mem, N, InCount, /*Slack=*/0);
+  forEachEmittedPreference(
+      F, LI, Costs, [&](const Preference &P) { G.addPreference(Mem, P); });
+
+  return G;
+}
+
+RegisterPreferenceGraph
+RegisterPreferenceGraph::build(const Function &F, const Liveness &LV,
+                               const LoopInfo &LI,
+                               const LiveRangeCosts &Costs,
+                               const TargetDesc &Target) {
+  auto Mem = std::make_unique<Arena>();
+  RegisterPreferenceGraph G = build(F, LV, LI, Costs, Target, *Mem);
+  G.OwnedMem = std::move(Mem);
   return G;
 }
 
@@ -180,7 +221,7 @@ double RegisterPreferenceGraph::bestStrength(const Preference &P) const {
 
 unsigned RegisterPreferenceGraph::numPreferences() const {
   unsigned N = 0;
-  for (const auto &Edges : Out)
-    N += static_cast<unsigned>(Edges.size());
+  for (unsigned V = 0, E = Out.numNodes(); V != E; ++V)
+    N += Out.size(V);
   return N;
 }

@@ -36,8 +36,11 @@
 #include "analysis/CostModel.h"
 #include "ir/Function.h"
 #include "machine/TargetDesc.h"
+#include "support/Arena.h"
+#include "support/CsrGraph.h"
+#include "support/Span.h"
 
-#include <vector>
+#include <memory>
 
 namespace pdgc {
 
@@ -88,34 +91,47 @@ struct Preference {
   double Savings = 0.0;
 };
 
-/// The Register Preference Graph.
+/// The Register Preference Graph. Preference rows are CSR slices packed
+/// into an Arena by a two-pass (count emissions, then fill with merge)
+/// sweep over the instructions; accessors hand out views over the packed
+/// rows, valid until the next build into (or reset of) the arena.
 class RegisterPreferenceGraph {
   const Function *F = nullptr;
   const TargetDesc *Target = nullptr;
   const LiveRangeCosts *Costs = nullptr;
-  std::vector<std::vector<Preference>> Out; ///< Per source vreg id.
-  std::vector<std::vector<Preference>> In;  ///< Live-range-target reverse
-                                            ///< index, per target vreg id.
+  CsrRows<Preference> Out; ///< Per source vreg id.
+  CsrRows<Preference> In;  ///< Live-range-target reverse index, per
+                           ///< target vreg id.
+  /// Private storage for the compat build() overload without an arena.
+  std::unique_ptr<Arena> OwnedMem;
 
-  void addPreference(Preference P);
+  void addPreference(Arena &Mem, Preference P);
 
 public:
   /// Builds the RPG for phi-free \p F by scanning the code for copies,
-  /// paired-load candidates and call-crossing live ranges.
+  /// paired-load candidates and call-crossing live ranges, carving the
+  /// preference rows from \p Mem (which must outlive the graph).
+  static RegisterPreferenceGraph build(const Function &F,
+                                       const Liveness &LV, const LoopInfo &LI,
+                                       const LiveRangeCosts &Costs,
+                                       const TargetDesc &Target, Arena &Mem);
+
+  /// Convenience overload for standalone uses (tests, examples): the graph
+  /// owns a private arena.
   static RegisterPreferenceGraph build(const Function &F,
                                        const Liveness &LV, const LoopInfo &LI,
                                        const LiveRangeCosts &Costs,
                                        const TargetDesc &Target);
 
   /// Outgoing preferences of live range \p V.
-  const std::vector<Preference> &preferencesOf(VReg V) const {
-    return Out[V.id()];
+  Span<const Preference> preferencesOf(VReg V) const {
+    return Out.row(V.id());
   }
 
   /// Preferences of *other* live ranges that target \p V (used by the
   /// select phase's lookahead, step 4.3).
-  const std::vector<Preference> &preferencesTargeting(VReg V) const {
-    return In[V.id()];
+  Span<const Preference> preferencesTargeting(VReg V) const {
+    return In.row(V.id());
   }
 
   /// Str(V, P) evaluated for a concrete candidate register \p R of the

@@ -14,12 +14,13 @@ AllocContext::AllocContext(Function &Fn, const TargetDesc &TargetIn,
                            const CostParams &Params)
     : F(Fn), Target(TargetIn),
       Owned(std::make_unique<AnalysisContext>(Fn, Params)), LV(Owned->LV),
-      LI(Owned->LI), Costs(Owned->Costs), IG(Owned->IG) {}
+      LI(Owned->LI), Costs(Owned->Costs), IG(Owned->IG),
+      Mem(Owned->arena()) {}
 
 AllocContext::AllocContext(Function &Fn, const TargetDesc &TargetIn,
                            AnalysisContext &Analyses)
     : F(Fn), Target(TargetIn), LV(Analyses.LV), LI(Analyses.LI),
-      Costs(Analyses.Costs), IG(Analyses.IG) {}
+      Costs(Analyses.Costs), IG(Analyses.IG), Mem(Analyses.arena()) {}
 
 RoundResult RoundResult::make(unsigned NumVRegs) {
   RoundResult R;

@@ -51,6 +51,10 @@ public:
   LoopInfo &LI;
   LiveRangeCosts &Costs;
   InterferenceGraph &IG;
+  /// The round's graph arena (AnalysisContext::arena()): IG rows live in
+  /// it, and RPG/CPG builds carve from it so everything dies together at
+  /// the next refresh.
+  Arena &Mem;
 
   /// Standalone entry: computes (and owns) every analysis for \p F. Used
   /// by tests and by allocators that rebuild mid-round (pre-coalescing).

@@ -84,7 +84,8 @@ std::vector<FallbackTier> pdgc::defaultFallbackChain() {
 StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
                                               const TargetDesc &Target,
                                               AllocatorBase &Allocator,
-                                              const DriverOptions &Options) {
+                                              const DriverOptions &Options,
+                                              Arena *AnalysisMem) {
   if (std::string PinErr = pinTargetError(F, Target); !PinErr.empty())
     return Status::error(ErrorCode::VerifyError, PinErr);
 
@@ -129,7 +130,7 @@ StatusOr<AllocationOutcome> pdgc::tryAllocate(Function &F,
       ScopedTimer RoundTimer("driver.round", "driver");
       PDGC_FAULT_POINT("driver.round");
       if (!Analyses)
-        Analyses.emplace(F, Options.Costs);
+        Analyses.emplace(F, Options.Costs, AnalysisMem);
       else
         Analyses->refresh();
       AllocContext Ctx(F, Target, *Analyses);
@@ -265,6 +266,11 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
   PDGC_STAT("fallback", "allocations").inc();
   ScopedTimer ChainTimer("fallback.chain", "tier");
 
+  // One graph arena for the whole chain: each tier's AnalysisContext
+  // resets and re-carves it, so a degraded allocation pays the chunk
+  // mallocs once instead of once per tier attempted.
+  Arena ChainMem;
+
   DegradationInfo Degradation;
   for (unsigned Tier = 0; Tier != Options.FallbackChain.size(); ++Tier) {
     const FallbackTier &T = Options.FallbackChain[Tier];
@@ -320,7 +326,7 @@ pdgc::allocateWithFallback(Function &F, const TargetDesc &Target,
     }
 
     StatusOr<AllocationOutcome> Result =
-        tryAllocate(*Work, Target, *Allocator, TierOptions);
+        tryAllocate(*Work, Target, *Allocator, TierOptions, &ChainMem);
     if (Result.ok()) {
       F.swapWith(*Work);
       AllocationOutcome Out = std::move(Result.value());

@@ -141,10 +141,15 @@ AllocationOutcome allocate(Function &F, const TargetDesc &Target,
 /// (allocator exception or fatal check, malformed round result, exceeded
 /// round or wall-clock budget, checker mismatch) comes back as a Status
 /// instead of aborting. On error \p F may be left partially rewritten;
-/// use allocateWithFallback when that matters.
+/// use allocateWithFallback when that matters. When \p AnalysisMem is
+/// non-null the attempt's AnalysisContext carves its graph storage from it
+/// (resetting it first) — allocateWithFallback threads one arena through
+/// every tier this way so a degraded allocation reuses warm chunks instead
+/// of re-mallocing per tier.
 StatusOr<AllocationOutcome> tryAllocate(Function &F, const TargetDesc &Target,
                                         AllocatorBase &Allocator,
-                                        const DriverOptions &Options);
+                                        const DriverOptions &Options,
+                                        Arena *AnalysisMem = nullptr);
 
 /// Fully hardened entry: verifies \p F, then tries each tier of
 /// Options.FallbackChain on a fresh clone until one produces a

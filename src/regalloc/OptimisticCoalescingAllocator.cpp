@@ -26,8 +26,9 @@ OptimisticCoalescingAllocator::allocateRound(AllocContext &Ctx) {
   RoundResult RR = RoundResult::make(N);
 
   // Keep the pre-coalesce graph: undoing a coalescence must consult the
-  // primitives' original neighborhoods.
-  InterferenceGraph Pristine = Ctx.IG;
+  // primitives' original neighborhoods. The snapshot's rows live in the
+  // round arena and die with it.
+  InterferenceGraph Pristine = Ctx.IG.snapshot(Ctx.Mem);
 
   UnionFind UF(N);
   {

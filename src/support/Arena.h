@@ -1,0 +1,196 @@
+//===- support/Arena.h - Monotonic bump allocation arena -------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic bump arena for the allocation-rate-bound graph structures
+/// (interference adjacency, RPG preference lists, CPG edges and builder
+/// scratch). The arena hands out pointer-stable memory from large heap
+/// chunks; individual allocations are never freed — `reset()` rewinds the
+/// whole arena and *keeps the chunks*, so the next build round carves from
+/// warm storage without touching malloc. This is the flat-memory idiom of
+/// shasta's `MemoryAsContainer.hpp`, reduced to what the analyses need.
+///
+/// Ownership pattern: one arena per AnalysisContext (and thus per
+/// allocation attempt). The spill-round driver resets it once per round,
+/// before the analyses rebuild; everything carved during the previous
+/// round — CSR rows, epoch scratch, preference lists — dies at once. The
+/// arena is not thread-safe; batch items each own their context and so
+/// their arena, which is what keeps `--jobs=N` runs race-free.
+///
+/// Observability (`mem.*` counters, docs/OBSERVABILITY.md):
+///   * `mem.arena_bytes_reserved` — chunk bytes obtained from the heap;
+///   * `mem.arena_bytes_used`     — bytes handed out by allocate(),
+///                                   flushed at reset/destruction so the
+///                                   hot path never touches an atomic;
+///   * `mem.arena_resets`         — reset() calls (round/tier reuse);
+///   * `mem.arena_heap_fallbacks` — allocations no existing chunk could
+///                                   serve, i.e. actual malloc traffic.
+///
+/// Determinism: chunk growth and intra-chunk padding depend only on the
+/// request sequence (offsets are aligned relative to the chunk base, which
+/// is itself max-aligned), so for a fixed workload the counters sum to the
+/// same values at any `--jobs` count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_ARENA_H
+#define PDGC_SUPPORT_ARENA_H
+
+#include "support/Debug.h"
+#include "support/Stats.h"
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace pdgc {
+
+/// Monotonic bump allocator with chunk reuse across reset() cycles.
+class Arena {
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    std::size_t Size;
+  };
+
+  std::vector<Chunk> Chunks;
+  std::size_t Cur = 0;    ///< Chunk currently being bumped.
+  std::size_t Offset = 0; ///< Bump offset within chunk Cur.
+  std::size_t InitialChunkBytes;
+  std::size_t UsedSinceFlush = 0; ///< Batched into mem.arena_bytes_used.
+
+  /// Largest alignment allocate() accepts: the guarantee `new char[]`
+  /// gives the chunk base, so aligning the *offset* aligns the pointer.
+  static constexpr std::size_t MaxAlign = alignof(std::max_align_t);
+
+  static std::size_t alignUp(std::size_t V, std::size_t Align) {
+    return (V + Align - 1) & ~(Align - 1);
+  }
+
+  void addChunk(std::size_t AtLeast) {
+    std::size_t Size = Chunks.empty() ? InitialChunkBytes
+                                      : Chunks.back().Size * 2;
+    if (Size < AtLeast)
+      Size = alignUp(AtLeast, MaxAlign);
+    Chunks.push_back(Chunk{std::unique_ptr<char[]>(new char[Size]), Size});
+    Cur = Chunks.size() - 1;
+    Offset = 0;
+    PDGC_STAT("mem", "arena_bytes_reserved").add(Size);
+    PDGC_STAT("mem", "arena_heap_fallbacks").inc();
+  }
+
+  void flushUsed() {
+    if (UsedSinceFlush != 0)
+      PDGC_STAT("mem", "arena_bytes_used").add(UsedSinceFlush);
+    UsedSinceFlush = 0;
+  }
+
+public:
+  explicit Arena(std::size_t InitialBytes = 1u << 16)
+      : InitialChunkBytes(alignUp(InitialBytes ? InitialBytes : 1, MaxAlign)) {
+  }
+
+  ~Arena() { flushUsed(); }
+
+  Arena(Arena &&) = default;
+  Arena &operator=(Arena &&) = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Bytes of uninitialized, pointer-stable memory aligned to
+  /// \p Align (a power of two, at most alignof(std::max_align_t)).
+  void *allocate(std::size_t Bytes, std::size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && Align <= MaxAlign &&
+           "unsupported arena alignment");
+    if (Bytes == 0)
+      Bytes = 1; // Distinct non-null results keep callers simple.
+    // Walk forward through already-reserved chunks before falling back to
+    // the heap; reset() rewinds Cur so warm rounds reuse them in order.
+    while (true) {
+      if (Cur < Chunks.size()) {
+        const std::size_t Aligned = alignUp(Offset, Align);
+        if (Aligned + Bytes <= Chunks[Cur].Size) {
+          Offset = Aligned + Bytes;
+          UsedSinceFlush += Bytes;
+          return Chunks[Cur].Mem.get() + Aligned;
+        }
+        if (Cur + 1 < Chunks.size()) {
+          ++Cur;
+          Offset = 0;
+          continue;
+        }
+      }
+      addChunk(Bytes);
+    }
+  }
+
+  /// Typed array carve; elements are uninitialized.
+  template <typename T> T *allocateArray(std::size_t Count) {
+    return static_cast<T *>(allocate(Count * sizeof(T), alignof(T)));
+  }
+
+  /// Typed array carve; elements are zero-filled (the common case for the
+  /// degree/epoch/flag scratch the graph builders start from).
+  template <typename T> T *allocateZeroed(std::size_t Count) {
+    T *P = allocateArray<T>(Count);
+    std::memset(static_cast<void *>(P), 0, Count * sizeof(T));
+    return P;
+  }
+
+  /// Rewinds the arena to empty while keeping every chunk, so subsequent
+  /// allocations reuse warm storage. Everything previously carved is dead.
+  void reset() {
+    flushUsed();
+    Cur = 0;
+    Offset = 0;
+    PDGC_STAT("mem", "arena_resets").inc();
+  }
+
+  /// Total chunk bytes currently held (reserved high-water mark).
+  std::size_t bytesReserved() const {
+    std::size_t Total = 0;
+    for (const Chunk &C : Chunks)
+      Total += C.Size;
+    return Total;
+  }
+
+  /// Bytes handed out since the last reset (or construction).
+  std::size_t bytesUsed() const { return UsedSinceFlush; }
+};
+
+/// Minimal STL-compatible allocator over an Arena, for scratch containers
+/// that want vector semantics with arena lifetime (deallocation is a no-op;
+/// the memory dies at the next reset). Growth leaves the abandoned copies
+/// in the arena, so reserve() from a prior-round size estimate when the
+/// container is hot.
+template <typename T> class ArenaAllocator {
+  Arena *A;
+
+  template <typename U> friend class ArenaAllocator;
+
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena &ArenaIn) : A(&ArenaIn) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &RHS) : A(RHS.A) {}
+
+  T *allocate(std::size_t Count) { return A->allocateArray<T>(Count); }
+  void deallocate(T *, std::size_t) {}
+
+  Arena &arena() const { return *A; }
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &RHS) const {
+    return A == RHS.A;
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &RHS) const {
+    return A != RHS.A;
+  }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_ARENA_H

@@ -1,0 +1,59 @@
+//===- support/Span.h - Contiguous read-only view ---------------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal non-owning view over contiguous elements, in the spirit of
+/// std::span (which this codebase predates using). The CSR-backed graphs
+/// return these instead of `const std::vector<T>&`, so neighbor and edge
+/// iteration keeps its range-for shape while the storage moved into flat
+/// arena arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_SPAN_H
+#define PDGC_SUPPORT_SPAN_H
+
+#include "support/Debug.h"
+
+#include <cstddef>
+
+namespace pdgc {
+
+/// Non-owning pointer+length view. Cheap to copy; never outlive the
+/// backing storage (for arena-backed rows: the next Arena::reset()).
+template <typename T> class Span {
+  T *Ptr = nullptr;
+  std::size_t Len = 0;
+
+public:
+  Span() = default;
+  Span(T *P, std::size_t N) : Ptr(P), Len(N) {}
+
+  T *begin() const { return Ptr; }
+  T *end() const { return Ptr + Len; }
+  T *data() const { return Ptr; }
+
+  std::size_t size() const { return Len; }
+  bool empty() const { return Len == 0; }
+
+  T &operator[](std::size_t I) const {
+    assert(I < Len && "Span index out of range");
+    return Ptr[I];
+  }
+
+  T &front() const {
+    assert(Len != 0 && "front() on empty Span");
+    return Ptr[0];
+  }
+  T &back() const {
+    assert(Len != 0 && "back() on empty Span");
+    return Ptr[Len - 1];
+  }
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_SPAN_H

@@ -158,7 +158,35 @@ std::vector<WorkloadSuite> pdgc::specJvmLikeSuites() {
   return Suites;
 }
 
+GeneratorParams pdgc::megaFunctionProfile() {
+  // javac-like mix scaled ~50x: branchy, call-heavy, enough pressure that
+  // live sets stay wide. FragmentBudget is calibrated so the generated
+  // function lands at ~10^4 virtual registers.
+  GeneratorParams P;
+  P.Name = "mega";
+  P.Seed = 0x3E6AULL;
+  P.FragmentBudget = 2400;
+  P.LoopPercent = 18;
+  P.MaxLoopDepth = 2;
+  P.BranchPercent = 35;
+  P.CallPercent = 32;
+  P.CopyPercent = 25;
+  P.PairedLoadPercent = 4;
+  P.NarrowLoadPercent = 15;
+  P.StorePercent = 15;
+  P.FpPercent = 0;
+  P.Accumulators = 2;
+  P.PressureValues = 10;
+  return P;
+}
+
 WorkloadSuite pdgc::suiteByName(const std::string &Name) {
+  if (Name == "mega") {
+    WorkloadSuite S;
+    S.Name = "mega";
+    S.Functions.push_back(megaFunctionProfile());
+    return S;
+  }
   for (WorkloadSuite &S : specJvmLikeSuites())
     if (S.Name == Name)
       return S;

@@ -41,7 +41,15 @@ struct WorkloadSuite {
 /// Returns the seven SPECjvm98-like suites with deterministic seeds.
 std::vector<WorkloadSuite> specJvmLikeSuites();
 
-/// Returns one suite by name; aborts on an unknown name.
+/// A single "mega-function" profile (~10^4 virtual registers): the
+/// JIT-server outlier the per-function graphs must survive — where
+/// quadratic construction or per-node heap churn actually hurts, unlike
+/// the ~190-vreg suite functions. Not part of specJvmLikeSuites() (it
+/// would dominate every sweep); reachable as suiteByName("mega") and as
+/// the BM_BuildCpg/mega benchmark.
+GeneratorParams megaFunctionProfile();
+
+/// Returns one suite by name ("mega" included); aborts on an unknown name.
 WorkloadSuite suiteByName(const std::string &Name);
 
 } // namespace pdgc

@@ -1,0 +1,110 @@
+//===- server/FlightRecorder.cpp - Last-N request ring buffer --------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/FlightRecorder.h"
+
+#include "support/Stats.h"
+#include "support/Tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pdgc;
+using namespace pdgc::server;
+
+FlightRecorder::FlightRecorder(std::size_t Capacity)
+    : Cap(Capacity < 1 ? 1 : Capacity), Slots(new Slot[Cap]) {}
+
+void FlightRecorder::record(const FlightRecord &R) {
+  const std::uint64_t Index = Next.fetch_add(1, std::memory_order_relaxed);
+  Slot &S = Slots[Index % Cap];
+
+  std::uint64_t Seq = S.Seq.load(std::memory_order_acquire);
+  // Odd means another writer lapped the whole ring and is mid-copy in
+  // this very slot. Waiting would make the recorder a contention point
+  // on the hot respond path; dropping one forensic record is cheaper.
+  if ((Seq & 1) != 0 ||
+      !S.Seq.compare_exchange_strong(Seq, Seq + 1, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+    PDGC_STAT("flight", "contended").inc();
+    return;
+  }
+  S.Rec = R;
+  S.Seq.store(Seq + 2, std::memory_order_release);
+  PDGC_STAT("flight", "recorded").inc();
+}
+
+std::vector<FlightRecord> FlightRecorder::lastN(std::size_t N) const {
+  const std::uint64_t End = Next.load(std::memory_order_acquire);
+  const std::uint64_t Have = End < Cap ? End : Cap;
+  const std::uint64_t Want = N < Have ? N : Have;
+
+  std::vector<FlightRecord> Out;
+  Out.reserve(Want);
+  for (std::uint64_t I = 0; I < Have && Out.size() < Want; ++I) {
+    const Slot &S = Slots[(End - 1 - I) % Cap];
+    const std::uint64_t Before = S.Seq.load(std::memory_order_acquire);
+    if ((Before & 1) != 0 || Before == 0)
+      continue; // Mid-write or never written.
+    FlightRecord Copy = S.Rec;
+    const std::uint64_t After = S.Seq.load(std::memory_order_acquire);
+    if (After != Before)
+      continue; // Torn: a writer got in between the two loads.
+    Out.push_back(Copy);
+  }
+  return Out;
+}
+
+std::string pdgc::server::flightRecordJson(const FlightRecord &R) {
+  std::string J = "{";
+  J += "\"id\":" + std::to_string(R.Id);
+  J += ",\"kind\":\"" + trace::jsonEscape(R.Kind) + "\"";
+  J += ",\"peer\":\"" + trace::jsonEscape(R.Peer) + "\"";
+  J += ",\"target\":\"" + trace::jsonEscape(R.Target) + "\"";
+  J += ",\"status\":\"" + trace::jsonEscape(R.Status) + "\"";
+  J += ",\"bytes-in\":" + std::to_string(R.BytesIn);
+  J += ",\"bytes-out\":" + std::to_string(R.BytesOut);
+  J += ",\"queue-us\":" + std::to_string(R.QueueMicros);
+  J += ",\"wall-us\":" + std::to_string(R.WallMicros);
+  J += ",\"detail\":\"" + trace::jsonEscape(R.Detail) + "\"";
+  J += "}";
+  return J;
+}
+
+std::string FlightRecorder::toJson(std::size_t N) const {
+  const std::vector<FlightRecord> Records = lastN(N);
+  std::string J = "{\"recorded\":" + std::to_string(recordedCount()) +
+                  ",\"capacity\":" + std::to_string(Cap) + ",\"requests\":[";
+  for (std::size_t I = 0; I < Records.size(); ++I) {
+    if (I)
+      J += ",";
+    J += flightRecordJson(Records[I]);
+  }
+  J += "]}";
+  return J;
+}
+
+std::string FlightRecorder::renderText(std::size_t N) const {
+  const std::vector<FlightRecord> Records = lastN(N);
+  std::string Out;
+  if (Records.empty())
+    return Out;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "  %6s %-6s %-21s %-18s %-9s %9s %9s  %s\n",
+                "id", "kind", "peer", "target", "status", "queue-us",
+                "wall-us", "detail");
+  Out += Line;
+  for (const FlightRecord &R : Records) {
+    std::snprintf(Line, sizeof(Line),
+                  "  %6llu %-6s %-21s %-18s %-9s %9llu %9llu  %s\n",
+                  static_cast<unsigned long long>(R.Id), R.Kind, R.Peer,
+                  R.Target, R.Status,
+                  static_cast<unsigned long long>(R.QueueMicros),
+                  static_cast<unsigned long long>(R.WallMicros), R.Detail);
+    Out += Line;
+  }
+  return Out;
+}

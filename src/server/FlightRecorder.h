@@ -1,0 +1,116 @@
+//===- server/FlightRecorder.h - Last-N request ring buffer -----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, lock-free ring buffer holding the last N *completed*
+/// requests the daemon served — the "flight recorder" an operator reads
+/// after something went wrong. Each record is a small POD (fixed char
+/// arrays, no heap) so writers never allocate and a crashed process's
+/// core dump still contains the ring intact.
+///
+/// Concurrency is a per-slot seqlock: a writer claims the next slot with
+/// a single fetch_add, flips the slot's sequence odd, copies the record,
+/// and flips it even again. Readers copy the record between two sequence
+/// loads and discard the copy when the numbers differ (torn read) or the
+/// slot is mid-write (odd). Writers never wait on readers and readers
+/// never block writers; the cost of that is that a reader may miss a
+/// record that is being overwritten at that instant, which for a
+/// forensics buffer is the right trade.
+///
+/// The recorder is engaged from the server's respond path (every request
+/// on either plane — binary alloc/meta frames and HTTP endpoint hits —
+/// lands here) and surfaces in three places: `GET /requests?n=K` (JSON),
+/// the SIGTERM drain summary (text), and, joined on the `Id` field, the
+/// `req` argument stamped on `batch.item` / `tier.*` trace spans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SERVER_FLIGHTRECORDER_H
+#define PDGC_SERVER_FLIGHTRECORDER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdgc {
+namespace server {
+
+/// One completed request. POD with inline storage only — writers must
+/// not allocate. String fields are NUL-terminated and truncated to fit.
+struct FlightRecord {
+  std::uint64_t Id = 0;          ///< Monotonic per-process request id.
+  std::uint64_t QueueMicros = 0; ///< Admission-queue wait (0 for meta/HTTP).
+  std::uint64_t WallMicros = 0;  ///< Arrival to response write.
+  std::uint32_t BytesIn = 0;     ///< Request frame/head size.
+  std::uint32_t BytesOut = 0;    ///< Response frame/body size.
+  char Status[16] = {0};         ///< "ok", "degraded", "timeout", "404", ...
+  char Kind[12] = {0};           ///< "alloc", "meta", "http".
+  char Peer[48] = {0};           ///< "ip:port" of the client.
+  char Target[32] = {0};         ///< Tier served by, or HTTP path.
+  char Detail[64] = {0};         ///< Degradations, fault sites, error text.
+};
+
+/// Copies \p Src into a fixed record field, truncating and always
+/// NUL-terminating.
+template <std::size_t N> void setFlightField(char (&Dst)[N], std::string_view Src) {
+  const std::size_t Len = Src.size() < N - 1 ? Src.size() : N - 1;
+  for (std::size_t I = 0; I < Len; ++I)
+    Dst[I] = Src[I];
+  Dst[Len] = '\0';
+}
+
+class FlightRecorder {
+public:
+  /// \p Capacity is rounded up to at least 1. Memory is Capacity *
+  /// sizeof(Slot) (~256 B/slot), allocated once here.
+  explicit FlightRecorder(std::size_t Capacity);
+
+  /// Publishes one completed request. Lock-free; safe from any thread.
+  /// Under writer-writer contention on the same slot the record is
+  /// dropped (counted in `flight.contended`) rather than waited on.
+  void record(const FlightRecord &R);
+
+  /// Snapshot of the most recent \p N records, newest first. Skips slots
+  /// that are mid-write. Lock-free readers; O(min(N, capacity)).
+  std::vector<FlightRecord> lastN(std::size_t N) const;
+
+  /// `lastN(N)` rendered as a JSON array (newest first).
+  std::string toJson(std::size_t N) const;
+
+  /// `lastN(N)` rendered as an aligned text table for the drain summary.
+  std::string renderText(std::size_t N) const;
+
+  /// Total records published since construction (not capped at capacity).
+  std::uint64_t recordedCount() const {
+    return Next.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return Cap; }
+
+private:
+  struct Slot {
+    /// Even: stable; odd: a writer is copying. Starts 0 = empty+stable.
+    std::atomic<std::uint64_t> Seq{0};
+    FlightRecord Rec;
+  };
+
+  const std::size_t Cap;
+  std::unique_ptr<Slot[]> Slots;
+  /// Next record index; slot = Next % Cap. Doubles as the publish count.
+  std::atomic<std::uint64_t> Next{0};
+};
+
+/// Renders one record as a JSON object (shared by toJson and tests).
+std::string flightRecordJson(const FlightRecord &R);
+
+} // namespace server
+} // namespace pdgc
+
+#endif // PDGC_SERVER_FLIGHTRECORDER_H

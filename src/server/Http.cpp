@@ -1,0 +1,246 @@
+//===- server/Http.cpp - Minimal HTTP/1.1 observability plane --------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Http.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace pdgc;
+using namespace pdgc::server;
+
+namespace {
+
+bool isUpperAscii(unsigned char C) { return C >= 'A' && C <= 'Z'; }
+
+std::string toLower(std::string S) {
+  std::transform(S.begin(), S.end(), S.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return S;
+}
+
+std::string trim(const std::string &S) {
+  std::size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  std::size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+/// A header field name per RFC 9110 "token": no spaces, no separators.
+bool validFieldName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (unsigned char C : Name) {
+    if (std::isalnum(C) || C == '-' || C == '_')
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool validMethodToken(const std::string &M) {
+  if (M.empty() || M.size() > 16)
+    return false;
+  for (unsigned char C : M)
+    if (!isUpperAscii(C))
+      return false;
+  return true;
+}
+
+} // namespace
+
+Plane pdgc::server::sniffPlane(unsigned char FirstByte) {
+  // Every HTTP method token starts with an uppercase ASCII letter. A
+  // binary frame starts with the most-significant byte of its big-endian
+  // length; the frame cap tops out at 1 GiB (0x40000000), so a valid
+  // frame's first byte is at most 0x40 < 'A'. The byte that would make
+  // the planes ambiguous would also make the frame impossibly large.
+  return isUpperAscii(FirstByte) ? Plane::Http : Plane::Binary;
+}
+
+const std::string &HttpRequest::header(const std::string &Name) const {
+  static const std::string Empty;
+  const std::string Key = toLower(Name);
+  for (const auto &[K, V] : Headers)
+    if (K == Key)
+      return V;
+  return Empty;
+}
+
+HttpParse pdgc::server::parseHttpRequest(const std::string &Buffer,
+                                         HttpRequest &Out,
+                                         std::string &Error,
+                                         const HttpLimits &Limits) {
+  Out = HttpRequest();
+
+  const std::size_t HeadEnd = Buffer.find("\r\n\r\n");
+  if (HeadEnd == std::string::npos) {
+    // Refuse-before-parse: a head that has already outgrown the cap will
+    // never finish inside it, so fail now instead of buffering forever.
+    if (Buffer.size() > Limits.MaxHeadBytes) {
+      Error = "request head exceeds " + std::to_string(Limits.MaxHeadBytes) +
+              " bytes";
+      return HttpParse::TooLarge;
+    }
+    const std::size_t LineEnd = Buffer.find("\r\n");
+    if (LineEnd == std::string::npos && Buffer.size() > Limits.MaxRequestLine) {
+      Error = "request line exceeds " +
+              std::to_string(Limits.MaxRequestLine) + " bytes";
+      return HttpParse::TooLarge;
+    }
+    return HttpParse::NeedMore;
+  }
+  if (HeadEnd + 4 > Limits.MaxHeadBytes) {
+    Error = "request head exceeds " + std::to_string(Limits.MaxHeadBytes) +
+            " bytes";
+    return HttpParse::TooLarge;
+  }
+
+  // --- Request line: METHOD SP TARGET SP VERSION ---
+  const std::size_t LineEnd = Buffer.find("\r\n");
+  if (LineEnd > Limits.MaxRequestLine) {
+    Error = "request line exceeds " + std::to_string(Limits.MaxRequestLine) +
+            " bytes";
+    return HttpParse::TooLarge;
+  }
+  const std::string Line = Buffer.substr(0, LineEnd);
+  const std::size_t Sp1 = Line.find(' ');
+  const std::size_t Sp2 = Line.rfind(' ');
+  if (Sp1 == std::string::npos || Sp2 == Sp1) {
+    Error = "malformed request line (want 'METHOD TARGET HTTP/1.x')";
+    return HttpParse::Bad;
+  }
+  Out.Method = Line.substr(0, Sp1);
+  std::string Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  Out.Version = Line.substr(Sp2 + 1);
+  if (!validMethodToken(Out.Method)) {
+    Error = "malformed method token";
+    return HttpParse::Bad;
+  }
+  if (Out.Version != "HTTP/1.1" && Out.Version != "HTTP/1.0") {
+    Error = "unsupported protocol version '" + Out.Version + "'";
+    return HttpParse::Bad;
+  }
+  if (Target.empty() || Target[0] != '/' ||
+      Target.find(' ') != std::string::npos) {
+    Error = "malformed request target";
+    return HttpParse::Bad;
+  }
+  const std::size_t Q = Target.find('?');
+  Out.Path = Target.substr(0, Q);
+  Out.Query = Q == std::string::npos ? "" : Target.substr(Q + 1);
+
+  // --- Header fields ---
+  std::size_t Pos = LineEnd + 2;
+  while (Pos < HeadEnd + 2) {
+    std::size_t End = Buffer.find("\r\n", Pos);
+    const std::string Field = Buffer.substr(Pos, End - Pos);
+    Pos = End + 2;
+    if (Field.empty())
+      break;
+    if (Out.Headers.size() == Limits.MaxHeaders) {
+      Error = "more than " + std::to_string(Limits.MaxHeaders) +
+              " header fields";
+      return HttpParse::TooLarge;
+    }
+    const std::size_t Colon = Field.find(':');
+    if (Colon == std::string::npos) {
+      Error = "header field without ':'";
+      return HttpParse::Bad;
+    }
+    std::string Name = Field.substr(0, Colon);
+    if (!validFieldName(Name)) {
+      Error = "malformed header field name";
+      return HttpParse::Bad;
+    }
+    Out.Headers.emplace_back(toLower(Name), trim(Field.substr(Colon + 1)));
+  }
+
+  // --- Connection persistence ---
+  const std::string Conn = toLower(Out.header("connection"));
+  if (Out.Version == "HTTP/1.0")
+    Out.KeepAlive = Conn == "keep-alive";
+  else
+    Out.KeepAlive = Conn != "close";
+
+  Out.HeadBytes = HeadEnd + 4;
+  return HttpParse::Ok;
+}
+
+std::string pdgc::server::queryParam(const std::string &Query,
+                                     const std::string &Key) {
+  std::size_t Pos = 0;
+  while (Pos <= Query.size()) {
+    std::size_t End = Query.find('&', Pos);
+    if (End == std::string::npos)
+      End = Query.size();
+    const std::size_t Eq = Query.find('=', Pos);
+    if (Eq != std::string::npos && Eq < End &&
+        Query.compare(Pos, Eq - Pos, Key) == 0)
+      return Query.substr(Eq + 1, End - Eq - 1);
+    Pos = End + 1;
+  }
+  return "";
+}
+
+const char *pdgc::server::httpStatusText(int Code) {
+  switch (Code) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 431:
+    return "Request Header Fields Too Large";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "Internal Server Error";
+  }
+}
+
+std::string pdgc::server::renderHttpResponse(
+    int Code, const std::string &ContentType, const std::string &Body,
+    bool KeepAlive, bool HeadOnly,
+    const std::vector<std::string> &ExtraHeaders) {
+  std::string Out = "HTTP/1.1 " + std::to_string(Code) + " " +
+                    httpStatusText(Code) + "\r\n";
+  Out += "Content-Type: " + ContentType + "\r\n";
+  Out += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  Out += KeepAlive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const std::string &H : ExtraHeaders)
+    Out += H + "\r\n";
+  Out += "\r\n";
+  if (!HeadOnly)
+    Out += Body;
+  return Out;
+}
+
+std::string pdgc::server::prometheusEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,134 @@
+//===- server/Http.h - Minimal HTTP/1.1 observability plane -----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HTTP half of pdgc-serve's dual-plane port. The daemon's primary
+/// protocol is binary (length-prefixed PDGC/1 frames); this module adds a
+/// dependency-free HTTP/1.1 *responder* — just enough of RFC 9112 to let
+/// `curl`, a browser, or a Prometheus scraper hit the observability
+/// endpoints (`/healthz`, `/readyz`, `/metrics`, `/stats`, `/requests`)
+/// without a client library. It is a responder, not a general server:
+///
+///  * **GET/HEAD only.** Every endpoint is a read; anything else answers
+///    405 with an `Allow` header. Request bodies are refused (400) — an
+///    observability plane that accepts uploads is an attack surface.
+///  * **Strict size caps.** The request line and header block are bounded
+///    (`HttpLimits`) *before* parsing; an oversized head answers 431 and
+///    closes, mirroring the frame codec's refuse-before-allocate rule.
+///  * **Keep-alive.** HTTP/1.1 defaults to keep-alive, `Connection:
+///    close` (or HTTP/1.0 without `keep-alive`) is honored, and pipelined
+///    requests already sitting in the buffer are served in order.
+///  * **Typed failure.** 400 malformed / 404 unknown path / 405 method /
+///    431 oversized head / 503 draining-or-shedding — the same
+///    "every request dies typed" contract as the binary plane.
+///
+/// Everything here is a pure in-memory transformation (no sockets, no
+/// I/O), which is what makes the edge cases unit-testable byte for byte;
+/// `server/Server.cpp` owns the socket loop.
+///
+/// **Plane sniffing.** One port serves both protocols. The first byte a
+/// connection sends decides its plane for life: every HTTP method begins
+/// with an uppercase ASCII letter (0x41..0x5A), while a binary frame
+/// begins with the high byte of a 4-byte big-endian length that the frame
+/// cap (`--max-frame-bytes`, hard ceiling 1 GiB = 0x40000000) keeps below
+/// 0x41. A "frame" whose length bytes spell ASCII therefore *is* an
+/// impossible frame — it would claim >= 1.09 GiB — and is deterministically
+/// parsed as HTTP instead, where a garbage request line answers 400. The
+/// planes cannot collide; see sniffPlane().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SERVER_HTTP_H
+#define PDGC_SERVER_HTTP_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdgc {
+namespace server {
+
+/// Which protocol a connection's first byte announces.
+enum class Plane {
+  Binary, ///< Length-prefixed PDGC/1 frames.
+  Http,   ///< HTTP/1.1 observability requests.
+};
+
+/// Decides a connection's plane from its first byte (see the file
+/// comment: uppercase ASCII cannot begin a valid binary frame).
+Plane sniffPlane(unsigned char FirstByte);
+
+/// Parser size caps, applied before any header is materialized.
+struct HttpLimits {
+  /// Longest accepted request line ("GET /path?query HTTP/1.1").
+  std::size_t MaxRequestLine = 4096;
+  /// Cap on the whole head (request line + headers + blank line).
+  std::size_t MaxHeadBytes = 8192;
+  /// Cap on the number of header fields.
+  unsigned MaxHeaders = 64;
+};
+
+/// One parsed request head. Field names are lower-cased; values are
+/// trimmed of surrounding whitespace.
+struct HttpRequest {
+  std::string Method;  ///< Verbatim (method names are case-sensitive).
+  std::string Path;    ///< Request target up to '?', no decoding.
+  std::string Query;   ///< Everything after '?' (may be empty).
+  std::string Version; ///< "HTTP/1.0" or "HTTP/1.1".
+  std::vector<std::pair<std::string, std::string>> Headers;
+  /// Whether the connection should serve another request afterwards
+  /// (HTTP/1.1 default, overridden by Connection: close / keep-alive).
+  bool KeepAlive = true;
+  /// Bytes of \p Buffer the head consumed (valid when parse returns Ok);
+  /// the caller erases them to find pipelined successors.
+  std::size_t HeadBytes = 0;
+
+  /// First value of \p Name (case-insensitive), or "" when absent.
+  const std::string &header(const std::string &Name) const;
+};
+
+/// Outcome of parseHttpRequest.
+enum class HttpParse {
+  Ok,       ///< A complete head was parsed.
+  NeedMore, ///< The buffer ends before the blank line; read more bytes.
+  Bad,      ///< Malformed head — answer 400 and close.
+  TooLarge, ///< A cap tripped — answer 431 and close.
+};
+
+/// Parses one request head from the front of \p Buffer. On Bad/TooLarge
+/// \p Error carries a one-line diagnostic. NeedMore is only returned
+/// while the buffer is still under the caps — a head that exceeds them
+/// without finishing answers TooLarge, so a hostile peer cannot grow the
+/// buffer unboundedly.
+HttpParse parseHttpRequest(const std::string &Buffer, HttpRequest &Out,
+                           std::string &Error,
+                           const HttpLimits &Limits = HttpLimits());
+
+/// Value of \p Key in a query string ("n=32&x=1"), or "" when absent.
+/// No percent-decoding — the observability endpoints take numbers only.
+std::string queryParam(const std::string &Query, const std::string &Key);
+
+/// Reason phrase for the status codes this plane emits (500 otherwise).
+const char *httpStatusText(int Code);
+
+/// Renders a full response (status line, Content-Type/Length, Connection,
+/// optional extra header lines, body). \p KeepAlive controls the
+/// Connection header; \p HeadOnly (HEAD requests) omits the body while
+/// keeping the true Content-Length.
+std::string renderHttpResponse(int Code, const std::string &ContentType,
+                               const std::string &Body, bool KeepAlive,
+                               bool HeadOnly = false,
+                               const std::vector<std::string> &ExtraHeaders =
+                                   {});
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string prometheusEscape(const std::string &S);
+
+} // namespace server
+} // namespace pdgc
+
+#endif // PDGC_SERVER_HTTP_H

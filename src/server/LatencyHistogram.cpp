@@ -36,6 +36,43 @@ std::uint64_t LatencyHistogram::bucketUpperBound(unsigned Bucket) {
                            * (1ull << (D - 2)) - 1;
 }
 
+std::uint64_t LatencyHistogram::bucketLowerBound(unsigned Bucket) {
+  if (Bucket < 8)
+    return Bucket;
+  unsigned Rel = Bucket - 8;
+  unsigned D = 3 + Rel / 4;
+  unsigned Sub = Rel % 4;
+  return (1ull << D) + static_cast<std::uint64_t>(Sub) * (1ull << (D - 2));
+}
+
+std::uint64_t LatencyHistogram::quantile(double Q) const {
+  std::uint64_t N = count();
+  if (N == 0)
+    return 0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  std::uint64_t Target = static_cast<std::uint64_t>(
+      std::ceil(Q * static_cast<double>(N)));
+  if (Target == 0)
+    Target = 1;
+  std::uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    std::uint64_t InBucket = Buckets[B].load(std::memory_order_relaxed);
+    if (Seen + InBucket < Target) {
+      Seen += InBucket;
+      continue;
+    }
+    // The quantile sample lands in bucket B. Interpolate its rank
+    // linearly across the bucket's value range — samples are assumed
+    // uniform within a bucket, the standard histogram_quantile estimate.
+    const double Lower = static_cast<double>(bucketLowerBound(B));
+    const double Upper = static_cast<double>(bucketUpperBound(B));
+    const double Frac =
+        static_cast<double>(Target - Seen) / static_cast<double>(InBucket);
+    return static_cast<std::uint64_t>(Lower + Frac * (Upper - Lower) + 0.5);
+  }
+  return bucketUpperBound(NumBuckets - 1);
+}
+
 std::uint64_t LatencyHistogram::percentileMicros(double P) const {
   std::uint64_t N = count();
   if (N == 0)
@@ -59,9 +96,9 @@ std::string LatencyHistogram::toJson() const {
   std::string Out = "{";
   Out += "\"count\": " + std::to_string(count());
   Out += ", \"mean-us\": " + std::to_string(meanMicros());
-  Out += ", \"p50-us\": " + std::to_string(percentileMicros(50));
-  Out += ", \"p90-us\": " + std::to_string(percentileMicros(90));
-  Out += ", \"p99-us\": " + std::to_string(percentileMicros(99));
+  Out += ", \"p50-us\": " + std::to_string(quantile(0.50));
+  Out += ", \"p90-us\": " + std::to_string(quantile(0.90));
+  Out += ", \"p99-us\": " + std::to_string(quantile(0.99));
   Out += "}";
   return Out;
 }

@@ -54,9 +54,23 @@ public:
     return N ? SumMicros.load(std::memory_order_relaxed) / N : 0;
   }
 
+  /// Sum of all recorded samples in microseconds (for exposition _sum).
+  std::uint64_t sumMicros() const {
+    return SumMicros.load(std::memory_order_relaxed);
+  }
+
+  /// The \p Q-th quantile (Q in [0, 1]) in microseconds, estimated by
+  /// linear interpolation of the quantile's rank across the matched
+  /// bucket's [lower, upper] range; 0 with no samples. This is the one
+  /// shared implementation of the bucket math — pdgc-loadgen's report
+  /// and the daemon's /metrics exposition both call it, so a scrape and
+  /// a load test always agree to within one bucket's resolution.
+  std::uint64_t quantile(double Q) const;
+
   /// Upper bound of the bucket holding the \p P-th percentile sample
-  /// (P in [0, 100]), in microseconds; 0 with no samples. The answer is
-  /// exact to within the bucket's ~12.5% width.
+  /// (P in [0, 100]), in microseconds; 0 with no samples. Kept for
+  /// callers that want the conservative bucket ceiling rather than the
+  /// interpolated estimate of quantile().
   std::uint64_t percentileMicros(double P) const;
 
   /// {"count":N,"mean-us":M,"p50-us":...,"p90-us":...,"p99-us":...}
@@ -65,6 +79,7 @@ public:
 private:
   static unsigned bucketFor(std::uint64_t Micros);
   static std::uint64_t bucketUpperBound(unsigned Bucket);
+  static std::uint64_t bucketLowerBound(unsigned Bucket);
 
   std::array<std::atomic<std::uint64_t>, NumBuckets> Buckets{};
   std::atomic<std::uint64_t> Count{0};

@@ -46,8 +46,21 @@
 ///  * **introspection** — STATUS/STATS answer from the Stats registry,
 ///    the queue gauges, and a lock-free latency histogram (p50/p99).
 ///
+/// **HTTP observability plane.** The same port also answers HTTP/1.1:
+/// a connection's first byte picks its plane (uppercase ASCII = an HTTP
+/// method; anything else = a binary frame length — see
+/// server/Http.h). Endpoints: `/healthz` (liveness), `/readyz` (503
+/// while draining or shedding), `/metrics` (Prometheus text exposition
+/// 0.0.4), `/stats` (the observability-report JSON), and `/requests?n=K`
+/// (the flight recorder — see server/FlightRecorder.h). Every request on
+/// either plane is stamped with a monotonic request id that the flight
+/// recorder, the drain summary, and the `req` argument on trace spans
+/// all share, so "which request, which tier, why" is answerable from a
+/// curl and a trace capture alone.
+///
 /// Chaos surface: PDGC_FAULT_POINT sites `server.accept`,
-/// `server.frame`, `server.parse`, `server.enqueue`, `server.respond`
+/// `server.frame`, `server.parse`, `server.enqueue`, `server.respond`,
+/// `server.http.parse`, `server.http.respond`
 /// cover the connection path the way the `driver.*`/allocator sites
 /// already cover the compute path; tests/test_server.cpp sweeps them.
 ///
@@ -88,8 +101,17 @@ struct ServerOptions {
   unsigned RetryAfterMs = 50;
   /// Wall budget for finishing in-flight work after requestStop().
   unsigned DrainBudgetMs = 5000;
-  /// Frame payload cap (see server/FrameCodec.h).
+  /// Frame payload cap (see server/FrameCodec.h). Also bounds the bodies
+  /// the server itself emits (STATS, /metrics, /requests).
   std::uint32_t MaxFrameBytes = 4u << 20;
+  /// Concurrent HTTP-plane connections (a scraper plus a few curls);
+  /// one past the cap is answered 503 and closed. Counted separately
+  /// from MaxConnections so a misbehaving dashboard cannot starve the
+  /// allocation plane of connection slots, nor vice versa.
+  unsigned HttpMaxConns = 16;
+  /// Flight-recorder capacity: the last N completed requests held for
+  /// /requests, the drain summary, and post-mortems. 0 keeps one slot.
+  std::size_t FlightRecords = 128;
   /// Registers per class of the service's target machine.
   unsigned Regs = 24;
   /// Leading allocator tier when a request does not name one.
@@ -110,9 +132,14 @@ struct ServerSummary {
   std::uint64_t Malformed = 0;      ///< Bad frames/messages/IR.
   std::uint64_t Internal = 0;       ///< Faults + trapped fatal checks.
   std::uint64_t TransportErrors = 0; ///< Truncated/failed reads & writes.
+  std::uint64_t HttpRequests = 0;   ///< HTTP-plane requests served.
   std::uint64_t P50Micros = 0;      ///< Executed-ALLOC latency percentiles.
   std::uint64_t P99Micros = 0;
   bool DrainedInBudget = true;      ///< Drain met DrainBudgetMs.
+  /// Flight-recorder tail (text table, newest first) captured at drain —
+  /// the daemon prints it so a post-mortem of a SIGTERM'd process starts
+  /// with its last requests already on the console.
+  std::string RecentRequests;
 };
 
 class Server {

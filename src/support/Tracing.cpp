@@ -63,6 +63,22 @@ std::atomic<bool> Collecting{false};
 
 thread_local unsigned ThreadLane = 0;
 
+thread_local std::uint64_t ThreadRequestId = 0;
+
+/// Folds the thread's request id into an event's args JSON so the span
+/// can be joined against the flight recorder. "" stays "" when no
+/// request is active; an existing object gains a leading "req" member.
+std::string withRequestId(std::string ArgsJson) {
+  if (ThreadRequestId == 0)
+    return ArgsJson;
+  const std::string Req = "\"req\":" + std::to_string(ThreadRequestId);
+  if (ArgsJson.empty())
+    return "{" + Req + "}";
+  if (ArgsJson.size() >= 2 && ArgsJson.front() == '{' && ArgsJson[1] != '}')
+    return "{" + Req + "," + ArgsJson.substr(1);
+  return "{" + Req + "}";
+}
+
 void record(std::string Name, const char *Category, char Phase,
             std::string ArgsJson) {
   TraceBuffer &B = buffer();
@@ -198,17 +214,21 @@ void pdgc::trace::setThreadLane(unsigned Lane) { ThreadLane = Lane; }
 
 unsigned pdgc::trace::threadLane() { return ThreadLane; }
 
+void pdgc::trace::setRequestId(std::uint64_t Id) { ThreadRequestId = Id; }
+
+std::uint64_t pdgc::trace::requestId() { return ThreadRequestId; }
+
 void pdgc::trace::instant(const std::string &Name, const char *Category,
                           const std::string &ArgsJson) {
   if (!collecting())
     return;
-  record(Name, Category, 'i', ArgsJson);
+  record(Name, Category, 'i', withRequestId(ArgsJson));
 }
 
 void pdgc::trace::begin(const std::string &Name, const char *Category) {
   if (!collecting())
     return;
-  record(Name, Category, 'B', "");
+  record(Name, Category, 'B', withRequestId(""));
 }
 
 void pdgc::trace::end(const std::string &Name, const char *Category) {
@@ -304,8 +324,7 @@ std::string pdgc::trace::jsonEscape(const std::string &S) {
   return Out;
 }
 
-bool pdgc::writeObservabilityReport(const std::string &Path,
-                                    std::string *Error) {
+std::string pdgc::observabilityReportJson() {
   std::string Json = "{\"counters\":";
   Json += StatRegistry::get().snapshot().toJson();
   Json += ",\"timers\":{";
@@ -319,6 +338,12 @@ bool pdgc::writeObservabilityReport(const std::string &Path,
             ",\"total_ns\":" + std::to_string(T.TotalNs) + "}";
   }
   Json += "}}";
+  return Json;
+}
+
+bool pdgc::writeObservabilityReport(const std::string &Path,
+                                    std::string *Error) {
+  const std::string Json = observabilityReportJson();
 
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {

@@ -98,6 +98,24 @@ void clear();
 void setThreadLane(unsigned Lane);
 unsigned threadLane();
 
+/// Sets the calling thread's current request id (0 = none). While
+/// nonzero, every span and instant the thread emits carries a
+/// `"req": <id>` argument, so a Chrome trace of the daemon can be joined
+/// against the flight recorder and `/requests` output on the same id.
+/// pdgc-serve's workers set it around each allocation; single-threaded
+/// driver work running inline (ThreadPool with <= 1 jobs) inherits it.
+void setRequestId(std::uint64_t Id);
+std::uint64_t requestId();
+
+/// RAII guard: sets the thread's request id, restores 0 on destruction.
+class RequestScope {
+public:
+  explicit RequestScope(std::uint64_t Id) { setRequestId(Id); }
+  ~RequestScope() { setRequestId(0); }
+  RequestScope(const RequestScope &) = delete;
+  RequestScope &operator=(const RequestScope &) = delete;
+};
+
 /// Emits an instant event. \p ArgsJson, when non-empty, must be a
 /// serialized JSON object (use jsonEscape for embedded strings).
 void instant(const std::string &Name, const char *Category,
@@ -120,7 +138,11 @@ std::string jsonEscape(const std::string &S);
 
 } // namespace trace
 
-/// Writes {"counters": {...}, "timers": {...}} to \p Path.
+/// {"counters": {...}, "timers": {...}} — the machine-readable process
+/// report. Shared by writeObservabilityReport and pdgc-serve's /stats.
+std::string observabilityReportJson();
+
+/// Writes observabilityReportJson() to \p Path.
 bool writeObservabilityReport(const std::string &Path,
                               std::string *Error = nullptr);
 

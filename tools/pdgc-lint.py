@@ -30,7 +30,9 @@ import re
 import sys
 import tempfile
 
-NAME_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+# group.name, with dotted sub-groups allowed (server.http.parse): every
+# dot-separated segment is lower_snake, and there are at least two.
+NAME_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 FAULT_POINT = re.compile(r'PDGC_FAULT_POINT\(\s*"([^"]*)"\s*\)')
 STAT = re.compile(r'PDGC_STAT\(\s*"([^"]*)"\s*,\s*"([^"]*)"\s*\)')
 # Single-line tokens only, so ``` code fences cannot desynchronize the
@@ -116,8 +118,9 @@ def check_registry_macro(repo, findings, macro_re, names_of, doc_rel, kind):
                 if not NAME_GRAMMAR.match(name):
                     findings.append(
                         f"{where}: {kind} '{name}' does not match the "
-                        f"group.name grammar [a-z][a-z0-9_]*.[a-z][a-z0-9_]* "
-                        f"— rename it (lower_snake group and name, one dot)"
+                        f"group.name grammar "
+                        f"[a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)+ — rename it "
+                        f"(dot-separated lower_snake segments, two or more)"
                     )
                 elif is_production(rel) and name not in documented:
                     findings.append(
@@ -255,6 +258,18 @@ def self_test():
         write(root, "tests/t.cpp", 'PDGC_FAULT_POINT("test.probe");\n')
         expect_clean(errors, "documented fault site",
                      run_checks(root, ["fault-sites"]))
+
+        # Dotted sub-group names (server.http.parse) are grammatical; an
+        # undocumented one is still flagged, a documented one is clean.
+        write(root, "src/a.cpp", 'PDGC_FAULT_POINT("server.http.parse");\n')
+        f = run_checks(root, ["fault-sites"])
+        expect(errors, "undocumented sub-group site", f,
+               "src/a.cpp:1", "server.http.parse", "ROBUSTNESS.md")
+        write(root, "docs/ROBUSTNESS.md",
+              "Catalog: `driver.round` and `server.http.parse`.\n")
+        expect_clean(errors, "documented sub-group site",
+                     run_checks(root, ["fault-sites"]))
+        write(root, "src/a.cpp", 'PDGC_FAULT_POINT("driver.round");\n')
 
         # Malformed stat name -> grammar finding even in tests/.
         write(root, "tests/t.cpp", 'PDGC_STAT("Driver", "Rounds!").inc();\n')

@@ -304,8 +304,8 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(T.Internal.load()),
               static_cast<unsigned long long>(T.TransportErrors.load()),
               static_cast<unsigned long long>(T.Retries.load()),
-              static_cast<unsigned long long>(Latency.percentileMicros(50)),
-              static_cast<unsigned long long>(Latency.percentileMicros(99)));
+              static_cast<unsigned long long>(Latency.quantile(0.50)),
+              static_cast<unsigned long long>(Latency.quantile(0.99)));
 
   if (T.Invalid.load() != 0)
     return 1;

@@ -25,13 +25,23 @@
 //   --max-frame-bytes=N  frame payload cap (default 4194304)
 //   --regs=N             registers per class of the target (default 24)
 //   --allocator=NAME     default leading tier (default full-preferences)
+//   --http-max-conns=N   concurrent HTTP-plane connections (default 16)
+//   --flight-records=N   flight-recorder capacity (default 128)
+//   --trace-json=FILE    collect trace spans and write Chrome trace JSON
+//                        at exit (spans carry `req` ids that join the
+//                        flight recorder / GET /requests output)
 //   --verbose            log connection events to stderr
+//
+// The same port also answers HTTP/1.1 (plane picked from the first byte;
+// docs/SERVING.md "HTTP plane"): GET /healthz, /readyz, /metrics
+// (Prometheus 0.0.4), /stats, /requests?n=K.
 //
 // SIGTERM/SIGINT begin a graceful drain: stop accepting, refuse new work
 // with REJECTED("draining"), finish or degrade the backlog within the
 // drain budget, then exit after printing a summary (requests by status,
-// shed count, p50/p99 latency). Exit 0 when the drain met its budget,
-// 3 when it overran. A second signal exits immediately.
+// shed count, p50/p99 latency, the flight recorder's tail). Exit 0 when
+// the drain met its budget, 3 when it overran. A second signal exits
+// immediately.
 //
 // PDGC_FAULTS is honored (the server.* sites cover accept/frame/parse/
 // enqueue/respond); a malformed spec is a usage error.
@@ -41,6 +51,7 @@
 #include "server/Server.h"
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
+#include "support/Tracing.h"
 
 #include <atomic>
 #include <cctype>
@@ -74,6 +85,8 @@ void usage() {
                "                  [--retry-after-ms=N] "
                "[--drain-budget-ms=N] [--max-frame-bytes=N]\n"
                "                  [--regs=N] [--allocator=NAME] "
+               "[--http-max-conns=N]\n"
+               "                  [--flight-records=N] [--trace-json=FILE] "
                "[--verbose]\n");
 }
 
@@ -114,6 +127,7 @@ bool numericArg(const std::string &Arg, const char *Prefix,
 int main(int argc, char **argv) {
   ServerOptions Opts;
   bool QueueLowSet = false;
+  std::string TraceJsonPath;
 
   {
     std::string FaultError;
@@ -151,7 +165,17 @@ int main(int argc, char **argv) {
       Opts.MaxFrameBytes = static_cast<std::uint32_t>(V);
     else if (numericArg(Arg, "--regs=", 2, 4096, V, Bad))
       Opts.Regs = static_cast<unsigned>(V);
-    else if (Arg.rfind("--allocator=", 0) == 0) {
+    else if (numericArg(Arg, "--http-max-conns=", 1, 4096, V, Bad))
+      Opts.HttpMaxConns = static_cast<unsigned>(V);
+    else if (numericArg(Arg, "--flight-records=", 1, 1000000, V, Bad))
+      Opts.FlightRecords = static_cast<std::size_t>(V);
+    else if (Arg.rfind("--trace-json=", 0) == 0) {
+      TraceJsonPath = Arg.substr(13);
+      if (TraceJsonPath.empty()) {
+        std::fprintf(stderr, "error: --trace-json expects a path\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--allocator=", 0) == 0) {
       Opts.DefaultAllocator = Arg.substr(12);
       if (Opts.DefaultAllocator.empty()) {
         std::fprintf(stderr, "error: --allocator expects a name\n");
@@ -179,6 +203,11 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: --queue-low must be below --queue-depth\n");
     return 1;
   }
+
+  // Start collecting before the first request so every span carries its
+  // `req` id; the buffer is written at exit.
+  if (!TraceJsonPath.empty())
+    trace::start();
 
   Server S(Opts);
   std::string Error;
@@ -217,5 +246,16 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Sum.TransportErrors),
               static_cast<unsigned long long>(Sum.P50Micros),
               static_cast<unsigned long long>(Sum.P99Micros));
+  if (!Sum.RecentRequests.empty()) {
+    std::printf("pdgc-serve: last requests (newest first):\n%s",
+                Sum.RecentRequests.c_str());
+  }
+
+  if (!TraceJsonPath.empty()) {
+    trace::stop();
+    std::string TraceError;
+    if (!trace::writeJson(TraceJsonPath, &TraceError))
+      std::fprintf(stderr, "warning: --trace-json: %s\n", TraceError.c_str());
+  }
   return Sum.DrainedInBudget ? 0 : 3;
 }

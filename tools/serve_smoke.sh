@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the serving story (docs/SERVING.md): boot pdgc-serve
-# on an ephemeral port, hammer it with pdgc-loadgen, then SIGTERM and hold
-# the drain contract — summary line printed, exit 0, within budget.
+# on an ephemeral port, hammer it with pdgc-loadgen, scrape the HTTP
+# observability plane on the same port (curl /healthz /readyz /metrics
+# /requests, with the Prometheus exposition validated and counters checked
+# monotone across two scrapes), then SIGTERM and hold the drain contract —
+# summary line printed, exit 0, within budget, and the --trace-json
+# capture carrying the per-request `req` correlation args.
 #
 # Knobs (environment):
 #   BUILD_DIR      cmake build tree holding the tools        (default: build)
@@ -22,6 +26,10 @@ SERVE_FAULTS=${SERVE_FAULTS:-}
 LOADGEN_FLAGS=${LOADGEN_FLAGS:-}
 
 LOG=$(mktemp)
+SCRAPE1=$(mktemp)
+SCRAPE2=$(mktemp)
+BODY=$(mktemp)
+TRACE=$(mktemp)
 cleanup() {
   status=$?
   if [ $status -ne 0 ]; then
@@ -29,13 +37,14 @@ cleanup() {
     cat "$LOG"
   fi
   kill "${SERVE_PID:-0}" 2>/dev/null || true
-  rm -f "$LOG"
+  rm -f "$LOG" "$SCRAPE1" "$SCRAPE2" "$BODY" "$TRACE"
   exit $status
 }
 trap cleanup EXIT
 
 env ${SERVE_FAULTS:+PDGC_FAULTS="$SERVE_FAULTS"} \
   "$BUILD_DIR/tools/pdgc-serve" --port=0 --workers="$WORKERS" \
+  --trace-json="$TRACE" \
   >"$LOG" 2>&1 &
 SERVE_PID=$!
 
@@ -80,6 +89,42 @@ if ! kill -0 "$SERVE_PID" 2>/dev/null; then
   exit 1
 fi
 
+# --- HTTP observability plane, on the same port (docs/OBSERVABILITY.md).
+# Under SERVE_FAULTS a server.* plan also arms the server.http.* sites, so
+# individual scrapes may be refused or dropped by design; the plane's
+# contract is that a retry is always served.
+http_get() { # $1 = path, $2 = output file
+  for _ in $(seq 20); do
+    if curl -fsS --max-time 5 "http://127.0.0.1:$PORT$1" -o "$2"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: GET $1 never answered" >&2
+  return 1
+}
+
+http_get /healthz "$BODY"
+grep -qx 'ok' "$BODY" || { echo "FAIL: /healthz said: $(cat "$BODY")" >&2; exit 1; }
+http_get /readyz "$BODY"
+grep -qx 'ready' "$BODY" || { echo "FAIL: /readyz said: $(cat "$BODY")" >&2; exit 1; }
+
+http_get /metrics "$SCRAPE1"
+http_get '/requests?n=16' "$BODY"
+python3 - "$BODY" <<'EOF'
+import json, sys
+flight = json.load(open(sys.argv[1]))
+assert flight["recorded"] > 0, flight
+assert flight["requests"], "flight recorder is empty after a load run"
+row = flight["requests"][0]
+for key in ("id", "kind", "peer", "target", "status", "wall-us"):
+    assert key in row, row
+print("serve_smoke: flight recorder holds", len(flight["requests"]),
+      "of", flight["recorded"], "recorded requests")
+EOF
+http_get /metrics "$SCRAPE2"
+python3 tools/check_metrics.py "$SCRAPE1" "$SCRAPE2"
+
 kill -TERM "$SERVE_PID"
 DRAIN_RC=0
 wait "$SERVE_PID" || DRAIN_RC=$?
@@ -92,4 +137,24 @@ grep -q 'drained within budget' "$LOG" || {
   exit 1
 }
 grep 'drained within budget' "$LOG"
+
+# The drain summary prints the flight recorder's last-requests table.
+grep -q 'last requests (newest first)' "$LOG" || {
+  echo "FAIL: no flight-recorder table in drain output" >&2
+  exit 1
+}
+
+# The --trace-json capture must carry the request correlation: alloc spans
+# tagged with the same `req` ids the flight recorder reported.
+python3 - "$TRACE" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty trace"
+tagged = [e for e in events if "req" in e.get("args", {})]
+assert tagged, "no trace event carries a req arg"
+ids = {e["args"]["req"] for e in tagged}
+print(f"serve_smoke: {len(tagged)} trace events correlated across "
+      f"{len(ids)} request ids")
+EOF
 echo "serve_smoke: OK"

@@ -1,0 +1,142 @@
+//===- server/AllocRunner.cpp - Shared ALLOC execution core ---------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/AllocRunner.h"
+
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "machine/TargetDesc.h"
+#include "regalloc/BatchDriver.h"
+#include "support/Debug.h"
+#include "support/Stats.h"
+#include "support/Tracing.h"
+
+#include <chrono>
+#include <memory>
+#include <new>
+#include <vector>
+
+using namespace pdgc;
+using namespace pdgc::server;
+
+Response pdgc::server::executeAllocRequest(const Request &Req,
+                                           const AllocEnv &Env) {
+  ScopedTimer Timer("server.alloc", "server");
+  Response R;
+
+  // Parse and verify inside the worker: input cost is request cost, and
+  // a hostile function text must burn worker time, not connection time.
+  std::string ParseError;
+  std::unique_ptr<Function> F;
+  {
+    ScopedErrorTrap Trap;
+    F = parseFunction(Req.Body, ParseError);
+  }
+  if (!F) {
+    R.Status = ResponseStatus::Malformed;
+    R.Error = "parse: " + ParseError;
+    return R;
+  }
+  std::vector<std::string> VerifyErrors;
+  if (!verifyFunction(*F, VerifyErrors)) {
+    R.Status = ResponseStatus::Malformed;
+    R.Error = "verify: " + VerifyErrors.front();
+    return R;
+  }
+
+  TargetDesc Target = makeTarget(Env.Regs, PairingRule::Adjacent);
+  DriverOptions Options;
+  // The request deadline started at admission, so queue wait already
+  // counts against it. CancelAt degrades to the guarantee tier on
+  // expiry; TimeBudgetMs additionally bounds each tier. (In-process the
+  // server passes an admission deadline possibly tightened by drain; an
+  // isolated child derives it from the remaining-budget stamp.)
+  Deadline Cancel =
+      Env.CancelAt.isSet() ? Env.CancelAt : Deadline::afterMs(Req.BudgetMs);
+  Deadline RequestDl = Env.RequestDeadline.isSet() ? Env.RequestDeadline
+                                                   : Cancel;
+  Options.CancelAt = Cancel;
+  Options.TimeBudgetMs = Req.BudgetMs;
+  if (Req.MaxRounds != 0)
+    Options.MaxRounds = Req.MaxRounds;
+  std::string Leading =
+      Req.Allocator.empty() ? Env.DefaultAllocator : Req.Allocator;
+  Options.FallbackChain = {{Leading, nullptr},
+                           {"briggs+aggressive", nullptr},
+                           {"spill-everything", nullptr}};
+
+  // One request is a one-item batch: same hardened path, same fault
+  // sites, same per-item exception backstop as `pdgc-alloc --batch`.
+  std::vector<Function *> Fns{F.get()};
+  std::vector<BatchItemResult> Results =
+      BatchDriver(1).run(Fns, Target, Options);
+  const BatchItemResult &Item = Results.front();
+
+  if (!Item.ok()) {
+    switch (Item.S.code()) {
+    case ErrorCode::BudgetExceeded:
+      R.Status = ResponseStatus::Timeout;
+      break;
+    case ErrorCode::ParseError:
+    case ErrorCode::VerifyError:
+      R.Status = ResponseStatus::Malformed;
+      break;
+    default:
+      // An exhausted fallback chain reports ALLOCATOR_INTERNAL even when
+      // every tier died of budget expiry; past the request deadline, the
+      // deadline is the diagnosis the client can act on.
+      R.Status = RequestDl.expired() ? ResponseStatus::Timeout
+                                     : ResponseStatus::Internal;
+      break;
+    }
+    R.Error = Item.S.toString();
+    return R;
+  }
+
+  const AllocationOutcome &Out = Item.Out;
+  R.Status = Out.Degradation.Degraded ? ResponseStatus::Degraded
+                                      : ResponseStatus::Ok;
+  R.ServedBy = Out.Degradation.ServedBy.empty()
+                   ? Leading
+                   : Out.Degradation.ServedBy;
+  R.Rounds = Out.Rounds;
+  for (const std::string &Failure : Out.Degradation.FailedTiers)
+    R.Body += "; failed-tier: " + Failure + "\n";
+  for (unsigned V = 0; V != Out.Assignment.size(); ++V)
+    if (Out.Assignment[V] >= 0)
+      R.Body += "v" + std::to_string(V) + " -> " +
+                Target.regName(static_cast<PhysReg>(Out.Assignment[V])) +
+                "\n";
+  return R;
+}
+
+Response pdgc::server::runAllocGuarded(const std::function<Response()> &Body) {
+  // Absolute backstop: no request may take a worker down, and every
+  // failure mode — including allocation failure on a mega-function and
+  // non-std::exception throws, which previously reached std::terminate —
+  // becomes a typed INTERNAL the client can act on.
+  try {
+    return Body();
+  } catch (const std::bad_alloc &) {
+    PDGC_STAT("server", "worker_backstop").inc();
+    Response R;
+    R.Status = ResponseStatus::Internal;
+    R.Error = "worker failed: out of memory (std::bad_alloc)";
+    return R;
+  } catch (const std::exception &E) {
+    PDGC_STAT("server", "worker_backstop").inc();
+    Response R;
+    R.Status = ResponseStatus::Internal;
+    R.Error = std::string("worker failed: ") + E.what();
+    return R;
+  } catch (...) {
+    PDGC_STAT("server", "worker_backstop").inc();
+    Response R;
+    R.Status = ResponseStatus::Internal;
+    R.Error = "worker failed: unknown exception";
+    return R;
+  }
+}

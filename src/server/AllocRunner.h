@@ -1,0 +1,70 @@
+//===- server/AllocRunner.h - Shared ALLOC execution core -------*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parse → verify → hardened-driver → wire-response pipeline behind
+/// every ALLOC, factored out of `Server::Impl` so the exact same code
+/// runs in two process models:
+///
+///  - **In-process** (default): a server worker thread calls
+///    `executeAllocRequest` directly, passing the admission-derived
+///    deadlines through `AllocEnv`.
+///  - **Isolated** (`--isolate-workers=N`): a forked sandbox child runs
+///    the same function over its request pipe; deadlines are derived
+///    from the remaining-budget stamp the supervisor put on the wire.
+///
+/// `runAllocGuarded` wraps a body with the worker exception backstop: no
+/// request may take a worker (thread or child) down, and every failure
+/// maps to a typed INTERNAL response — including `std::bad_alloc` and
+/// exceptions that are not `std::exception` at all, which previously
+/// escaped to `std::terminate`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SERVER_ALLOCRUNNER_H
+#define PDGC_SERVER_ALLOCRUNNER_H
+
+#include "server/Protocol.h"
+#include "support/Deadline.h"
+
+#include <functional>
+#include <string>
+
+namespace pdgc {
+namespace server {
+
+/// Everything executeAllocRequest needs beyond the request itself.
+struct AllocEnv {
+  /// Register-file size for makeTarget (PairingRule::Adjacent).
+  unsigned Regs = 24;
+  /// Fallback-chain head when the request names no allocator.
+  std::string DefaultAllocator = "full-preferences";
+  /// Cooperative cancellation deadline handed to the driver. Unset:
+  /// derived as afterMs(Req.BudgetMs) — the isolated-worker case, where
+  /// the supervisor stamps the remaining budget onto the wire request.
+  Deadline CancelAt;
+  /// The *request* deadline, used only to diagnose an exhausted fallback
+  /// chain as TIMEOUT rather than INTERNAL once it has passed. Unset:
+  /// same as the resolved CancelAt. In-process this is the raw admission
+  /// deadline, deliberately not tightened by drain.
+  Deadline RequestDeadline;
+};
+
+/// Runs one ALLOC to a wire response: parse, verify, one-item hardened
+/// batch with the three-tier fallback chain, status mapping, assignment
+/// body. Throws only what the driver's backstop lets escape — callers
+/// that must survive anything wrap it in runAllocGuarded.
+Response executeAllocRequest(const Request &Req, const AllocEnv &Env);
+
+/// The worker exception backstop as a value: runs \p Body and returns
+/// its response, mapping std::bad_alloc, std::exception, and unknown
+/// throws to typed INTERNAL responses (counter: `server.worker_backstop`).
+Response runAllocGuarded(const std::function<Response()> &Body);
+
+} // namespace server
+} // namespace pdgc
+
+#endif // PDGC_SERVER_ALLOCRUNNER_H

@@ -46,21 +46,31 @@ void ClientConnection::close() {
 }
 
 bool ClientConnection::connect(std::uint16_t Port) {
-  close();
-  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return false;
-  sockaddr_in Addr{};
-  Addr.sin_family = AF_INET;
-  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = htons(Port);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) != 0) {
+  // A signal may interrupt connect() (EINTR audit: tests arm timer
+  // signals; servers reap children). POSIX leaves the old socket
+  // connecting asynchronously after EINTR, so retry on a *fresh* socket
+  // rather than re-calling connect() on the same fd (that would report
+  // EALREADY, not progress).
+  for (int Tries = 0; Tries != 4; ++Tries) {
     close();
-    return false;
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Port);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) ==
+        0) {
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+      return true;
+    }
+    if (errno != EINTR)
+      break;
   }
-  int One = 1;
-  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
-  return true;
+  close();
+  return false;
 }
 
 TransportError ClientConnection::call(const Request &Req, Response &Out) {
@@ -88,9 +98,30 @@ TransportError ClientConnection::call(const Request &Req, Response &Out) {
 TransportError ClientConnection::callWithRetry(
     const Request &Req, Response &Out, std::uint16_t Port,
     unsigned MaxAttempts, bool RetryTransport, std::uint64_t Seed,
-    unsigned *Retries) {
+    unsigned *Retries, unsigned MaxElapsedMs) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point Start = Clock::now();
+  // Remaining wall budget in ms; ~0ull means unbounded (the policy's
+  // MaxElapsedMs == 0). Every backoff sleep is clipped to it, so the
+  // loop can never owe more sleep than the budget allows.
+  auto RemainingMs = [&]() -> std::uint64_t {
+    if (MaxElapsedMs == 0)
+      return ~0ull;
+    std::uint64_t Spent = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              Start)
+            .count());
+    return Spent >= MaxElapsedMs ? 0 : MaxElapsedMs - Spent;
+  };
+  auto BackoffClipped = [&](std::uint64_t SleepMs) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(SleepMs, RemainingMs())));
+  };
+
   TransportError Last = TransportError::ConnectFailed;
   for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    if (Attempt != 0 && RemainingMs() == 0)
+      return Last; // the retry policy's wall budget is spent
     if (Attempt != 0 && Retries)
       ++*Retries;
     if (!connected() && !connect(Port)) {
@@ -99,8 +130,7 @@ TransportError ClientConnection::callWithRetry(
         return Last;
       // The server may be mid-overload or mid-accept-fault; back off
       // like a shed request would.
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          5u << std::min(Attempt, 6u)));
+      BackoffClipped(5u << std::min(Attempt, 6u));
       continue;
     }
     Last = call(Req, Out);
@@ -116,13 +146,12 @@ TransportError ClientConnection::callWithRetry(
       unsigned Jitter = static_cast<unsigned>(H % (Base + 1));
       unsigned SleepMs = std::min(
           Base * (1u << std::min(Attempt, 6u)) + Jitter, 2000u);
-      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+      BackoffClipped(SleepMs);
       continue;
     }
     if (!RetryTransport)
       return Last;
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(5u << std::min(Attempt, 6u)));
+    BackoffClipped(5u << std::min(Attempt, 6u));
   }
   return Last == TransportError::None ? TransportError::None : Last;
 }

@@ -66,11 +66,17 @@ public:
   /// up to \p MaxAttempts times with exponential backoff seeded from the
   /// server's retry-after hint; dropped connections are re-dialed when
   /// \p RetryTransport (the chaos-mode setting) is true. \p Seed makes
-  /// the backoff jitter deterministic per client.
+  /// the backoff jitter deterministic per client. \p MaxElapsedMs is the
+  /// retry policy's overall wall-clock budget, honored across redials
+  /// and backoff sleeps (each sleep is clipped to what remains): a
+  /// crash-looping or quarantine-rejecting server then costs a bounded
+  /// wait, not MaxAttempts full backoffs. 0 = attempts alone bound the
+  /// loop, exactly the old behavior.
   TransportError callWithRetry(const Request &Req, Response &Out,
                                std::uint16_t Port, unsigned MaxAttempts,
                                bool RetryTransport, std::uint64_t Seed,
-                               unsigned *Retries = nullptr);
+                               unsigned *Retries = nullptr,
+                               unsigned MaxElapsedMs = 0);
 
 private:
   int Fd = -1;

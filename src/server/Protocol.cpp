@@ -39,6 +39,8 @@ const char *server::responseStatusName(ResponseStatus S) {
     return "MALFORMED";
   case ResponseStatus::Internal:
     return "INTERNAL";
+  case ResponseStatus::Crashed:
+    return "CRASHED";
   }
   return "INTERNAL";
 }
@@ -225,7 +227,7 @@ bool server::parseResponse(const std::string &Payload, Response &Out,
   for (ResponseStatus S :
        {ResponseStatus::Ok, ResponseStatus::Degraded, ResponseStatus::Rejected,
         ResponseStatus::Timeout, ResponseStatus::Malformed,
-        ResponseStatus::Internal})
+        ResponseStatus::Internal, ResponseStatus::Crashed})
     if (Word == responseStatusName(S)) {
       Out.Status = S;
       Known = true;

@@ -32,6 +32,9 @@
 ///   MALFORMED the frame, message, or IR failed to parse/verify
 ///   INTERNAL  an invariant broke (or a fault was injected) server-side;
 ///             the request died, the server did not
+///   CRASHED   the isolated worker process executing the request died
+///             (signal, rlimit overrun, or watchdog kill); the request
+///             is gone, the server — and every other request — survived
 ///
 /// Parsing is strict about the first line and permissive about unknown
 /// headers (ignored), so the protocol can grow fields without breaking
@@ -72,6 +75,10 @@ enum class ResponseStatus {
   Timeout,
   Malformed,
   Internal,
+  /// An isolated worker died executing the request (signal, rlimit
+  /// overrun, watchdog kill). Worst severity: the input provably took a
+  /// process down, which INTERNAL does not imply.
+  Crashed,
 };
 
 const char *responseStatusName(ResponseStatus S);

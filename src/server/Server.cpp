@@ -7,16 +7,13 @@
 #include "server/Server.h"
 
 #include "core/PDGCRegistration.h"
-#include "ir/IRParser.h"
-#include "ir/Verifier.h"
-#include "regalloc/AllocatorRegistry.h"
-#include "regalloc/BatchDriver.h"
 #include "server/AdmissionQueue.h"
+#include "server/AllocRunner.h"
 #include "server/FlightRecorder.h"
 #include "server/FrameCodec.h"
 #include "server/Http.h"
 #include "server/LatencyHistogram.h"
-#include "support/Debug.h"
+#include "server/WorkerPool.h"
 #include "support/FaultInjection.h"
 #include "support/Stats.h"
 #include "support/ThreadAnnotations.h"
@@ -155,7 +152,12 @@ struct Server::Impl {
   // several servers in one process).
   std::atomic<std::uint64_t> NAccepted{0}, NRequests{0}, NOk{0},
       NDegraded{0}, NRejected{0}, NTimeout{0}, NMalformed{0}, NInternal{0},
-      NTransportErrors{0}, NHttpRequests{0};
+      NCrashed{0}, NTransportErrors{0}, NHttpRequests{0};
+
+  /// Crash containment: non-null iff Opts.IsolateWorkers > 0. ALLOCs are
+  /// dispatched to forked sandbox subprocesses instead of running on the
+  /// worker threads (which become dispatchers).
+  std::unique_ptr<WorkerPool> Pool;
 
   bool Started = false;
   bool RunDone = false;
@@ -250,7 +252,30 @@ bool Server::start(std::string *Error) {
   I->BoundPort = ntohs(Addr.sin_port);
 
   I->StartedAt = SteadyClock::now();
-  for (unsigned W = 0; W != std::max(1u, I->Opts.Workers); ++W)
+  if (I->Opts.IsolateWorkers > 0) {
+    // Crash containment: fork the sandbox pool BEFORE the dispatcher
+    // threads so any armed fault plan is inherited by the first
+    // generation of children exactly as by respawns.
+    WorkerPoolOptions PO;
+    PO.Workers = I->Opts.IsolateWorkers;
+    PO.Regs = I->Opts.Regs;
+    PO.DefaultAllocator = I->Opts.DefaultAllocator;
+    PO.MaxFrameBytes = I->Opts.MaxFrameBytes;
+    PO.AddressSpaceMb = I->Opts.WorkerAddressSpaceMb;
+    PO.CpuSeconds = I->Opts.WorkerCpuSeconds;
+    PO.GraceMs = I->Opts.WorkerGraceMs;
+    PO.QuarantineCrashes = I->Opts.QuarantineCrashes;
+    PO.QuarantineTtlMs = I->Opts.QuarantineTtlMs;
+    PO.CrashDir = I->Opts.CrashDir;
+    I->Pool = std::make_unique<WorkerPool>(PO);
+    I->Pool->start();
+  }
+  // With isolation on, one dispatcher thread per sandbox worker; each
+  // blocks on its child's response pipe, so more would only contend.
+  const unsigned NWorkerThreads = I->Opts.IsolateWorkers > 0
+                                      ? I->Opts.IsolateWorkers
+                                      : std::max(1u, I->Opts.Workers);
+  for (unsigned W = 0; W != NWorkerThreads; ++W)
     I->WorkerThreads.emplace_back([this] { I->workerLoop(); });
   I->Acceptor = std::thread([this] { I->acceptLoop(); });
   I->Started = true;
@@ -290,6 +315,19 @@ void Server::Impl::finishRun() {
   Queue.close();
   for (std::thread &W : WorkerThreads)
     W.join();
+
+  // Dispatchers are parked; tear down the sandbox pool and bank its
+  // lifetime totals for the drain summary before the counters vanish.
+  if (Pool) {
+    const WorkerPoolStats WS = Pool->stats();
+    Summary.WorkerSpawns = WS.Spawns;
+    Summary.WorkerRespawns = WS.Respawns;
+    Summary.WorkerCrashes = WS.Crashes;
+    Summary.WorkerKills = WS.Kills;
+    Summary.WorkerReplays = WS.Replays;
+    Summary.WorkerQuarantined = WS.Quarantined;
+    Pool->stop();
+  }
 
   // The backlog is answered, but a connection thread may still be
   // between Done.get() and writeFrame for the last admitted request.
@@ -331,6 +369,7 @@ void Server::Impl::finishRun() {
   Summary.Timeout = NTimeout.load();
   Summary.Malformed = NMalformed.load();
   Summary.Internal = NInternal.load();
+  Summary.Crashed = NCrashed.load();
   Summary.TransportErrors = NTransportErrors.load();
   Summary.HttpRequests = NHttpRequests.load();
   Summary.P50Micros = Latency.quantile(0.50);
@@ -377,7 +416,13 @@ void Server::Impl::acceptLoop() {
     if ((Fds[0].revents & POLLIN) == 0)
       continue;
 
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd;
+    do {
+      // EINTR is routine here once worker isolation is on: the SIGCHLD
+      // handler is installed without SA_RESTART, so a child's death can
+      // interrupt accept(). A retry, not an accept_errors count.
+      Fd = ::accept(ListenFd, nullptr, nullptr);
+    } while (Fd < 0 && errno == EINTR);
     if (Fd >= 0) {
       // Frames are small request/response pairs; latency beats batching.
       int One = 1;
@@ -479,6 +524,10 @@ bool Server::Impl::respond(int Fd, Response R,
   case ResponseStatus::Internal:
     NInternal.fetch_add(1);
     PDGC_STAT("server", "resp_internal").inc();
+    break;
+  case ResponseStatus::Crashed:
+    NCrashed.fetch_add(1);
+    PDGC_STAT("server", "resp_crashed").inc();
     break;
   }
   // Only executed allocations belong in the histogram: counting
@@ -741,20 +790,18 @@ void Server::Impl::workerLoop() {
     Done.QueueMicros = microsSince(Job->Arrived);
     if (timersEnabled())
       addTimerSample("server.queue_wait", Done.QueueMicros * 1000);
-    try {
+    {
       // The request id rides a thread-local into every span this thread
       // emits — including BatchDriver's `batch.item` and the `tier.*`
       // spans, which run inline here (a one-item batch never hands work
       // to another thread) — so a trace capture joins against the
       // flight recorder on `req`.
       trace::RequestScope Scope(Job->Id);
-      Done.R = executeAlloc(*Job);
-    } catch (const std::exception &E) {
-      // Absolute backstop: no request may take a worker down, and no
-      // promise may be abandoned (the connection thread is waiting).
-      PDGC_STAT("server", "worker_backstop").inc();
-      Done.R.Status = ResponseStatus::Internal;
-      Done.R.Error = std::string("worker failed: ") + E.what();
+      // runAllocGuarded is the absolute backstop: no request may take a
+      // worker down (std::bad_alloc and non-std exceptions included),
+      // and no promise may be abandoned (the connection thread waits).
+      AllocJob &JobRef = *Job;
+      Done.R = runAllocGuarded([this, &JobRef] { return executeAlloc(JobRef); });
     }
     Job->Done.set_value(std::move(Done));
     Job.reset();
@@ -763,92 +810,25 @@ void Server::Impl::workerLoop() {
 }
 
 Response Server::Impl::executeAlloc(AllocJob &Job) {
-  ScopedTimer Timer("server.alloc", "server");
-  Response R;
-
-  // Parse and verify inside the worker: input cost is request cost, and
-  // a hostile function text must burn worker time, not connection time.
-  std::string ParseError;
-  std::unique_ptr<Function> F;
-  {
-    ScopedErrorTrap Trap;
-    F = parseFunction(Job.Req.Body, ParseError);
-  }
-  if (!F) {
-    R.Status = ResponseStatus::Malformed;
-    R.Error = "parse: " + ParseError;
-    return R;
-  }
-  std::vector<std::string> VerifyErrors;
-  if (!verifyFunction(*F, VerifyErrors)) {
-    R.Status = ResponseStatus::Malformed;
-    R.Error = "verify: " + VerifyErrors.front();
-    return R;
-  }
-
-  TargetDesc Target = makeTarget(Opts.Regs, PairingRule::Adjacent);
-  DriverOptions Options;
   // The request deadline started at admission, so queue wait already
-  // counts against it. CancelAt degrades to the guarantee tier on
-  // expiry; TimeBudgetMs additionally bounds each tier. During drain the
-  // drain deadline tightens whatever remains.
+  // counts against it. During drain the drain deadline tightens whatever
+  // remains. The compute itself lives in server/AllocRunner.cpp, shared
+  // byte-for-byte between this in-process path and the sandbox children.
   Deadline Cancel{Job.DeadlineAt};
   if (Draining.load(std::memory_order_acquire))
     Cancel = Cancel.sooner(DrainDeadline);
-  Options.CancelAt = Cancel;
-  Options.TimeBudgetMs = Job.Req.BudgetMs;
-  if (Job.Req.MaxRounds != 0)
-    Options.MaxRounds = Job.Req.MaxRounds;
-  std::string Leading = Job.Req.Allocator.empty() ? Opts.DefaultAllocator
-                                                  : Job.Req.Allocator;
-  Options.FallbackChain = {{Leading, nullptr},
-                           {"briggs+aggressive", nullptr},
-                           {"spill-everything", nullptr}};
 
-  // One request is a one-item batch: same hardened path, same fault
-  // sites, same per-item exception backstop as `pdgc-alloc --batch`.
-  std::vector<Function *> Fns{F.get()};
-  std::vector<BatchItemResult> Results =
-      BatchDriver(1).run(Fns, Target, Options);
-  const BatchItemResult &Item = Results.front();
-
-  if (!Item.ok()) {
-    switch (Item.S.code()) {
-    case ErrorCode::BudgetExceeded:
-      R.Status = ResponseStatus::Timeout;
-      break;
-    case ErrorCode::ParseError:
-    case ErrorCode::VerifyError:
-      R.Status = ResponseStatus::Malformed;
-      break;
-    default:
-      // An exhausted fallback chain reports ALLOCATOR_INTERNAL even when
-      // every tier died of budget expiry; past the request deadline, the
-      // deadline is the diagnosis the client can act on.
-      R.Status = SteadyClock::now() >= Job.DeadlineAt
-                     ? ResponseStatus::Timeout
-                     : ResponseStatus::Internal;
-      break;
-    }
-    R.Error = Item.S.toString();
-    return R;
+  if (Pool) {
+    WorkerExecResult ER = Pool->execute(Job.Req, Cancel.time());
+    return std::move(ER.R);
   }
 
-  const AllocationOutcome &Out = Item.Out;
-  R.Status = Out.Degradation.Degraded ? ResponseStatus::Degraded
-                                      : ResponseStatus::Ok;
-  R.ServedBy = Out.Degradation.ServedBy.empty()
-                   ? Leading
-                   : Out.Degradation.ServedBy;
-  R.Rounds = Out.Rounds;
-  for (const std::string &Failure : Out.Degradation.FailedTiers)
-    R.Body += "; failed-tier: " + Failure + "\n";
-  for (unsigned V = 0; V != Out.Assignment.size(); ++V)
-    if (Out.Assignment[V] >= 0)
-      R.Body += "v" + std::to_string(V) + " -> " +
-                Target.regName(static_cast<PhysReg>(Out.Assignment[V])) +
-                "\n";
-  return R;
+  AllocEnv Env;
+  Env.Regs = Opts.Regs;
+  Env.DefaultAllocator = Opts.DefaultAllocator;
+  Env.CancelAt = Cancel;
+  Env.RequestDeadline = Deadline{Job.DeadlineAt};
+  return executeAllocRequest(Job.Req, Env);
 }
 
 //===----------------------------------------------------------------------===//
@@ -880,6 +860,16 @@ Response Server::Impl::statusResponse() const {
             std::to_string(InFlight.load(std::memory_order_relaxed));
   R.Body += ", \"uptime-ms\": " +
             std::to_string(microsSince(StartedAt) / 1000);
+  if (Pool) {
+    // Worker-pool state is appended only in isolation mode so the
+    // default server's STATUS body stays byte-identical.
+    const WorkerPoolStats WS = Pool->stats();
+    R.Body += ", \"isolate-workers\": " + std::to_string(Opts.IsolateWorkers);
+    R.Body += ", \"workers-live\": " + std::to_string(WS.Live);
+    R.Body += ", \"worker-crashes\": " + std::to_string(WS.Crashes);
+    R.Body += ", \"quarantined-inputs\": " +
+              std::to_string(WS.QuarantinedInputs);
+  }
   R.Body += "}\n";
   return R;
 }
@@ -979,6 +969,17 @@ std::string Server::Impl::metricsText() const {
   Gauge("pdgc_flight_recorded_total",
         "Requests published to the flight recorder.",
         Flight.recordedCount());
+  if (Pool) {
+    // Isolation-only gauges (the worker.* counters surface through
+    // pdgc_stat_total automatically); gated so the default exposition
+    // is unchanged.
+    const WorkerPoolStats WS = Pool->stats();
+    Gauge("pdgc_server_workers_live", "Sandbox workers idle or busy.",
+          WS.Live);
+    Gauge("pdgc_server_quarantined_inputs",
+          "Inputs currently quarantined by the crash circuit breaker.",
+          WS.QuarantinedInputs);
+  }
   return Out;
 }
 

@@ -58,11 +58,23 @@
 /// all share, so "which request, which tier, why" is answerable from a
 /// curl and a trace capture alone.
 ///
+/// **Crash containment** (`IsolateWorkers > 0`): ALLOCs execute in a
+/// supervised pool of forked sandbox subprocesses (server/WorkerPool.h)
+/// instead of on the worker threads, so a hard fault — a real SIGSEGV,
+/// `std::bad_alloc`, a loop that never polls its deadline — kills one
+/// worker and earns a typed CRASHED response while the daemon, and every
+/// other request, survives. Comes with a watchdog (SIGKILL past deadline
+/// + grace), crash dossiers under CrashDir, and a per-input circuit
+/// breaker (REJECTED `quarantined` after QuarantineCrashes hits). The
+/// default (0) keeps the in-process path byte-identical to before.
+///
 /// Chaos surface: PDGC_FAULT_POINT sites `server.accept`,
 /// `server.frame`, `server.parse`, `server.enqueue`, `server.respond`,
 /// `server.http.parse`, `server.http.respond`
 /// cover the connection path the way the `driver.*`/allocator sites
 /// already cover the compute path; tests/test_server.cpp sweeps them.
+/// With isolation on, `worker.spawn/dispatch/collect` cover the
+/// supervisor and `worker.abort` raises a genuine SIGABRT in the child.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -116,6 +128,23 @@ struct ServerOptions {
   unsigned Regs = 24;
   /// Leading allocator tier when a request does not name one.
   std::string DefaultAllocator = "full-preferences";
+  /// Crash containment: number of forked sandbox worker processes that
+  /// execute ALLOCs out-of-process. 0 (default) = in-process execution,
+  /// byte-identical to the pre-isolation server. When set, it also
+  /// determines the dispatcher thread count (Workers is ignored).
+  unsigned IsolateWorkers = 0;
+  /// Crash-dossier directory (empty = dossiers off). Isolation only.
+  std::string CrashDir;
+  /// Circuit breaker: crashes of one input before it is quarantined.
+  unsigned QuarantineCrashes = 3;
+  /// Quarantine expiry in ms since the input's last crash (0 = never).
+  unsigned QuarantineTtlMs = 0;
+  /// Watchdog grace past the request deadline before a worker SIGKILL.
+  unsigned WorkerGraceMs = 500;
+  /// Worker RLIMIT_AS in MiB (0 = off; keep off under sanitizers).
+  unsigned WorkerAddressSpaceMb = 0;
+  /// Worker RLIMIT_CPU in seconds (0 = off).
+  unsigned WorkerCpuSeconds = 0;
   /// Log one line per connection/drain event to stderr.
   bool Verbose = false;
 };
@@ -131,8 +160,16 @@ struct ServerSummary {
   std::uint64_t Timeout = 0;        ///< ALLOC answered TIMEOUT.
   std::uint64_t Malformed = 0;      ///< Bad frames/messages/IR.
   std::uint64_t Internal = 0;       ///< Faults + trapped fatal checks.
+  std::uint64_t Crashed = 0;        ///< ALLOC answered CRASHED (isolation).
   std::uint64_t TransportErrors = 0; ///< Truncated/failed reads & writes.
   std::uint64_t HttpRequests = 0;   ///< HTTP-plane requests served.
+  /// Worker-pool lifetime totals (all zero when IsolateWorkers == 0).
+  std::uint64_t WorkerSpawns = 0;
+  std::uint64_t WorkerRespawns = 0;
+  std::uint64_t WorkerCrashes = 0;
+  std::uint64_t WorkerKills = 0;
+  std::uint64_t WorkerReplays = 0;
+  std::uint64_t WorkerQuarantined = 0;
   std::uint64_t P50Micros = 0;      ///< Executed-ALLOC latency percentiles.
   std::uint64_t P99Micros = 0;
   bool DrainedInBudget = true;      ///< Drain met DrainBudgetMs.

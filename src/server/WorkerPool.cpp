@@ -1,0 +1,673 @@
+//===- server/WorkerPool.cpp - Supervised sandbox worker pool -------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/WorkerPool.h"
+
+#include "core/PDGCRegistration.h"
+#include "server/AllocRunner.h"
+#include "server/FrameCodec.h"
+#include "support/FaultInjection.h"
+#include "support/Stats.h"
+#include "support/Subprocess.h"
+#include "support/ThreadAnnotations.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace pdgc;
+using namespace pdgc::server;
+
+std::uint64_t pdgc::server::contentHash(const std::string &Body) {
+  // FNV-1a 64: cheap, stable across runs, good enough to key a breaker
+  // map (an adversarial collision buys the attacker a quarantine entry,
+  // not an escape from one).
+  std::uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : Body) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+namespace {
+
+using Clock = Deadline::Clock;
+
+/// Child exit codes that mean "the worker runtime failed, not the
+/// request": clean request-pipe EOF and a broken response pipe. These are
+/// infrastructure deaths — the input is innocent, so the supervisor
+/// replays it once on a fresh worker instead of reporting CRASHED.
+constexpr int ChildExitClean = 0;
+constexpr int ChildExitTransport = 10;
+
+/// SIGCHLD self-pipe. The handler only writes one byte (async-signal-
+/// safe); the watchdog drains it. Installed once per process, without
+/// SA_RESTART — EINTR must stay a real, exercised code path in every
+/// read/write loop (the audit in docs/ROBUSTNESS.md), not something a
+/// flag papers over.
+int GSigChldPipe[2] = {-1, -1};
+
+void sigChldHandler(int) {
+  int Saved = errno;
+  char B = 'c';
+  (void)!::write(GSigChldPipe[1], &B, 1);
+  errno = Saved;
+}
+
+void installSigChldOnce() {
+  // Magic-static once: <mutex> (std::call_once) is lint-banned outside
+  // the annotation wrapper, and this needs no capability tracking.
+  static const bool Installed = [] {
+    if (::pipe(GSigChldPipe) != 0)
+      return false;
+    ::fcntl(GSigChldPipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(GSigChldPipe[1], F_SETFL, O_NONBLOCK);
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof SA);
+    SA.sa_handler = sigChldHandler;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = SA_NOCLDSTOP; // deliberately no SA_RESTART
+    ::sigaction(SIGCHLD, &SA, nullptr);
+    return true;
+  }();
+  (void)Installed;
+}
+
+void drainSigChldPipe() {
+  if (GSigChldPipe[0] < 0)
+    return;
+  char Buf[64];
+  while (::read(GSigChldPipe[0], Buf, sizeof Buf) > 0) {
+  }
+}
+
+enum class SlotState {
+  Dead,    ///< No child; NextSpawnAt gates the respawn.
+  Idle,    ///< Live child awaiting a dispatch.
+  Busy,    ///< A dispatcher owns the pipes; watchdog may SIGKILL.
+  Reaping, ///< The dispatcher is wait()ing on the corpse; hands off.
+};
+
+/// One worker seat. State-machine fields are guarded by the pool mutex;
+/// `Proc` itself is deliberately unannotated — its pipes and reaping are
+/// owned by exactly one thread at a time (the dispatcher while
+/// Busy/Reaping, the watchdog otherwise), which the State field
+/// serializes under the lock.
+struct Slot {
+  Subprocess Proc;
+  SlotState State = SlotState::Dead;
+  pid_t Pid = -1; ///< Snapshot for the watchdog's kill (never reaps).
+  Clock::time_point KillAt{};
+  Clock::time_point NextSpawnAt{};
+  bool WatchdogKilled = false;
+  bool EverSpawned = false;
+  unsigned ConsecutiveFailures = 0;
+};
+
+struct BreakerEntry {
+  unsigned Crashes = 0;
+  Clock::time_point LastCrash{};
+};
+
+} // namespace
+
+struct WorkerPool::Impl {
+  const WorkerPoolOptions Opts;
+
+  mutable Mutex Mu;
+  CondVar IdleCV;     ///< Signaled when a slot turns Idle.
+  CondVar WatchdogCV; ///< Signaled on retire/stop to shorten the tick.
+  std::vector<std::unique_ptr<Slot>> Slots; ///< Fixed size after ctor.
+  bool Stopping PDGC_GUARDED_BY(Mu) = false;
+  bool Started PDGC_GUARDED_BY(Mu) = false;
+  std::unordered_map<std::uint64_t, BreakerEntry> Breaker PDGC_GUARDED_BY(Mu);
+
+  // Pool-local mirrors of the worker.* registry counters (the registry
+  // is process-global; tests run many pools per process).
+  std::uint64_t NSpawns PDGC_GUARDED_BY(Mu) = 0;
+  std::uint64_t NRespawns PDGC_GUARDED_BY(Mu) = 0;
+  std::uint64_t NCrashes PDGC_GUARDED_BY(Mu) = 0;
+  std::uint64_t NKills PDGC_GUARDED_BY(Mu) = 0;
+  std::uint64_t NReplays PDGC_GUARDED_BY(Mu) = 0;
+  std::uint64_t NQuarantined PDGC_GUARDED_BY(Mu) = 0;
+
+  std::thread Watchdog;
+
+  explicit Impl(const WorkerPoolOptions &OptsIn) : Opts(OptsIn) {
+    for (unsigned N = std::max(1u, Opts.Workers); N != 0; --N)
+      Slots.push_back(std::make_unique<Slot>());
+  }
+
+  bool start(std::string *Error);
+  void stop();
+  WorkerExecResult execute(const Request &Req, Clock::time_point DeadlineAt,
+                           bool IsReplay);
+  WorkerPoolStats stats() const;
+
+  int childServantLoop(int InFd, int OutFd) const;
+  bool spawnLocked(Slot &S) PDGC_REQUIRES(Mu);
+  void scheduleRespawnLocked(Slot &S) PDGC_REQUIRES(Mu);
+  Slot *acquireIdle(Clock::time_point DeadlineAt);
+  void release(Slot *S);
+  void retireSlot(Slot *S);
+  bool quarantinedLocked(std::uint64_t Hash, unsigned *RetryMs)
+      PDGC_REQUIRES(Mu);
+  void recordCrash(std::uint64_t Hash, const Request &Req,
+                   const WaitStatus &WS, bool Killed);
+  void writeDossier(std::uint64_t Hash, unsigned CrashCount,
+                    const Request &Req, const WaitStatus &WS,
+                    bool Killed) const;
+  void watchdogLoop();
+};
+
+//===----------------------------------------------------------------------===//
+// Child side
+//===----------------------------------------------------------------------===//
+
+int WorkerPool::Impl::childServantLoop(int InFd, int OutFd) const {
+  for (;;) {
+    std::string Payload;
+    FrameResult FR = readFrame(InFd, Payload, Opts.MaxFrameBytes);
+    if (FR == FrameResult::ClosedClean)
+      return ChildExitClean; // supervisor closed the request pipe
+    if (FR != FrameResult::Ok)
+      return ChildExitTransport;
+    Request Req;
+    std::string ParseError;
+    Response R;
+    if (!parseRequest(Payload, Req, ParseError)) {
+      R.Status = ResponseStatus::Malformed;
+      R.Error = "worker: " + ParseError;
+    } else {
+      // The real-abort chaos site: an armed rule firing here becomes a
+      // genuine std::abort(), i.e. an authentic SIGABRT corpse for the
+      // supervisor to contain — not a simulated error value. Plans are
+      // inherited at fork with fresh per-site hit counters, so
+      // `worker.abort:fatal@n=1` crashes each new child's first request
+      // and `every=7` each child's every seventh.
+      try {
+        PDGC_FAULT_POINT("worker.abort");
+      } catch (...) {
+        std::abort();
+      }
+      AllocEnv Env;
+      Env.Regs = Opts.Regs;
+      Env.DefaultAllocator = Opts.DefaultAllocator;
+      // CancelAt/RequestDeadline left unset: derived from the
+      // remaining-budget stamp the supervisor put on the wire request.
+      R = runAllocGuarded([&] { return executeAllocRequest(Req, Env); });
+    }
+    if (!writeFrame(OutFd, serializeResponse(R)))
+      return ChildExitTransport;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Spawning and supervision
+//===----------------------------------------------------------------------===//
+
+bool WorkerPool::Impl::spawnLocked(Slot &S) {
+  try {
+    PDGC_FAULT_POINT("worker.spawn");
+  } catch (const std::exception &) {
+    PDGC_STAT("worker", "spawn_faults").inc();
+    scheduleRespawnLocked(S);
+    return false;
+  }
+  SubprocessLimits Limits;
+  Limits.AddressSpaceMb = Opts.AddressSpaceMb;
+  Limits.CpuSeconds = Opts.CpuSeconds;
+  std::string Err;
+  // fork() from a multithreaded supervisor: the child runs only
+  // async-fork-tame code (frame I/O + the allocator, single-threaded).
+  // The one residual hazard — another thread holding a process-global
+  // registry lock at fork — wedges that child, which the watchdog then
+  // kills at deadline+grace: contained, not fatal.
+  if (!S.Proc.spawn(Limits,
+                    [this](int InFd, int OutFd) {
+                      return childServantLoop(InFd, OutFd);
+                    },
+                    &Err)) {
+    scheduleRespawnLocked(S);
+    return false;
+  }
+  S.State = SlotState::Idle;
+  S.Pid = S.Proc.pid();
+  S.WatchdogKilled = false;
+  ++NSpawns;
+  PDGC_STAT("worker", "spawns").inc();
+  if (S.EverSpawned) {
+    ++NRespawns;
+    PDGC_STAT("worker", "respawns").inc();
+  }
+  S.EverSpawned = true;
+  IdleCV.notify_one();
+  return true;
+}
+
+void WorkerPool::Impl::scheduleRespawnLocked(Slot &S) {
+  ++S.ConsecutiveFailures;
+  unsigned Shift = std::min(S.ConsecutiveFailures - 1, 10u);
+  std::uint64_t Backoff =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(Opts.RespawnBackoffMs)
+                                  << Shift,
+                              Opts.MaxRespawnBackoffMs);
+  S.State = SlotState::Dead;
+  S.Pid = -1;
+  S.NextSpawnAt = Clock::now() + std::chrono::milliseconds(Backoff);
+}
+
+bool WorkerPool::Impl::start(std::string *Error) {
+  (void)Error;
+  registerPDGCAllocators();
+  // A worker dying mid-dispatch must surface as EPIPE on the write loop,
+  // not kill the supervisor.
+  ::signal(SIGPIPE, SIG_IGN);
+  installSigChldOnce();
+  if (!Opts.CrashDir.empty())
+    (void)::mkdir(Opts.CrashDir.c_str(), 0755); // best effort; may exist
+  {
+    MutexLock Lock(Mu);
+    Started = true;
+    Stopping = false;
+    for (std::unique_ptr<Slot> &SP : Slots)
+      (void)spawnLocked(*SP); // lenient: the watchdog retries failures
+  }
+  Watchdog = std::thread([this] { watchdogLoop(); });
+  return true;
+}
+
+void WorkerPool::Impl::stop() {
+  {
+    MutexLock Lock(Mu);
+    if (!Started || Stopping)
+      return;
+    Stopping = true;
+    WatchdogCV.notify_all();
+    IdleCV.notify_all();
+  }
+  if (Watchdog.joinable())
+    Watchdog.join();
+  MutexLock Lock(Mu);
+  for (std::unique_ptr<Slot> &SP : Slots) {
+    Slot &S = *SP;
+    if (S.State == SlotState::Idle || S.State == SlotState::Busy) {
+      // Pipe EOF lets a responsive child exit 0; SIGKILL covers the rest.
+      // No execute() is in flight (the server joins dispatchers first),
+      // so owning Proc here is safe.
+      S.Proc.closePipes();
+      S.Proc.kill(SIGKILL);
+      (void)S.Proc.wait();
+      S.State = SlotState::Dead;
+      S.Pid = -1;
+    }
+  }
+}
+
+void WorkerPool::Impl::watchdogLoop() {
+  MutexLock Lock(Mu);
+  while (!Stopping) {
+    Clock::time_point Now = Clock::now();
+    for (std::unique_ptr<Slot> &SP : Slots) {
+      Slot &S = *SP;
+      switch (S.State) {
+      case SlotState::Busy:
+        if (!S.WatchdogKilled && Now >= S.KillAt) {
+          // Wedged past deadline + grace: no cooperative poll is coming.
+          S.WatchdogKilled = true;
+          ++NKills;
+          PDGC_STAT("worker", "kills").inc();
+          if (S.Pid > 0)
+            (void)::kill(S.Pid, SIGKILL);
+        }
+        break;
+      case SlotState::Idle: {
+        // Reap idle deaths (rlimit kill between requests, external
+        // signal) so the seat respawns instead of failing its next
+        // dispatch. Safe to touch Proc: no dispatcher owns an Idle slot.
+        WaitStatus WS = S.Proc.tryWait();
+        if (WS.State != WaitStatus::Running) {
+          S.Proc.closePipes();
+          scheduleRespawnLocked(S);
+        }
+        break;
+      }
+      case SlotState::Dead:
+        if (Now >= S.NextSpawnAt)
+          (void)spawnLocked(S);
+        break;
+      case SlotState::Reaping:
+        break; // a dispatcher owns the corpse
+      }
+    }
+    drainSigChldPipe();
+    WatchdogCV.waitForMs(Lock, 10);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+Slot *WorkerPool::Impl::acquireIdle(Clock::time_point DeadlineAt) {
+  MutexLock Lock(Mu);
+  for (;;) {
+    if (Stopping)
+      return nullptr;
+    for (std::unique_ptr<Slot> &SP : Slots) {
+      if (SP->State == SlotState::Idle) {
+        SP->State = SlotState::Busy;
+        SP->WatchdogKilled = false;
+        SP->KillAt = DeadlineAt + std::chrono::milliseconds(Opts.GraceMs);
+        return SP.get();
+      }
+    }
+    Clock::time_point Now = Clock::now();
+    if (Now >= DeadlineAt)
+      return nullptr;
+    std::int64_t RemainMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(DeadlineAt - Now)
+            .count() +
+        1;
+    IdleCV.waitForMs(Lock,
+                     static_cast<unsigned>(std::min<std::int64_t>(RemainMs, 50)));
+  }
+}
+
+void WorkerPool::Impl::release(Slot *S) {
+  MutexLock Lock(Mu);
+  S->State = SlotState::Idle;
+  S->ConsecutiveFailures = 0;
+  // If the watchdog killed this worker after it answered (a photo-finish
+  // with the deadline), the idle-reap in the next watchdog tick notices
+  // the corpse and respawns the seat.
+  IdleCV.notify_one();
+}
+
+void WorkerPool::Impl::retireSlot(Slot *S) {
+  MutexLock Lock(Mu);
+  S->Proc.closePipes();
+  scheduleRespawnLocked(*S);
+  WatchdogCV.notify_all();
+}
+
+bool WorkerPool::Impl::quarantinedLocked(std::uint64_t Hash,
+                                         unsigned *RetryMs) {
+  auto It = Breaker.find(Hash);
+  if (It == Breaker.end())
+    return false;
+  if (Opts.QuarantineTtlMs != 0) {
+    Clock::time_point Expiry =
+        It->second.LastCrash + std::chrono::milliseconds(Opts.QuarantineTtlMs);
+    Clock::time_point Now = Clock::now();
+    if (Now >= Expiry) {
+      Breaker.erase(It); // served its sentence; counts start over
+      return false;
+    }
+    if (RetryMs)
+      *RetryMs = static_cast<unsigned>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(Expiry - Now)
+              .count() +
+          1);
+  }
+  return It->second.Crashes >= Opts.QuarantineCrashes;
+}
+
+void WorkerPool::Impl::recordCrash(std::uint64_t Hash, const Request &Req,
+                                   const WaitStatus &WS, bool Killed) {
+  unsigned CrashCount = 0;
+  {
+    MutexLock Lock(Mu);
+    ++NCrashes;
+    BreakerEntry &E = Breaker[Hash];
+    ++E.Crashes;
+    E.LastCrash = Clock::now();
+    CrashCount = E.Crashes;
+  }
+  PDGC_STAT("worker", "crashes").inc();
+  writeDossier(Hash, CrashCount, Req, WS, Killed);
+}
+
+void WorkerPool::Impl::writeDossier(std::uint64_t Hash, unsigned CrashCount,
+                                    const Request &Req, const WaitStatus &WS,
+                                    bool Killed) const {
+  if (Opts.CrashDir.empty())
+    return;
+  char Name[64];
+  std::snprintf(Name, sizeof Name, "crash-%016llx-%u.pir",
+                static_cast<unsigned long long>(Hash), CrashCount);
+  std::string Path = Opts.CrashDir + "/" + Name;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return;
+  // `;` lines are IR comments, so the dossier replays as-is through
+  // every tool that reads .pir — including `pdgc-fuzz --reduce-file`.
+  const char *Plan = std::getenv("PDGC_FAULTS");
+  std::fprintf(F, "; pdgc crash dossier\n");
+  std::fprintf(F, "; wait-status: %s%s\n", WS.toString().c_str(),
+               Killed ? " (watchdog kill)" : "");
+  std::fprintf(F, "; content-hash: %016llx\n",
+               static_cast<unsigned long long>(Hash));
+  std::fprintf(F, "; crash-count: %u\n", CrashCount);
+  std::fprintf(F, "; regs: %u\n", Opts.Regs);
+  std::fprintf(F, "; allocator: %s\n",
+               Req.Allocator.empty() ? Opts.DefaultAllocator.c_str()
+                                     : Req.Allocator.c_str());
+  std::fprintf(F, "; budget-ms: %u\n", Req.BudgetMs);
+  std::fprintf(F, "; fault-plan: %s\n", Plan ? Plan : "(none)");
+  std::fwrite(Req.Body.data(), 1, Req.Body.size(), F);
+  if (Req.Body.empty() || Req.Body.back() != '\n')
+    std::fputc('\n', F);
+  std::fclose(F);
+}
+
+WorkerExecResult WorkerPool::Impl::execute(const Request &Req,
+                                           Clock::time_point DeadlineAt,
+                                           bool IsReplay) {
+  WorkerExecResult Res;
+  const std::uint64_t Hash = contentHash(Req.Body);
+
+  if (!IsReplay) {
+    MutexLock Lock(Mu);
+    unsigned RetryMs = Opts.QuarantineTtlMs;
+    if (quarantinedLocked(Hash, &RetryMs)) {
+      ++NQuarantined;
+      PDGC_STAT("worker", "quarantined").inc();
+      Res.Quarantined = true;
+      Res.R.Status = ResponseStatus::Rejected;
+      Res.R.RetryAfterMs = Opts.QuarantineTtlMs ? RetryMs : 0;
+      Res.R.Error = "quarantined: input crashed " +
+                    std::to_string(Opts.QuarantineCrashes) +
+                    " isolated workers";
+      return Res;
+    }
+  }
+
+  Slot *S = acquireIdle(DeadlineAt);
+  if (!S) {
+    bool WasStopping;
+    {
+      MutexLock Lock(Mu);
+      WasStopping = Stopping;
+    }
+    Res.R.Status =
+        WasStopping ? ResponseStatus::Internal : ResponseStatus::Timeout;
+    Res.R.Error = WasStopping
+                      ? "worker pool stopped"
+                      : "no isolated worker available within the request "
+                        "budget";
+    return Res;
+  }
+
+  bool DispatchFault = false;
+  std::string FaultWhat;
+  try {
+    PDGC_FAULT_POINT("worker.dispatch");
+  } catch (const std::exception &E) {
+    PDGC_STAT("worker", "dispatch_faults").inc();
+    DispatchFault = true;
+    FaultWhat = E.what();
+  }
+  if (DispatchFault) {
+    release(S);
+    Res.R.Status = ResponseStatus::Internal;
+    Res.R.Error = "injected dispatch fault: " + FaultWhat;
+    return Res;
+  }
+
+  // Stamp the *remaining* budget onto the wire request: queue wait and
+  // slot wait must count against the child's deadline, mirroring the
+  // in-process admission deadline that starts at admission time.
+  Request Wire = Req;
+  Clock::time_point Now = Clock::now();
+  std::int64_t RemainMs =
+      Now >= DeadlineAt
+          ? 1
+          : std::chrono::duration_cast<std::chrono::milliseconds>(DeadlineAt -
+                                                                  Now)
+                .count();
+  Wire.BudgetMs = static_cast<unsigned>(std::max<std::int64_t>(1, RemainMs));
+
+  bool Sent = writeFrame(S->Proc.writeFd(), serializeRequest(Wire));
+  std::string Payload;
+  FrameResult FR = FrameResult::IoError;
+  if (Sent)
+    FR = readFrame(S->Proc.readFd(), Payload, Opts.MaxFrameBytes);
+
+  if (!Sent || FR != FrameResult::Ok) {
+    // The response stream broke: the worker is dead or unusable. Take
+    // over the corpse (Reaping keeps the watchdog's hands off a pid we
+    // are about to recycle-proof by reaping), make death certain, and
+    // classify the wait status.
+    bool Killed;
+    {
+      MutexLock Lock(Mu);
+      Killed = S->WatchdogKilled;
+      S->State = SlotState::Reaping;
+    }
+    S->Proc.kill(SIGKILL);
+    WaitStatus WS = S->Proc.wait();
+    retireSlot(S);
+
+    bool Infra = !Killed && WS.State == WaitStatus::Exited &&
+                 (WS.Code == ChildExitClean || WS.Code == ChildExitTransport);
+    if (Infra) {
+      if (!IsReplay) {
+        {
+          MutexLock Lock(Mu);
+          ++NReplays;
+        }
+        PDGC_STAT("worker", "replays").inc();
+        WorkerExecResult Second = execute(Req, DeadlineAt, /*IsReplay=*/true);
+        Second.Replayed = true;
+        return Second;
+      }
+      Res.R.Status = ResponseStatus::Internal;
+      Res.R.Error =
+          "worker infrastructure failure after replay (" + WS.toString() + ")";
+      return Res;
+    }
+
+    recordCrash(Hash, Req, WS, Killed);
+    Res.Crashed = true;
+    Res.R.Status = ResponseStatus::Crashed;
+    Res.R.Error = Killed ? "worker killed by watchdog past the request "
+                           "deadline (" +
+                               WS.toString() + ")"
+                         : "worker crashed (" + WS.toString() + ")";
+    return Res;
+  }
+
+  Response R;
+  std::string ParseError;
+  if (!parseResponse(Payload, R, ParseError)) {
+    // The stream answered but cannot be trusted to be in sync again;
+    // retire the worker rather than risk cross-request frame skew.
+    {
+      MutexLock Lock(Mu);
+      S->State = SlotState::Reaping;
+    }
+    S->Proc.kill(SIGKILL);
+    (void)S->Proc.wait();
+    retireSlot(S);
+    Res.R.Status = ResponseStatus::Internal;
+    Res.R.Error = "unparsable response from worker: " + ParseError;
+    return Res;
+  }
+
+  bool CollectFault = false;
+  try {
+    PDGC_FAULT_POINT("worker.collect");
+  } catch (const std::exception &E) {
+    PDGC_STAT("worker", "collect_faults").inc();
+    CollectFault = true;
+    FaultWhat = E.what();
+  }
+  release(S);
+  if (CollectFault) {
+    Res.R.Status = ResponseStatus::Internal;
+    Res.R.Error = "injected collect fault: " + FaultWhat;
+    return Res;
+  }
+  Res.R = std::move(R);
+  return Res;
+}
+
+WorkerPoolStats WorkerPool::Impl::stats() const {
+  MutexLock Lock(Mu);
+  WorkerPoolStats S;
+  S.Spawns = NSpawns;
+  S.Respawns = NRespawns;
+  S.Crashes = NCrashes;
+  S.Kills = NKills;
+  S.Replays = NReplays;
+  S.Quarantined = NQuarantined;
+  for (const std::unique_ptr<Slot> &SP : Slots)
+    if (SP->State == SlotState::Idle || SP->State == SlotState::Busy)
+      ++S.Live;
+  Clock::time_point Now = Clock::now();
+  for (const auto &KV : Breaker) {
+    if (KV.second.Crashes < Opts.QuarantineCrashes)
+      continue;
+    if (Opts.QuarantineTtlMs != 0 &&
+        Now >= KV.second.LastCrash +
+                   std::chrono::milliseconds(Opts.QuarantineTtlMs))
+      continue; // expired, just not reaped yet
+    ++S.QuarantinedInputs;
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Public surface
+//===----------------------------------------------------------------------===//
+
+WorkerPool::WorkerPool(const WorkerPoolOptions &OptsIn)
+    : I(std::make_unique<Impl>(OptsIn)) {}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+bool WorkerPool::start(std::string *Error) { return I->start(Error); }
+
+void WorkerPool::stop() { I->stop(); }
+
+WorkerExecResult WorkerPool::execute(const Request &Req,
+                                     Deadline::Clock::time_point DeadlineAt) {
+  return I->execute(Req, DeadlineAt, /*IsReplay=*/false);
+}
+
+WorkerPoolStats WorkerPool::stats() const { return I->stats(); }

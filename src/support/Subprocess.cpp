@@ -1,0 +1,239 @@
+//===- support/Subprocess.cpp - Forked sandbox child processes ------------===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace pdgc;
+
+std::string WaitStatus::toString() const {
+  switch (State) {
+  case Running:
+    return "running";
+  case Exited:
+    return "exit " + std::to_string(Code);
+  case Signaled: {
+    const char *Name = nullptr;
+    switch (Code) {
+    case SIGSEGV:
+      Name = "SIGSEGV";
+      break;
+    case SIGABRT:
+      Name = "SIGABRT";
+      break;
+    case SIGKILL:
+      Name = "SIGKILL";
+      break;
+    case SIGXCPU:
+      Name = "SIGXCPU";
+      break;
+    case SIGBUS:
+      Name = "SIGBUS";
+      break;
+    case SIGFPE:
+      Name = "SIGFPE";
+      break;
+    case SIGILL:
+      Name = "SIGILL";
+      break;
+    case SIGTERM:
+      Name = "SIGTERM";
+      break;
+    default:
+      break;
+    }
+    std::string S = "signal " + std::to_string(Code);
+    if (Name)
+      S += std::string(" (") + Name + ")";
+    return S;
+  }
+  }
+  return "unknown";
+}
+
+namespace {
+
+WaitStatus decodeWait(int Raw) {
+  WaitStatus WS;
+  if (WIFEXITED(Raw)) {
+    WS.State = WaitStatus::Exited;
+    WS.Code = WEXITSTATUS(Raw);
+  } else if (WIFSIGNALED(Raw)) {
+    WS.State = WaitStatus::Signaled;
+    WS.Code = WTERMSIG(Raw);
+  }
+  return WS;
+}
+
+// Child-side setup. Everything here must stay fork-safe: no locks, no
+// heap allocation beyond what glibc's post-fork allocator state permits.
+void prepareChild(int KeepIn, int KeepOut, const SubprocessLimits &Limits) {
+  // Back to default dispositions so the real-abort chaos site and rlimit
+  // overruns terminate the child the way a genuine bug would, regardless
+  // of what handlers the parent (tests, the daemon) had installed.
+  for (int Signo : {SIGTERM, SIGINT, SIGABRT, SIGSEGV, SIGBUS, SIGFPE,
+                    SIGILL, SIGXCPU, SIGCHLD, SIGALRM, SIGPIPE})
+    ::signal(Signo, SIG_DFL);
+
+  sigset_t All;
+  sigemptyset(&All);
+  pthread_sigmask(SIG_SETMASK, &All, nullptr);
+
+  // Drop every inherited descriptor except the pipe pair and stderr
+  // (diagnostics from a crashing child are worth keeping). This includes
+  // the parent's listening socket and any accepted connections.
+  long MaxFd = ::sysconf(_SC_OPEN_MAX);
+  if (MaxFd <= 0 || MaxFd > 65536)
+    MaxFd = 65536;
+  for (int Fd = 3; Fd < static_cast<int>(MaxFd); ++Fd)
+    if (Fd != KeepIn && Fd != KeepOut)
+      ::close(Fd);
+
+  if (Limits.AddressSpaceMb) {
+    struct rlimit RL;
+    RL.rlim_cur = RL.rlim_max =
+        static_cast<rlim_t>(Limits.AddressSpaceMb) * 1024 * 1024;
+    (void)::setrlimit(RLIMIT_AS, &RL);
+  }
+  if (Limits.CpuSeconds) {
+    struct rlimit RL;
+    RL.rlim_cur = static_cast<rlim_t>(Limits.CpuSeconds);
+    RL.rlim_max = static_cast<rlim_t>(Limits.CpuSeconds) + 1;
+    (void)::setrlimit(RLIMIT_CPU, &RL);
+  }
+}
+
+} // namespace
+
+Subprocess::~Subprocess() { closePipes(); }
+
+bool Subprocess::spawn(const SubprocessLimits &Limits, const ChildMain &Main,
+                       std::string *Error) {
+  if (started() && !Reaped) {
+    if (Error)
+      *Error = "subprocess already running";
+    return false;
+  }
+  closePipes();
+  Reaped = false;
+  Cached = WaitStatus();
+
+  int Req[2] = {-1, -1};  // parent writes Req[1], child reads Req[0]
+  int Resp[2] = {-1, -1}; // child writes Resp[1], parent reads Resp[0]
+  if (::pipe(Req) != 0) {
+    if (Error)
+      *Error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (::pipe(Resp) != 0) {
+    if (Error)
+      *Error = std::string("pipe: ") + std::strerror(errno);
+    ::close(Req[0]);
+    ::close(Req[1]);
+    return false;
+  }
+
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    if (Error)
+      *Error = std::string("fork: ") + std::strerror(errno);
+    ::close(Req[0]);
+    ::close(Req[1]);
+    ::close(Resp[0]);
+    ::close(Resp[1]);
+    return false;
+  }
+
+  if (Child == 0) {
+    // Child. Never return: _exit skips atexit handlers, static dtors and
+    // sanitizer leak reports, all of which belong to the parent image.
+    prepareChild(Req[0], Resp[1], Limits);
+    int Rc = 70; // EX_SOFTWARE if Main itself is broken enough to throw
+    try {
+      Rc = Main(Req[0], Resp[1]);
+    } catch (...) {
+    }
+    ::_exit(Rc);
+  }
+
+  // Parent.
+  ::close(Req[0]);
+  ::close(Resp[1]);
+  Pid = Child;
+  ReqWr = Req[1];
+  RespRd = Resp[0];
+  return true;
+}
+
+void Subprocess::closePipes() {
+  if (ReqWr >= 0) {
+    ::close(ReqWr);
+    ReqWr = -1;
+  }
+  if (RespRd >= 0) {
+    ::close(RespRd);
+    RespRd = -1;
+  }
+}
+
+void Subprocess::kill(int Signo) {
+  if (started() && !Reaped)
+    (void)::kill(Pid, Signo);
+}
+
+WaitStatus Subprocess::tryWait() {
+  if (!started())
+    return WaitStatus();
+  if (Reaped)
+    return Cached;
+  for (;;) {
+    int Raw = 0;
+    pid_t Got = ::waitpid(Pid, &Raw, WNOHANG);
+    if (Got == Pid) {
+      Cached = decodeWait(Raw);
+      if (!Cached.alive())
+        Reaped = true;
+      return Cached;
+    }
+    if (Got == 0)
+      return WaitStatus(); // still running
+    if (errno == EINTR)
+      continue; // SIGCHLD handler has no SA_RESTART; retry
+    // ECHILD or another hard error: treat as exited-unknowably.
+    Cached.State = WaitStatus::Exited;
+    Cached.Code = 127;
+    Reaped = true;
+    return Cached;
+  }
+}
+
+WaitStatus Subprocess::wait() {
+  if (!started())
+    return WaitStatus();
+  if (Reaped)
+    return Cached;
+  for (;;) {
+    int Raw = 0;
+    pid_t Got = ::waitpid(Pid, &Raw, 0);
+    if (Got == Pid) {
+      Cached = decodeWait(Raw);
+      Reaped = true;
+      return Cached;
+    }
+    if (Got < 0 && errno == EINTR)
+      continue;
+    Cached.State = WaitStatus::Exited;
+    Cached.Code = 127;
+    Reaped = true;
+    return Cached;
+  }
+}

@@ -1,0 +1,138 @@
+//===- support/Subprocess.h - Forked sandbox child processes ----*- C++ -*-===//
+//
+// Part of the PDGC project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fork-without-exec subprocess abstraction for crash
+/// containment (docs/ROBUSTNESS.md, "Crash containment"). The parent
+/// forks a child that runs a caller-supplied function over a pipe pair
+/// (requests flow parent→child, responses child→parent; the server layer
+/// speaks FrameCodec frames over these fds) and never returns to the
+/// caller's stack: the child exits via `_exit`, skipping atexit handlers,
+/// static destructors, and sanitizer leak checks that are meaningless in
+/// a forked copy.
+///
+/// Design constraints, all load-bearing:
+///
+///  - **No exec.** The child must run allocator code already linked into
+///    the parent image, with the parent's registered allocators and any
+///    fault plan armed at fork time (chaos plans propagate to children by
+///    inheritance — see FaultInjection.h). Forking a multithreaded parent
+///    is safe here because the child's main is async-signal-tame by
+///    construction: glibc reinitializes its allocator locks across fork,
+///    and the child never spawns threads.
+///
+///  - **rlimit sandbox.** Optional RLIMIT_AS / RLIMIT_CPU caps applied in
+///    the child before user code runs, so a runaway allocation or a
+///    wedged loop is terminated by the kernel (SIGKILL / SIGXCPU) even if
+///    it never reaches a cooperative `pollDeadline()` site. Address-space
+///    caps default to off: sanitizer runtimes reserve terabytes of shadow
+///    and an AS cap breaks them.
+///
+///  - **Reaping is explicit and single-owner.** Exactly one caller thread
+///    drives `tryWait()`/`wait()`; the result is cached so the status
+///    outlives the zombie. `waitpid` loops on EINTR (the supervisor's
+///    SIGCHLD handler deliberately lacks SA_RESTART).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDGC_SUPPORT_SUBPROCESS_H
+#define PDGC_SUPPORT_SUBPROCESS_H
+
+#include <functional>
+#include <string>
+#include <sys/types.h>
+
+namespace pdgc {
+
+/// Resource caps applied inside the child before its main function runs.
+/// Zero means "leave the inherited limit alone".
+struct SubprocessLimits {
+  /// RLIMIT_AS cap in MiB. Keep 0 under sanitizers (shadow reservations).
+  unsigned AddressSpaceMb = 0;
+  /// RLIMIT_CPU cap in seconds. The kernel delivers SIGXCPU at the soft
+  /// limit and SIGKILL one second later, so a wedged worker dies even
+  /// without the supervisor's watchdog.
+  unsigned CpuSeconds = 0;
+};
+
+/// Terminal (or not-yet-terminal) state of a child, decoded from the
+/// waitpid status word.
+struct WaitStatus {
+  enum Kind {
+    Running,  ///< Not exited yet (tryWait with a live child).
+    Exited,   ///< _exit(Code).
+    Signaled, ///< Killed by signal Code (SIGSEGV, SIGABRT, SIGKILL, ...).
+  };
+  Kind State = Running;
+  int Code = 0;
+
+  bool alive() const { return State == Running; }
+
+  /// Human-readable form for dossiers and typed CRASHED responses:
+  /// "exit 10", "signal 11 (SIGSEGV)".
+  std::string toString() const;
+};
+
+/// One forked child with a request pipe (parent writes) and a response
+/// pipe (parent reads). Movable, not copyable; the destructor closes the
+/// pipes but does NOT kill or reap a live child — supervisors own the
+/// child lifecycle explicitly.
+class Subprocess {
+public:
+  /// The child-side main. Receives the child ends of the two pipes
+  /// (InFd: read requests, OutFd: write responses); its return value
+  /// becomes the child's exit code. It must not return control flow to
+  /// the forked copy of the caller — spawn() passes the result straight
+  /// to `_exit`.
+  using ChildMain = std::function<int(int InFd, int OutFd)>;
+
+  Subprocess() = default;
+  ~Subprocess();
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// Forks the child. In the child: resets disposition of termination
+  /// signals to default, closes every fd except the pipe ends and
+  /// stderr, applies \p Limits, runs \p Main, and `_exit`s with its
+  /// return value. Returns false (with \p Error set) if the pipes or the
+  /// fork itself fail; the fault site `worker.spawn` is probed by the
+  /// caller, not here — this layer is fault-free plumbing.
+  bool spawn(const SubprocessLimits &Limits, const ChildMain &Main,
+             std::string *Error = nullptr);
+
+  /// Parent-side pipe ends. -1 when not running or already closed.
+  int writeFd() const { return ReqWr; }
+  int readFd() const { return RespRd; }
+  pid_t pid() const { return Pid; }
+  bool started() const { return Pid > 0; }
+
+  /// Closes the parent-side pipe ends (EOF to the child; a well-behaved
+  /// child main exits 0 on request-pipe EOF). Idempotent.
+  void closePipes();
+
+  /// Sends \p Signo to the child if it has not been reaped yet. Safe to
+  /// call on an exited-but-unreaped zombie (the signal is discarded).
+  void kill(int Signo);
+
+  /// Non-blocking reap. Returns Running while the child is alive; once a
+  /// terminal status is observed it is cached and returned forever (the
+  /// pid must not be waited on again — it may be recycled).
+  WaitStatus tryWait();
+
+  /// Blocking reap with EINTR retry. Caches like tryWait().
+  WaitStatus wait();
+
+private:
+  pid_t Pid = -1;
+  int ReqWr = -1;  ///< Parent writes requests here.
+  int RespRd = -1; ///< Parent reads responses here.
+  bool Reaped = false;
+  WaitStatus Cached;
+};
+
+} // namespace pdgc
+
+#endif // PDGC_SUPPORT_SUBPROCESS_H

@@ -176,6 +176,15 @@ public:
   /// Spurious wakeups happen; always wait in a predicate loop.
   void wait(MutexLock &Lock) { CV.wait(Lock.native()); }
 
+  /// Timed wait: returns after a notification or once \p Ms milliseconds
+  /// elapse, whichever is first (true = notified before the timeout).
+  /// Same predicate-loop rule as wait() — the timeout exists for
+  /// periodic scans (watchdogs, reapers), not for correctness.
+  bool waitForMs(MutexLock &Lock, unsigned Ms) {
+    return CV.wait_for(Lock.native(), std::chrono::milliseconds(Ms)) ==
+           std::cv_status::no_timeout;
+  }
+
   void notify_one() { CV.notify_one(); }
   void notify_all() { CV.notify_all(); }
 

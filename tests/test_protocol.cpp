@@ -223,7 +223,7 @@ TEST(Protocol, ResponseRoundTripsEveryStatus) {
   for (ResponseStatus S :
        {ResponseStatus::Ok, ResponseStatus::Degraded, ResponseStatus::Rejected,
         ResponseStatus::Timeout, ResponseStatus::Malformed,
-        ResponseStatus::Internal}) {
+        ResponseStatus::Internal, ResponseStatus::Crashed}) {
     Response In;
     In.Status = S;
     In.WallMs = 42;
@@ -285,6 +285,24 @@ TEST(Protocol, WorstOfFoldsBySeverity) {
             ResponseStatus::Internal);
   EXPECT_EQ(worstOf(ResponseStatus::Malformed, ResponseStatus::Rejected),
             ResponseStatus::Malformed);
+  // CRASHED outranks everything: a dead worker is the worst thing a
+  // batch of statuses can contain.
+  EXPECT_EQ(worstOf(ResponseStatus::Crashed, ResponseStatus::Internal),
+            ResponseStatus::Crashed);
+  EXPECT_EQ(worstOf(ResponseStatus::Ok, ResponseStatus::Crashed),
+            ResponseStatus::Crashed);
+}
+
+TEST(Protocol, CrashedStatusNameAndParse) {
+  EXPECT_STREQ(responseStatusName(ResponseStatus::Crashed), "CRASHED");
+  Response In;
+  In.Status = ResponseStatus::Crashed;
+  In.Error = "worker crashed (signal 11 (SIGSEGV))";
+  Response Out;
+  std::string Error;
+  ASSERT_TRUE(parseResponse(serializeResponse(In), Out, Error)) << Error;
+  EXPECT_EQ(Out.Status, ResponseStatus::Crashed);
+  EXPECT_NE(Out.Error.find("SIGSEGV"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# End-to-end smoke of crash containment (docs/ROBUSTNESS.md, "Crash
+# containment"): boot pdgc-serve with --isolate-workers and a real-abort
+# fault armed (worker.abort raises an actual SIGABRT inside sandbox
+# children), drive it with pdgc-loadgen --expect-crashes, and hold the
+# containment contract — the daemon survives every crash, answers typed
+# CRASHED for the struck requests and OK for the rest, respawns its
+# workers (visible in /metrics), writes crash dossiers, and drains
+# cleanly. Finally, round-trip one dossier through
+# `pdgc-fuzz --reduce-file` with the in-process replay plan armed.
+#
+# Knobs (environment):
+#   BUILD_DIR      cmake build tree holding the tools   (default: build)
+#   CONCURRENCY    concurrent loadgen clients           (default: 8)
+#   REQUESTS       total requests                       (default: 200)
+#   ISOLATE        sandbox worker processes             (default: 2)
+#   CRASH_EVERY    every Nth request per child aborts   (default: 7)
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+CONCURRENCY=${CONCURRENCY:-8}
+REQUESTS=${REQUESTS:-200}
+ISOLATE=${ISOLATE:-2}
+CRASH_EVERY=${CRASH_EVERY:-7}
+
+LOG=$(mktemp)
+SCRAPE=$(mktemp)
+CRASH_DIR=$(mktemp -d)
+cleanup() {
+  status=$?
+  if [ $status -ne 0 ]; then
+    echo "--- pdgc-serve log ---"
+    cat "$LOG"
+  fi
+  kill "${SERVE_PID:-0}" 2>/dev/null || true
+  rm -rf "$LOG" "$SCRAPE" "$CRASH_DIR"
+  exit $status
+}
+trap cleanup EXIT
+
+# Quarantine is effectively off (the loadgen round-robins 8 bodies, so a
+# repeat-crasher breaker would starve the run); the breaker has its own
+# unit and e2e coverage in tests/test_worker.cpp.
+PDGC_FAULTS="worker.abort:fatal@every=$CRASH_EVERY" \
+  "$BUILD_DIR/tools/pdgc-serve" --port=0 --isolate-workers="$ISOLATE" \
+  --crash-dir="$CRASH_DIR" --quarantine-crashes=1000 \
+  >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 100); do
+  PORT=$(sed -n 's/.*listening on port \([0-9][0-9]*\).*/\1/p' "$LOG")
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "FAIL: pdgc-serve died before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: pdgc-serve never reported its port" >&2
+  exit 1
+fi
+grep -q "isolating allocations in $ISOLATE worker" "$LOG" || {
+  echo "FAIL: no isolation banner in server log" >&2
+  exit 1
+}
+echo "crash_smoke: server pid=$SERVE_PID port=$PORT isolate=$ISOLATE" \
+  "abort-every=$CRASH_EVERY"
+
+# Generated bodies (no corpus): every request is valid IR, so every
+# dossier body is replayable by the reduction step below. --expect-crashes
+# makes the exit code assert both directions: CRASHED responses arrived,
+# and nothing else went wrong (transport errors still fail the run).
+SUMMARY=$("$BUILD_DIR/tools/pdgc-loadgen" --port="$PORT" \
+  --concurrency="$CONCURRENCY" --requests="$REQUESTS" \
+  --seed=42 --retries=12 --expect-crashes --quiet)
+echo "$SUMMARY"
+
+if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "FAIL: server died under crash load — containment failed" >&2
+  exit 1
+fi
+
+# Every request that was not struck by the fault must have been served:
+# no internal errors, no timeouts, no transport errors, and a healthy
+# majority of OK answers.
+python3 - "$SUMMARY" <<'EOF'
+import sys
+fields = dict(kv.split("=") for kv in sys.argv[1].split()[1:])
+sent, ok, crashed = int(fields["sent"]), int(fields["ok"]), int(fields["crashed"])
+assert crashed > 0, "no CRASHED responses despite the armed abort plan"
+assert ok > 0, "no OK responses — the pool never recovered"
+assert int(fields["internal"]) == 0, f"internal errors: {fields['internal']}"
+assert int(fields["timeout"]) == 0, f"timeouts: {fields['timeout']}"
+assert int(fields["transport-errors"]) == 0, "transport errors leaked through"
+assert ok + crashed + int(fields["degraded"]) == sent, fields
+print(f"crash_smoke: {sent} sent = {ok} ok + {crashed} crashed "
+      f"(+{fields['degraded']} degraded), zero collateral failures")
+EOF
+
+# /metrics on the surviving daemon: crashes and respawns both moved, and
+# the isolation gauges are exposed.
+for _ in $(seq 20); do
+  if curl -fsS --max-time 5 "http://127.0.0.1:$PORT/metrics" -o "$SCRAPE"; then
+    break
+  fi
+  sleep 0.1
+done
+python3 - "$SCRAPE" <<'EOF'
+import sys
+stats = {}
+for line in open(sys.argv[1]):
+    if line.startswith("#") or not line.strip():
+        continue
+    name, _, value = line.rpartition(" ")
+    stats[name] = float(value)
+crashes = stats.get('pdgc_stat_total{stat="worker.crashes"}', 0)
+respawns = stats.get('pdgc_stat_total{stat="worker.respawns"}', 0)
+assert crashes > 0, "worker.crashes never moved"
+assert respawns > 0, "worker.respawns never moved"
+assert "pdgc_server_workers_live" in stats, "no workers_live gauge"
+print(f"crash_smoke: /metrics shows crashes={crashes:.0f} "
+      f"respawns={respawns:.0f} live={stats['pdgc_server_workers_live']:.0f}")
+EOF
+
+# Dossiers: one .pir per crash, replayable offline. Round-trip the first
+# through the reducer with the in-process replay plan armed (the child
+# died of a real SIGABRT; in-process the equivalent total failure is
+# every fallback tier dying, which reproduces as a pipeline finding).
+DOSSIER=$(ls "$CRASH_DIR"/crash-*.pir 2>/dev/null | head -1 || true)
+if [ -z "$DOSSIER" ]; then
+  echo "FAIL: no crash dossier written under --crash-dir" >&2
+  exit 1
+fi
+grep -q '; wait-status: signal 6 (SIGABRT)' "$DOSSIER" || {
+  echo "FAIL: dossier does not record the SIGABRT wait status" >&2
+  exit 1
+}
+PDGC_FAULTS='fallback.tier:fatal@every=1' \
+  "$BUILD_DIR/tools/pdgc-fuzz" --reduce-file="$DOSSIER"
+[ -s "$DOSSIER.reduced" ] || {
+  echo "FAIL: reduction produced no output file" >&2
+  exit 1
+}
+echo "crash_smoke: dossier $(basename "$DOSSIER") reduced to" \
+  "$(wc -l <"$DOSSIER.reduced") lines"
+
+kill -TERM "$SERVE_PID"
+DRAIN_RC=0
+wait "$SERVE_PID" || DRAIN_RC=$?
+if [ "$DRAIN_RC" -ne 0 ]; then
+  echo "FAIL: drain exited $DRAIN_RC (3 = drain budget overrun)" >&2
+  exit 1
+fi
+grep -q 'drained within budget' "$LOG" || {
+  echo "FAIL: no drain summary in server log" >&2
+  exit 1
+}
+grep -q 'pdgc-serve: workers: spawns=' "$LOG" || {
+  echo "FAIL: no worker summary line in drain output" >&2
+  exit 1
+}
+grep 'pdgc-serve: workers:' "$LOG"
+echo "crash_smoke: OK"

@@ -24,6 +24,15 @@
 //   pdgc-fuzz [--runs=N] [--seed=S] [--corpus-dir=PATH] [--timeout=SECS]
 //             [--mutate-percent=P] [--kill-tier=NAME] [--max-save=N]
 //             [--jobs=N] [--quiet] [--stats] [--chaos]
+//             [--reduce-file=F.pir]
+//
+// --reduce-file runs the greedy line-removal reduction on one saved
+// reproducer instead of fuzzing — typically a crash dossier written by
+// `pdgc-serve --crash-dir` (docs/ROBUSTNESS.md "Crash dossiers"). The
+// dossier's `; fault-plan:` header names the PDGC_FAULTS spec that killed
+// the worker; export it before reducing and the crash reproduces
+// in-process as a pipeline finding, which becomes the reduction
+// predicate. The reduced input is written to F.pir.reduced.
 //
 // --chaos switches to fault-injection sweeping instead of random-input
 // fuzzing: the corpus (plus a seeded generated supplement) is replayed
@@ -108,6 +117,7 @@ struct FuzzConfig {
   std::string KillTier;
   unsigned long MaxSave = 16;
   unsigned Jobs = 1;
+  std::string ReduceFile;
   bool Quiet = false;
   bool PrintStats = false;
   bool Chaos = false;
@@ -167,7 +177,8 @@ void usage() {
                "[--timeout=SECS]\n"
                "                 [--mutate-percent=P] [--kill-tier=NAME] "
                "[--max-save=N]\n"
-               "                 [--jobs=N] [--quiet] [--stats] [--chaos]\n");
+               "                 [--jobs=N] [--quiet] [--stats] [--chaos]\n"
+               "                 [--reduce-file=F.pir]\n");
 }
 
 /// Random generator parameters: spans tiny straight-line functions up to
@@ -394,6 +405,10 @@ std::string reduceCase(const std::string &Text, const TargetDesc &Target,
                        const std::string &KillTier,
                        const std::string &Kind) {
   auto Reproduces = [&](const std::string &Candidate) {
+    // An armed PDGC_FAULTS plan (--reduce-file on a crash dossier) must
+    // fire identically for every candidate, so per-site hit counters
+    // restart per run; no-op when no plan is armed.
+    fault::resetSiteCounters();
     FuzzStats ScratchStats;
     std::vector<Finding> ScratchFindings;
     runCase(Candidate, Target, Allocators, KillTier, ScratchStats,
@@ -431,6 +446,95 @@ std::string reduceCase(const std::string &Text, const TargetDesc &Target,
   for (const std::string &L : Lines)
     Out += L + "\n";
   return Out;
+}
+
+/// --reduce-file: greedy line-removal reduction of one saved reproducer,
+/// typically a crash dossier written by `pdgc-serve --crash-dir`. The
+/// dossier's `; regs:` header reconstructs the serving target; the crash
+/// predicate is the normal case pipeline with the PDGC_FAULTS plan from
+/// the environment re-armed per candidate (the dossier's `; fault-plan:`
+/// header records the spec that killed the worker, and in-process a
+/// fatal fault surfaces as a fallback-exhausted finding). Writes the
+/// reduced input next to the original as `<file>.reduced`. Exit 0 on a
+/// successful reduction, 1 when the input does not reproduce, 2 on I/O.
+int runReduceFile(const FuzzConfig &Config) {
+  registerPDGCAllocators();
+  const std::vector<std::string> Allocators = registeredAllocatorNames();
+
+  std::ifstream In(Config.ReduceFile);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n",
+                 Config.ReduceFile.c_str());
+    return 2;
+  }
+  std::string Text;
+  {
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  }
+
+  {
+    std::string FaultError;
+    if (!fault::installPlanFromEnv(&FaultError)) {
+      std::fprintf(stderr, "error: PDGC_FAULTS: %s\n", FaultError.c_str());
+      return 2;
+    }
+  }
+
+  // Dossiers record the serving target's register count; default to the
+  // server's default when the header is absent (hand-written inputs).
+  unsigned Regs = 24;
+  {
+    std::istringstream Lines(Text);
+    std::string Line;
+    while (std::getline(Lines, Line)) {
+      const std::string Prefix = "; regs: ";
+      if (Line.rfind(Prefix, 0) == 0) {
+        unsigned long V = 0;
+        if (parseNumeric(Line.substr(Prefix.size()), 4096, V) && V >= 2)
+          Regs = static_cast<unsigned>(V);
+        break;
+      }
+      if (Line.rfind(";", 0) != 0)
+        break; // headers stop at the first non-comment line
+    }
+  }
+  const TargetDesc Target = makeTarget(Regs, PairingRule::Adjacent);
+
+  FuzzStats Stats;
+  std::vector<Finding> Findings;
+  fault::resetSiteCounters();
+  runCase(Text, Target, Allocators, Config.KillTier, Stats, Findings);
+  if (Findings.empty()) {
+    std::fprintf(stderr,
+                 "pdgc-fuzz: '%s' does not reproduce a finding (export the "
+                 "dossier's fault-plan header via PDGC_FAULTS first?)\n",
+                 Config.ReduceFile.c_str());
+    return 1;
+  }
+  const std::string Kind = Findings.front().Kind;
+
+  auto countLines = [](const std::string &S) {
+    unsigned long N = 0;
+    for (char C : S)
+      N += C == '\n';
+    return N;
+  };
+  const std::string Reduced =
+      reduceCase(Text, Target, Allocators, Config.KillTier, Kind);
+
+  const std::string OutPath = Config.ReduceFile + ".reduced";
+  std::ofstream Out(OutPath);
+  Out << Reduced;
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 2;
+  }
+  std::printf("pdgc-fuzz: reduced '%s' (%s, %lu -> %lu lines) -> '%s'\n",
+              Config.ReduceFile.c_str(), Kind.c_str(), countLines(Text),
+              countLines(Reduced), OutPath.c_str());
+  return 0;
 }
 
 /// Runs \p Body under a SIGALRM guard; returns false when the alarm fired.
@@ -756,6 +860,12 @@ int main(int argc, char **argv) {
       Config.MutatePercent = static_cast<unsigned>(Value);
     } else if (Arg.rfind("--kill-tier=", 0) == 0) {
       Config.KillTier = Arg.substr(12);
+    } else if (Arg.rfind("--reduce-file=", 0) == 0) {
+      Config.ReduceFile = Arg.substr(14);
+      if (Config.ReduceFile.empty()) {
+        std::fprintf(stderr, "error: --reduce-file expects a path\n");
+        return 2;
+      }
     } else if (Arg.rfind("--max-save=", 0) == 0 &&
                parseNumeric(Arg.substr(11), 10000, Value)) {
       Config.MaxSave = Value;
@@ -781,6 +891,8 @@ int main(int argc, char **argv) {
 
   if (Config.Chaos)
     return runChaos(Config);
+  if (!Config.ReduceFile.empty())
+    return runReduceFile(Config);
 
   registerPDGCAllocators();
   const std::vector<std::string> Allocators = registeredAllocatorNames();

@@ -23,16 +23,23 @@
 //                      counting a transport error
 //   --expect-drain     treat REJECTED("draining") and dropped connections
 //                      near shutdown as success (for SIGTERM drain tests)
+//   --expect-crashes   the server is running with --isolate-workers and a
+//                      crash fault armed: CRASHED responses are expected
+//                      (exit 1 if none arrive); without this flag any
+//                      CRASHED response is a finding (exit 1)
+//   --max-elapsed-ms=N wall-clock retry budget per request, passed to the
+//                      client retry policy (default 0 = attempts only)
 //   --quiet            print only the final report
 //
 // Exit codes:
 //   0  every request got a typed response (or an allowed drain outcome)
-//   1  transport errors outside chaos mode, or an invalid response
+//   1  transport errors outside chaos mode, an invalid response, or a
+//      crash-expectation mismatch (see --expect-crashes)
 //   2  usage / connect failure
 //
 // The final report line is machine-parseable:
 //   pdgc-loadgen: sent=N ok=N degraded=N rejected=N timeout=N malformed=N
-//     internal=N transport-errors=N retries=N p50-us=N p99-us=N
+//     internal=N crashed=N transport-errors=N retries=N p50-us=N p99-us=N
 //
 //===----------------------------------------------------------------------===//
 
@@ -67,7 +74,9 @@ void usage() {
                "[--requests=N] [--corpus-dir=DIR]\n"
                "                    [--budget-ms=N] [--allocator=NAME] "
                "[--seed=S] [--retries=N]\n"
-               "                    [--chaos] [--expect-drain] [--quiet]\n");
+               "                    [--max-elapsed-ms=N] [--chaos] "
+               "[--expect-drain] [--expect-crashes]\n"
+               "                    [--quiet]\n");
 }
 
 bool parseNumericOption(const std::string &Value, unsigned long Min,
@@ -88,8 +97,8 @@ bool parseNumericOption(const std::string &Value, unsigned long Min,
 
 struct Totals {
   std::atomic<std::uint64_t> Sent{0}, Ok{0}, Degraded{0}, Rejected{0},
-      Timeout{0}, Malformed{0}, Internal{0}, TransportErrors{0},
-      DrainRejects{0}, Retries{0}, Invalid{0};
+      Timeout{0}, Malformed{0}, Internal{0}, Crashed{0},
+      TransportErrors{0}, DrainRejects{0}, Retries{0}, Invalid{0};
 };
 
 } // namespace
@@ -100,11 +109,13 @@ int main(int argc, char **argv) {
   unsigned Requests = 64;
   unsigned BudgetMs = 0;
   unsigned MaxAttempts = 8;
+  unsigned MaxElapsedMs = 0;
   std::uint64_t Seed = 1;
   std::string CorpusDir;
   std::string Allocator;
   bool Chaos = false;
   bool ExpectDrain = false;
+  bool ExpectCrashes = false;
   bool Quiet = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -125,6 +136,9 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--retries=", 0) == 0 &&
                parseNumericOption(Arg.substr(10), 1, 100, V)) {
       MaxAttempts = static_cast<unsigned>(V);
+    } else if (Arg.rfind("--max-elapsed-ms=", 0) == 0 &&
+               parseNumericOption(Arg.substr(17), 1, 3600000, V)) {
+      MaxElapsedMs = static_cast<unsigned>(V);
     } else if (Arg.rfind("--seed=", 0) == 0 &&
                parseNumericOption(Arg.substr(7), 0, 999999999, V)) {
       Seed = V;
@@ -136,6 +150,8 @@ int main(int argc, char **argv) {
       Chaos = true;
     } else if (Arg == "--expect-drain") {
       ExpectDrain = true;
+    } else if (Arg == "--expect-crashes") {
+      ExpectCrashes = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -216,7 +232,7 @@ int main(int argc, char **argv) {
       TransportError E = Conn.callWithRetry(
           Req, Resp, static_cast<std::uint16_t>(Port), MaxAttempts,
           /*RetryTransport=*/Chaos || ExpectDrain,
-          Seed * 1000 + ClientId * 131 + Idx, &Retries);
+          Seed * 1000 + ClientId * 131 + Idx, &Retries, MaxElapsedMs);
       T.Sent.fetch_add(1);
       T.Retries.fetch_add(Retries);
       std::uint64_t Micros = static_cast<std::uint64_t>(
@@ -262,6 +278,9 @@ int main(int argc, char **argv) {
       case ResponseStatus::Internal:
         T.Internal.fetch_add(1);
         break;
+      case ResponseStatus::Crashed:
+        T.Crashed.fetch_add(1);
+        break;
       }
       // Status-correctness assertions: a successful allocation must
       // carry a serving tier and an assignment-shaped body.
@@ -294,6 +313,7 @@ int main(int argc, char **argv) {
 
   std::printf("pdgc-loadgen: sent=%llu ok=%llu degraded=%llu "
               "rejected=%llu timeout=%llu malformed=%llu internal=%llu "
+              "crashed=%llu "
               "transport-errors=%llu retries=%llu p50-us=%llu p99-us=%llu\n",
               static_cast<unsigned long long>(T.Sent.load()),
               static_cast<unsigned long long>(T.Ok.load()),
@@ -302,6 +322,7 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(T.Timeout.load()),
               static_cast<unsigned long long>(T.Malformed.load()),
               static_cast<unsigned long long>(T.Internal.load()),
+              static_cast<unsigned long long>(T.Crashed.load()),
               static_cast<unsigned long long>(T.TransportErrors.load()),
               static_cast<unsigned long long>(T.Retries.load()),
               static_cast<unsigned long long>(Latency.quantile(0.50)),
@@ -311,5 +332,18 @@ int main(int argc, char **argv) {
     return 1;
   if (!Chaos && !ExpectDrain && T.TransportErrors.load() != 0)
     return 1;
+  // Crash-expectation contract: CRASHED responses are findings unless
+  // the harness armed a crash fault, in which case seeing *none* means
+  // the fault plan never fired and the run proved nothing.
+  if (!ExpectCrashes && T.Crashed.load() != 0) {
+    std::fprintf(stderr, "pdgc-loadgen: unexpected CRASHED responses "
+                         "(run with --expect-crashes if intended)\n");
+    return 1;
+  }
+  if (ExpectCrashes && T.Crashed.load() == 0) {
+    std::fprintf(stderr, "pdgc-loadgen: --expect-crashes but no CRASHED "
+                         "response arrived\n");
+    return 1;
+  }
   return 0;
 }

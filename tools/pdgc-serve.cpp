@@ -5,8 +5,8 @@
 // Long-running register-allocation service on a loopback TCP port. Speaks
 // the length-prefixed PDGC/1 protocol (docs/SERVING.md): clients send
 // textual IR plus per-request options, the server answers with a typed
-// status (OK / DEGRADED / REJECTED / TIMEOUT / MALFORMED / INTERNAL), an
-// assignment, and degradation records.
+// status (OK / DEGRADED / REJECTED / TIMEOUT / MALFORMED / INTERNAL /
+// CRASHED), an assignment, and degradation records.
 //
 //   pdgc-serve [options]
 //
@@ -30,6 +30,22 @@
 //   --trace-json=FILE    collect trace spans and write Chrome trace JSON
 //                        at exit (spans carry `req` ids that join the
 //                        flight recorder / GET /requests output)
+//   --isolate-workers=N  run each allocation in one of N supervised
+//                        sandbox child processes (default 0 = in-process;
+//                        docs/ROBUSTNESS.md "Crash containment"). Crashed
+//                        children answer CRASHED and are respawned.
+//   --crash-dir=DIR      write a crash dossier (input + wait status) per
+//                        worker crash under DIR
+//   --quarantine-crashes=K  quarantine an input after K crashes
+//                        (default 3); quarantined inputs get an instant
+//                        REJECTED("quarantined")
+//   --quarantine-ttl-ms=N   forget a quarantine entry after N ms
+//                        (default 0 = never)
+//   --worker-grace-ms=N  watchdog SIGKILL grace past the request
+//                        deadline (default 500)
+//   --worker-as-mb=N     worker RLIMIT_AS cap in MiB (default 0 = off)
+//   --worker-cpu-secs=N  worker RLIMIT_CPU cap in seconds (default 0 =
+//                        off)
 //   --verbose            log connection events to stderr
 //
 // The same port also answers HTTP/1.1 (plane picked from the first byte;
@@ -86,8 +102,12 @@ void usage() {
                "[--drain-budget-ms=N] [--max-frame-bytes=N]\n"
                "                  [--regs=N] [--allocator=NAME] "
                "[--http-max-conns=N]\n"
-               "                  [--flight-records=N] [--trace-json=FILE] "
-               "[--verbose]\n");
+               "                  [--flight-records=N] [--trace-json=FILE]\n"
+               "                  [--isolate-workers=N] [--crash-dir=DIR] "
+               "[--quarantine-crashes=K]\n"
+               "                  [--quarantine-ttl-ms=N] "
+               "[--worker-grace-ms=N] [--worker-as-mb=N]\n"
+               "                  [--worker-cpu-secs=N] [--verbose]\n");
 }
 
 bool parseNumericOption(const std::string &Value, unsigned long Min,
@@ -169,7 +189,25 @@ int main(int argc, char **argv) {
       Opts.HttpMaxConns = static_cast<unsigned>(V);
     else if (numericArg(Arg, "--flight-records=", 1, 1000000, V, Bad))
       Opts.FlightRecords = static_cast<std::size_t>(V);
-    else if (Arg.rfind("--trace-json=", 0) == 0) {
+    else if (numericArg(Arg, "--isolate-workers=", 0, 256, V, Bad))
+      Opts.IsolateWorkers = static_cast<unsigned>(V);
+    else if (numericArg(Arg, "--quarantine-crashes=", 1, 1000000, V, Bad))
+      Opts.QuarantineCrashes = static_cast<unsigned>(V);
+    else if (numericArg(Arg, "--quarantine-ttl-ms=", 0, 3600000, V, Bad))
+      Opts.QuarantineTtlMs = static_cast<unsigned>(V);
+    else if (numericArg(Arg, "--worker-grace-ms=", 1, 3600000, V, Bad))
+      Opts.WorkerGraceMs = static_cast<unsigned>(V);
+    else if (numericArg(Arg, "--worker-as-mb=", 0, 1048576, V, Bad))
+      Opts.WorkerAddressSpaceMb = static_cast<unsigned>(V);
+    else if (numericArg(Arg, "--worker-cpu-secs=", 0, 86400, V, Bad))
+      Opts.WorkerCpuSeconds = static_cast<unsigned>(V);
+    else if (Arg.rfind("--crash-dir=", 0) == 0) {
+      Opts.CrashDir = Arg.substr(12);
+      if (Opts.CrashDir.empty()) {
+        std::fprintf(stderr, "error: --crash-dir expects a path\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--trace-json=", 0) == 0) {
       TraceJsonPath = Arg.substr(13);
       if (TraceJsonPath.empty()) {
         std::fprintf(stderr, "error: --trace-json expects a path\n");
@@ -225,6 +263,11 @@ int main(int argc, char **argv) {
               "drain-budget-ms=%u)\n",
               S.port(), Opts.Workers, Opts.QueueLowWatermark,
               Opts.QueueCapacity, Opts.DrainBudgetMs);
+  if (Opts.IsolateWorkers > 0)
+    std::printf("pdgc-serve: isolating allocations in %u worker "
+                "process%s (grace-ms=%u quarantine-crashes=%u)\n",
+                Opts.IsolateWorkers, Opts.IsolateWorkers == 1 ? "" : "es",
+                Opts.WorkerGraceMs, Opts.QuarantineCrashes);
   std::fflush(stdout);
 
   ServerSummary Sum = S.run();
@@ -232,8 +275,8 @@ int main(int argc, char **argv) {
 
   std::printf("pdgc-serve: drained %s budget: accepted=%llu requests=%llu "
               "ok=%llu degraded=%llu rejected=%llu timeout=%llu "
-              "malformed=%llu internal=%llu transport-errors=%llu "
-              "p50-us=%llu p99-us=%llu\n",
+              "malformed=%llu internal=%llu crashed=%llu "
+              "transport-errors=%llu p50-us=%llu p99-us=%llu\n",
               Sum.DrainedInBudget ? "within" : "OVER",
               static_cast<unsigned long long>(Sum.Accepted),
               static_cast<unsigned long long>(Sum.Requests),
@@ -243,9 +286,19 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Sum.Timeout),
               static_cast<unsigned long long>(Sum.Malformed),
               static_cast<unsigned long long>(Sum.Internal),
+              static_cast<unsigned long long>(Sum.Crashed),
               static_cast<unsigned long long>(Sum.TransportErrors),
               static_cast<unsigned long long>(Sum.P50Micros),
               static_cast<unsigned long long>(Sum.P99Micros));
+  if (Opts.IsolateWorkers > 0)
+    std::printf("pdgc-serve: workers: spawns=%llu respawns=%llu "
+                "crashes=%llu kills=%llu replays=%llu quarantined=%llu\n",
+                static_cast<unsigned long long>(Sum.WorkerSpawns),
+                static_cast<unsigned long long>(Sum.WorkerRespawns),
+                static_cast<unsigned long long>(Sum.WorkerCrashes),
+                static_cast<unsigned long long>(Sum.WorkerKills),
+                static_cast<unsigned long long>(Sum.WorkerReplays),
+                static_cast<unsigned long long>(Sum.WorkerQuarantined));
   if (!Sum.RecentRequests.empty()) {
     std::printf("pdgc-serve: last requests (newest first):\n%s",
                 Sum.RecentRequests.c_str());
